@@ -1,0 +1,59 @@
+//! Microbenchmarks of the hypothesis machinery: subsequence enumeration
+//! as a function of locks per transaction (the combinatorial heart of the
+//! derivator), compliance checks, and the exhaustive Tab. 2 mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lockdoc_core::hypothesis::{complies, enumerate, enumerate_exhaustive, Observation};
+use lockdoc_core::lockset::LockDescriptor;
+use lockdoc_trace::event::AccessKind;
+
+fn observations(locks_per_txn: usize, distinct: usize) -> Vec<Observation> {
+    (0..distinct)
+        .map(|d| Observation {
+            locks: (0..locks_per_txn)
+                .map(|i| LockDescriptor::global(&format!("lock_{}", (i + d) % (locks_per_txn + 2))))
+                .collect(),
+            count: 10,
+        })
+        .collect()
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypothesis-enumeration");
+    for locks in [2usize, 4, 6, 8, 10] {
+        let obs = observations(locks, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(locks), &obs, |b, obs| {
+            b.iter(|| enumerate(0, AccessKind::Write, obs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypothesis-exhaustive");
+    for locks in [2usize, 3, 4, 5] {
+        let obs = observations(locks, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(locks), &obs, |b, obs| {
+            b.iter(|| enumerate_exhaustive(0, AccessKind::Write, obs, locks))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compliance(c: &mut Criterion) {
+    let held: Vec<LockDescriptor> = (0..8)
+        .map(|i| LockDescriptor::global(&format!("lock_{i}")))
+        .collect();
+    let rule = vec![held[1].clone(), held[4].clone(), held[6].clone()];
+    c.bench_function("compliance-check/8-held-3-rule", |b| {
+        b.iter(|| complies(&held, &rule))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_enumeration,
+    bench_exhaustive,
+    bench_compliance
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Criterion benchmarks for every pipeline phase: trace generation,
+//! database import, rule derivation, documented-rule checking, violation
+//! scanning, and the Fig. 1 source scan.
+//!
+//! These are the performance counterparts of the paper's Sec. 7.2 numbers
+//! (34 min tracing, 8 min import, 3 s derivation on the authors' setup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksim::config::SimConfig;
+use ksim::rules;
+use ksim::subsys::Machine;
+use lockdoc_core::checker::check_rules;
+use lockdoc_core::derive::{derive, DeriveConfig};
+use lockdoc_core::rulespec::parse_rules;
+use lockdoc_core::select::{select, SelectionConfig, Strategy};
+use lockdoc_core::violation::find_violations;
+use lockdoc_trace::codec::{read_trace, write_trace};
+use lockdoc_trace::db::import;
+use lockdoc_trace::event::Trace;
+use locksrc::corpus::CorpusSpec;
+use locksrc::scan::scan_source;
+
+fn build_trace(ops: u64) -> Trace {
+    let mut machine =
+        Machine::boot(SimConfig::with_seed(0xBEAC).with_faults(rules::default_fault_plan()));
+    machine.run_mix(ops);
+    machine.finish()
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracing");
+    for ops in [500u64, 2_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, &ops| {
+            b.iter(|| build_trace(ops));
+        });
+    }
+    group.finish();
+}
+
+fn bench_import(c: &mut Criterion) {
+    let trace = build_trace(2_000);
+    let cfg = rules::filter_config();
+    c.bench_function("import/2k-ops", |b| b.iter(|| import(&trace, &cfg)));
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = build_trace(2_000);
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).expect("encode");
+    let mut group = c.benchmark_group("codec");
+    group.bench_function("encode/2k-ops", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            write_trace(&trace, &mut out).expect("encode");
+            out.len()
+        })
+    });
+    group.bench_function("decode/2k-ops", |b| {
+        b.iter(|| read_trace(&mut buf.as_slice()).expect("decode"))
+    });
+    group.finish();
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let trace = build_trace(2_000);
+    let db = import(&trace, &rules::filter_config());
+    let mut group = c.benchmark_group("derivation");
+    group.bench_function("derive/2k-ops", |b| {
+        b.iter(|| derive(&db, &DeriveConfig::default()))
+    });
+    // Ablation: selection strategy cost on the derived hypothesis sets.
+    let mined = derive(&db, &DeriveConfig::default());
+    let sets: Vec<_> = mined
+        .groups
+        .iter()
+        .flat_map(|g| g.rules.iter())
+        .map(|r| lockdoc_core::hypothesis::HypothesisSet {
+            member: r.member,
+            kind: r.kind,
+            total: r.total_units,
+            hypotheses: r.hypotheses.clone(),
+        })
+        .collect();
+    for (name, strategy) in [
+        ("lockdoc", Strategy::LockDoc),
+        ("naive-max", Strategy::NaiveMax),
+        ("naive-lock-preferred", Strategy::NaiveMaxLockPreferred),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("select", name),
+            &strategy,
+            |b, &strategy| {
+                let cfg = SelectionConfig {
+                    accept_threshold: 0.9,
+                    strategy,
+                };
+                b.iter(|| sets.iter().filter_map(|s| select(s, &cfg)).count())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_checker_and_violations(c: &mut Criterion) {
+    let trace = build_trace(2_000);
+    let db = import(&trace, &rules::filter_config());
+    let documented = parse_rules(rules::documented_rules()).expect("rules parse");
+    c.bench_function("check-documented-rules/2k-ops", |b| {
+        b.iter(|| check_rules(&db, &documented))
+    });
+    let mined = derive(&db, &DeriveConfig::default());
+    c.bench_function("find-violations/2k-ops", |b| {
+        b.iter(|| find_violations(&db, &mined, 5))
+    });
+}
+
+fn bench_order_and_diff(c: &mut Criterion) {
+    let trace = build_trace(2_000);
+    let db = import(&trace, &rules::filter_config());
+    c.bench_function("order-graph/2k-ops", |b| {
+        b.iter(|| lockdoc_core::order::OrderGraph::build(&db))
+    });
+    let mined_a = derive(&db, &DeriveConfig::with_threshold(0.9));
+    let mined_b = derive(&db, &DeriveConfig::with_threshold(0.95));
+    c.bench_function("rule-diff/2k-ops", |b| {
+        b.iter(|| lockdoc_core::rulediff::diff_rules(&mined_a, &mined_b))
+    });
+}
+
+fn bench_source_scan(c: &mut Criterion) {
+    let spec = CorpusSpec::for_release("v4.10").expect("known release");
+    let tree = spec.generate(1).concatenated();
+    c.bench_function("locksrc-scan/v4.10-corpus", |b| {
+        b.iter(|| scan_source(&tree))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tracing,
+    bench_import,
+    bench_codec,
+    bench_derivation,
+    bench_checker_and_violations,
+    bench_order_and_diff,
+    bench_source_scan
+);
+criterion_main!(benches);

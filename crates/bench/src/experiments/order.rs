@@ -1,0 +1,82 @@
+//! Extension experiment: lock-order analysis (ex-post lockdep).
+//!
+//! The paper's locking rules include acquisition *order*, and its
+//! related-work section contrasts LockDoc with Linux's runtime `lockdep`
+//! validator. This experiment builds the lock-class order graph from the
+//! trace and reports inversions — the same class of diagnostics, derived
+//! ex post from the very trace LockDoc already records.
+
+use crate::context::EvalContext;
+use lockdoc_core::order::OrderGraph;
+
+/// Renders the order-graph diagnostics.
+pub fn report(ctx: &EvalContext) -> String {
+    let graph = OrderGraph::build(&ctx.db);
+    let mut out = String::from("Lock-order analysis (extension; ex-post lockdep):\n");
+    out.push_str(&graph.report(&ctx.db));
+    out.push_str(
+        "\nNote: the i_lock/inode_lru_lock inversion is the real-world pattern of\n\
+         fs/inode.c, where Linux defuses the reverse edge with spin_trylock()\n\
+         in the LRU isolate callback — exactly the kind of subtlety per-member\n\
+         locking documentation cannot express.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{EvalConfig, EvalContext};
+
+    #[test]
+    fn order_graph_finds_the_designed_inversion() {
+        let ctx = EvalContext::build(EvalConfig {
+            ops: 3_000,
+            ..EvalConfig::default()
+        });
+        let graph = OrderGraph::build(&ctx.db);
+        assert!(graph.edges.len() > 10, "rich order graph");
+        // The add-to-LRU vs isolate-from-LRU inversion must be observed.
+        let inversions = graph.inversions();
+        assert!(
+            inversions.iter().any(|inv| {
+                let names = [inv.forward.from.name.as_str(), inv.forward.to.name.as_str()];
+                names.contains(&"inode_lru_lock") && names.contains(&"i_lock in inode")
+            }),
+            "LRU lock inversion detected: {:?}",
+            inversions
+        );
+        // The canonical hash order is present and never inverted.
+        let hash_then_ilock = graph
+            .edges
+            .keys()
+            .any(|(a, b)| a.name == "inode_hash_lock" && b.name == "i_lock in inode");
+        assert!(hash_then_ilock);
+        let ilock_then_hash = graph
+            .edges
+            .keys()
+            .any(|(a, b)| a.name == "i_lock in inode" && b.name == "inode_hash_lock");
+        assert!(!ilock_then_hash, "hash order is never inverted");
+    }
+
+    #[test]
+    fn lockdep_agrees_with_expost_analysis() {
+        // The in-situ validator inside ksim must raise the same inversion.
+        let ctx = EvalContext::build(EvalConfig {
+            ops: 3_000,
+            ..EvalConfig::default()
+        });
+        let _ = ctx; // the context runs the machine; rebuild to inspect lockdep
+        let mut machine =
+            ksim::subsys::Machine::boot(ksim::config::SimConfig::with_seed(0x10c_d0c));
+        machine.run_mix(3_000);
+        let warnings = &machine.k.lockdep.warnings;
+        assert!(
+            warnings.iter().any(|w| {
+                let pair = [w.held_class.as_str(), w.acquired_class.as_str()];
+                pair.contains(&"inode_lru_lock") && pair.contains(&"i_lock in inode")
+            }),
+            "lockdep warnings: {warnings:?}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Stability experiment (beyond the paper): how benchmark-dependent are
+//! the mined rules?
+//!
+//! The paper attributes low-support rules to benchmark coverage
+//! (Sec. 7.4: "we believe this could be remedied with better benchmarks").
+//! Here we re-run the workload under different seeds and measure how many
+//! `(group, member, kind)` winners agree across runs — high-support rules
+//! must be seed-invariant, disagreement concentrates in low-support rules.
+
+use crate::context::{EvalConfig, EvalContext};
+use crate::table::Table;
+use lockdoc_core::derive::MinedRules;
+use std::collections::BTreeMap;
+
+/// Key identifying one rule across runs.
+type RuleKey = (String, String, String);
+
+fn winners(mined: &MinedRules) -> BTreeMap<RuleKey, (String, f64)> {
+    let mut out = BTreeMap::new();
+    for g in &mined.groups {
+        for r in &g.rules {
+            out.insert(
+                (
+                    g.group_name.clone(),
+                    r.member_name.clone(),
+                    r.kind.to_string(),
+                ),
+                (r.winner.hypothesis.describe(), r.winner.hypothesis.sr),
+            );
+        }
+    }
+    out
+}
+
+/// Result of comparing runs under `seeds`.
+#[derive(Debug, Clone, Default)]
+pub struct Stability {
+    /// Rules present in every run.
+    pub common: usize,
+    /// ... of which all runs agree on the winner.
+    pub agreeing: usize,
+    /// Disagreeing rules with their per-run support range.
+    pub disagreements: Vec<(RuleKey, Vec<String>)>,
+}
+
+/// Runs the pipeline under each seed and compares winners.
+pub fn measure(base: EvalConfig, seeds: &[u64]) -> Stability {
+    let runs: Vec<BTreeMap<RuleKey, (String, f64)>> = seeds
+        .iter()
+        .map(|&seed| {
+            let ctx = EvalContext::build(EvalConfig { seed, ..base });
+            winners(&ctx.mined)
+        })
+        .collect();
+    let mut st = Stability::default();
+    let first = &runs[0];
+    'rules: for (key, (winner0, _)) in first {
+        let mut winners_here = vec![winner0.clone()];
+        for run in &runs[1..] {
+            match run.get(key) {
+                Some((w, _)) => winners_here.push(w.clone()),
+                None => continue 'rules, // not observed in every run
+            }
+        }
+        st.common += 1;
+        if winners_here.iter().all(|w| w == winner0) {
+            st.agreeing += 1;
+        } else {
+            st.disagreements.push((key.clone(), winners_here));
+        }
+    }
+    st
+}
+
+/// Renders the stability report (3 seeds, reduced op count per run).
+pub fn report(ctx: &EvalContext) -> String {
+    let base = EvalConfig {
+        ops: (ctx.config.ops / 4).max(2_000),
+        ..ctx.config
+    };
+    let st = measure(base, &[0xA11CE, 0xB0B0, 0xC0FFEE]);
+    let mut t = Table::new(&["Rule", "winners per seed"]);
+    for (key, ws) in st.disagreements.iter().take(15) {
+        t.row(&[format!("{}.{}:{}", key.0, key.1, key.2), ws.join(" | ")]);
+    }
+    format!(
+        "Rule stability across seeds (beyond the paper):\n\
+         {} rules mined in all runs, {} agree ({:.1}%), {} disagree\n\n{}",
+        st.common,
+        st.agreeing,
+        100.0 * st.agreeing as f64 / st.common.max(1) as f64,
+        st.disagreements.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_support_rules_are_seed_invariant() {
+        let base = EvalConfig {
+            ops: 2_500,
+            ..EvalConfig::default()
+        };
+        let st = measure(base, &[1, 2]);
+        assert!(st.common > 100, "rules compared: {}", st.common);
+        let agree_pct = st.agreeing as f64 / st.common as f64;
+        assert!(
+            agree_pct > 0.85,
+            "winners should be largely seed-invariant: {agree_pct}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Subclassing ablation (beyond the paper): what is lost by deriving
+//! type-wide rules instead of per-filesystem rules?
+//!
+//! The paper subclasses `struct inode` per backing filesystem because the
+//! filesystems synchronize differently (Sec. 5.3 item 1: "the proc
+//! filesystem does not lock-protect some members"). This experiment
+//! derives both ways and counts, per inode member, the subclasses whose
+//! specific winner is *weakened or lost* in the pooled view.
+
+use crate::context::EvalContext;
+use crate::table::Table;
+use lockdoc_core::derive::{derive_pooled, MinedRules};
+use lockdoc_core::lockset::format_sequence;
+
+/// One member where pooling changes the ext4 winner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolingLoss {
+    /// Member name.
+    pub member: String,
+    /// Access kind tag.
+    pub kind: String,
+    /// Winner derived from the ext4 subclass alone.
+    pub subclassed: String,
+    /// Winner derived from the pooled inode observations.
+    pub pooled: String,
+}
+
+/// Compares pooled vs per-subclass derivation for `inode:ext4`.
+pub fn measure(ctx: &EvalContext) -> (Vec<PoolingLoss>, usize) {
+    let pooled: MinedRules = derive_pooled(&ctx.db, &ctx.mined.config);
+    let ext4 = ctx.mined.group("inode:ext4").expect("ext4 group");
+    let inode_pooled = pooled.group("inode").expect("pooled inode group");
+    let mut losses = Vec::new();
+    let mut compared = 0usize;
+    for rule in &ext4.rules {
+        let Some(pooled_rule) = inode_pooled.rule_for(&rule.member_name, rule.kind) else {
+            continue;
+        };
+        compared += 1;
+        let sub = format_sequence(&rule.winner.hypothesis.locks);
+        let pool = format_sequence(&pooled_rule.winner.hypothesis.locks);
+        if sub != pool {
+            losses.push(PoolingLoss {
+                member: rule.member_name.clone(),
+                kind: rule.kind.tag().to_owned(),
+                subclassed: sub,
+                pooled: pool,
+            });
+        }
+    }
+    (losses, compared)
+}
+
+/// Renders the ablation report.
+pub fn report(ctx: &EvalContext) -> String {
+    let (losses, compared) = measure(ctx);
+    let mut t = Table::new(&["Member", "r/w", "ext4-subclassed winner", "pooled winner"]);
+    for l in &losses {
+        t.row(&[
+            l.member.clone(),
+            l.kind.clone(),
+            l.subclassed.clone(),
+            l.pooled.clone(),
+        ]);
+    }
+    format!(
+        "Subclassing ablation (beyond the paper): pooled vs per-filesystem inode rules\n\
+         {} of {} ext4 rules change when subclasses are pooled:\n{}",
+        losses.len(),
+        compared,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{EvalConfig, EvalContext};
+
+    #[test]
+    fn pooling_weakens_subclass_specific_rules() {
+        let ctx = EvalContext::build(EvalConfig {
+            ops: 6_000,
+            ..EvalConfig::default()
+        });
+        let (losses, compared) = measure(&ctx);
+        assert!(compared > 20, "enough comparable rules: {compared}");
+        // The pooled view loses at least some ext4-specific discipline —
+        // the paper's reason for subclassing in the first place.
+        assert!(
+            !losses.is_empty(),
+            "pooling should change at least one winner"
+        );
+        // And the changes go in the weakening direction for at least one
+        // rule: a lock rule degrades to fewer/no locks.
+        assert!(
+            losses
+                .iter()
+                .any(|l| l.pooled == "no locks" || l.pooled.len() < l.subclassed.len()),
+            "some pooled winner is weaker: {losses:?}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Tab. 1: accesses to `seconds` and `minutes` grouped by access type for
+//! one roll-over execution of the clock example — the observed, folded and
+//! write-over-read matrices of paper Sec. 4.2.
+
+use crate::table::Table;
+use lockdoc_core::clock::clock_db;
+use lockdoc_core::matrix::AccessMatrix;
+use lockdoc_trace::event::AccessKind;
+
+/// One rendered cell triple `(observed, folded, wor)` for txn a and b.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tab1Row {
+    /// Raw observed counts in transactions a and b.
+    pub observed: [u64; 2],
+    /// Folded (0/1) in a and b.
+    pub folded: [u64; 2],
+    /// Write-over-read outcome in a and b.
+    pub wor: [u64; 2],
+}
+
+/// Computes Tab. 1 from a single roll-over execution (iteration 60 of the
+/// clock trace): the last two transactions are `a` (sec_lock) and `b`
+/// (sec_lock -> min_lock).
+pub fn measure() -> Vec<(String, AccessKind, Tab1Row)> {
+    let db = clock_db(60, 0);
+    let group = db.observation_groups()[0];
+    let matrix = AccessMatrix::build(&db, group);
+    // Identify the roll-over iteration's transactions: b is the last txn
+    // (two locks), a is the txn before it.
+    let b = db.txns.last().expect("txns exist").id;
+    let a = db.txns[db.txns.len() - 2].id;
+    assert_eq!(db.txns[b.0 as usize].locks.len(), 2);
+    assert_eq!(db.txns[a.0 as usize].locks.len(), 1);
+
+    let mut out = Vec::new();
+    for (member_idx, name) in [(0u32, "seconds"), (1u32, "minutes")] {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let mut row = Tab1Row::default();
+            if let Some(mm) = matrix.member(member_idx) {
+                for (i, txn) in [a, b].into_iter().enumerate() {
+                    let cell = mm
+                        .cells
+                        .iter()
+                        .find(|((t, _), _)| *t == txn)
+                        .map(|(_, c)| *c)
+                        .unwrap_or_default();
+                    let (obs, folded) = match kind {
+                        AccessKind::Read => (cell.reads, u64::from(cell.folded_read())),
+                        AccessKind::Write => (cell.writes, u64::from(cell.folded_write())),
+                    };
+                    row.observed[i] = obs;
+                    row.folded[i] = folded;
+                    row.wor[i] = u64::from(cell.wor_kind() == Some(kind) && folded == 1);
+                }
+            }
+            out.push((name.to_string(), kind, row));
+        }
+    }
+    out
+}
+
+/// Renders Tab. 1.
+pub fn report() -> String {
+    let rows = measure();
+    let mut t = Table::new(&[
+        "Variable", "Type", "Obs a", "Obs b", "Fold a", "Fold b", "WoR a", "WoR b",
+    ]);
+    for (name, kind, r) in &rows {
+        t.row(&[
+            name.clone(),
+            kind.to_string(),
+            r.observed[0].to_string(),
+            r.observed[1].to_string(),
+            r.folded[0].to_string(),
+            r.folded[1].to_string(),
+            r.wor[0].to_string(),
+            r.wor[1].to_string(),
+        ]);
+    }
+    format!(
+        "Tab. 1 — clock-example access matrices (one roll-over execution):\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact numbers of paper Tab. 1.
+    #[test]
+    fn matches_paper_tab1() {
+        let rows = measure();
+        let get = |name: &str, kind: AccessKind| {
+            rows.iter()
+                .find(|(n, k, _)| n == name && *k == kind)
+                .map(|(_, _, r)| *r)
+                .unwrap()
+        };
+        let sec_r = get("seconds", AccessKind::Read);
+        assert_eq!(sec_r.observed, [2, 0]);
+        assert_eq!(sec_r.folded, [1, 0]);
+        assert_eq!(sec_r.wor, [0, 0]);
+        let sec_w = get("seconds", AccessKind::Write);
+        assert_eq!(sec_w.observed, [1, 1]);
+        assert_eq!(sec_w.folded, [1, 1]);
+        assert_eq!(sec_w.wor, [1, 1]);
+        let min_r = get("minutes", AccessKind::Read);
+        assert_eq!(min_r.observed, [0, 1]);
+        assert_eq!(min_r.folded, [0, 1]);
+        assert_eq!(min_r.wor, [0, 0]);
+        let min_w = get("minutes", AccessKind::Write);
+        assert_eq!(min_w.observed, [0, 1]);
+        assert_eq!(min_w.folded, [0, 1]);
+        assert_eq!(min_w.wor, [0, 1]);
+    }
+}

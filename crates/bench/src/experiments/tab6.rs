@@ -1,0 +1,131 @@
+//! Tab. 6: summary of mined locking rules per data type (and per inode
+//! subclass): member counts, blacklisted members, generated rules, and the
+//! "no lock needed" subset.
+
+use crate::context::EvalContext;
+use crate::table::Table;
+use ksim::types::ALL_TYPES;
+use lockdoc_trace::event::AccessKind;
+
+/// One row of Tab. 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tab6Row {
+    /// Group name (`inode:ext4`, `dentry`, …).
+    pub group: String,
+    /// Members in the type layout (`#M`).
+    pub members: usize,
+    /// Blacklisted/filtered members (`#Bl`).
+    pub blacklisted: usize,
+    /// Mined rules (read, write).
+    pub rules: (usize, usize),
+    /// "No lock needed" winners (read, write).
+    pub no_lock: (usize, usize),
+}
+
+/// Computes all Tab. 6 rows from the mined rules.
+pub fn measure(ctx: &EvalContext) -> Vec<Tab6Row> {
+    ctx.mined
+        .groups
+        .iter()
+        .map(|g| {
+            let base_type = g.group_name.split(':').next().expect("non-empty name");
+            let spec = ALL_TYPES
+                .iter()
+                .find(|t| t.name == base_type)
+                .expect("group maps to a known type");
+            Tab6Row {
+                group: g.group_name.clone(),
+                members: spec.members.len(),
+                blacklisted: spec.blacklisted_count(),
+                rules: (
+                    g.rule_count(AccessKind::Read),
+                    g.rule_count(AccessKind::Write),
+                ),
+                no_lock: (
+                    g.no_lock_count(AccessKind::Read),
+                    g.no_lock_count(AccessKind::Write),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Renders Tab. 6.
+pub fn report(ctx: &EvalContext) -> String {
+    let mut rows = measure(ctx);
+    rows.sort_by(|a, b| a.group.cmp(&b.group));
+    let mut t = Table::new(&[
+        "Data Type",
+        "#M",
+        "#Bl",
+        "#Rules r",
+        "#Rules w",
+        "#Nl r",
+        "#Nl w",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.group.clone(),
+            r.members.to_string(),
+            r.blacklisted.to_string(),
+            r.rules.0.to_string(),
+            r.rules.1.to_string(),
+            r.no_lock.0.to_string(),
+            r.no_lock.1.to_string(),
+        ]);
+    }
+    format!(
+        "Tab. 6 — mined locking rules (t_ac = {:.2}):\n{}",
+        ctx.config.t_ac,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{EvalConfig, EvalContext};
+
+    #[test]
+    fn tab6_shape_matches_paper() {
+        let ctx = EvalContext::build(EvalConfig {
+            ops: 4_000,
+            ..EvalConfig::default()
+        });
+        let rows = measure(&ctx);
+        // 10 non-inode types plus several observed inode subclasses.
+        let inode_groups = rows
+            .iter()
+            .filter(|r| r.group.starts_with("inode:"))
+            .count();
+        assert!(inode_groups >= 8, "got {inode_groups} inode subclasses");
+        assert!(rows.len() >= 18);
+
+        // #M and #Bl come from the layouts and match paper Tab. 6.
+        let by_name = |n: &str| rows.iter().find(|r| r.group == n).unwrap();
+        assert_eq!(by_name("dentry").members, 21);
+        assert_eq!(by_name("dentry").blacklisted, 1);
+        assert_eq!(by_name("journal_t").members, 58);
+        assert_eq!(by_name("journal_t").blacklisted, 11);
+        assert_eq!(by_name("inode:ext4").members, 65);
+        assert_eq!(by_name("inode:ext4").blacklisted, 5);
+
+        // Rules never exceed the usable member count; no-lock subset never
+        // exceeds the rules.
+        for r in &rows {
+            assert!(r.rules.0 <= r.members - r.blacklisted);
+            assert!(r.no_lock.0 <= r.rules.0);
+            assert!(r.no_lock.1 <= r.rules.1);
+        }
+
+        // ext4 (the workhorse) generates more rules than proc, and proc's
+        // read rules are predominantly "no lock", as in the paper.
+        let ext4 = by_name("inode:ext4");
+        let proc = by_name("inode:proc");
+        assert!(ext4.rules.1 > proc.rules.1);
+        assert!(
+            proc.no_lock.0 * 2 >= proc.rules.0,
+            "proc reads mostly lock-free"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for the LockDoc reproduction: regenerates every
+//! table and figure of the paper's evaluation (Sec. 7) against the
+//! simulated-kernel substrate, and hosts the Criterion benchmarks.
+//!
+//! Run `cargo run -p lockdoc-bench --bin experiments -- --all` (or pass
+//! individual ids like `--tab4 --fig7`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod table;
+
+pub use context::{EvalConfig, EvalContext};

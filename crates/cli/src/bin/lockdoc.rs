@@ -1,0 +1,22 @@
+//! The `lockdoc` command-line entry point. See [`lockdoc_cli::USAGE`].
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lockdoc_cli::run(&args) {
+        Ok(report) => {
+            // Tolerate a closed pipe (e.g. `lockdoc derive | head`).
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "{report}");
+            let _ = stdout.flush();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            let mut stderr = std::io::stderr().lock();
+            let _ = writeln!(stderr, "{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Implementation of the `lockdoc` command-line tool.
+//!
+//! The binary wires the three LockDoc phases (paper Fig. 5) into
+//! subcommands:
+//!
+//! * `lockdoc trace` — run the instrumented simulated kernel and archive
+//!   the event trace (`LDOC1` container),
+//! * `lockdoc import` — post-process + import a trace, report statistics,
+//!   optionally dump the relational tables as CSV,
+//! * `lockdoc derive` — mine locking rules,
+//! * `lockdoc check` — validate documented rules against a trace,
+//! * `lockdoc doc` — generate locking-rule documentation,
+//! * `lockdoc violations` — report rule-violating accesses,
+//! * `lockdoc scan` — count lock-initializer usage in a C source tree
+//!   (the Fig. 1 measurement, usable on a real kernel checkout).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ksim::config::SimConfig;
+use ksim::rules;
+use ksim::subsys::Machine;
+use lockdoc_core::checker::{check_rules, summarize};
+use lockdoc_core::derive::{derive, DeriveConfig};
+use lockdoc_core::docgen::{generate_doc, generate_rulespec};
+use lockdoc_core::rulespec::parse_rules;
+use lockdoc_core::violation::find_violations;
+use lockdoc_trace::codec::{read_trace, write_trace};
+use lockdoc_trace::db::{import, TraceDb};
+use lockdoc_trace::event::Trace;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O problem.
+    Io(io::Error),
+    /// Trace decoding problem.
+    Codec(lockdoc_trace::codec::CodecError),
+    /// Rule file problem.
+    Rules(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Codec(e) => write!(f, "trace error: {e}"),
+            CliError::Rules(m) => write!(f, "rule error: {m}"),
+        }
+    }
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<lockdoc_trace::codec::CodecError> for CliError {
+    fn from(e: lockdoc_trace::codec::CodecError) -> Self {
+        CliError::Codec(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses raw arguments (flags may appear anywhere).
+    pub fn parse(raw: &[String]) -> Self {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                out.flags.push((name.to_owned(), value));
+            } else {
+                out.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// String flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{name}: `{v}`"))),
+        }
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+lockdoc — trace-based analysis of locking rules
+
+USAGE:
+  lockdoc trace      [--ops N] [--seed N] [--no-faults] [--mix SPEC] --out FILE
+  lockdoc import     --trace FILE [--csv-dir DIR]
+  lockdoc derive     --trace FILE [--t-ac X] [--group NAME] [--rulespec | --json]
+  lockdoc check      --trace FILE [--rules FILE] [--json]
+  lockdoc doc        --trace FILE [--group NAME]
+  lockdoc violations --trace FILE [--t-ac X] [--max-examples N] [--json]
+  lockdoc scan       --dir PATH
+  lockdoc diff       --old FILE --new FILE [--t-ac X]
+  lockdoc order      --trace FILE
+";
+
+fn load_db(args: &Args) -> Result<TraceDb> {
+    let path = args
+        .get("trace")
+        .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
+    let bytes = fs::read(path)?;
+    let trace = read_trace(&mut bytes.as_slice())?;
+    Ok(import(&trace, &rules::filter_config()))
+}
+
+/// `lockdoc trace`.
+pub fn cmd_trace(args: &Args) -> Result<String> {
+    let ops: u64 = args.num("ops", 20_000u64)?;
+    let seed: u64 = args.num("seed", 0x10c_d0cu64)?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
+    let mut cfg = SimConfig::with_seed(seed);
+    if !args.has("no-faults") {
+        cfg = cfg.with_faults(rules::default_fault_plan());
+    }
+    let mut machine = Machine::boot(cfg);
+    match args.get("mix") {
+        Some(spec) => machine.run_mix_spec(spec, ops).map_err(CliError::Usage)?,
+        None => machine.run_mix(ops),
+    }
+    let faults = machine.k.fault_log.total();
+    let trace = machine.finish();
+    let summary = trace.summary();
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf)?;
+    fs::write(out, &buf)?;
+    Ok(format!(
+        "wrote {out}: {} events ({} accesses, {} lock ops), {} injected faults, {} bytes",
+        summary.total,
+        summary.mem_accesses,
+        summary.lock_ops,
+        faults,
+        buf.len()
+    ))
+}
+
+/// `lockdoc import`.
+pub fn cmd_import(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let mut out = String::new();
+    let st = &db.stats;
+    out.push_str(&format!(
+        "events: {}\naccesses: {} seen, {} imported, {} filtered, {} unresolved\n\
+         locks: {} ({} static, {} embedded)\ntxns: {}\nstacks: {}\n",
+        st.events,
+        st.accesses_seen,
+        st.accesses_imported,
+        st.total_filtered(),
+        st.unresolved,
+        st.locks,
+        st.static_locks,
+        st.embedded_locks,
+        st.txns,
+        st.stacks
+    ));
+    if let Some(dir) = args.get("csv-dir") {
+        fs::create_dir_all(dir)?;
+        for (name, csv) in db.export_csv_tables() {
+            let path = Path::new(dir).join(format!("{name}.csv"));
+            fs::write(&path, csv)?;
+            out.push_str(&format!("wrote {}\n", path.display()));
+        }
+    }
+    Ok(out)
+}
+
+/// `lockdoc derive`.
+pub fn cmd_derive(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let t_ac: f64 = args.num("t-ac", 0.9f64)?;
+    let mut mined = derive(&db, &DeriveConfig::with_threshold(t_ac));
+    if let Some(want) = args.get("group") {
+        mined.groups.retain(|g| g.group_name == want);
+        if mined.groups.is_empty() {
+            return Err(CliError::Usage("no matching observation group".into()));
+        }
+    }
+    if args.has("json") {
+        return serde_json::to_string_pretty(&mined).map_err(|e| CliError::Rules(e.to_string()));
+    }
+    let mut out = String::new();
+    for group in &mined.groups {
+        if args.has("rulespec") {
+            out.push_str(&generate_rulespec(group));
+        } else {
+            out.push_str(&format!("[{}]\n", group.group_name));
+            for rule in &group.rules {
+                out.push_str(&format!(
+                    "  {}:{} = {} (sa {} / {} units, sr {:.2}%)\n",
+                    rule.member_name,
+                    rule.kind,
+                    rule.winner.hypothesis.describe(),
+                    rule.winner.hypothesis.sa,
+                    rule.total_units,
+                    rule.winner.hypothesis.sr * 100.0
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `lockdoc check`.
+pub fn cmd_check(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let text = match args.get("rules") {
+        Some(path) => fs::read_to_string(path)?,
+        None => rules::documented_rules().to_owned(),
+    };
+    let parsed = parse_rules(&text).map_err(|e| CliError::Rules(e.to_string()))?;
+    let checked = check_rules(&db, &parsed);
+    if args.has("json") {
+        return serde_json::to_string_pretty(&checked).map_err(|e| CliError::Rules(e.to_string()));
+    }
+    let mut out = String::new();
+    for c in &checked {
+        out.push_str(&format!(
+            "{:60} sr {:6.2}%  {}\n",
+            c.rule.to_string(),
+            c.sr * 100.0,
+            c.verdict
+        ));
+    }
+    out.push('\n');
+    for row in summarize(&checked) {
+        out.push_str(&format!(
+            "{:16} #R={:3} #No={:3} #Ob={:3} ok={:.1}% ~={:.1}% bad={:.1}%\n",
+            row.type_name,
+            row.rules,
+            row.not_observed,
+            row.observed,
+            row.pct_correct,
+            row.pct_ambivalent,
+            row.pct_incorrect
+        ));
+    }
+    Ok(out)
+}
+
+/// `lockdoc doc`.
+pub fn cmd_doc(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let mined = derive(&db, &DeriveConfig::default());
+    let mut out = String::new();
+    for group in &mined.groups {
+        if let Some(want) = args.get("group") {
+            if group.group_name != want {
+                continue;
+            }
+        }
+        out.push_str(&generate_doc(group));
+        out.push('\n');
+    }
+    if out.is_empty() {
+        return Err(CliError::Usage("no matching observation group".into()));
+    }
+    Ok(out)
+}
+
+/// `lockdoc violations`.
+pub fn cmd_violations(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let t_ac: f64 = args.num("t-ac", 0.9f64)?;
+    let max_examples: usize = args.num("max-examples", 5usize)?;
+    let mined = derive(&db, &DeriveConfig::with_threshold(t_ac));
+    let violations = find_violations(&db, &mined, max_examples);
+    if args.has("json") {
+        return serde_json::to_string_pretty(&violations)
+            .map_err(|e| CliError::Rules(e.to_string()));
+    }
+    let mut out = String::new();
+    for v in violations.iter().filter(|v| v.events > 0) {
+        out.push_str(&format!(
+            "{}: {} events, {} members, {} contexts\n",
+            v.group_name,
+            v.events,
+            v.members.len(),
+            v.context_count()
+        ));
+        for ex in &v.examples {
+            out.push_str(&format!(
+                "  {}.{}:{}\n    required: {}\n    held:     {}\n    at {} ({})\n",
+                ex.group_name,
+                ex.member_name,
+                ex.kind,
+                lockdoc_core::lockset::format_sequence(&ex.required),
+                lockdoc_core::lockset::format_sequence(&ex.held),
+                db.format_loc(ex.loc),
+                db.format_stack(ex.stack)
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no violations found\n");
+    }
+    Ok(out)
+}
+
+/// `lockdoc scan`: walks a directory of C sources.
+pub fn cmd_scan(args: &Args) -> Result<String> {
+    let dir = args
+        .get("dir")
+        .ok_or_else(|| CliError::Usage("--dir PATH is required".into()))?;
+    if !Path::new(dir).exists() {
+        return Err(CliError::Usage(format!("no such directory: {dir}")));
+    }
+    let mut total = locksrc::scan::LockUsageCounts::default();
+    let mut files = 0usize;
+    let mut stack = vec![Path::new(dir).to_path_buf()];
+    while let Some(path) = stack.pop() {
+        if path.is_dir() {
+            for entry in fs::read_dir(&path)? {
+                stack.push(entry?.path());
+            }
+        } else if matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("c") | Some("h")
+        ) {
+            let src = fs::read_to_string(&path).unwrap_or_default();
+            total.merge(&locksrc::scan_source(&src));
+            files += 1;
+        }
+    }
+    Ok(format!(
+        "{files} files: {} spinlock inits, {} mutex inits, {} rwlock inits, \
+         {} rwsem inits, {} seqlock inits, {} semaphore inits, {} rcu usages, {} LoC",
+        total.spinlock_inits,
+        total.mutex_inits,
+        total.rwlock_inits,
+        total.rwsem_inits,
+        total.seqlock_inits,
+        total.semaphore_inits,
+        total.rcu_usages,
+        total.loc
+    ))
+}
+
+/// `lockdoc order`: lock-order graph, inversions and deadlock-potential
+/// cycles (ex-post lockdep).
+pub fn cmd_order(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let graph = lockdoc_core::order::OrderGraph::build(&db);
+    Ok(graph.report(&db))
+}
+
+/// `lockdoc diff`: mined-rule drift between two traces.
+pub fn cmd_diff(args: &Args) -> Result<String> {
+    let t_ac: f64 = args.num("t-ac", 0.9f64)?;
+    let load = |flag: &str| -> Result<lockdoc_core::derive::MinedRules> {
+        let path = args
+            .get(flag)
+            .ok_or_else(|| CliError::Usage(format!("--{flag} FILE is required")))?;
+        let bytes = fs::read(path)?;
+        let trace = read_trace(&mut bytes.as_slice())?;
+        let db = import(&trace, &rules::filter_config());
+        Ok(derive(&db, &DeriveConfig::with_threshold(t_ac)))
+    };
+    let old = load("old")?;
+    let new = load("new")?;
+    let diff = lockdoc_core::rulediff::diff_rules(&old, &new);
+    if args.has("json") {
+        return serde_json::to_string_pretty(&diff).map_err(|e| CliError::Rules(e.to_string()));
+    }
+    Ok(diff.render())
+}
+
+/// Dispatches a full command line (without the binary name).
+pub fn run(raw: &[String]) -> Result<String> {
+    let Some(cmd) = raw.first() else {
+        return Err(CliError::Usage(USAGE.to_owned()));
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "trace" => cmd_trace(&args),
+        "import" => cmd_import(&args),
+        "derive" => cmd_derive(&args),
+        "check" => cmd_check(&args),
+        "doc" => cmd_doc(&args),
+        "violations" => cmd_violations(&args),
+        "scan" => cmd_scan(&args),
+        "diff" => cmd_diff(&args),
+        "order" => cmd_order(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}`\n{USAGE}"
+        ))),
+    }
+}
+
+/// Round-trips a [`Trace`] through a temp file (test helper).
+pub fn save_trace(trace: &Trace, path: &Path) -> Result<()> {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf)?;
+    fs::write(path, buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_flags_and_positionals() {
+        let a = Args::parse(&s(&["--ops", "100", "pos", "--flag", "--out", "f.bin"]));
+        assert_eq!(a.get("ops"), Some("100"));
+        assert_eq!(a.get("out"), Some("f.bin"));
+        assert!(a.has("flag"));
+        assert_eq!(a.positional, vec!["pos"]);
+        assert_eq!(a.num("ops", 0u64).unwrap(), 100);
+        assert!(a.num::<u64>("out", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_reports_usage() {
+        let err = run(&s(&["frobnicate"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn full_pipeline_through_temp_files() {
+        let dir = std::env::temp_dir().join("lockdoc-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.ldoc");
+        let out = run(&s(&[
+            "trace",
+            "--ops",
+            "400",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("events"));
+        let out = run(&s(&["import", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("txns:"));
+        let out = run(&s(&[
+            "derive",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--group",
+            "dentry",
+        ]))
+        .unwrap();
+        assert!(out.contains("[dentry]"));
+        // The filter is exclusive: no other group may appear.
+        assert_eq!(out.matches('[').count(), 1, "only dentry printed:\n{out}");
+        let err = run(&s(&[
+            "derive",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--group",
+            "no_such_group",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no matching observation group"));
+        let out = run(&s(&["check", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("inode"));
+        let out = run(&s(&[
+            "doc",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--group",
+            "inode:ext4",
+        ]))
+        .unwrap();
+        assert!(out.contains("locking rules"));
+        let out = run(&s(&["violations", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        assert!(!out.is_empty());
+        let json = run(&s(&[
+            "derive",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert!(value["groups"].is_array());
+        // diff a trace against itself: empty drift.
+        let out = run(&s(&[
+            "diff",
+            "--old",
+            trace_path.to_str().unwrap(),
+            "--new",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("0 changed, 0 added, 0 removed"));
+        let out = run(&s(&["order", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("lock-order graph:"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_accepts_custom_mix() {
+        let dir = std::env::temp_dir().join("lockdoc-mix-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("m.ldoc");
+        let out = run(&s(&[
+            "trace",
+            "--ops",
+            "100",
+            "--mix",
+            "pipes=1,perms=1",
+            "--out",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("events"));
+        let err = run(&s(&[
+            "trace",
+            "--ops",
+            "10",
+            "--mix",
+            "quake=3",
+            "--out",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown workload"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_walks_directories() {
+        let dir = std::env::temp_dir().join("lockdoc-scan-test");
+        fs::create_dir_all(dir.join("sub")).unwrap();
+        fs::write(dir.join("a.c"), "spin_lock_init(&x);\n").unwrap();
+        fs::write(dir.join("sub/b.h"), "mutex_init(&y);\n").unwrap();
+        fs::write(dir.join("ignore.txt"), "spin_lock_init(&z);\n").unwrap();
+        let out = run(&s(&["scan", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 files"));
+        assert!(out.contains("1 spinlock inits"));
+        assert!(out.contains("1 mutex inits"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,366 @@
+//! Locking-rule hypothesis enumeration and support computation
+//! (paper Sec. 4.3 and 5.4).
+//!
+//! A locking-rule hypothesis is an ordered sequence of
+//! [`LockDescriptor`]s. An observation (one observation unit with its
+//! resolved held-lock sequence) *supports* a hypothesis iff the hypothesis
+//! is an order-preserving subsequence of the observation's lock sequence —
+//! extra interleaved locks are permitted, as the paper specifies
+//! (`a -> c -> b` complies with the rule `a -> b`).
+//!
+//! Exhaustively iterating all conceivable lock combinations is infeasible;
+//! like the paper, we enumerate all subsequences of the *observed*
+//! combinations, which guarantees every hypothesis with `sa >= 1` is
+//! produced. An exhaustive permutation mode exists for demonstration
+//! purposes (paper Tab. 2 lists a zero-support hypothesis).
+
+use crate::lockset::{format_sequence, resolve_txn_locks, LockDescriptor};
+use crate::matrix::{MemberMatrix, Unit};
+use lockdoc_trace::db::TraceDb;
+use lockdoc_trace::event::AccessKind;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Cache of resolved held-lock descriptor sequences per observation unit.
+///
+/// Members of one group largely share transactions, so resolving each
+/// `(txn, alloc)` pair once and reusing it across all members avoids
+/// quadratic re-resolution (the violation finder uses the same pattern).
+pub type ResolutionCache = HashMap<Unit, Vec<LockDescriptor>>;
+
+/// Maximum observed lock-sequence length considered for subsequence
+/// enumeration; longer sequences are truncated (kernel critical sections
+/// hold far fewer locks in practice).
+pub const MAX_SEQ_LEN: usize = 12;
+
+/// One aggregated observation: a distinct held-lock descriptor sequence and
+/// how many observation units exhibited it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Resolved held locks in acquisition order (deduplicated descriptors).
+    pub locks: Vec<LockDescriptor>,
+    /// Number of supporting observation units.
+    pub count: u64,
+}
+
+/// A candidate locking rule with its support metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypothesis {
+    /// The hypothesised lock sequence; empty means "no lock needed".
+    pub locks: Vec<LockDescriptor>,
+    /// Absolute support: number of observation units complying with the rule.
+    pub sa: u64,
+    /// Relative support: `sa` over the total number of observation units.
+    pub sr: f64,
+}
+
+impl Hypothesis {
+    /// Whether this is the "no lock needed" hypothesis.
+    pub fn is_no_lock(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Human-readable form, e.g. `sec_lock -> min_lock`.
+    pub fn describe(&self) -> String {
+        if self.is_no_lock() {
+            "no lock needed".to_owned()
+        } else {
+            format_sequence(&self.locks)
+        }
+    }
+}
+
+/// All hypotheses for one `(member, access kind)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypothesisSet {
+    /// Member index in the type layout.
+    pub member: u32,
+    /// Access kind the hypotheses apply to.
+    pub kind: AccessKind,
+    /// Total number of observation units (the `sr` denominator).
+    pub total: u64,
+    /// Candidate rules, sorted by descending `sa`, then by fewer locks.
+    pub hypotheses: Vec<Hypothesis>,
+}
+
+impl HypothesisSet {
+    /// Looks up the support of a specific lock sequence, if enumerated.
+    pub fn support_of(&self, locks: &[LockDescriptor]) -> Option<&Hypothesis> {
+        self.hypotheses.iter().find(|h| h.locks == locks)
+    }
+}
+
+/// Collects the aggregated observations for a member and access kind.
+///
+/// Each relevant observation unit's transaction lock list is resolved to
+/// descriptors relative to the accessed instance and aggregated by sequence.
+pub fn observations_for(db: &TraceDb, matrix: &MemberMatrix, kind: AccessKind) -> Vec<Observation> {
+    observations_for_cached(db, matrix, kind, &mut ResolutionCache::new())
+}
+
+/// [`observations_for`] with a caller-provided resolution cache, for use
+/// when iterating many members of the same group.
+pub fn observations_for_cached(
+    db: &TraceDb,
+    matrix: &MemberMatrix,
+    kind: AccessKind,
+    cache: &mut ResolutionCache,
+) -> Vec<Observation> {
+    let units: Vec<Unit> = matrix.relevant_units(kind);
+    let mut agg: BTreeMap<Vec<LockDescriptor>, u64> = BTreeMap::new();
+    for unit in units {
+        let seq = cache.entry(unit).or_insert_with(|| {
+            let (txn_id, alloc_id) = unit;
+            let txn = db.txn(txn_id);
+            let lock_ids: Vec<_> = txn.locks.iter().map(|h| h.lock).collect();
+            let mut seq = resolve_txn_locks(db, alloc_id, &lock_ids);
+            seq.truncate(MAX_SEQ_LEN);
+            seq
+        });
+        *agg.entry(seq.clone()).or_insert(0) += 1;
+    }
+    agg.into_iter()
+        .map(|(locks, count)| Observation { locks, count })
+        .collect()
+}
+
+/// Enumerates all distinct subsequences of `seq` (excluding the empty one).
+fn subsequences(seq: &[LockDescriptor]) -> Vec<Vec<LockDescriptor>> {
+    let n = seq.len().min(MAX_SEQ_LEN);
+    let mut out = Vec::with_capacity((1usize << n) - 1);
+    for mask in 1u32..(1u32 << n) {
+        let mut sub = Vec::with_capacity(mask.count_ones() as usize);
+        for (i, lock) in seq.iter().enumerate().take(n) {
+            if mask & (1 << i) != 0 {
+                sub.push(lock.clone());
+            }
+        }
+        out.push(sub);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Whether `rule` is an order-preserving subsequence of `held`.
+///
+/// This is the paper's compliance check: all rule locks held, in the rule's
+/// relative order, with arbitrary extra locks in between.
+pub fn complies(held: &[LockDescriptor], rule: &[LockDescriptor]) -> bool {
+    let mut it = held.iter();
+    rule.iter().all(|r| it.any(|h| h == r))
+}
+
+/// Enumerates hypotheses for one member/kind from aggregated observations.
+///
+/// The "no lock" hypothesis (empty sequence) is always included and is
+/// supported by every observation.
+pub fn enumerate(member: u32, kind: AccessKind, observations: &[Observation]) -> HypothesisSet {
+    let total: u64 = observations.iter().map(|o| o.count).sum();
+    let mut support: BTreeMap<Vec<LockDescriptor>, u64> = BTreeMap::new();
+    support.insert(Vec::new(), total);
+    for obs in observations {
+        for sub in subsequences(&obs.locks) {
+            *support.entry(sub).or_insert(0) += obs.count;
+        }
+    }
+    let mut hypotheses: Vec<Hypothesis> = support
+        .into_iter()
+        .map(|(locks, sa)| Hypothesis {
+            locks,
+            sa,
+            sr: if total == 0 {
+                0.0
+            } else {
+                sa as f64 / total as f64
+            },
+        })
+        .collect();
+    hypotheses.sort_by(|a, b| {
+        b.sa.cmp(&a.sa)
+            .then(a.locks.len().cmp(&b.locks.len()))
+            .then_with(|| a.locks.cmp(&b.locks))
+    });
+    HypothesisSet {
+        member,
+        kind,
+        total,
+        hypotheses,
+    }
+}
+
+/// Exhaustive enumeration over *all permutations of all subsets* of the
+/// union of observed locks, including zero-support hypotheses — the
+/// presentation mode of paper Tab. 2. Only practical for small lock sets.
+pub fn enumerate_exhaustive(
+    member: u32,
+    kind: AccessKind,
+    observations: &[Observation],
+    max_locks: usize,
+) -> HypothesisSet {
+    let mut universe: Vec<LockDescriptor> = Vec::new();
+    for obs in observations {
+        for l in &obs.locks {
+            if !universe.contains(l) {
+                universe.push(l.clone());
+            }
+        }
+    }
+    universe.truncate(max_locks);
+    let total: u64 = observations.iter().map(|o| o.count).sum();
+
+    let mut sequences: Vec<Vec<LockDescriptor>> = vec![Vec::new()];
+    // Generate all ordered arrangements of all subset sizes.
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(prefix) = frontier.pop() {
+        for (i, _) in universe.iter().enumerate() {
+            if prefix.contains(&i) {
+                continue;
+            }
+            let mut next = prefix.clone();
+            next.push(i);
+            sequences.push(next.iter().map(|&j| universe[j].clone()).collect());
+            frontier.push(next);
+        }
+    }
+    sequences.sort();
+    sequences.dedup();
+
+    let mut hypotheses: Vec<Hypothesis> = sequences
+        .into_iter()
+        .map(|locks| {
+            let sa: u64 = observations
+                .iter()
+                .filter(|o| complies(&o.locks, &locks))
+                .map(|o| o.count)
+                .sum();
+            Hypothesis {
+                locks,
+                sa,
+                sr: if total == 0 {
+                    0.0
+                } else {
+                    sa as f64 / total as f64
+                },
+            }
+        })
+        .collect();
+    hypotheses.sort_by(|a, b| {
+        b.sa.cmp(&a.sa)
+            .then(a.locks.len().cmp(&b.locks.len()))
+            .then_with(|| a.locks.cmp(&b.locks))
+    });
+    HypothesisSet {
+        member,
+        kind,
+        total,
+        hypotheses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: &str) -> LockDescriptor {
+        LockDescriptor::global(n)
+    }
+
+    fn obs(locks: &[&str], count: u64) -> Observation {
+        Observation {
+            locks: locks.iter().map(|n| l(n)).collect(),
+            count,
+        }
+    }
+
+    #[test]
+    fn complies_is_subsequence_matching() {
+        let held = vec![l("a"), l("c"), l("b")];
+        assert!(complies(&held, &[l("a"), l("b")]));
+        assert!(complies(&held, &[l("a")]));
+        assert!(complies(&held, &[]));
+        assert!(!complies(&held, &[l("b"), l("a")]));
+        assert!(!complies(&held, &[l("d")]));
+    }
+
+    #[test]
+    fn subsequences_enumerate_all_nonempty() {
+        let seq = vec![l("a"), l("b")];
+        let subs = subsequences(&seq);
+        assert_eq!(subs.len(), 3); // [a], [b], [a,b]
+        assert!(subs.contains(&vec![l("a")]));
+        assert!(subs.contains(&vec![l("b")]));
+        assert!(subs.contains(&vec![l("a"), l("b")]));
+    }
+
+    /// Reproduces the paper's Tab. 2 numbers for the clock example: 16
+    /// correct `sec -> min` transactions plus one faulty `sec`-only one.
+    #[test]
+    fn clock_example_support_values() {
+        let observations = vec![obs(&["sec_lock", "min_lock"], 16), obs(&["sec_lock"], 1)];
+        let set = enumerate(0, AccessKind::Write, &observations);
+        assert_eq!(set.total, 17);
+        let sa = |locks: &[LockDescriptor]| set.support_of(locks).unwrap().sa;
+        assert_eq!(sa(&[]), 17); // #0 no lock needed
+        assert_eq!(sa(&[l("sec_lock")]), 17); // #1
+        assert_eq!(sa(&[l("sec_lock"), l("min_lock")]), 16); // #2
+        assert_eq!(sa(&[l("min_lock")]), 16); // #3
+        let h2 = set.support_of(&[l("sec_lock"), l("min_lock")]).unwrap();
+        assert!((h2.sr - 16.0 / 17.0).abs() < 1e-9); // 94.12 %
+    }
+
+    #[test]
+    fn exhaustive_mode_includes_zero_support_permutations() {
+        let observations = vec![obs(&["sec_lock", "min_lock"], 16), obs(&["sec_lock"], 1)];
+        let set = enumerate_exhaustive(0, AccessKind::Write, &observations, 4);
+        // #4 in Tab. 2: min_lock -> sec_lock with zero support.
+        let h4 = set
+            .support_of(&[l("min_lock"), l("sec_lock")])
+            .expect("permutation enumerated");
+        assert_eq!(h4.sa, 0);
+        assert_eq!(set.hypotheses.len(), 5); // {}, [s], [m], [s,m], [m,s]
+    }
+
+    #[test]
+    fn no_lock_hypothesis_always_full_support() {
+        let observations = vec![obs(&[], 5), obs(&["a"], 3)];
+        let set = enumerate(0, AccessKind::Read, &observations);
+        let none = set.support_of(&[]).unwrap();
+        assert_eq!(none.sa, 8);
+        assert!((none.sr - 1.0).abs() < f64::EPSILON);
+        let a = set.support_of(&[l("a")]).unwrap();
+        assert_eq!(a.sa, 3);
+    }
+
+    #[test]
+    fn empty_observations_produce_only_no_lock() {
+        let set = enumerate(0, AccessKind::Read, &[]);
+        assert_eq!(set.total, 0);
+        assert_eq!(set.hypotheses.len(), 1);
+        assert!(set.hypotheses[0].is_no_lock());
+    }
+
+    #[test]
+    fn support_is_monotone_under_subsequence() {
+        // Any hypothesis has support <= support of each of its subsequences.
+        let observations = vec![
+            obs(&["a", "b", "c"], 7),
+            obs(&["a", "c"], 3),
+            obs(&["b"], 2),
+        ];
+        let set = enumerate(0, AccessKind::Write, &observations);
+        for h in &set.hypotheses {
+            for sub in subsequences(&h.locks) {
+                if sub.len() < h.locks.len() {
+                    let sup = set.support_of(&sub).expect("subsequence enumerated");
+                    assert!(
+                        sup.sa >= h.sa,
+                        "support of {:?} < support of {:?}",
+                        sub,
+                        h.locks
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Lock descriptors: how LockDoc names locks relative to the accessed object.
+//!
+//! Concrete lock *instances* in a trace (identified by address) are
+//! abstracted to *descriptors* before rule derivation, so that rules
+//! generalize over object instances (paper Sec. 8 and the notation of
+//! Tab. 5 / Fig. 8):
+//!
+//! * `Global` — a statically allocated lock, named, e.g. `inode_hash_lock`;
+//! * `ES` ("embedded same") — a lock embedded in the same object instance
+//!   the accessed member belongs to, e.g. `ES(i_lock in inode)`;
+//! * `EO` ("embedded other") — a lock embedded in some *other* object, e.g.
+//!   `EO(list_lock in backing_dev_info)`;
+//! * `Pseudo` — the synthetic `rcu` / `softirq` / `hardirq` locks.
+
+use lockdoc_trace::db::TraceDb;
+use lockdoc_trace::event::LockFlavor;
+use lockdoc_trace::ids::{AllocId, LockId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lock named relative to an accessed object (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LockDescriptor {
+    /// A statically allocated (global) lock.
+    Global {
+        /// Variable name, e.g. `inode_hash_lock`.
+        name: String,
+    },
+    /// A lock embedded in the same object instance as the accessed member.
+    EmbeddedSame {
+        /// The lock's member name within the object, e.g. `i_lock`.
+        member: String,
+        /// The containing data type, e.g. `inode`.
+        type_name: String,
+    },
+    /// A lock embedded in another object.
+    EmbeddedOther {
+        /// The lock's member name within the other object.
+        member: String,
+        /// The other object's data type.
+        type_name: String,
+    },
+    /// A synthetic pseudo-lock (`rcu`, `softirq`, `hardirq`).
+    Pseudo {
+        /// Pseudo-lock name.
+        name: String,
+    },
+}
+
+impl LockDescriptor {
+    /// Shorthand constructor for a global lock.
+    pub fn global(name: &str) -> Self {
+        LockDescriptor::Global {
+            name: name.to_owned(),
+        }
+    }
+
+    /// Shorthand constructor for an embedded-same lock.
+    pub fn es(member: &str, type_name: &str) -> Self {
+        LockDescriptor::EmbeddedSame {
+            member: member.to_owned(),
+            type_name: type_name.to_owned(),
+        }
+    }
+
+    /// Shorthand constructor for an embedded-other lock.
+    pub fn eo(member: &str, type_name: &str) -> Self {
+        LockDescriptor::EmbeddedOther {
+            member: member.to_owned(),
+            type_name: type_name.to_owned(),
+        }
+    }
+
+    /// Shorthand constructor for a pseudo-lock.
+    pub fn pseudo(name: &str) -> Self {
+        LockDescriptor::Pseudo {
+            name: name.to_owned(),
+        }
+    }
+
+    /// The RCU read-side pseudo-lock.
+    pub fn rcu() -> Self {
+        Self::pseudo("rcu")
+    }
+}
+
+impl fmt::Display for LockDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockDescriptor::Global { name } => write!(f, "{name}"),
+            LockDescriptor::EmbeddedSame { member, type_name } => {
+                write!(f, "ES({member} in {type_name})")
+            }
+            LockDescriptor::EmbeddedOther { member, type_name } => {
+                write!(f, "EO({member} in {type_name})")
+            }
+            LockDescriptor::Pseudo { name } => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Resolves a held lock instance to its descriptor, relative to the
+/// allocation `accessed` whose member is being read or written.
+///
+/// Embedded locks are named by the member slot they occupy in their
+/// containing type when the layout knows it, falling back to the lock's own
+/// variable name otherwise.
+pub fn resolve_descriptor(db: &TraceDb, accessed: AllocId, lock: LockId) -> LockDescriptor {
+    let li = db.lock(lock);
+    match li.flavor {
+        LockFlavor::Rcu => return LockDescriptor::pseudo("rcu"),
+        LockFlavor::Softirq => return LockDescriptor::pseudo("softirq"),
+        LockFlavor::Hardirq => return LockDescriptor::pseudo("hardirq"),
+        _ => {}
+    }
+    match li.embedded_in {
+        Some((alloc_id, offset)) => {
+            let alloc = db
+                .allocation(alloc_id)
+                .expect("embedded lock references a known allocation");
+            let def = db.data_type(alloc.data_type);
+            let member = def
+                .member_at(offset)
+                .map(|i| def.members[i].name.clone())
+                .unwrap_or_else(|| db.sym(li.name).to_owned());
+            if alloc_id == accessed {
+                LockDescriptor::EmbeddedSame {
+                    member,
+                    type_name: def.name.clone(),
+                }
+            } else {
+                LockDescriptor::EmbeddedOther {
+                    member,
+                    type_name: def.name.clone(),
+                }
+            }
+        }
+        None => LockDescriptor::Global {
+            name: db.sym(li.name).to_owned(),
+        },
+    }
+}
+
+/// Resolves the ordered held-lock list of a transaction into descriptors,
+/// deduplicating repeated descriptors while preserving first-acquisition
+/// order (two other-instance `i_lock`s map to the same `EO` descriptor).
+pub fn resolve_txn_locks(db: &TraceDb, accessed: AllocId, locks: &[LockId]) -> Vec<LockDescriptor> {
+    let mut out: Vec<LockDescriptor> = Vec::with_capacity(locks.len());
+    for &l in locks {
+        let d = resolve_descriptor(db, accessed, l);
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Formats a lock sequence as `a -> b -> c` (or `no locks` when empty).
+pub fn format_sequence(locks: &[LockDescriptor]) -> String {
+    if locks.is_empty() {
+        return "no locks".to_owned();
+    }
+    locks
+        .iter()
+        .map(|l| l.to_string())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_match_paper_notation() {
+        assert_eq!(
+            LockDescriptor::global("inode_hash_lock").to_string(),
+            "inode_hash_lock"
+        );
+        assert_eq!(
+            LockDescriptor::es("i_lock", "inode").to_string(),
+            "ES(i_lock in inode)"
+        );
+        assert_eq!(
+            LockDescriptor::eo("list_lock", "backing_dev_info").to_string(),
+            "EO(list_lock in backing_dev_info)"
+        );
+        assert_eq!(LockDescriptor::rcu().to_string(), "rcu");
+    }
+
+    #[test]
+    fn format_sequence_joins_with_arrows() {
+        let seq = vec![
+            LockDescriptor::global("inode_hash_lock"),
+            LockDescriptor::es("i_lock", "inode"),
+        ];
+        assert_eq!(
+            format_sequence(&seq),
+            "inode_hash_lock -> ES(i_lock in inode)"
+        );
+        assert_eq!(format_sequence(&[]), "no locks");
+    }
+
+    #[test]
+    fn descriptor_ordering_is_total() {
+        let mut v = vec![
+            LockDescriptor::pseudo("rcu"),
+            LockDescriptor::global("a"),
+            LockDescriptor::es("m", "t"),
+        ];
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+}

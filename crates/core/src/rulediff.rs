@@ -1,0 +1,198 @@
+//! Rule drift: comparing the mined rules of two traces.
+//!
+//! The paper's motivation is documentation *rot*: rules "may also simply
+//! have been forgotten as the code evolved" (Sec. 1). With mining cheap,
+//! the natural regression tool is to diff the rules mined from two runs —
+//! two kernel versions, two workloads, or before/after a patch — and
+//! surface members whose winning rule changed.
+
+use crate::derive::MinedRules;
+use crate::lockset::format_sequence;
+use lockdoc_trace::event::AccessKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Identifies one rule across runs: `(group, member, kind tag)`.
+pub type RuleKey = (String, String, String);
+
+/// One changed winner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangedRule {
+    /// Rule identity.
+    pub key: RuleKey,
+    /// Winner in the old run (display form) and its relative support.
+    pub old: (String, f64),
+    /// Winner in the new run and its relative support.
+    pub new: (String, f64),
+}
+
+/// The diff between two mined-rule sets.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleDiff {
+    /// Rules only mined in the new run (member newly observed).
+    pub added: Vec<(RuleKey, String)>,
+    /// Rules only mined in the old run (member no longer observed).
+    pub removed: Vec<(RuleKey, String)>,
+    /// Rules whose winning hypothesis changed.
+    pub changed: Vec<ChangedRule>,
+    /// Rules present in both runs with identical winners.
+    pub unchanged: usize,
+}
+
+fn winners_of(mined: &MinedRules) -> BTreeMap<RuleKey, (String, f64)> {
+    let mut out = BTreeMap::new();
+    for g in &mined.groups {
+        for r in &g.rules {
+            out.insert(
+                (
+                    g.group_name.clone(),
+                    r.member_name.clone(),
+                    r.kind.tag().to_owned(),
+                ),
+                (
+                    format_sequence(&r.winner.hypothesis.locks),
+                    r.winner.hypothesis.sr,
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Diffs `old` against `new`.
+pub fn diff_rules(old: &MinedRules, new: &MinedRules) -> RuleDiff {
+    let old_w = winners_of(old);
+    let new_w = winners_of(new);
+    let mut diff = RuleDiff::default();
+    for (key, (old_rule, old_sr)) in &old_w {
+        match new_w.get(key) {
+            None => diff.removed.push((key.clone(), old_rule.clone())),
+            Some((new_rule, new_sr)) if new_rule != old_rule => {
+                diff.changed.push(ChangedRule {
+                    key: key.clone(),
+                    old: (old_rule.clone(), *old_sr),
+                    new: (new_rule.clone(), *new_sr),
+                });
+            }
+            Some(_) => diff.unchanged += 1,
+        }
+    }
+    for (key, (new_rule, _)) in &new_w {
+        if !old_w.contains_key(key) {
+            diff.added.push((key.clone(), new_rule.clone()));
+        }
+    }
+    diff
+}
+
+impl RuleDiff {
+    /// Whether nothing changed at all.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rule diff: {} unchanged, {} changed, {} added, {} removed",
+            self.unchanged,
+            self.changed.len(),
+            self.added.len(),
+            self.removed.len()
+        );
+        for c in &self.changed {
+            let _ = writeln!(
+                out,
+                "~ {}.{}:{}\n    was: {} (sr {:.1}%)\n    now: {} (sr {:.1}%)",
+                c.key.0,
+                c.key.1,
+                c.key.2,
+                c.old.0,
+                c.old.1 * 100.0,
+                c.new.0,
+                c.new.1 * 100.0
+            );
+        }
+        for (key, rule) in &self.added {
+            let _ = writeln!(out, "+ {}.{}:{} = {}", key.0, key.1, key.2, rule);
+        }
+        for (key, rule) in &self.removed {
+            let _ = writeln!(out, "- {}.{}:{} = {}", key.0, key.1, key.2, rule);
+        }
+        out
+    }
+}
+
+/// Convenience: key constructor used by callers and tests.
+pub fn rule_key(group: &str, member: &str, kind: AccessKind) -> RuleKey {
+    (group.to_owned(), member.to_owned(), kind.tag().to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::clock_db;
+    use crate::derive::{derive, DeriveConfig};
+
+    #[test]
+    fn identical_runs_diff_empty() {
+        let a = derive(&clock_db(600, 0), &DeriveConfig::default());
+        let b = derive(&clock_db(600, 0), &DeriveConfig::default());
+        let d = diff_rules(&a, &b);
+        assert!(d.is_empty());
+        assert!(d.unchanged > 0);
+    }
+
+    #[test]
+    fn threshold_change_shows_as_changed_rule() {
+        // With a low threshold the faulty run is tolerated and the strong
+        // two-lock rule wins; demanding full support flips the winner.
+        let db = clock_db(1000, 1);
+        let strict = derive(&db, &DeriveConfig::with_threshold(1.0));
+        let relaxed = derive(&db, &DeriveConfig::with_threshold(0.9));
+        let d = diff_rules(&strict, &relaxed);
+        let minutes = d
+            .changed
+            .iter()
+            .find(|c| c.key == rule_key("clock", "minutes", AccessKind::Write))
+            .expect("minutes write rule changed");
+        assert_eq!(minutes.old.0, "sec_lock");
+        assert_eq!(minutes.new.0, "sec_lock -> min_lock");
+    }
+
+    #[test]
+    fn shorter_run_shows_removed_rules() {
+        // A 30-iteration run never rolls minutes over, so the minutes rule
+        // exists only in the longer run.
+        let long = derive(&clock_db(600, 0), &DeriveConfig::default());
+        let short = derive(&clock_db(30, 0), &DeriveConfig::default());
+        let d = diff_rules(&long, &short);
+        assert!(d
+            .removed
+            .iter()
+            .any(|(k, _)| k == &rule_key("clock", "minutes", AccessKind::Write)));
+        let back = diff_rules(&short, &long);
+        assert!(back
+            .added
+            .iter()
+            .any(|(k, _)| k == &rule_key("clock", "minutes", AccessKind::Write)));
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let db = clock_db(1000, 1);
+        let a = derive(&db, &DeriveConfig::with_threshold(1.0));
+        let b = derive(&db, &DeriveConfig::with_threshold(0.9));
+        let text = diff_rules(&a, &b).render();
+        assert!(text.contains("rule diff:"));
+        assert!(
+            text.contains("~ clock.minutes"),
+            "changed section rendered:\n{text}"
+        );
+        let removed = diff_rules(&a, &derive(&clock_db(30, 0), &DeriveConfig::default()));
+        assert!(removed.render().contains("- clock.minutes"));
+    }
+}

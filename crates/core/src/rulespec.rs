@@ -1,0 +1,291 @@
+//! Textual locking-rule notation: parsing and printing.
+//!
+//! LockDoc's analyses exchange rules in a compact textual form mirroring
+//! the paper's notation (Tab. 5, Tab. 8, Fig. 8):
+//!
+//! ```text
+//! inode.i_state:w = ES(i_lock in inode)
+//! inode.i_hash:w  = inode_hash_lock -> ES(i_lock in inode)
+//! journal_t.j_flags:r = ES(j_state_lock in journal_t)
+//! dentry.d_subdirs:r = EO(i_rwsem in inode) -> rcu
+//! inode.i_rdev:r  = none
+//! ```
+//!
+//! The documented locking rules of the target system (paper Sec. 7.3) are
+//! hand-converted into this notation before checking, exactly as the paper
+//! manually converts Linux's informal comments into its internal form.
+
+use crate::lockset::LockDescriptor;
+use lockdoc_trace::event::AccessKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fully qualified documented locking rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleSpec {
+    /// Data type the rule applies to, e.g. `inode`.
+    pub type_name: String,
+    /// Optional subclass restriction (`inode:ext4`); `None` applies to all
+    /// subclasses.
+    pub subclass: Option<String>,
+    /// Member name the rule protects.
+    pub member: String,
+    /// Access kind the rule applies to.
+    pub kind: AccessKind,
+    /// Required locks in order; empty means "documented as lock-free".
+    pub locks: Vec<LockDescriptor>,
+}
+
+impl fmt::Display for RuleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.subclass {
+            Some(s) => write!(
+                f,
+                "{}:{}.{}:{} = ",
+                self.type_name, s, self.member, self.kind
+            )?,
+            None => write!(f, "{}.{}:{} = ", self.type_name, self.member, self.kind)?,
+        }
+        if self.locks.is_empty() {
+            write!(f, "none")
+        } else {
+            let parts: Vec<String> = self.locks.iter().map(|l| l.to_string()).collect();
+            write!(f, "{}", parts.join(" -> "))
+        }
+    }
+}
+
+/// Errors from [`parse_rule`] / [`parse_lock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+    })
+}
+
+/// Parses a single lock descriptor:
+/// `ES(member in type)`, `EO(member in type)`, `rcu`/`softirq`/`hardirq`,
+/// or a bare global lock name.
+pub fn parse_lock(s: &str) -> Result<LockDescriptor, ParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return err("empty lock descriptor");
+    }
+    for (prefix, same) in [("ES(", true), ("EO(", false)] {
+        if let Some(rest) = s.strip_prefix(prefix) {
+            let Some(inner) = rest.strip_suffix(')') else {
+                return err(format!("missing closing paren in `{s}`"));
+            };
+            let (member, type_name) = match inner.split_once(" in ") {
+                Some((m, t)) => (m.trim(), t.trim()),
+                // Tab. 5 style `ES(inode.i_lock)` — type.member.
+                None => match inner.split_once('.') {
+                    Some((t, m)) => (m.trim(), t.trim()),
+                    None => (inner.trim(), ""),
+                },
+            };
+            if member.is_empty() {
+                return err(format!("empty member in `{s}`"));
+            }
+            return Ok(if same {
+                LockDescriptor::es(member, type_name)
+            } else {
+                LockDescriptor::eo(member, type_name)
+            });
+        }
+    }
+    if matches!(s, "rcu" | "softirq" | "hardirq") {
+        return Ok(LockDescriptor::pseudo(s));
+    }
+    if s.contains('(') || s.contains(')') || s.contains(' ') {
+        return err(format!("malformed lock descriptor `{s}`"));
+    }
+    Ok(LockDescriptor::global(s))
+}
+
+/// Parses a lock sequence: descriptors joined by `->`, or `none`.
+pub fn parse_sequence(s: &str) -> Result<Vec<LockDescriptor>, ParseError> {
+    let s = s.trim();
+    if s == "none" || s == "no lock needed" || s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split("->").map(parse_lock).collect()
+}
+
+/// Parses a full rule line: `type[.subclass].member:kind = lock -> lock`.
+///
+/// Lines starting with `#` and blank lines yield `Ok(None)` so rule files
+/// can carry comments.
+pub fn parse_rule(line: &str) -> Result<Option<RuleSpec>, ParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let Some((lhs, rhs)) = line.split_once('=') else {
+        return err(format!("missing `=` in `{line}`"));
+    };
+    let lhs = lhs.trim();
+    let Some((path, kind_str)) = lhs.rsplit_once(':') else {
+        return err(format!("missing `:r`/`:w` access kind in `{lhs}`"));
+    };
+    let kind = match kind_str.trim() {
+        "r" => AccessKind::Read,
+        "w" => AccessKind::Write,
+        other => return err(format!("unknown access kind `{other}`")),
+    };
+    // `path` is `type.member` or `type:subclass.member`. Split at the
+    // FIRST dot: type names never contain dots, while unrolled members do
+    // (`i_data.host`, `wb.list_lock`).
+    let (type_part, member) = match path.split_once('.') {
+        Some((t, m)) => (t.trim(), m.trim()),
+        None => return err(format!("missing `.member` in `{path}`")),
+    };
+    let (type_name, subclass) = match type_part.split_once(':') {
+        Some((t, s)) => (t.trim().to_owned(), Some(s.trim().to_owned())),
+        None => (type_part.to_owned(), None),
+    };
+    if type_name.is_empty() || member.is_empty() {
+        return err(format!("empty type or member in `{path}`"));
+    }
+    let locks = parse_sequence(rhs)?;
+    Ok(Some(RuleSpec {
+        type_name,
+        subclass,
+        member: member.to_owned(),
+        kind,
+        locks,
+    }))
+}
+
+/// Parses a whole rule file (one rule per line, `#` comments allowed).
+pub fn parse_rules(text: &str) -> Result<Vec<RuleSpec>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_rule(line) {
+            Ok(Some(rule)) => out.push(rule),
+            Ok(None) => {}
+            Err(e) => {
+                return err(format!("line {}: {}", i + 1, e.message));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_global_and_pseudo_locks() {
+        assert_eq!(
+            parse_lock("inode_hash_lock").unwrap(),
+            LockDescriptor::global("inode_hash_lock")
+        );
+        assert_eq!(parse_lock("rcu").unwrap(), LockDescriptor::pseudo("rcu"));
+    }
+
+    #[test]
+    fn parses_embedded_locks_both_notations() {
+        assert_eq!(
+            parse_lock("ES(i_lock in inode)").unwrap(),
+            LockDescriptor::es("i_lock", "inode")
+        );
+        // Tab. 5 style.
+        assert_eq!(
+            parse_lock("ES(inode.i_lock)").unwrap(),
+            LockDescriptor::es("i_lock", "inode")
+        );
+        assert_eq!(
+            parse_lock("EO(list_lock in backing_dev_info)").unwrap(),
+            LockDescriptor::eo("list_lock", "backing_dev_info")
+        );
+    }
+
+    #[test]
+    fn parses_full_rule_lines() {
+        let r = parse_rule("inode.i_hash:w = inode_hash_lock -> ES(i_lock in inode)")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.type_name, "inode");
+        assert_eq!(r.member, "i_hash");
+        assert_eq!(r.kind, AccessKind::Write);
+        assert_eq!(r.locks.len(), 2);
+        assert_eq!(r.subclass, None);
+    }
+
+    #[test]
+    fn parses_subclassed_rule() {
+        let r = parse_rule("inode:ext4.i_disksize:w = ES(i_data_sem in inode)")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.subclass.as_deref(), Some("ext4"));
+    }
+
+    #[test]
+    fn parses_dotted_member_names() {
+        // Unrolled nested members contain dots; the first dot separates
+        // the type.
+        let r = parse_rule("inode.i_data.host:r = none").unwrap().unwrap();
+        assert_eq!(r.type_name, "inode");
+        assert_eq!(r.member, "i_data.host");
+        let r = parse_rule("inode:ext4.i_data.writeback_index:w = EO(s_umount in super_block)")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.subclass.as_deref(), Some("ext4"));
+        assert_eq!(r.member, "i_data.writeback_index");
+    }
+
+    #[test]
+    fn parses_none_rule_and_comments() {
+        let r = parse_rule("inode.i_rdev:r = none").unwrap().unwrap();
+        assert!(r.locks.is_empty());
+        assert_eq!(parse_rule("# comment").unwrap(), None);
+        assert_eq!(parse_rule("").unwrap(), None);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let rules = [
+            "inode.i_hash:w = inode_hash_lock -> ES(i_lock in inode)",
+            "dentry.d_subdirs:r = EO(i_rwsem in inode) -> rcu",
+            "inode:proc.i_size:r = none",
+        ];
+        for text in rules {
+            let rule = parse_rule(text).unwrap().unwrap();
+            let printed = rule.to_string();
+            let reparsed = parse_rule(&printed).unwrap().unwrap();
+            assert_eq!(rule, reparsed, "round trip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_rule("inode.i_hash = foo").is_err()); // missing :kind
+        assert!(parse_rule("inode:w = foo").is_err()); // missing member
+        assert!(parse_lock("ES(broken").is_err());
+        assert!(parse_lock("two words").is_err());
+        assert!(parse_rules("ok.a:r = none\ninode.i_hash = x").is_err());
+    }
+
+    #[test]
+    fn parse_rules_collects_all_lines() {
+        let text =
+            "# documented rules\ninode.i_state:w = ES(i_lock in inode)\n\ninode.i_rdev:r = none\n";
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+}

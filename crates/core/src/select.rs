@@ -1,0 +1,243 @@
+//! Winning-hypothesis selection (paper Sec. 4.3).
+//!
+//! The naïve strategy — "pick the hypothesis with the highest support above
+//! an accept threshold" — fails twice: the "no lock" hypothesis would always
+//! win (nothing counts as a counterexample against it), and weaker rules
+//! dominate stronger ones because observations complying with the true rule
+//! also comply with all of its subsequences.
+//!
+//! LockDoc therefore treats all hypotheses at or above the accept threshold
+//! `t_ac` as *related* and picks the one with the **lowest** support; ties
+//! are broken towards **more** locks. The "no lock" hypothesis (always at
+//! 100 %) wins only when it is the sole candidate.
+
+use crate::hypothesis::{Hypothesis, HypothesisSet};
+use serde::{Deserialize, Serialize};
+
+/// Selection strategy. [`Strategy::LockDoc`] is the paper's contribution;
+/// the naïve strategies are kept as ablation baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Strategy {
+    /// Lowest support above the threshold, ties toward more locks.
+    #[default]
+    LockDoc,
+    /// Highest support above the threshold ("no lock" always wins).
+    NaiveMax,
+    /// Highest support above the threshold among lock-requiring hypotheses,
+    /// falling back to "no lock" (the "special treatment" variant the paper
+    /// discusses and rejects).
+    NaiveMaxLockPreferred,
+}
+
+/// Selection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Accept threshold `t_ac`: minimum relative support for a hypothesis
+    /// to be considered a candidate. The paper adopts 0.9 from Engler et
+    /// al.'s deviant-behaviour analysis.
+    pub accept_threshold: f64,
+    /// Strategy to apply.
+    pub strategy: Strategy,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self {
+            accept_threshold: 0.9,
+            strategy: Strategy::LockDoc,
+        }
+    }
+}
+
+impl SelectionConfig {
+    /// A LockDoc-strategy configuration with the given threshold.
+    pub fn with_threshold(accept_threshold: f64) -> Self {
+        Self {
+            accept_threshold,
+            ..Self::default()
+        }
+    }
+}
+
+/// The selected rule for one `(member, access kind)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Winner {
+    /// The winning hypothesis.
+    pub hypothesis: Hypothesis,
+    /// Number of candidates at or above the threshold.
+    pub candidates: usize,
+    /// The threshold used.
+    pub threshold: f64,
+}
+
+impl Winner {
+    /// Whether the winner is the "no lock needed" rule.
+    pub fn is_no_lock(&self) -> bool {
+        self.hypothesis.is_no_lock()
+    }
+}
+
+/// Selects the winning hypothesis from `set` under `config`.
+///
+/// Returns `None` only for an empty hypothesis set with zero observations
+/// *and* no "no lock" entry, which [`crate::hypothesis::enumerate`] never
+/// produces; callers may safely `expect` a result for enumerated sets.
+pub fn select(set: &HypothesisSet, config: &SelectionConfig) -> Option<Winner> {
+    let eps = 1e-12;
+    let candidates: Vec<&Hypothesis> = set
+        .hypotheses
+        .iter()
+        .filter(|h| h.sr + eps >= config.accept_threshold)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let chosen: &Hypothesis = match config.strategy {
+        Strategy::LockDoc => candidates
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                a.sa.cmp(&b.sa)
+                    .then(b.locks.len().cmp(&a.locks.len()))
+                    .then_with(|| a.locks.cmp(&b.locks))
+            })
+            .expect("non-empty candidates"),
+        Strategy::NaiveMax => candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                a.sa.cmp(&b.sa)
+                    .then(b.locks.len().cmp(&a.locks.len()))
+                    .then_with(|| b.locks.cmp(&a.locks))
+            })
+            .expect("non-empty candidates"),
+        Strategy::NaiveMaxLockPreferred => {
+            let lock_candidates: Vec<&Hypothesis> = candidates
+                .iter()
+                .copied()
+                .filter(|h| !h.is_no_lock())
+                .collect();
+            match lock_candidates.into_iter().max_by(|a, b| {
+                a.sa.cmp(&b.sa)
+                    .then(b.locks.len().cmp(&a.locks.len()))
+                    .then_with(|| b.locks.cmp(&a.locks))
+            }) {
+                Some(h) => h,
+                None => candidates
+                    .iter()
+                    .copied()
+                    .find(|h| h.is_no_lock())
+                    .expect("no-lock hypothesis is always present"),
+            }
+        }
+    };
+    Some(Winner {
+        hypothesis: chosen.clone(),
+        candidates: candidates.len(),
+        threshold: config.accept_threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypothesis::{enumerate, Observation};
+    use crate::lockset::LockDescriptor;
+    use lockdoc_trace::event::AccessKind;
+
+    fn l(n: &str) -> LockDescriptor {
+        LockDescriptor::global(n)
+    }
+
+    fn obs(locks: &[&str], count: u64) -> Observation {
+        Observation {
+            locks: locks.iter().map(|n| l(n)).collect(),
+            count,
+        }
+    }
+
+    fn clock_set() -> HypothesisSet {
+        enumerate(
+            0,
+            AccessKind::Write,
+            &[obs(&["sec_lock", "min_lock"], 16), obs(&["sec_lock"], 1)],
+        )
+    }
+
+    /// The paper's running example: the correct `sec_lock -> min_lock` rule
+    /// must win despite the wrong alternatives having higher support.
+    #[test]
+    fn lockdoc_strategy_picks_the_strong_rule() {
+        let set = clock_set();
+        let w = select(&set, &SelectionConfig::with_threshold(0.9)).unwrap();
+        assert_eq!(w.hypothesis.locks, vec![l("sec_lock"), l("min_lock")]);
+        assert_eq!(w.hypothesis.sa, 16);
+    }
+
+    #[test]
+    fn tie_breaks_toward_more_locks() {
+        // sec->min and min alone both have sa = 16; the two-lock rule wins.
+        let set = clock_set();
+        let w = select(&set, &SelectionConfig::with_threshold(0.9)).unwrap();
+        assert_eq!(w.hypothesis.locks.len(), 2);
+    }
+
+    #[test]
+    fn naive_max_always_selects_no_lock() {
+        let set = clock_set();
+        let cfg = SelectionConfig {
+            accept_threshold: 0.9,
+            strategy: Strategy::NaiveMax,
+        };
+        let w = select(&set, &cfg).unwrap();
+        // The paper's first objection to plain maximum support: "no lock
+        // needed" has no counterexamples and always wins.
+        assert!(w.is_no_lock());
+    }
+
+    #[test]
+    fn naive_lock_preferred_picks_weak_rule() {
+        let set = clock_set();
+        let cfg = SelectionConfig {
+            accept_threshold: 0.9,
+            strategy: Strategy::NaiveMaxLockPreferred,
+        };
+        let w = select(&set, &cfg).unwrap();
+        // The wrong (dominating) single-lock rule wins — the failure mode
+        // motivating the LockDoc strategy.
+        assert_eq!(w.hypothesis.locks, vec![l("sec_lock")]);
+    }
+
+    #[test]
+    fn no_lock_wins_only_when_alone() {
+        // Accesses with wildly mixed lock usage: no lock hypothesis is the
+        // only one above the threshold.
+        let set = enumerate(
+            0,
+            AccessKind::Read,
+            &[obs(&["a"], 1), obs(&["b"], 1), obs(&["c"], 1)],
+        );
+        let w = select(&set, &SelectionConfig::with_threshold(0.9)).unwrap();
+        assert!(w.is_no_lock());
+        assert_eq!(w.candidates, 1);
+    }
+
+    #[test]
+    fn threshold_changes_the_winner() {
+        // 80 % of writes hold `a`; at t_ac = 0.9 only "no lock" qualifies,
+        // at t_ac = 0.7 the lock rule wins.
+        let set = enumerate(0, AccessKind::Write, &[obs(&["a"], 8), obs(&[], 2)]);
+        let strict = select(&set, &SelectionConfig::with_threshold(0.9)).unwrap();
+        assert!(strict.is_no_lock());
+        let relaxed = select(&set, &SelectionConfig::with_threshold(0.7)).unwrap();
+        assert_eq!(relaxed.hypothesis.locks, vec![l("a")]);
+    }
+
+    #[test]
+    fn full_support_rule_wins_at_threshold_one() {
+        let set = enumerate(0, AccessKind::Write, &[obs(&["a", "b"], 10)]);
+        let w = select(&set, &SelectionConfig::with_threshold(1.0)).unwrap();
+        assert_eq!(w.hypothesis.locks, vec![l("a"), l("b")]);
+        assert_eq!(w.candidates, 4); // {}, [a], [b], [a,b]
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulation configuration.
+
+use crate::faults::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one simulator run.
+///
+/// Everything is deterministic given a configuration: the same `seed`
+/// reproduces the identical trace, mirroring how the paper re-runs the same
+/// benchmark image under Bochs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed for all randomized decisions (workload op mix, irq timing,
+    /// fault-injection draws).
+    pub seed: u64,
+    /// Probability that a timer hardirq fires at an instrumentation point
+    /// (per memory access). The handler runs in hardirq context with its
+    /// own lock state.
+    pub irq_rate: f64,
+    /// Probability that a softirq (writeback flush) runs after a hardirq.
+    pub softirq_rate: f64,
+    /// Fault-injection plan; empty by default (clean run).
+    pub fault_plan: FaultPlan,
+    /// Number of simulated worker tasks the scheduler rotates between.
+    pub tasks: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x10cc_d0c5,
+            irq_rate: 0.002,
+            softirq_rate: 0.25,
+            fault_plan: FaultPlan::default(),
+            tasks: 4,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with a specific seed and defaults otherwise.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Disables interrupt simulation (useful for focused unit tests).
+    pub fn without_irqs(mut self) -> Self {
+        self.irq_rate = 0.0;
+        self.softirq_rate = 0.0;
+        self
+    }
+
+    /// Attaches a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = SimConfig::with_seed(7).without_irqs();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.irq_rate, 0.0);
+        assert_eq!(cfg.softirq_rate, 0.0);
+        assert_eq!(cfg.tasks, 4);
+    }
+}

@@ -1,0 +1,127 @@
+//! Fault injection: deliberate, labelled deviations from the ground-truth
+//! locking discipline.
+//!
+//! The paper hunts for locking bugs whose ground truth only kernel experts
+//! can confirm. Our substrate inverts that: every deviation is *injected*
+//! at a named site with a configured rate, giving the evaluation an
+//! authoritative oracle — the violation finder's output can be scored
+//! against the exact set of injected events.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named fault-injection site configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability that one execution of the site skips/misorders its lock.
+    pub rate: f64,
+}
+
+/// The set of enabled fault sites.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    sites: BTreeMap<String, FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Enables a fault site with the given per-execution rate.
+    pub fn enable(mut self, site: &str, rate: f64) -> Self {
+        self.sites.insert(site.to_owned(), FaultSpec { rate });
+        self
+    }
+
+    /// The spec of a site, if enabled.
+    pub fn spec(&self, site: &str) -> Option<FaultSpec> {
+        self.sites.get(site).copied()
+    }
+
+    /// Whether any site is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates over configured sites.
+    pub fn sites(&self) -> impl Iterator<Item = (&str, FaultSpec)> {
+        self.sites.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// A record of one actually injected fault (the oracle entry).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Site label.
+    pub site: String,
+    /// Simulated time of the decision.
+    pub ts: u64,
+    /// Task that executed the faulty path.
+    pub task: String,
+}
+
+/// The log of injected faults of a finished run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Injection records in order.
+    pub injected: Vec<InjectedFault>,
+}
+
+impl FaultLog {
+    /// Number of injections at a site.
+    pub fn count(&self, site: &str) -> usize {
+        self.injected.iter().filter(|f| f.site == site).count()
+    }
+
+    /// Total number of injections.
+    pub fn total(&self) -> usize {
+        self.injected.len()
+    }
+
+    /// Distinct sites that fired at least once.
+    pub fn fired_sites(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.injected.iter().map(|f| f.site.as_str()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_and_lookup() {
+        let plan = FaultPlan::none()
+            .enable("inode_hash_remove", 0.01)
+            .enable("journal_commit_state", 0.05);
+        assert!(plan.spec("inode_hash_remove").is_some());
+        assert!(plan.spec("missing").is_none());
+        assert_eq!(plan.sites().count(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn log_counts_by_site() {
+        let mut log = FaultLog::default();
+        for i in 0..3 {
+            log.injected.push(InjectedFault {
+                site: "a".into(),
+                ts: i,
+                task: "t".into(),
+            });
+        }
+        log.injected.push(InjectedFault {
+            site: "b".into(),
+            ts: 9,
+            task: "t".into(),
+        });
+        assert_eq!(log.count("a"), 3);
+        assert_eq!(log.count("b"), 1);
+        assert_eq!(log.total(), 4);
+        assert_eq!(log.fired_sites(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ksim: a deterministic Linux-like kernel simulator with locking
+//! instrumentation
+//!
+//! This crate is the substrate of the LockDoc reproduction: it stands in
+//! for the paper's instrumented Linux 4.10 running inside the Bochs
+//! emulator under the Fail* framework (Sec. 5.2/6/7.1). It provides
+//!
+//! * the 11 traced file-system data types with Linux-4.10-like member
+//!   layouts ([`types`], matching paper Tab. 6),
+//! * Linux-flavoured lock primitives (spinlocks, mutexes, rw-locks,
+//!   rw-semaphores, seqlocks, RCU, and the synthetic softirq/hardirq
+//!   pseudo-locks) managed by a single-core deterministic [`Kernel`],
+//! * file-system subsystems (VFS inode/dentry caches, a JBD2-style
+//!   journal, the buffer cache, pipes, devices, writeback) whose locking
+//!   follows an explicit ground truth ([`rules`]) — with per-filesystem
+//!   subclassing of `struct inode`,
+//! * LTP-like workloads ([`workload`]) mirroring the paper's benchmark mix,
+//! * labelled fault injection ([`faults`]) providing an oracle for the
+//!   violation-finding experiments, and
+//! * GCOV-style [coverage] accounting for Tab. 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use ksim::config::SimConfig;
+//! use ksim::subsys::Machine;
+//!
+//! let mut machine = Machine::boot(SimConfig::with_seed(1));
+//! machine.run_mix(50); // 50 workload operations
+//! let trace = machine.finish();
+//! assert!(trace.summary().mem_accesses > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod coverage;
+pub mod faults;
+pub mod kernel;
+pub mod lockdep;
+pub mod rules;
+pub mod subsys;
+pub mod types;
+pub mod workload;
+
+pub use config::SimConfig;
+pub use kernel::{Kernel, Lock, Obj};

@@ -1,0 +1,149 @@
+//! An in-situ lock-order validator, modelled on Linux's `lockdep`
+//! (paper Sec. 3.2): while the simulation runs, every acquisition is
+//! checked against the lock-class order observed so far; acquiring `A`
+//! while holding `B` after `B -> A` was ever observed in the opposite
+//! order raises a warning — the runtime counterpart of the ex-post
+//! `lockdoc_core::order` analysis.
+
+use lockdoc_trace::event::SourceLoc;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One recorded warning (a potential circular locking dependency).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockdepWarning {
+    /// Class held while the inversion happened.
+    pub held_class: String,
+    /// Class acquired out of order.
+    pub acquired_class: String,
+    /// Where the offending acquisition happened.
+    pub loc: SourceLoc,
+    /// Where the opposite (normal) order was first established — the
+    /// second site lockdep reports in its "circular dependency" splat.
+    pub established_at: Option<SourceLoc>,
+}
+
+/// The validator state: observed order edges and raised warnings.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lockdep {
+    /// Observed class-order edges `held -> acquired`.
+    order: BTreeSet<(String, String)>,
+    /// First witness per edge.
+    witness: BTreeMap<(String, String), SourceLoc>,
+    /// Raised warnings, deduplicated per class pair.
+    pub warnings: Vec<LockdepWarning>,
+    warned: BTreeSet<(String, String)>,
+}
+
+impl Lockdep {
+    /// Creates an empty validator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an acquisition of `acquired` while `held` classes are held;
+    /// returns the warnings newly raised by this acquisition.
+    pub fn on_acquire(
+        &mut self,
+        held: &[String],
+        acquired: &str,
+        loc: SourceLoc,
+    ) -> Vec<LockdepWarning> {
+        let mut new_warnings = Vec::new();
+        for h in held {
+            if h == acquired {
+                continue; // reentrant same-class nesting is out of scope
+            }
+            let edge = (h.clone(), acquired.to_owned());
+            let reverse = (acquired.to_owned(), h.clone());
+            if self.order.contains(&reverse) && !self.warned.contains(&edge) {
+                self.warned.insert(edge.clone());
+                self.warned.insert(reverse.clone());
+                let w = LockdepWarning {
+                    held_class: h.clone(),
+                    acquired_class: acquired.to_owned(),
+                    loc,
+                    established_at: self.witness.get(&reverse).copied(),
+                };
+                self.warnings.push(w.clone());
+                new_warnings.push(w);
+            }
+            self.order.insert(edge.clone());
+            self.witness.entry(edge).or_insert(loc);
+        }
+        new_warnings
+    }
+
+    /// Number of recorded order edges.
+    pub fn edge_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether an order edge was observed.
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.order.contains(&(from.to_owned(), to.to_owned()))
+    }
+
+    /// Where an order edge was first observed.
+    pub fn first_witness(&self, from: &str, to: &str) -> Option<SourceLoc> {
+        self.witness.get(&(from.to_owned(), to.to_owned())).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdoc_trace::ids::Sym;
+
+    fn loc(line: u32) -> SourceLoc {
+        SourceLoc::new(Sym(0), line)
+    }
+
+    #[test]
+    fn consistent_order_raises_nothing() {
+        let mut dep = Lockdep::new();
+        for _ in 0..10 {
+            assert!(dep.on_acquire(&[], "a", loc(1)).is_empty());
+            assert!(dep.on_acquire(&["a".into()], "b", loc(2)).is_empty());
+        }
+        assert_eq!(dep.edge_count(), 1);
+        assert!(dep.has_edge("a", "b"));
+        assert!(dep.warnings.is_empty());
+    }
+
+    #[test]
+    fn inversion_raises_once() {
+        let mut dep = Lockdep::new();
+        dep.on_acquire(&["a".into()], "b", loc(1));
+        let w = dep.on_acquire(&["b".into()], "a", loc(9));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].held_class, "b");
+        assert_eq!(w[0].acquired_class, "a");
+        assert_eq!(w[0].loc.line, 9);
+        // The splat names the site that established the normal order.
+        assert_eq!(w[0].established_at, Some(loc(1)));
+        assert_eq!(dep.first_witness("a", "b"), Some(loc(1)));
+        assert_eq!(dep.first_witness("x", "y"), None);
+        // Repeating the inversion does not spam warnings.
+        let again = dep.on_acquire(&["b".into()], "a", loc(9));
+        assert!(again.is_empty());
+        assert_eq!(dep.warnings.len(), 1);
+    }
+
+    #[test]
+    fn transitive_chains_build_edges_per_held_lock() {
+        let mut dep = Lockdep::new();
+        dep.on_acquire(&["a".into(), "b".into()], "c", loc(1));
+        assert!(dep.has_edge("a", "c"));
+        assert!(dep.has_edge("b", "c"));
+        assert_eq!(dep.edge_count(), 2);
+    }
+
+    #[test]
+    fn same_class_nesting_is_ignored() {
+        let mut dep = Lockdep::new();
+        let w = dep.on_acquire(&["i_lock in inode".into()], "i_lock in inode", loc(3));
+        assert!(w.is_empty());
+        assert_eq!(dep.edge_count(), 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The dentry cache: allocation, instantiation, RCU-walk lookups, and the
+//! `d_subdirs` iteration paths.
+//!
+//! Discipline (Linux 4.10 `fs/dcache.c`):
+//!
+//! * `d_lock` protects `d_flags`, `d_lockref_count`, `d_lru`, `d_child`,
+//!   `d_subdirs`, `d_alias`, `d_inode` (writes),
+//! * `dentry_hash_lock` + `d_lock` protect `d_hash`,
+//! * RCU-walk reads `d_seq`, `d_name*`, `d_parent`, `d_inode` under `rcu`,
+//! * iterating a parent's `d_subdirs` requires the *parent's* `d_lock`;
+//!   the `simple_readdir` path deliberately walks it under the parent
+//!   inode's `i_rwsem` + `rcu` instead — the `dentry.d_subdirs` violation
+//!   of paper Tab. 8 (`fs/libfs.c:104`).
+
+use super::{DentryState, Machine};
+use crate::kernel::{Lock, Obj};
+
+const F_DCACHE: &str = "fs/dcache.c";
+const F_LIBFS: &str = "fs/libfs.c";
+
+impl Machine {
+    /// Allocates a root dentry for a mount.
+    pub fn d_alloc_root(&mut self, inode: Obj) -> Obj {
+        let dentry = self.k.in_fn("d_alloc_root", F_DCACHE, |k| {
+            let d = k.alloc("dentry", None);
+            // Init context (filtered).
+            k.write(d, "d_flags", 1751);
+            k.write(d, "d_name", 1752);
+            k.write(d, "d_name_len", 1753);
+            k.write(d, "d_name_hash", 1754);
+            k.write(d, "d_iname", 1755);
+            k.write(d, "d_sb", 1756);
+            k.write(d, "d_op", 1757);
+            d
+        });
+        self.dentries.insert(
+            dentry,
+            DentryState {
+                parent: None,
+                inode: Some(inode),
+                children: Vec::new(),
+            },
+        );
+        self.k.in_fn("d_instantiate", F_DCACHE, |k| {
+            k.lock(Lock::Of(dentry, "d_lock"), 1871);
+            k.write(dentry, "d_inode", 1872);
+            k.rmw(dentry, "d_flags", 1873);
+            k.unlock(Lock::Of(dentry, "d_lock"), 1874);
+        });
+        dentry
+    }
+
+    /// `d_alloc()` + `d_instantiate()`: hangs a new dentry for `inode`
+    /// under the dentry of `parent_inode` (looked up via the mount root if
+    /// no explicit parent dentry exists).
+    pub fn d_instantiate(&mut self, parent_inode: Obj, inode: Obj) -> Obj {
+        let parent_dentry = self
+            .dentries
+            .iter()
+            .find(|(_, d)| d.inode == Some(parent_inode))
+            .map(|(&o, _)| o)
+            .unwrap_or_else(|| {
+                let fs = self.inodes[&inode].fs;
+                self.mounts[&fs].root
+            });
+        let dentry = self.k.in_fn("__d_alloc", F_DCACHE, |k| {
+            let d = k.alloc("dentry", None);
+            // Init context (filtered).
+            k.write(d, "d_flags", 1601);
+            k.write(d, "d_name", 1602);
+            k.write(d, "d_name_len", 1603);
+            k.write(d, "d_name_hash", 1604);
+            k.write(d, "d_iname", 1605);
+            k.write(d, "d_sb", 1606);
+            d
+        });
+        self.k.in_fn("d_alloc", F_DCACHE, |k| {
+            // Linking into the parent: parent d_lock, then child d_lock.
+            k.lock(Lock::Of(parent_dentry, "d_lock"), 1620);
+            k.lock(Lock::Of(dentry, "d_lock"), 1621);
+            k.write(dentry, "d_parent", 1622);
+            k.write(dentry, "d_child", 1623);
+            k.rmw(parent_dentry, "d_subdirs", 1624);
+            k.rmw(parent_dentry, "d_lockref_count", 1625);
+            k.unlock(Lock::Of(dentry, "d_lock"), 1626);
+            k.unlock(Lock::Of(parent_dentry, "d_lock"), 1627);
+        });
+        self.k.in_fn("d_instantiate", F_DCACHE, |k| {
+            k.lock(Lock::Of(dentry, "d_lock"), 1871);
+            k.write(dentry, "d_inode", 1872);
+            k.rmw(dentry, "d_flags", 1873);
+            k.write(dentry, "d_alias", 1874);
+            k.rmw(dentry, "d_seq", 1875);
+            k.write(dentry, "d_time", 1876);
+            k.unlock(Lock::Of(dentry, "d_lock"), 1877);
+        });
+        self.k.in_fn("__d_rehash", F_DCACHE, |k| {
+            k.lock(Lock::Global("dentry_hash_lock"), 2401);
+            k.lock(Lock::Of(dentry, "d_lock"), 2402);
+            k.write(dentry, "d_hash", 2403);
+            k.unlock(Lock::Of(dentry, "d_lock"), 2404);
+            k.unlock(Lock::Global("dentry_hash_lock"), 2405);
+        });
+        if self.k.chance(0.5) {
+            self.dget_fast(dentry);
+        }
+        self.dentries.insert(
+            dentry,
+            DentryState {
+                parent: Some(parent_dentry),
+                inode: Some(inode),
+                children: Vec::new(),
+            },
+        );
+        self.dentries
+            .get_mut(&parent_dentry)
+            .unwrap()
+            .children
+            .push(dentry);
+        dentry
+    }
+
+    /// `d_delete()` + `__dentry_kill()`: detaches and frees the dentry of
+    /// `inode` below `parent_inode`.
+    pub fn d_delete(&mut self, _parent_inode: Obj, inode: Obj) {
+        let Some((dentry, state)) = self
+            .dentries
+            .iter()
+            .find(|(_, d)| d.inode == Some(inode))
+            .map(|(&o, d)| (o, d.clone()))
+        else {
+            return;
+        };
+        self.k.in_fn("d_delete", F_DCACHE, |k| {
+            k.lock(Lock::Of(dentry, "d_lock"), 2501);
+            k.write(dentry, "d_inode", 2502);
+            k.rmw(dentry, "d_flags", 2503);
+            k.write(dentry, "d_alias", 2504);
+            k.unlock(Lock::Of(dentry, "d_lock"), 2505);
+        });
+        self.k.in_fn("__d_drop", F_DCACHE, |k| {
+            k.lock(Lock::Global("dentry_hash_lock"), 2601);
+            k.lock(Lock::Of(dentry, "d_lock"), 2602);
+            k.write(dentry, "d_hash", 2603);
+            k.unlock(Lock::Of(dentry, "d_lock"), 2604);
+            k.unlock(Lock::Global("dentry_hash_lock"), 2605);
+        });
+        if let Some(parent) = state.parent {
+            self.k.in_fn("__dentry_kill", F_DCACHE, |k| {
+                k.lock(Lock::Of(parent, "d_lock"), 2701);
+                k.lock(Lock::Of(dentry, "d_lock"), 2702);
+                k.write(dentry, "d_child", 2703);
+                k.rmw(parent, "d_subdirs", 2704);
+                k.rmw(parent, "d_lockref_count", 2705);
+                k.unlock(Lock::Of(dentry, "d_lock"), 2706);
+                k.unlock(Lock::Of(parent, "d_lock"), 2707);
+            });
+            if let Some(pd) = self.dentries.get_mut(&parent) {
+                pd.children.retain(|&c| c != dentry);
+            }
+        }
+        self.k.in_fn("__dentry_kill", F_DCACHE, |k| {
+            k.free(dentry);
+        });
+        self.dentries.remove(&dentry);
+    }
+
+    /// RCU-walk path lookup (`__d_lookup_rcu`): seqcount + name reads under
+    /// `rcu` only.
+    pub fn lookup_rcu(&mut self, dentry: Obj) {
+        self.k.in_fn("__d_lookup_rcu", F_DCACHE, |k| {
+            k.lock_shared(Lock::Rcu, 2051);
+            k.read(dentry, "d_seq", 2052);
+            k.read(dentry, "d_name_hash", 2053);
+            k.read(dentry, "d_name_len", 2054);
+            k.read(dentry, "d_name", 2055);
+            k.read(dentry, "d_parent", 2056);
+            k.read(dentry, "d_inode", 2057);
+            k.read(dentry, "d_fsdata", 2058);
+            k.read(dentry, "d_seq", 2059);
+            k.unlock(Lock::Rcu, 2060);
+        });
+        if self.k.chance(0.25) {
+            self.dget_fast(dentry);
+        }
+        self.tick();
+    }
+
+    /// The lockref fast path (`lockref_get_not_dead`): bumps the reference
+    /// count and flags with a cmpxchg under RCU only — the reason the
+    /// documented `ES(d_lock)` rules for `d_lockref_count`/`d_flags`
+    /// writes are only *mostly* followed (ambivalent in paper Tab. 4).
+    pub fn dget_fast(&mut self, dentry: Obj) {
+        self.k.in_fn("lockref_get_not_dead", F_DCACHE, |k| {
+            k.lock_shared(Lock::Rcu, 901);
+            k.rmw(dentry, "d_lockref_count", 902);
+            k.rmw(dentry, "d_flags", 903);
+            k.unlock(Lock::Rcu, 904);
+        });
+    }
+
+    /// Ref-walk path lookup (`__d_lookup`): takes `d_lock` and bumps the
+    /// lockref.
+    pub fn lookup_ref(&mut self, dentry: Obj) {
+        self.k.in_fn("__d_lookup", F_DCACHE, |k| {
+            k.lock(Lock::Global("dentry_hash_lock"), 2151);
+            k.read(dentry, "d_hash", 2152);
+            k.lock(Lock::Of(dentry, "d_lock"), 2153);
+            k.read(dentry, "d_name_hash", 2154);
+            k.read(dentry, "d_name", 2155);
+            k.rmw(dentry, "d_lockref_count", 2156);
+            k.read(dentry, "d_flags", 2157);
+            k.read(dentry, "d_alias", 2158);
+            k.unlock(Lock::Of(dentry, "d_lock"), 2159);
+            k.unlock(Lock::Global("dentry_hash_lock"), 2160);
+            // In-lookup wait-queue publication without d_lock: the
+            // documented `d_wait:w = ES(d_lock)` rule is never followed.
+            k.write(dentry, "d_wait", 2161);
+        });
+        self.tick();
+    }
+
+    /// Correct `d_subdirs` walk under the parent's `d_lock`
+    /// (`d_walk()`-style).
+    pub fn walk_subdirs(&mut self, parent: Obj) {
+        let children = self
+            .dentries
+            .get(&parent)
+            .map(|d| d.children.clone())
+            .unwrap_or_default();
+        self.k.in_fn("d_walk", F_DCACHE, |k| {
+            k.lock(Lock::Of(parent, "d_lock"), 1301);
+            k.read(parent, "d_subdirs", 1302);
+            for c in &children {
+                k.read(*c, "d_child", 1303);
+                k.read(*c, "d_flags", 1304);
+            }
+            k.unlock(Lock::Of(parent, "d_lock"), 1305);
+        });
+        self.tick();
+    }
+
+    /// The deviant `simple_readdir` path (paper Tab. 8): iterates the
+    /// parent's `d_subdirs` under the parent *inode's* `i_rwsem` and `rcu`,
+    /// but without the parent's `d_lock`.
+    pub fn simple_readdir(&mut self, parent_inode: Obj, parent_dentry: Obj) {
+        let children = self
+            .dentries
+            .get(&parent_dentry)
+            .map(|d| d.children.clone())
+            .unwrap_or_default();
+        self.k.in_fn("dcache_readdir", F_LIBFS, |k| {
+            k.lock_shared(Lock::Of(parent_inode, "i_rwsem"), 101);
+            k.lock_shared(Lock::Rcu, 102);
+            k.read(parent_dentry, "d_subdirs", 104);
+            for c in &children {
+                k.read(*c, "d_child", 105);
+                k.read(*c, "d_name", 106);
+            }
+            k.unlock(Lock::Rcu, 108);
+            k.unlock(Lock::Of(parent_inode, "i_rwsem"), 109);
+        });
+        self.tick();
+    }
+
+    /// Rotates leaf dentries through the LRU (`shrink_dentry_list` under
+    /// `d_lock`); in-use dentries stay alive, only their `d_lru` linkage
+    /// and flags are touched.
+    pub fn shrink_dcache(&mut self) {
+        let victims: Vec<Obj> = self
+            .dentries
+            .iter()
+            .filter(|(_, d)| d.children.is_empty() && d.parent.is_some())
+            .map(|(&o, _)| o)
+            .take(2)
+            .collect();
+        self.k.in_fn("d_lru_isolate", F_DCACHE, |k| {
+            for v in &victims {
+                k.lock(Lock::Of(*v, "d_lock"), 1091);
+                k.read(*v, "d_lru", 1092);
+                k.unlock(Lock::Of(*v, "d_lock"), 1093);
+            }
+        });
+        for v in victims {
+            self.k.in_fn("shrink_dentry_list", F_DCACHE, |k| {
+                k.lock(Lock::Of(v, "d_lock"), 1101);
+                k.rmw(v, "d_lru", 1102);
+                k.read(v, "d_lockref_count", 1103);
+                k.unlock(Lock::Of(v, "d_lock"), 1104);
+            });
+        }
+    }
+}
+
+impl Machine {
+    /// `d_move()`-style rename: the name fields change under the global
+    /// `rename_lock` seqlock plus the dentry's `d_lock`.
+    pub fn dentry_rename(&mut self, dentry: Obj) {
+        self.k.in_fn("d_move", F_DCACHE, |k| {
+            k.lock(Lock::Global("rename_lock"), 2801);
+            k.lock(Lock::Of(dentry, "d_lock"), 2802);
+            k.write(dentry, "d_name", 2803);
+            k.write(dentry, "d_name_len", 2804);
+            k.write(dentry, "d_name_hash", 2805);
+            k.rmw(dentry, "d_seq", 2806);
+            k.rmw(dentry, "d_flags", 2807);
+            k.unlock(Lock::Of(dentry, "d_lock"), 2808);
+            k.unlock(Lock::Global("rename_lock"), 2809);
+        });
+        self.tick();
+    }
+
+    /// A random live dentry (for workload rename/lookup targets).
+    pub fn random_dentry(&mut self) -> Option<Obj> {
+        if self.dentries.is_empty() {
+            return None;
+        }
+        let keys: Vec<Obj> = self.dentries.keys().copied().collect();
+        Some(keys[self.k.pick(keys.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::FsKind;
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn instantiate_links_parent_and_child() {
+        let mut m = Machine::boot(SimConfig::with_seed(9).without_irqs());
+        let root = m.mounts[&FsKind::Rootfs].root;
+        let dir_inode = m.dentries[&root].inode.unwrap();
+        let child_inode = m.create_file(FsKind::Rootfs, dir_inode);
+        let child_dentry = m
+            .dentries
+            .iter()
+            .find(|(_, d)| d.inode == Some(child_inode))
+            .map(|(&o, _)| o)
+            .expect("child dentry exists");
+        assert_eq!(m.dentries[&child_dentry].parent, Some(root));
+        assert!(m.dentries[&root].children.contains(&child_dentry));
+    }
+
+    #[test]
+    fn delete_detaches_child() {
+        let mut m = Machine::boot(SimConfig::with_seed(9).without_irqs());
+        let root = m.mounts[&FsKind::Rootfs].root;
+        let dir_inode = m.dentries[&root].inode.unwrap();
+        let child_inode = m.create_file(FsKind::Rootfs, dir_inode);
+        let n_children = m.dentries[&root].children.len();
+        m.unlink_file(FsKind::Rootfs, dir_inode, child_inode);
+        assert_eq!(m.dentries[&root].children.len(), n_children - 1);
+    }
+}

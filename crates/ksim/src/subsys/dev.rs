@@ -1,0 +1,176 @@
+//! Block and character devices (`struct block_device`, `struct cdev`).
+//!
+//! Discipline:
+//!
+//! * `bd_mutex` protects the open/claim state (`bd_openers`, `bd_holder`,
+//!   `bd_holders`, `bd_write_holder`, `bd_part_count`, `bd_invalidated`),
+//! * `bd_fsfreeze_mutex` protects `bd_fsfreeze_count`,
+//! * the global `bdev_lock` protects `bd_claiming` and `bd_list`,
+//! * `cdev` registration writes most members lock-free (only one task ever
+//!   touches a cdev before it is live — hence the many "no lock" rules in
+//!   paper Tab. 6); only the global `cdev_lock` guards the `list` linkage.
+
+use super::{FsKind, Machine};
+use crate::kernel::{Lock, Obj};
+
+const F_BLOCK: &str = "fs/block_dev.c";
+const F_CHAR: &str = "fs/char_dev.c";
+
+impl Machine {
+    /// `bdget()`: creates the block device bound to a `bdev` inode.
+    pub fn bdget(&mut self) -> (Obj, Obj) {
+        let inode = self.iget(FsKind::Bdev);
+        let bdev = self.k.in_fn("bdget", F_BLOCK, |k| {
+            let b = k.alloc("block_device", None);
+            // Init context (filtered).
+            for (member, line) in [
+                ("bd_dev", 871),
+                ("bd_inode", 872),
+                ("bd_super", 873),
+                ("bd_block_size", 874),
+                ("bd_part", 875),
+                ("bd_disk", 876),
+                ("bd_queue", 877),
+                ("bd_bdi", 878),
+            ] {
+                k.write(b, member, line);
+            }
+            b
+        });
+        self.k.in_fn("bd_acquire", F_BLOCK, |k| {
+            k.lock(Lock::Global("bdev_lock"), 891);
+            k.write(bdev, "bd_list", 892);
+            k.unlock(Lock::Global("bdev_lock"), 893);
+            k.lock(Lock::Of(inode, "i_lock"), 894);
+            k.write(inode, "i_bdev", 895);
+            k.unlock(Lock::Of(inode, "i_lock"), 896);
+        });
+        self.inodes.get_mut(&inode).unwrap().bdev = Some(bdev);
+        (inode, bdev)
+    }
+
+    /// `blkdev_get()`: opens the device under `bd_mutex`.
+    pub fn blkdev_get(&mut self, bdev: Obj) {
+        self.k.in_fn("__blkdev_get", F_BLOCK, |k| {
+            k.lock(Lock::Of(bdev, "bd_mutex"), 1431);
+            k.rmw(bdev, "bd_openers", 1432);
+            k.read(bdev, "bd_disk", 1433);
+            k.read(bdev, "bd_part", 1434);
+            k.rmw(bdev, "bd_part_count", 1435);
+            k.write(bdev, "bd_invalidated", 1436);
+            k.unlock(Lock::Of(bdev, "bd_mutex"), 1437);
+        });
+        self.tick();
+    }
+
+    /// `bd_start_claiming()` + holder bookkeeping.
+    pub fn bd_claim(&mut self, bdev: Obj) {
+        self.k.in_fn("bd_start_claiming", F_BLOCK, |k| {
+            k.lock(Lock::Global("bdev_lock"), 1101);
+            k.write(bdev, "bd_claiming", 1102);
+            k.read(bdev, "bd_holder", 1103);
+            k.unlock(Lock::Global("bdev_lock"), 1104);
+            k.lock(Lock::Of(bdev, "bd_mutex"), 1111);
+            k.read(bdev, "bd_openers", 1112);
+            k.write(bdev, "bd_holder", 1113);
+            k.rmw(bdev, "bd_holders", 1114);
+            k.write(bdev, "bd_write_holder", 1115);
+            k.unlock(Lock::Of(bdev, "bd_mutex"), 1116);
+            k.lock(Lock::Global("bdev_lock"), 1121);
+            k.write(bdev, "bd_claiming", 1122);
+            k.unlock(Lock::Global("bdev_lock"), 1123);
+        });
+        self.tick();
+    }
+
+    /// `blkdev_put()`: closes the device.
+    pub fn blkdev_put(&mut self, bdev: Obj) {
+        self.k.in_fn("__blkdev_put", F_BLOCK, |k| {
+            k.lock(Lock::Of(bdev, "bd_mutex"), 1821);
+            k.rmw(bdev, "bd_openers", 1822);
+            k.rmw(bdev, "bd_part_count", 1823);
+            k.read(bdev, "bd_contains", 1824);
+            k.unlock(Lock::Of(bdev, "bd_mutex"), 1825);
+        });
+        self.tick();
+    }
+
+    /// Filesystem freeze via the block layer (`freeze_bdev`).
+    pub fn freeze_bdev(&mut self, bdev: Obj) {
+        self.k.in_fn("freeze_bdev", F_BLOCK, |k| {
+            k.lock(Lock::Of(bdev, "bd_fsfreeze_mutex"), 231);
+            k.rmw(bdev, "bd_fsfreeze_count", 232);
+            k.read(bdev, "bd_super", 233);
+            k.unlock(Lock::Of(bdev, "bd_fsfreeze_mutex"), 234);
+        });
+        self.tick();
+    }
+
+    /// Lock-free `bd_openers` peek (`bdev_ordered_open_peek` fast check) —
+    /// the single-context `block_device` violation of paper Tab. 7.
+    pub fn bdev_openers_peek(&mut self, bdev: Obj) {
+        self.k.in_fn("blkdev_show", F_BLOCK, |k| {
+            k.read(bdev, "bd_openers", 361);
+        });
+    }
+
+    /// `cdev_add()`: registers a char device. Most members are written
+    /// lock-free (pre-publication), only the list linkage takes `cdev_lock`.
+    pub fn register_cdev(&mut self) -> Obj {
+        let cdev = self
+            .k
+            .in_fn("cdev_alloc", F_CHAR, |k| k.alloc("cdev", None));
+        self.k.in_fn("cdev_add", F_CHAR, |k| {
+            k.write(cdev, "kobj", 451);
+            k.write(cdev, "owner", 452);
+            k.write(cdev, "ops", 453);
+            k.write(cdev, "dev", 454);
+            k.write(cdev, "count", 455);
+            k.lock(Lock::Global("cdev_lock"), 461);
+            k.write(cdev, "list", 462);
+            k.unlock(Lock::Global("cdev_lock"), 463);
+        });
+        self.cdevs.push(cdev);
+        cdev
+    }
+
+    /// `chrdev_open()`-style lookup: lock-free reads of the registration.
+    pub fn cdev_lookup(&mut self, cdev: Obj) {
+        self.k.in_fn("chrdev_open", F_CHAR, |k| {
+            k.read(cdev, "ops", 371);
+            k.read(cdev, "owner", 372);
+            k.lock(Lock::Global("cdev_lock"), 373);
+            k.read(cdev, "list", 374);
+            k.read(cdev, "dev", 375);
+            k.read(cdev, "count", 376);
+            k.unlock(Lock::Global("cdev_lock"), 377);
+        });
+        self.tick();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn bdev_lifecycle() {
+        let mut m = Machine::boot(SimConfig::with_seed(51).without_irqs());
+        let (inode, bdev) = m.bdget();
+        m.blkdev_get(bdev);
+        m.bd_claim(bdev);
+        m.blkdev_put(bdev);
+        m.freeze_bdev(bdev);
+        assert_eq!(m.inodes[&inode].bdev, Some(bdev));
+    }
+
+    #[test]
+    fn cdev_registration() {
+        let mut m = Machine::boot(SimConfig::with_seed(51).without_irqs());
+        let n = m.cdevs.len();
+        let cdev = m.register_cdev();
+        m.cdev_lookup(cdev);
+        assert_eq!(m.cdevs.len(), n + 1);
+    }
+}

@@ -1,0 +1,478 @@
+//! A JBD2-style journaling layer (the substrate behind the paper's
+//! `journal_t`, `transaction_t` and `journal_head` observations).
+//!
+//! Discipline (Linux 4.10 `fs/jbd2/`):
+//!
+//! * `j_state_lock` (a rwlock) protects the journal state machine:
+//!   `j_flags`, `j_running_transaction`, `j_committing_transaction`,
+//!   `j_commit_sequence`, `j_commit_request`, `j_transaction_sequence`,
+//!   `j_barrier_count`, the log head/tail, and `transaction_t.t_state`,
+//! * `j_list_lock` protects the buffer lists: `t_buffers`, `t_forget`,
+//!   `t_checkpoint_list`, `t_nr_buffers`, `j_checkpoint_transactions` and
+//!   the `journal_head` linkage (`b_transaction`, `b_jlist`, `b_tnext`,
+//!   `b_tprev`, `b_cp*`),
+//! * `t_handle_lock` protects handle start/stop accounting
+//!   (`t_start_time`, `t_expires`, `t_requested`, `t_max_wait`),
+//! * `t_updates`, `t_outstanding_credits`, `t_handle_count` are `atomic_t`
+//!   (their accesses are filtered — the stale-documentation case of paper
+//!   Sec. 7.3),
+//! * a small share of fast-path *reads* of `j_running_transaction` and
+//!   `j_flags` is deliberately lock-free, as in the real code.
+
+use super::{JournalState, Machine};
+use crate::kernel::{Lock, Obj};
+use lockdoc_trace::event::AccessKind;
+
+const F_JOURNAL: &str = "fs/jbd2/journal.c";
+const F_TXN: &str = "fs/jbd2/transaction.c";
+const F_COMMIT: &str = "fs/jbd2/commit.c";
+const F_CHECKPOINT: &str = "fs/jbd2/checkpoint.c";
+
+impl Machine {
+    /// `jbd2_journal_init_inode()`: creates the journal for a superblock.
+    pub fn jbd2_create_journal(&mut self, _sb: Obj) -> Obj {
+        let journal = self.k.in_fn("jbd2_journal_init_common", F_JOURNAL, |k| {
+            let j = k.alloc("journal_t", None);
+            // Init context (filtered).
+            for (member, line) in [
+                ("j_flags", 1101),
+                ("j_dev", 1102),
+                ("j_blocksize", 1103),
+                ("j_maxlen", 1104),
+                ("j_blk_offset", 1105),
+                ("j_devname", 1106),
+                ("j_head", 1107),
+                ("j_tail", 1108),
+                ("j_free", 1109),
+                ("j_first", 1110),
+                ("j_last", 1111),
+                ("j_commit_interval", 1112),
+                ("j_min_batch_time", 1113),
+                ("j_max_batch_time", 1114),
+                ("j_wbufsize", 1115),
+                ("j_superblock", 1116),
+            ] {
+                k.write(j, member, line);
+            }
+            j
+        });
+        self.journals.insert(
+            journal,
+            JournalState {
+                running: None,
+                committing: None,
+                jh_on_running: Vec::new(),
+                next_tid: 1,
+                credits: 0,
+            },
+        );
+        journal
+    }
+
+    /// `jbd2__journal_start()`: opens (or joins) the running transaction.
+    pub fn jbd2_start(&mut self, journal: Obj) -> Obj {
+        // Fast-path peek at the running transaction: the real code reads
+        // the pointer outside the lock before retrying under it.
+        let running = self.journals[&journal].running;
+        // The lock-free fast path is common enough (> 10 % of reads) that
+        // LockDoc settles on "no lock" for these reads — keeping
+        // transaction_t out of the violation table, as in paper Tab. 7,
+        // while the *documented* state-lock rule scores as ambivalent.
+        if self.k.chance(0.35) {
+            self.k.in_fn("jbd2__journal_start", F_TXN, |k| {
+                k.read(journal, "j_running_transaction", 281);
+                if let Some(t) = running {
+                    k.read(t, "t_state", 282);
+                    k.read(t, "t_nr_buffers", 283);
+                }
+            });
+        }
+        if let Some(txn) = running {
+            self.k.in_fn("start_this_handle", F_TXN, |k| {
+                k.lock_shared(Lock::Of(journal, "j_state_lock"), 301);
+                k.read(journal, "j_running_transaction", 302);
+                k.read(journal, "j_barrier_count", 303);
+                k.read(txn, "t_state", 304);
+                k.unlock(Lock::Of(journal, "j_state_lock"), 305);
+                // Handle accounting is atomic (filtered).
+                k.atomic_access(txn, "t_updates", AccessKind::Write, 306);
+                k.atomic_access(txn, "t_outstanding_credits", AccessKind::Write, 307);
+                k.atomic_access(txn, "t_handle_count", AccessKind::Write, 308);
+                k.lock(Lock::Of(txn, "t_handle_lock"), 310);
+                k.rmw(txn, "t_requested", 311);
+                k.rmw(txn, "t_max_wait", 312);
+                k.unlock(Lock::Of(txn, "t_handle_lock"), 313);
+            });
+            let js = self.journals.get_mut(&journal).unwrap();
+            js.credits += 1;
+            return txn;
+        }
+        // No running transaction: create one.
+        let txn = self.k.in_fn("jbd2_alloc_transaction", F_TXN, |k| {
+            let t = k.alloc("transaction_t", None);
+            // Init context (filtered).
+            k.write(t, "t_journal", 71);
+            k.write(t, "t_tid", 72);
+            k.write(t, "t_start_time", 73);
+            k.write(t, "t_expires", 74);
+            t
+        });
+        let tid = {
+            let js = self.journals.get_mut(&journal).unwrap();
+            js.running = Some(txn);
+            js.credits = 1;
+            js.next_tid += 1;
+            js.next_tid
+        };
+        let _ = tid;
+        self.k.in_fn("jbd2_get_transaction", F_TXN, |k| {
+            k.lock(Lock::Of(journal, "j_state_lock"), 91);
+            k.write(journal, "j_running_transaction", 92);
+            k.rmw(journal, "j_transaction_sequence", 93);
+            k.write(txn, "t_state", 94);
+            k.write(txn, "t_log_start", 95);
+            k.read(journal, "j_head", 96);
+            k.unlock(Lock::Of(journal, "j_state_lock"), 97);
+            k.atomic_access(txn, "t_updates", AccessKind::Write, 98);
+        });
+        txn
+    }
+
+    /// `jbd2_journal_get_write_access()`: attaches a buffer (via its
+    /// journal head) to the running transaction.
+    pub fn jbd2_get_write_access(&mut self, journal: Obj, bh: Obj) {
+        let txn = match self.journals[&journal].running {
+            Some(t) => t,
+            None => self.jbd2_start(journal),
+        };
+        let jh = match self.bh_jh.get(&bh) {
+            Some(&jh) => jh,
+            None => {
+                let jh = self
+                    .k
+                    .in_fn("jbd2_journal_add_journal_head", F_JOURNAL, |k| {
+                        let jh = k.alloc("journal_head", None);
+                        // Init context (filtered).
+                        k.write(jh, "b_bh", 2501);
+                        k.write(jh, "b_jcount", 2502);
+                        jh
+                    });
+                self.bh_jh.insert(bh, jh);
+                jh
+            }
+        };
+        self.k.in_fn("do_get_write_access", F_TXN, |k| {
+            k.lock(Lock::Of(journal, "j_list_lock"), 901);
+            k.write(jh, "b_transaction", 902);
+            k.write(jh, "b_jlist", 903);
+            k.write(jh, "b_tnext", 904);
+            k.write(jh, "b_tprev", 905);
+            k.rmw(jh, "b_jcount", 906);
+            k.rmw(txn, "t_buffers", 907);
+            k.rmw(txn, "t_nr_buffers", 908);
+            k.write(jh, "b_frozen_data", 909);
+            k.write(jh, "b_committed_data", 910);
+            k.write(jh, "b_bitmap", 911);
+            k.rmw(txn, "t_reserved_list", 912);
+            k.unlock(Lock::Of(journal, "j_list_lock"), 913);
+            k.write(bh, "b_jh", 914);
+        });
+        if self.k.chance(0.3) {
+            self.jh_lockfree_peek();
+        }
+        if self.k.chance(0.4) {
+            self.k.in_fn("jbd2_journal_dirty_metadata", F_TXN, |k| {
+                k.lock(Lock::Of(journal, "j_list_lock"), 1301);
+                k.read(jh, "b_transaction", 1302);
+                k.read(jh, "b_next_transaction", 1303);
+                k.write(jh, "b_modified", 1304);
+                k.read(jh, "b_triggers", 1305);
+                k.read(jh, "b_jlist", 1306);
+                k.unlock(Lock::Of(journal, "j_list_lock"), 1307);
+            });
+        }
+        let js = self.journals.get_mut(&journal).unwrap();
+        if !js.jh_on_running.contains(&jh) {
+            js.jh_on_running.push(jh);
+        }
+    }
+
+    /// One metadata-journalling step for an ext4 operation: start a handle
+    /// and log `nblocks` buffers.
+    pub fn ext4_journal_op(&mut self, fs: super::FsKind, inode: Obj, nblocks: usize) {
+        let Some(journal) = self.mounts[&fs].journal else {
+            return;
+        };
+        let txn = self.jbd2_start(journal);
+        let _ = txn;
+        for _ in 0..nblocks {
+            let bh = self.bread(fs, inode);
+            self.jbd2_get_write_access(journal, bh);
+        }
+        self.jbd2_stop(journal);
+        // Occasionally the handle path also peeks at the committing
+        // transaction. The caller usually still holds the inode's
+        // `i_rwsem`, so the observed lock context is
+        // `EO(i_rwsem) -> ES(j_state_lock)` — the journal_t example
+        // context of paper Tab. 8 (fs/ext4/inode.c:4685).
+        let _ = inode;
+        if self.k.chance(0.05) {
+            self.k.in_fn("ext4_evict_inode", "fs/ext4/inode.c", |k| {
+                k.lock_shared(Lock::Of(journal, "j_state_lock"), 4684);
+                k.read(journal, "j_committing_transaction", 4685);
+                k.read(journal, "j_commit_sequence", 4686);
+                k.unlock(Lock::Of(journal, "j_state_lock"), 4687);
+            });
+        }
+        if self.k.chance(0.35) {
+            self.journal_status_locked(journal);
+        }
+        if self.k.chance(0.03) {
+            self.journal_status_peek(journal);
+        }
+        if self.journals[&journal].credits >= 6 {
+            self.jbd2_commit(journal);
+        }
+    }
+
+    /// `jbd2_journal_stop()`: drops handle accounting.
+    pub fn jbd2_stop(&mut self, journal: Obj) {
+        let Some(txn) = self.journals[&journal].running else {
+            return;
+        };
+        self.k.in_fn("jbd2_journal_stop", F_TXN, |k| {
+            k.atomic_access(txn, "t_updates", AccessKind::Write, 1701);
+            k.lock(Lock::Of(txn, "t_handle_lock"), 1702);
+            k.rmw(txn, "t_start", 1703);
+            k.read(txn, "t_start_time", 1704);
+            k.rmw(txn, "t_expires", 1705);
+            k.read(txn, "t_tid", 1706);
+            k.read(txn, "t_journal", 1707);
+            k.unlock(Lock::Of(txn, "t_handle_lock"), 1708);
+        });
+    }
+
+    /// `jbd2_journal_commit_transaction()`: moves the running transaction
+    /// through commit, touching the checkpoint lists, then frees it.
+    pub fn jbd2_commit(&mut self, journal: Obj) {
+        let Some(txn) = self.journals[&journal].running else {
+            return;
+        };
+        let jhs: Vec<Obj> = self.journals[&journal].jh_on_running.clone();
+        // Pre-commit scans: pure reads in their own lock regions (the real
+        // commit code repeatedly drops and retakes j_list_lock).
+        self.k
+            .in_fn("jbd2_journal_commit_transaction", F_COMMIT, |k| {
+                k.lock(Lock::Of(txn, "t_handle_lock"), 371);
+                k.read(txn, "t_requested", 372);
+                k.read(txn, "t_max_wait", 373);
+                k.read(txn, "t_start", 374);
+                k.read(txn, "t_expires", 375);
+                k.unlock(Lock::Of(txn, "t_handle_lock"), 376);
+                k.lock(Lock::Of(journal, "j_list_lock"), 381);
+                k.read(txn, "t_nr_buffers", 382);
+                k.read(txn, "t_buffers", 383);
+                k.read(txn, "t_forget", 384);
+                k.read(txn, "t_checkpoint_list", 385);
+                k.read(txn, "t_checkpoint_io_list", 386);
+                k.read(txn, "t_shadow_list", 387);
+                k.read(txn, "t_log_list", 388);
+                k.read(txn, "t_reserved_list", 389);
+                for jh in &jhs {
+                    k.read(*jh, "b_transaction", 390);
+                    k.read(*jh, "b_jlist", 391);
+                    k.read(*jh, "b_tnext", 392);
+                    k.read(*jh, "b_tprev", 393);
+                    k.read(*jh, "b_jcount", 394);
+                    k.read(*jh, "b_modified", 395);
+                    k.read(*jh, "b_frozen_data", 396);
+                    k.read(*jh, "b_committed_data", 397);
+                }
+                k.unlock(Lock::Of(journal, "j_list_lock"), 398);
+                k.lock_shared(Lock::Of(journal, "j_state_lock"), 399);
+                k.read(txn, "t_log_start", 400);
+                k.read(txn, "t_journal", 401);
+                k.unlock(Lock::Of(journal, "j_state_lock"), 402);
+            });
+        self.k
+            .in_fn("jbd2_journal_commit_transaction", F_COMMIT, |k| {
+                // Phase 0: switch running -> committing under write state lock.
+                k.lock(Lock::Of(journal, "j_state_lock"), 401);
+                k.write(txn, "t_state", 402);
+                k.write(journal, "j_committing_transaction", 403);
+                k.write(journal, "j_running_transaction", 404);
+                k.rmw(journal, "j_commit_sequence", 405);
+                k.read(journal, "j_commit_request", 406);
+                k.rmw(journal, "j_head", 407);
+                k.rmw(journal, "j_free", 408);
+                k.unlock(Lock::Of(journal, "j_state_lock"), 409);
+                // Phase 1: file buffers onto the checkpoint lists.
+                k.lock(Lock::Of(journal, "j_list_lock"), 420);
+                for jh in &jhs {
+                    k.write(*jh, "b_transaction", 421);
+                    k.write(*jh, "b_cp_transaction", 422);
+                    k.write(*jh, "b_cpnext", 423);
+                    k.write(*jh, "b_cpprev", 424);
+                    k.write(*jh, "b_jlist", 425);
+                }
+                k.rmw(txn, "t_checkpoint_list", 426);
+                k.rmw(txn, "t_checkpoint_io_list", 427);
+                k.rmw(txn, "t_forget", 428);
+                k.rmw(txn, "t_shadow_list", 429);
+                k.rmw(txn, "t_log_list", 430);
+                k.rmw(txn, "t_nr_buffers", 431);
+                k.write(txn, "t_cpnext", 432);
+                k.write(txn, "t_cpprev", 433);
+                k.rmw(journal, "j_checkpoint_transactions", 434);
+                k.unlock(Lock::Of(journal, "j_list_lock"), 435);
+                // Phase 2: done; update sequences under the state lock.
+                k.lock(Lock::Of(journal, "j_state_lock"), 440);
+                k.write(txn, "t_state", 441);
+                k.write(journal, "j_committing_transaction", 442);
+                k.rmw(journal, "j_tail_sequence", 443);
+                k.rmw(journal, "j_tail", 444);
+                k.rmw(journal, "j_commit_request", 445);
+                k.rmw(journal, "j_barrier_count", 446);
+                k.write(txn, "t_synchronous_commit", 447);
+                k.write(txn, "t_need_data_flush", 448);
+                k.rmw(txn, "t_chp_stats", 449);
+                k.rmw(txn, "t_private_list", 450);
+                k.rmw(journal, "j_average_commit_time", 451);
+                k.write(journal, "j_last_sync_writer", 452);
+                k.write(journal, "j_task", 453);
+                k.read(journal, "j_inode", 454);
+                k.unlock(Lock::Of(journal, "j_state_lock"), 455);
+            });
+        // Checkpoint: detach journal heads and free the transaction.
+        self.k.in_fn("jbd2_log_do_checkpoint", F_CHECKPOINT, |k| {
+            k.lock(Lock::Of(journal, "j_list_lock"), 671);
+            for jh in &jhs {
+                k.read(*jh, "b_cp_transaction", 672);
+                k.read(*jh, "b_cpnext", 673);
+                k.read(*jh, "b_cpprev", 674);
+                k.read(*jh, "b_next_transaction", 675);
+            }
+            k.read(journal, "j_checkpoint_transactions", 676);
+            k.unlock(Lock::Of(journal, "j_list_lock"), 677);
+        });
+        self.k
+            .in_fn("jbd2_journal_destroy_checkpoint", F_CHECKPOINT, |k| {
+                k.lock(Lock::Of(journal, "j_list_lock"), 701);
+                for jh in &jhs {
+                    k.write(*jh, "b_cp_transaction", 702);
+                    k.write(*jh, "b_cpnext", 703);
+                    k.rmw(*jh, "b_jcount", 704);
+                }
+                k.rmw(journal, "j_checkpoint_transactions", 705);
+                k.unlock(Lock::Of(journal, "j_list_lock"), 706);
+            });
+        for jh in &jhs {
+            // Remove the bh -> jh binding and free the journal head.
+            let bh = self.bh_jh.iter().find(|(_, &j)| j == *jh).map(|(&b, _)| b);
+            if let Some(bh) = bh {
+                self.bh_jh.remove(&bh);
+            }
+            self.k
+                .in_fn("jbd2_journal_put_journal_head", F_JOURNAL, |k| k.free(*jh));
+        }
+        self.k
+            .in_fn("jbd2_journal_free_transaction", F_COMMIT, |k| k.free(txn));
+        let js = self.journals.get_mut(&journal).unwrap();
+        js.running = None;
+        js.committing = None;
+        js.jh_on_running.clear();
+        js.credits = 0;
+    }
+
+    /// Lock-free status peek at `j_flags` (sysfs-style reporting): the
+    /// reason a documented `j_flags:r` rule is ambivalent.
+    pub fn journal_status_peek(&mut self, journal: Obj) {
+        self.k.in_fn("jbd2_seq_info_show", F_JOURNAL, |k| {
+            k.read(journal, "j_flags", 961);
+            k.read(journal, "j_commit_sequence", 962);
+            k.read(journal, "j_average_commit_time", 963);
+            k.read(journal, "j_head", 964);
+            k.read(journal, "j_free", 965);
+        });
+    }
+
+    /// `jbd2_journal_update_sb_log_tail()`: superblock writes serialized by
+    /// the barrier mutex.
+    pub fn journal_update_sb(&mut self, journal: Obj) {
+        self.k
+            .in_fn("jbd2_journal_update_sb_log_tail", F_JOURNAL, |k| {
+                k.lock(Lock::Of(journal, "j_barrier"), 1361);
+                k.rmw(journal, "j_superblock", 1362);
+                k.read(journal, "j_sb_buffer", 1363);
+                k.rmw(journal, "j_barrier_count", 1364);
+                k.unlock(Lock::Of(journal, "j_barrier"), 1365);
+            });
+        self.tick();
+    }
+
+    /// Lock-free journal-head peek (`jbd2_journal_grab_journal_head`):
+    /// keeps the documented `b_transaction:r` rule ambivalent, as the real
+    /// code inspects the pointer before taking any list lock.
+    pub fn jh_lockfree_peek(&mut self) {
+        let Some((&_bh, &jh)) = self.bh_jh.iter().next() else {
+            return;
+        };
+        self.k
+            .in_fn("jbd2_journal_grab_journal_head", F_JOURNAL, |k| {
+                if k.is_live(jh) {
+                    k.read(jh, "b_transaction", 2531);
+                    k.read(jh, "b_jcount", 2532);
+                    k.read(jh, "b_jlist", 2533);
+                }
+            });
+    }
+
+    /// Locked status read (`jbd2_journal_flush` style).
+    pub fn journal_status_locked(&mut self, journal: Obj) {
+        self.k.in_fn("jbd2_journal_flush", F_JOURNAL, |k| {
+            k.lock(Lock::Of(journal, "j_state_lock"), 2201);
+            k.read(journal, "j_flags", 2202);
+            k.read(journal, "j_running_transaction", 2203);
+            k.read(journal, "j_committing_transaction", 2204);
+            k.read(journal, "j_checkpoint_transactions", 2205);
+            k.rmw(journal, "j_flags", 2206);
+            k.rmw(journal, "j_errno", 2207);
+            k.read(journal, "j_transaction_sequence", 2208);
+            k.read(journal, "j_tail_sequence", 2209);
+            k.read(journal, "j_commit_request", 2210);
+            k.read(journal, "j_head", 2211);
+            k.read(journal, "j_tail", 2212);
+            k.read(journal, "j_free", 2213);
+            k.read(journal, "j_barrier_count", 2214);
+            k.unlock(Lock::Of(journal, "j_state_lock"), 2215);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::FsKind;
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn journal_op_creates_and_commits_transactions() {
+        let mut m = Machine::boot(SimConfig::with_seed(21).without_irqs());
+        let inode = m.iget(FsKind::Ext4);
+        for _ in 0..10 {
+            m.ext4_journal_op(FsKind::Ext4, inode, 2);
+        }
+        let journal = m.mounts[&FsKind::Ext4].journal.unwrap();
+        // Credits never exceed the commit threshold.
+        assert!(m.journals[&journal].credits < 6 + 2);
+    }
+
+    #[test]
+    fn non_journalled_fs_skips_jbd2() {
+        let mut m = Machine::boot(SimConfig::with_seed(21).without_irqs());
+        let inode = m.iget(FsKind::Tmpfs);
+        let before = m.k.trace().len();
+        m.ext4_journal_op(FsKind::Tmpfs, inode, 2);
+        assert_eq!(m.k.trace().len(), before);
+    }
+}

@@ -1,0 +1,161 @@
+//! Pipes (`struct pipe_inode_info`) on the `pipefs` pseudo filesystem.
+//!
+//! Discipline (Linux 4.10 `fs/pipe.c`): the pipe `mutex` protects the ring
+//! state (`nrbufs`, `curbuf`, `bufs`, `tmp_page`), the reader/writer
+//! accounting (`readers`, `writers`, `files`, `waiting_writers`,
+//! `r_counter`, `w_counter`); the union pointer `inode->i_pipe` is managed
+//! under the inode's `i_lock`. The `pipe_poll` fast path reads ring state
+//! without the mutex — a small, deliberate deviation feeding Tab. 7.
+
+use super::{FsKind, Machine};
+use crate::kernel::{Lock, Obj};
+
+const F_PIPE: &str = "fs/pipe.c";
+
+impl Machine {
+    /// `create_pipe_files()`: a pipefs inode plus its pipe buffer object.
+    pub fn pipe_create(&mut self) -> (Obj, Obj) {
+        let inode = self.iget(FsKind::Pipefs);
+        let pipe = self.k.in_fn("alloc_pipe_info", F_PIPE, |k| {
+            let p = k.alloc("pipe_inode_info", None);
+            // Init context (filtered).
+            for (member, line) in [
+                ("buffers", 641),
+                ("bufs", 642),
+                ("user", 643),
+                ("readers", 644),
+                ("writers", 645),
+                ("files", 646),
+                ("r_counter", 647),
+                ("w_counter", 648),
+            ] {
+                k.write(p, member, line);
+            }
+            p
+        });
+        self.k.in_fn("fifo_open", F_PIPE, |k| {
+            k.lock(Lock::Of(inode, "i_lock"), 901);
+            k.write(inode, "i_pipe", 902);
+            k.unlock(Lock::Of(inode, "i_lock"), 903);
+            k.lock(Lock::Of(pipe, "mutex"), 911);
+            k.rmw(pipe, "readers", 912);
+            k.rmw(pipe, "writers", 913);
+            k.rmw(pipe, "files", 914);
+            k.rmw(pipe, "r_counter", 915);
+            k.rmw(pipe, "w_counter", 916);
+            k.unlock(Lock::Of(pipe, "mutex"), 917);
+        });
+        self.inodes.get_mut(&inode).unwrap().pipe = Some(pipe);
+        self.pipes.push(pipe);
+        self.tick();
+        (inode, pipe)
+    }
+
+    /// `pipe_write()`.
+    pub fn pipe_write(&mut self, pipe: Obj) {
+        self.k.in_fn("pipe_write", F_PIPE, |k| {
+            k.lock(Lock::Of(pipe, "mutex"), 411);
+            k.read(pipe, "readers", 412);
+            k.read(pipe, "buffers", 413);
+            k.rmw(pipe, "nrbufs", 414);
+            k.rmw(pipe, "curbuf", 415);
+            k.write(pipe, "bufs", 416);
+            k.rmw(pipe, "waiting_writers", 417);
+            k.write(pipe, "tmp_page", 418);
+            k.unlock(Lock::Of(pipe, "mutex"), 419);
+        });
+        self.tick();
+    }
+
+    /// `pipe_read()`.
+    pub fn pipe_read(&mut self, pipe: Obj) {
+        if self.k.chance(0.5) {
+            // Emptiness check before blocking: a pure-read critical section.
+            self.k.in_fn("pipe_wait", F_PIPE, |k| {
+                k.lock(Lock::Of(pipe, "mutex"), 121);
+                k.read(pipe, "nrbufs", 122);
+                k.read(pipe, "curbuf", 123);
+                k.read(pipe, "writers", 124);
+                k.unlock(Lock::Of(pipe, "mutex"), 125);
+            });
+        }
+        self.k.in_fn("pipe_read", F_PIPE, |k| {
+            k.lock(Lock::Of(pipe, "mutex"), 301);
+            k.read(pipe, "writers", 302);
+            k.rmw(pipe, "nrbufs", 303);
+            k.rmw(pipe, "curbuf", 304);
+            k.read(pipe, "bufs", 305);
+            k.read(pipe, "waiting_writers", 306);
+            k.unlock(Lock::Of(pipe, "mutex"), 307);
+        });
+        self.tick();
+    }
+
+    /// `pipe_poll()`: the lock-free fast path (deviant, low-frequency).
+    pub fn pipe_poll(&mut self, pipe: Obj) {
+        self.k.in_fn("pipe_poll", F_PIPE, |k| {
+            k.read(pipe, "nrbufs", 521);
+            k.read(pipe, "curbuf", 522);
+            k.read(pipe, "writers", 523);
+        });
+        self.tick();
+    }
+
+    /// `pipe_release()`: detaches and frees when the last user leaves.
+    pub fn pipe_release(&mut self, inode: Obj, pipe: Obj) {
+        self.k.in_fn("pipe_release", F_PIPE, |k| {
+            k.lock(Lock::Of(pipe, "mutex"), 701);
+            k.rmw(pipe, "readers", 702);
+            k.rmw(pipe, "writers", 703);
+            k.rmw(pipe, "files", 704);
+            k.unlock(Lock::Of(pipe, "mutex"), 705);
+        });
+        self.free_pipe_obj(inode, pipe);
+        if self.inodes.contains_key(&inode) {
+            self.inodes.get_mut(&inode).unwrap().pipe = None;
+            self.evict_inode(inode);
+        }
+        self.tick();
+    }
+
+    /// Frees a pipe object attached to an inode (also called from eviction).
+    pub fn free_pipe_obj(&mut self, inode: Obj, pipe: Obj) {
+        if let Some(p) = self.pipes.iter().position(|&o| o == pipe) {
+            self.pipes.remove(p);
+        } else {
+            return; // already freed
+        }
+        self.k.in_fn("free_pipe_info", F_PIPE, |k| {
+            // Teardown context (filtered).
+            k.write(pipe, "bufs", 751);
+            k.write(pipe, "user", 752);
+            if k.is_live(inode) {
+                k.lock(Lock::Of(inode, "i_lock"), 753);
+                k.write(inode, "i_pipe", 754);
+                k.unlock(Lock::Of(inode, "i_lock"), 755);
+            }
+            k.free(pipe);
+        });
+        if let Some(st) = self.inodes.get_mut(&inode) {
+            st.pipe = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn pipe_lifecycle() {
+        let mut m = Machine::boot(SimConfig::with_seed(41).without_irqs());
+        let (inode, pipe) = m.pipe_create();
+        m.pipe_write(pipe);
+        m.pipe_read(pipe);
+        m.pipe_poll(pipe);
+        m.pipe_release(inode, pipe);
+        assert!(!m.pipes.contains(&pipe));
+        assert!(!m.inodes.contains_key(&inode));
+    }
+}

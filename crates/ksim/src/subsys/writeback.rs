@@ -1,0 +1,204 @@
+//! Writeback and interrupt activity: the flusher softirq, the timer
+//! hardirq, and the `sync()` path.
+//!
+//! Discipline:
+//!
+//! * the bdi's `wb.list_lock` protects the writeback lists (`wb.b_dirty`,
+//!   `wb.b_io`, `wb.b_more_io`) and the inodes' `i_io_list`/`dirtied_when`,
+//! * bandwidth statistics (`wb.bw_time_stamp`, `wb.written_stamp`,
+//!   `wb.write_bandwidth`, `wb.avg_write_bandwidth`) are updated under
+//!   `wb.list_lock` from timer context — except for a rare unlocked timer
+//!   path, the source of the `backing_dev_info` violations (paper Tab. 7),
+//! * `sync_filesystem()` holds the superblock's `s_umount` (reader side)
+//!   across the walk and writes `i_data.writeback_index` under it (the
+//!   `EO(s_umount in super_block)` rule of paper Fig. 8).
+
+use super::{FsKind, Machine};
+use crate::kernel::Lock;
+use lockdoc_trace::event::ContextKind;
+
+const F_WRITEBACK: &str = "fs/fs-writeback.c";
+const F_SYNC: &str = "fs/sync.c";
+
+impl Machine {
+    /// The timer hardirq: updates bandwidth statistics of a random bdi.
+    pub fn timer_interrupt(&mut self) {
+        let fss = FsKind::all();
+        let fs = fss[self.k.pick(fss.len())];
+        let bdi = self.mounts[&fs].bdi;
+        let unlocked = self.k.chance(0.06);
+        self.k.in_irq(ContextKind::Hardirq, |k| {
+            k.in_fn("wb_update_bandwidth", F_WRITEBACK, |k| {
+                if unlocked {
+                    // Deviant fast path: statistics without wb.list_lock.
+                    k.write(bdi, "wb.bw_time_stamp", 1471);
+                    k.rmw(bdi, "wb.written_stamp", 1472);
+                    k.rmw(bdi, "wb.write_bandwidth", 1473);
+                    k.rmw(bdi, "wb.avg_write_bandwidth", 1474);
+                } else {
+                    k.lock(Lock::Of(bdi, "wb.list_lock"), 1451);
+                    k.write(bdi, "wb.bw_time_stamp", 1452);
+                    k.rmw(bdi, "wb.written_stamp", 1453);
+                    k.rmw(bdi, "wb.write_bandwidth", 1454);
+                    k.rmw(bdi, "wb.avg_write_bandwidth", 1455);
+                    k.rmw(bdi, "wb.dirtied_stamp", 1456);
+                    k.read(bdi, "wb.dirty_ratelimit", 1457);
+                    k.unlock(Lock::Of(bdi, "wb.list_lock"), 1458);
+                }
+            });
+        });
+    }
+
+    /// The writeback softirq: moves dirty inodes from `b_dirty` to `b_io`
+    /// and cleans them.
+    pub fn writeback_softirq(&mut self) {
+        let fss = FsKind::all();
+        let fs = fss[self.k.pick(fss.len())];
+        let bdi = self.mounts[&fs].bdi;
+        let dirty: Vec<_> = self.mounts[&fs]
+            .inodes
+            .iter()
+            .copied()
+            .filter(|o| self.inodes.get(o).map(|s| s.dirty).unwrap_or(false))
+            .take(3)
+            .collect();
+        self.k.in_irq(ContextKind::Softirq, |k| {
+            k.in_fn("wb_workfn", F_WRITEBACK, |k| {
+                k.lock(Lock::Of(bdi, "wb.list_lock"), 1901);
+                k.rmw(bdi, "wb.b_dirty", 1902);
+                k.rmw(bdi, "wb.b_io", 1903);
+                k.read(bdi, "wb.state", 1904);
+                for inode in &dirty {
+                    k.write(*inode, "i_io_list", 1905);
+                    k.read(*inode, "dirtied_when", 1906);
+                }
+                k.rmw(bdi, "wb.nr_pages_written", 1907);
+                k.unlock(Lock::Of(bdi, "wb.list_lock"), 1908);
+                for inode in &dirty {
+                    k.lock(Lock::Of(*inode, "i_lock"), 1911);
+                    k.rmw(*inode, "i_state", 1912);
+                    k.unlock(Lock::Of(*inode, "i_lock"), 1913);
+                }
+            });
+        });
+        for inode in dirty {
+            if let Some(st) = self.inodes.get_mut(&inode) {
+                st.dirty = false;
+            }
+        }
+    }
+
+    /// `sync_filesystem()`: task context, under the superblock's `s_umount`.
+    pub fn sync_fs(&mut self, fs: FsKind) {
+        let mount = self.mounts[&fs].clone();
+        let dirty: Vec<_> = mount
+            .inodes
+            .iter()
+            .copied()
+            .filter(|o| self.inodes.get(o).map(|s| s.dirty).unwrap_or(false))
+            .take(4)
+            .collect();
+        self.k.in_fn("sync_filesystem", F_SYNC, |k| {
+            k.lock_shared(Lock::Of(mount.sb, "s_umount"), 61);
+            k.read(mount.sb, "s_flags", 62);
+            k.read(mount.sb, "s_root", 63);
+            k.read(mount.sb, "s_op", 64);
+            for inode in &dirty {
+                k.lock(Lock::Of(*inode, "i_lock"), 71);
+                k.read(*inode, "i_state", 72);
+                k.rmw(*inode, "i_state", 73);
+                k.unlock(Lock::Of(*inode, "i_lock"), 74);
+                k.write(*inode, "i_data.writeback_index", 75);
+                k.read(*inode, "i_data.nrpages", 76);
+            }
+            k.unlock(Lock::Of(mount.sb, "s_umount"), 81);
+        });
+        if let Some(journal) = mount.journal {
+            self.k.in_fn("ext4_sync_fs", "fs/ext4/super.c", |k| {
+                k.read(mount.sb, "s_fs_info", 4821);
+            });
+            self.jbd2_commit(journal);
+            self.journal_status_locked(journal);
+        }
+        for inode in dirty {
+            if let Some(st) = self.inodes.get_mut(&inode) {
+                st.dirty = false;
+            }
+        }
+        self.tick();
+    }
+
+    /// Superblock statistics walk (`statfs` style): reads under `s_umount`,
+    /// `s_count` bookkeeping under the global `sb_lock`.
+    pub fn statfs(&mut self, fs: FsKind) {
+        let sb = self.mounts[&fs].sb;
+        if fs.journalled() {
+            self.k.in_fn("ext4_statfs", "fs/ext4/super.c", |k| {
+                k.read(sb, "s_blocksize", 5341);
+            });
+        }
+        self.k.in_fn("user_statfs", F_SYNC, |k| {
+            k.lock(Lock::Global("sb_lock"), 201);
+            k.rmw(sb, "s_count", 202);
+            k.unlock(Lock::Global("sb_lock"), 203);
+            k.lock_shared(Lock::Of(sb, "s_umount"), 211);
+            k.read(sb, "s_blocksize", 212);
+            k.read(sb, "s_maxbytes", 213);
+            k.read(sb, "s_magic", 214);
+            k.read(sb, "s_flags", 215);
+            k.read(sb, "s_dev", 216);
+            k.unlock(Lock::Of(sb, "s_umount"), 217);
+            k.lock(Lock::Global("sb_lock"), 221);
+            k.rmw(sb, "s_count", 222);
+            k.unlock(Lock::Global("sb_lock"), 223);
+        });
+        self.tick();
+    }
+
+    /// Remount read-only: exclusive `s_umount` writes.
+    pub fn remount(&mut self, fs: FsKind) {
+        let sb = self.mounts[&fs].sb;
+        self.k.in_fn("do_remount_sb", "fs/super.c", |k| {
+            k.lock(Lock::Of(sb, "s_umount"), 841);
+            k.rmw(sb, "s_flags", 842);
+            k.write(sb, "s_readonly_remount", 843);
+            k.rmw(sb, "s_iflags", 844);
+            k.read(sb, "s_root", 845);
+            k.unlock(Lock::Of(sb, "s_umount"), 846);
+        });
+        self.tick();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn sync_cleans_dirty_inodes() {
+        let mut m = Machine::boot(SimConfig::with_seed(61).without_irqs());
+        let root = m.mounts[&FsKind::Ext4].root;
+        let dir = m.dentries[&root].inode.unwrap();
+        let f = m.create_file(FsKind::Ext4, dir);
+        m.write_file(FsKind::Ext4, f);
+        assert!(m.inodes[&f].dirty);
+        m.sync_fs(FsKind::Ext4);
+        assert!(!m.inodes[&f].dirty);
+    }
+
+    #[test]
+    fn irq_paths_run_in_irq_context() {
+        let mut m = Machine::boot(SimConfig::with_seed(61).without_irqs());
+        m.timer_interrupt();
+        m.writeback_softirq();
+        let trace = m.finish();
+        use lockdoc_trace::event::Event;
+        let enters = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::ContextEnter { .. }))
+            .count();
+        assert_eq!(enters, 2);
+    }
+}

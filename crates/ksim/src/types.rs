@@ -1,0 +1,709 @@
+//! Layouts of the 11 traced data types (paper Tab. 6), modelled on their
+//! Linux 4.10 counterparts.
+//!
+//! Member counts per type match the paper's Tab. 6 `#M` column (65 for
+//! `inode`, 21 for `dentry`, …), and the blacklisted/filtered member counts
+//! match its `#Bl` column (locks embedded in the structure and members we
+//! declare out of scope). Union compounds (`i_pipe`/`i_bdev`/`i_cdev`) and
+//! nested structures (`i_data.*`, `wb.*`) are "unrolled" into distinct
+//! members, as the paper does in Sec. 7.1.
+
+use lockdoc_trace::event::{DataTypeDef, LockFlavor, MemberDef};
+
+/// How a member participates in tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberKind {
+    /// Ordinary data member.
+    Plain,
+    /// `atomic_t`-style member; accesses bypass locking and are filtered.
+    Atomic,
+    /// A lock variable embedded in the structure.
+    Lock(LockFlavor),
+    /// In scope of the layout but explicitly blacklisted (out-of-scope
+    /// nested state such as wait queues).
+    Skip,
+}
+
+/// Declarative member description.
+#[derive(Debug, Clone, Copy)]
+pub struct MemberSpec {
+    /// Member name (dots mark unrolled nested/union members).
+    pub name: &'static str,
+    /// Size in bytes.
+    pub size: u32,
+    /// Participation kind.
+    pub kind: MemberKind,
+}
+
+/// Declarative type description.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeSpec {
+    /// Type name as in the kernel (`inode`, `journal_t`, …).
+    pub name: &'static str,
+    /// Members in declaration order.
+    pub members: &'static [MemberSpec],
+}
+
+const fn m(name: &'static str, size: u32) -> MemberSpec {
+    MemberSpec {
+        name,
+        size,
+        kind: MemberKind::Plain,
+    }
+}
+
+const fn atomic(name: &'static str, size: u32) -> MemberSpec {
+    MemberSpec {
+        name,
+        size,
+        kind: MemberKind::Atomic,
+    }
+}
+
+const fn lock(name: &'static str, size: u32, flavor: LockFlavor) -> MemberSpec {
+    MemberSpec {
+        name,
+        size,
+        kind: MemberKind::Lock(flavor),
+    }
+}
+
+const fn skip(name: &'static str, size: u32) -> MemberSpec {
+    MemberSpec {
+        name,
+        size,
+        kind: MemberKind::Skip,
+    }
+}
+
+/// `struct inode` (fs.h): 65 members, 5 blacklisted (`i_lock` and
+/// `i_rwsem` embedded locks plus three out-of-scope nested structures);
+/// `i_count`, `i_dio_count`, `i_writecount` are atomics filtered by the
+/// atomic rule rather than the blacklist.
+pub const INODE: TypeSpec = TypeSpec {
+    name: "inode",
+    members: &[
+        m("i_mode", 2),
+        m("i_opflags", 2),
+        m("i_uid", 4),
+        m("i_gid", 4),
+        m("i_flags", 4),
+        m("i_acl", 8),
+        m("i_default_acl", 8),
+        m("i_op", 8),
+        m("i_sb", 8),
+        m("i_mapping", 8),
+        skip("i_security", 8),
+        m("i_ino", 8),
+        m("i_nlink", 4),
+        m("i_rdev", 4),
+        m("i_size", 8),
+        m("i_atime", 8),
+        m("i_mtime", 8),
+        m("i_ctime", 8),
+        lock("i_lock", 4, LockFlavor::Spinlock),
+        m("i_bytes", 2),
+        m("i_blkbits", 1),
+        m("i_size_seqcount", 4),
+        m("i_blocks", 8),
+        m("i_state", 8),
+        lock("i_rwsem", 8, LockFlavor::RwSemaphore),
+        m("dirtied_when", 8),
+        m("dirtied_time_when", 8),
+        m("i_hash", 16),
+        m("i_io_list", 16),
+        m("i_wb", 8),
+        m("i_wb_frn_winner", 2),
+        m("i_wb_frn_avg_time", 2),
+        m("i_wb_frn_history", 2),
+        m("i_lru", 16),
+        m("i_sb_list", 16),
+        m("i_wb_list", 16),
+        m("i_version", 8),
+        atomic("i_count", 4),
+        atomic("i_dio_count", 4),
+        atomic("i_writecount", 4),
+        m("i_fop", 8),
+        m("i_flctx", 8),
+        skip("i_devices", 16),
+        m("i_pipe", 8),
+        m("i_bdev", 8),
+        m("i_cdev", 8),
+        m("i_link", 8),
+        m("i_dir_seq", 4),
+        m("i_generation", 4),
+        m("i_fsnotify_mask", 4),
+        skip("i_fsnotify_marks", 8),
+        m("i_private", 8),
+        m("i_data.host", 8),
+        m("i_data.page_tree", 8),
+        m("i_data.i_mmap", 8),
+        m("i_data.nrpages", 8),
+        m("i_data.nrexceptional", 8),
+        m("i_data.writeback_index", 8),
+        m("i_data.a_ops", 8),
+        m("i_data.flags", 8),
+        m("i_data.gfp_mask", 4),
+        m("i_data.private_list", 16),
+        m("i_data.private_data", 8),
+        m("i_data.wb_err", 4),
+        m("i_data.private", 8),
+    ],
+};
+
+/// `struct dentry` (dcache.h): 21 members, 1 blacklisted (`d_lock`).
+pub const DENTRY: TypeSpec = TypeSpec {
+    name: "dentry",
+    members: &[
+        m("d_flags", 4),
+        m("d_seq", 4),
+        m("d_hash", 16),
+        m("d_parent", 8),
+        m("d_name_hash", 4),
+        m("d_name_len", 4),
+        m("d_name", 8),
+        m("d_inode", 8),
+        m("d_iname", 40),
+        m("d_lockref_count", 4),
+        lock("d_lock", 4, LockFlavor::Spinlock),
+        m("d_op", 8),
+        m("d_sb", 8),
+        m("d_time", 8),
+        m("d_fsdata", 8),
+        m("d_lru", 16),
+        m("d_child", 16),
+        m("d_subdirs", 16),
+        m("d_alias", 16),
+        m("d_rcu", 16),
+        m("d_wait", 8),
+    ],
+};
+
+/// `struct super_block` (fs.h): 56 members, 3 blacklisted
+/// (`s_umount`, `s_vfs_rename_mutex`, `s_inode_list_lock`).
+pub const SUPER_BLOCK: TypeSpec = TypeSpec {
+    name: "super_block",
+    members: &[
+        m("s_list", 16),
+        m("s_dev", 4),
+        m("s_blocksize_bits", 1),
+        m("s_blocksize", 8),
+        m("s_maxbytes", 8),
+        m("s_type", 8),
+        m("s_op", 8),
+        m("dq_op", 8),
+        m("s_qcop", 8),
+        m("s_export_op", 8),
+        m("s_flags", 8),
+        m("s_iflags", 8),
+        m("s_magic", 8),
+        m("s_root", 8),
+        lock("s_umount", 8, LockFlavor::RwSemaphore),
+        atomic("s_active", 4),
+        m("s_security", 8),
+        m("s_xattr", 8),
+        m("s_roots", 16),
+        m("s_mounts", 16),
+        m("s_bdev", 8),
+        m("s_bdi", 8),
+        m("s_mtd", 8),
+        m("s_instances", 16),
+        m("s_quota_types", 4),
+        m("s_dquot", 8),
+        m("s_writers", 8),
+        m("s_id", 32),
+        m("s_uuid", 16),
+        m("s_fs_info", 8),
+        m("s_max_links", 4),
+        m("s_mode", 4),
+        m("s_time_gran", 4),
+        lock("s_vfs_rename_mutex", 8, LockFlavor::Mutex),
+        m("s_subtype", 8),
+        m("s_options", 8),
+        m("s_d_op", 8),
+        m("cleancache_poolid", 4),
+        m("s_shrink", 8),
+        m("s_remove_count", 4),
+        m("s_readonly_remount", 4),
+        m("s_dio_done_wq", 8),
+        m("s_pins", 16),
+        m("s_user_ns", 8),
+        m("s_dentry_lru", 16),
+        m("s_nr_dentry_unused", 8),
+        m("s_inode_lru", 16),
+        m("s_nr_inodes_unused", 8),
+        lock("s_inode_list_lock", 4, LockFlavor::Spinlock),
+        m("s_inodes", 16),
+        m("s_inodes_wb_lock", 4),
+        m("s_inodes_wb", 16),
+        m("s_stack_depth", 4),
+        m("s_count", 4),
+        m("s_fsnotify_mask", 4),
+        m("s_fsnotify_marks", 8),
+    ],
+};
+
+/// JBD2 `journal_t` (jbd2.h): 58 members, 11 blacklisted (5 embedded
+/// locks plus 6 out-of-scope members: the wait queues and the commit
+/// history); `j_reserved_credits` is atomic and filtered separately.
+pub const JOURNAL_T: TypeSpec = TypeSpec {
+    name: "journal_t",
+    members: &[
+        m("j_flags", 8),
+        m("j_errno", 4),
+        m("j_sb_buffer", 8),
+        m("j_superblock", 8),
+        m("j_format_version", 4),
+        lock("j_state_lock", 4, LockFlavor::Rwlock),
+        m("j_barrier_count", 4),
+        lock("j_barrier", 8, LockFlavor::Mutex),
+        m("j_running_transaction", 8),
+        m("j_committing_transaction", 8),
+        m("j_checkpoint_transactions", 8),
+        skip("j_wait_transaction_locked", 8),
+        skip("j_wait_done_commit", 8),
+        skip("j_wait_commit", 8),
+        skip("j_wait_updates", 8),
+        skip("j_wait_reserved", 8),
+        lock("j_checkpoint_mutex", 8, LockFlavor::Mutex),
+        m("j_head", 8),
+        m("j_tail", 8),
+        m("j_free", 8),
+        m("j_first", 8),
+        m("j_last", 8),
+        m("j_dev", 8),
+        m("j_blocksize", 4),
+        m("j_blk_offset", 8),
+        m("j_devname", 32),
+        m("j_fs_dev", 8),
+        m("j_maxlen", 4),
+        lock("j_revoke_lock", 4, LockFlavor::Spinlock),
+        m("j_inode", 8),
+        m("j_tail_sequence", 4),
+        m("j_transaction_sequence", 4),
+        m("j_commit_sequence", 4),
+        m("j_commit_request", 4),
+        m("j_uuid", 16),
+        m("j_task", 8),
+        m("j_max_transaction_buffers", 4),
+        m("j_commit_interval", 8),
+        m("j_commit_timer", 8),
+        lock("j_list_lock", 4, LockFlavor::Spinlock),
+        m("j_revoke", 8),
+        m("j_revoke_table", 16),
+        m("j_wbuf", 8),
+        m("j_wbufsize", 4),
+        m("j_last_sync_writer", 4),
+        m("j_average_commit_time", 8),
+        m("j_min_batch_time", 4),
+        m("j_max_batch_time", 4),
+        m("j_commit_callback", 8),
+        m("j_failed_commit", 4),
+        m("j_chksum_driver", 8),
+        m("j_csum_seed", 4),
+        atomic("j_reserved_credits", 4),
+        m("j_private", 8),
+        skip("j_history", 8),
+        m("j_history_max", 4),
+        m("j_history_cur", 4),
+        m("j_chkpt_bhs", 8),
+    ],
+};
+
+/// JBD2 `transaction_t` (jbd2.h): 27 members, 1 blacklisted
+/// (`t_handle_lock`). `t_updates`, `t_outstanding_credits` and
+/// `t_handle_count` are `atomic_t` — the members the paper found to have
+/// stale locking documentation (Sec. 7.3).
+pub const TRANSACTION_T: TypeSpec = TypeSpec {
+    name: "transaction_t",
+    members: &[
+        m("t_journal", 8),
+        m("t_tid", 4),
+        m("t_state", 4),
+        m("t_log_start", 8),
+        m("t_nr_buffers", 4),
+        m("t_reserved_list", 8),
+        m("t_buffers", 8),
+        m("t_forget", 8),
+        m("t_checkpoint_list", 8),
+        m("t_checkpoint_io_list", 8),
+        m("t_shadow_list", 8),
+        m("t_log_list", 8),
+        lock("t_handle_lock", 4, LockFlavor::Spinlock),
+        atomic("t_updates", 4),
+        atomic("t_outstanding_credits", 4),
+        atomic("t_handle_count", 4),
+        m("t_expires", 8),
+        m("t_start_time", 8),
+        m("t_start", 8),
+        m("t_requested", 8),
+        m("t_max_wait", 8),
+        m("t_synchronous_commit", 4),
+        m("t_need_data_flush", 4),
+        m("t_chp_stats", 32),
+        m("t_cpnext", 8),
+        m("t_cpprev", 8),
+        m("t_private_list", 16),
+    ],
+};
+
+/// JBD2 `journal_head` (journal-head.h): 15 members, none blacklisted.
+pub const JOURNAL_HEAD: TypeSpec = TypeSpec {
+    name: "journal_head",
+    members: &[
+        m("b_bh", 8),
+        m("b_jcount", 4),
+        m("b_jlist", 4),
+        m("b_modified", 4),
+        m("b_frozen_data", 8),
+        m("b_committed_data", 8),
+        m("b_transaction", 8),
+        m("b_next_transaction", 8),
+        m("b_tnext", 8),
+        m("b_tprev", 8),
+        m("b_cp_transaction", 8),
+        m("b_cpnext", 8),
+        m("b_cpprev", 8),
+        m("b_bitmap", 4),
+        m("b_triggers", 8),
+    ],
+};
+
+/// `struct buffer_head` (buffer_head.h): 13 members, none blacklisted
+/// (`b_count` is atomic and filtered by the atomic rule).
+pub const BUFFER_HEAD: TypeSpec = TypeSpec {
+    name: "buffer_head",
+    members: &[
+        m("b_state", 8),
+        m("b_this_page", 8),
+        m("b_page", 8),
+        m("b_blocknr", 8),
+        m("b_size", 8),
+        m("b_data", 8),
+        m("b_bdev", 8),
+        m("b_end_io", 8),
+        m("b_private", 8),
+        m("b_assoc_buffers", 16),
+        m("b_assoc_map", 8),
+        atomic("b_count", 4),
+        m("b_jh", 8),
+    ],
+};
+
+/// `struct block_device` (fs.h): 21 members, 2 blacklisted
+/// (`bd_mutex`, `bd_fsfreeze_mutex`).
+pub const BLOCK_DEVICE: TypeSpec = TypeSpec {
+    name: "block_device",
+    members: &[
+        m("bd_dev", 4),
+        m("bd_openers", 4),
+        m("bd_inode", 8),
+        m("bd_super", 8),
+        lock("bd_mutex", 8, LockFlavor::Mutex),
+        m("bd_claiming", 8),
+        m("bd_holder", 8),
+        m("bd_holders", 4),
+        m("bd_write_holder", 1),
+        m("bd_holder_disks", 16),
+        m("bd_contains", 8),
+        m("bd_block_size", 4),
+        m("bd_part", 8),
+        m("bd_part_count", 4),
+        m("bd_invalidated", 4),
+        m("bd_disk", 8),
+        m("bd_queue", 8),
+        m("bd_bdi", 8),
+        m("bd_list", 16),
+        m("bd_fsfreeze_count", 4),
+        lock("bd_fsfreeze_mutex", 8, LockFlavor::Mutex),
+    ],
+};
+
+/// `struct backing_dev_info` (backing-dev-defs.h) with the embedded
+/// `bdi_writeback wb` unrolled: 43 members, 2 blacklisted
+/// (`wb.list_lock`, `wb.work_lock`).
+pub const BACKING_DEV_INFO: TypeSpec = TypeSpec {
+    name: "backing_dev_info",
+    members: &[
+        m("bdi_list", 16),
+        m("ra_pages", 8),
+        m("io_pages", 8),
+        m("capabilities", 4),
+        m("congested_fn", 8),
+        m("congested_data", 8),
+        m("name", 8),
+        m("min_ratio", 4),
+        m("max_ratio", 4),
+        m("max_prop_frac", 4),
+        m("dev", 8),
+        m("owner", 8),
+        m("wb_congested", 8),
+        m("wb.state", 8),
+        m("wb.last_old_flush", 8),
+        m("wb.b_dirty", 16),
+        m("wb.b_io", 16),
+        m("wb.b_more_io", 16),
+        m("wb.b_dirty_time", 16),
+        lock("wb.list_lock", 4, LockFlavor::Spinlock),
+        m("wb.nr_pages_written", 8),
+        m("wb.congested", 8),
+        m("wb.bw_time_stamp", 8),
+        m("wb.dirtied_stamp", 8),
+        m("wb.written_stamp", 8),
+        m("wb.write_bandwidth", 8),
+        m("wb.avg_write_bandwidth", 8),
+        m("wb.dirty_ratelimit", 8),
+        m("wb.balanced_dirty_ratelimit", 8),
+        m("wb.completions", 8),
+        m("wb.dirty_exceeded", 4),
+        m("wb.start_all_reason", 4),
+        lock("wb.work_lock", 4, LockFlavor::Spinlock),
+        m("wb.work_list", 16),
+        m("wb.dwork", 8),
+        m("wb.bdi", 8),
+        atomic("wb.refcnt", 4),
+        m("wb.blkcg_css", 8),
+        m("wb.memcg_css", 8),
+        m("wb_wait", 8),
+        m("wb_lock_holder", 8),
+        m("fprop_globals", 8),
+        m("dirty_sleep", 8),
+    ],
+};
+
+/// `struct cdev` (cdev.h): 6 members, none blacklisted.
+pub const CDEV: TypeSpec = TypeSpec {
+    name: "cdev",
+    members: &[
+        m("kobj", 8),
+        m("owner", 8),
+        m("ops", 8),
+        m("list", 16),
+        m("dev", 4),
+        m("count", 4),
+    ],
+};
+
+/// `struct pipe_inode_info` (pipe_fs_i.h): 16 members, 1 blacklisted
+/// (the pipe `mutex`).
+pub const PIPE_INODE_INFO: TypeSpec = TypeSpec {
+    name: "pipe_inode_info",
+    members: &[
+        lock("mutex", 8, LockFlavor::Mutex),
+        m("wait", 8),
+        m("nrbufs", 4),
+        m("curbuf", 4),
+        m("buffers", 4),
+        m("readers", 4),
+        m("writers", 4),
+        m("files", 4),
+        m("waiting_writers", 4),
+        m("r_counter", 4),
+        m("w_counter", 4),
+        m("tmp_page", 8),
+        m("fasync_readers", 8),
+        m("fasync_writers", 8),
+        m("bufs", 8),
+        m("user", 8),
+    ],
+};
+
+/// All traced type specs, in a fixed registration order.
+pub const ALL_TYPES: &[&TypeSpec] = &[
+    &INODE,
+    &DENTRY,
+    &SUPER_BLOCK,
+    &JOURNAL_T,
+    &TRANSACTION_T,
+    &JOURNAL_HEAD,
+    &BUFFER_HEAD,
+    &BLOCK_DEVICE,
+    &BACKING_DEV_INFO,
+    &CDEV,
+    &PIPE_INODE_INFO,
+];
+
+/// The inode subclasses (backing filesystems) the workloads exercise,
+/// matching the paper's Tab. 6 (`inode:ext4`, `inode:proc`, …).
+pub const INODE_SUBCLASSES: &[&str] = &[
+    "anon_inodefs",
+    "bdev",
+    "debugfs",
+    "devtmpfs",
+    "ext4",
+    "pipefs",
+    "proc",
+    "rootfs",
+    "sockfs",
+    "sysfs",
+    "tmpfs",
+];
+
+impl TypeSpec {
+    /// Computes the packed layout: `(member defs, total size)`.
+    ///
+    /// Members are laid out in declaration order, each aligned to
+    /// `min(size, 8)` like a C compiler would.
+    pub fn layout(&self) -> (Vec<MemberDef>, u32) {
+        let mut offset = 0u32;
+        let mut defs = Vec::with_capacity(self.members.len());
+        for spec in self.members {
+            let align = spec.size.clamp(1, 8);
+            offset = offset.div_ceil(align) * align;
+            defs.push(MemberDef {
+                name: spec.name.to_owned(),
+                offset,
+                size: spec.size,
+                atomic: matches!(spec.kind, MemberKind::Atomic),
+                is_lock: matches!(spec.kind, MemberKind::Lock(_)),
+            });
+            offset += spec.size;
+        }
+        let size = offset.div_ceil(8) * 8;
+        (defs, size)
+    }
+
+    /// Converts the spec into a [`DataTypeDef`] for trace metadata.
+    pub fn to_def(&self) -> DataTypeDef {
+        let (members, size) = self.layout();
+        DataTypeDef {
+            name: self.name.to_owned(),
+            size,
+            members,
+        }
+    }
+
+    /// Index, offset and flavor of each embedded lock member.
+    pub fn lock_members(&self) -> Vec<(usize, u32, LockFlavor)> {
+        let (defs, _) = self.layout();
+        self.members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.kind {
+                MemberKind::Lock(fl) => Some((i, defs[i].offset, fl)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Member names flagged [`MemberKind::Skip`] (for the member blacklist).
+    pub fn skip_members(&self) -> Vec<&'static str> {
+        self.members
+            .iter()
+            .filter(|s| s.kind == MemberKind::Skip)
+            .map(|s| s.name)
+            .collect()
+    }
+
+    /// Number of blacklisted/filtered members: embedded locks plus
+    /// explicitly skipped members (paper Tab. 6 column `#Bl`).
+    pub fn blacklisted_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|s| matches!(s.kind, MemberKind::Lock(_) | MemberKind::Skip))
+            .count()
+    }
+
+    /// Looks up a member index by name.
+    pub fn member_index(&self, name: &str) -> Option<usize> {
+        self.members.iter().position(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Member and blacklist counts must match paper Tab. 6.
+    #[test]
+    fn member_counts_match_tab6() {
+        let expect = [
+            ("inode", 65, 2),
+            ("dentry", 21, 1),
+            ("super_block", 56, 3),
+            ("journal_t", 58, 11),
+            ("transaction_t", 27, 1),
+            ("journal_head", 15, 0),
+            ("buffer_head", 13, 0),
+            ("block_device", 21, 2),
+            ("backing_dev_info", 43, 2),
+            ("cdev", 6, 0),
+            ("pipe_inode_info", 16, 1),
+        ];
+        for (name, members, _min_bl) in expect {
+            let spec = ALL_TYPES
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap_or_else(|| panic!("missing type {name}"));
+            assert_eq!(spec.members.len(), members, "member count of {name}");
+        }
+    }
+
+    #[test]
+    fn blacklist_counts_match_tab6() {
+        let expect = [
+            ("backing_dev_info", 2),
+            ("block_device", 2),
+            ("buffer_head", 0),
+            ("cdev", 0),
+            ("dentry", 1),
+            ("inode", 5),
+            ("journal_head", 0),
+            ("journal_t", 11),
+            ("pipe_inode_info", 1),
+            ("super_block", 3),
+            ("transaction_t", 1),
+        ];
+        for (name, bl) in expect {
+            let spec = ALL_TYPES.iter().find(|t| t.name == name).unwrap();
+            assert_eq!(spec.blacklisted_count(), bl, "blacklist count of {name}");
+        }
+    }
+
+    #[test]
+    fn layouts_have_unique_nonoverlapping_members() {
+        for spec in ALL_TYPES {
+            let (defs, size) = spec.layout();
+            let mut names: Vec<&str> = spec.members.iter().map(|s| s.name).collect();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate member in {}", spec.name);
+            for w in defs.windows(2) {
+                assert!(
+                    w[0].offset + w[0].size <= w[1].offset,
+                    "overlap in {}: {} and {}",
+                    spec.name,
+                    w[0].name,
+                    w[1].name
+                );
+            }
+            let last = defs.last().unwrap();
+            assert!(last.offset + last.size <= size);
+        }
+    }
+
+    #[test]
+    fn inode_has_expected_locks() {
+        let locks = INODE.lock_members();
+        assert_eq!(locks.len(), 2);
+        let (defs, _) = INODE.layout();
+        let names: Vec<&str> = locks
+            .iter()
+            .map(|&(i, _, _)| defs[i].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["i_lock", "i_rwsem"]);
+    }
+
+    #[test]
+    fn journal_t_blacklist_is_locks_plus_waitqueues() {
+        assert_eq!(JOURNAL_T.skip_members().len(), 6);
+        assert_eq!(JOURNAL_T.lock_members().len(), 5);
+    }
+
+    #[test]
+    fn member_index_resolves() {
+        assert_eq!(INODE.member_index("i_state"), Some(23));
+        assert_eq!(INODE.member_index("nope"), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! `fs-bench-test2`: create files, change owner/permission, and access
+//! them randomly (after the LTP benchmark).
+
+use super::Workload;
+use crate::subsys::{FsKind, Machine};
+use crate::Obj;
+
+/// Sequential create → chown/chmod → random access phases.
+pub struct FsBench {
+    files: Vec<Obj>,
+    phase: u8,
+}
+
+impl FsBench {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self {
+            files: Vec::new(),
+            phase: 0,
+        }
+    }
+}
+
+impl Default for FsBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for FsBench {
+    fn name(&self) -> &'static str {
+        "fs-bench-test2"
+    }
+
+    fn step(&mut self, m: &mut Machine) {
+        let fs = FsKind::Ext4;
+        let root = m.mounts[&fs].root;
+        let dir = m.dentries[&root].inode.expect("root inode");
+        self.files.retain(|o| m.inodes.contains_key(o));
+        match self.phase {
+            // Phase 0: populate.
+            0 => {
+                let f = m.create_file(fs, dir);
+                self.files.push(f);
+                if self.files.len() >= 8 {
+                    self.phase = 1;
+                }
+            }
+            // Phase 1: chown/chmod sweep.
+            1 => {
+                for f in self.files.clone() {
+                    m.setattr(fs, f);
+                }
+                self.phase = 2;
+            }
+            // Phase 2: random access, then recycle.
+            _ => {
+                if self.files.is_empty() {
+                    self.phase = 0;
+                    return;
+                }
+                let f = self.files[m.k.pick(self.files.len())];
+                if m.k.chance(0.6) {
+                    m.read_file(fs, f);
+                } else {
+                    m.write_file(fs, f);
+                }
+                if m.k.chance(0.15) {
+                    let idx = m.k.pick(self.files.len());
+                    let victim = self.files.swap_remove(idx);
+                    m.unlink_file(fs, dir, victim);
+                }
+                if self.files.len() < 3 {
+                    self.phase = 0;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! `fs_inod`: inode allocation/deallocation churn (after the LTP
+//! benchmark): creates batches of files and removes them again, exercising
+//! the inode hash, LRU and eviction paths.
+
+use super::Workload;
+use crate::subsys::{FsKind, Machine};
+use crate::Obj;
+
+/// Inode churn on ext4 and tmpfs.
+pub struct FsInod {
+    pending: Vec<(FsKind, Obj)>,
+}
+
+impl FsInod {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self {
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Default for FsInod {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for FsInod {
+    fn name(&self) -> &'static str {
+        "fs_inod"
+    }
+
+    fn step(&mut self, m: &mut Machine) {
+        let fs = if m.k.chance(0.6) {
+            FsKind::Ext4
+        } else {
+            FsKind::Tmpfs
+        };
+        let root = m.mounts[&fs].root;
+        let dir = m.dentries[&root].inode.expect("root inode");
+        // Retire stale handles whose inode has been evicted elsewhere.
+        self.pending.retain(|&(_, o)| m.inodes.contains_key(&o));
+        if self.pending.len() < 6 || m.k.chance(0.5) {
+            let inode = m.create_file(fs, dir);
+            m.inode_lru_add(inode);
+            self.pending.push((fs, inode));
+        } else {
+            let idx = m.k.pick(self.pending.len());
+            let (pfs, inode) = self.pending.swap_remove(idx);
+            let proot = m.mounts[&pfs].root;
+            let pdir = m.dentries[&proot].inode.expect("root inode");
+            m.unlink_file(pfs, pdir, inode);
+        }
+    }
+}

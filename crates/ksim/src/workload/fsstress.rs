@@ -1,0 +1,140 @@
+//! `fsstress`: random I/O operations on a directory tree (after the LTP
+//! benchmark of the same name).
+
+use super::Workload;
+use crate::subsys::{FsKind, Machine};
+
+/// Random mixed filesystem operations across all mounted filesystems.
+pub struct FsStress {
+    ops: u64,
+}
+
+impl FsStress {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self { ops: 0 }
+    }
+}
+
+impl Default for FsStress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for FsStress {
+    fn name(&self) -> &'static str {
+        "fsstress"
+    }
+
+    fn step(&mut self, m: &mut Machine) {
+        self.ops += 1;
+        let fss = FsKind::all();
+        let fs = fss[m.k.pick(fss.len())];
+        let root = m.mounts[&fs].root;
+        let dir = m.dentries[&root].inode.expect("root has an inode");
+        match m.k.pick(15) {
+            0 => {
+                if fs.writable() {
+                    let f = m.create_file(fs, dir);
+                    let _ = f;
+                }
+            }
+            1 => {
+                if fs.writable() {
+                    if let Some(inode) = m.random_inode(fs) {
+                        if inode != dir
+                            && m.inodes.get(&inode).map(|s| s.pipe.is_none()) == Some(true)
+                        {
+                            m.unlink_file(fs, dir, inode);
+                        }
+                    }
+                }
+            }
+            2 | 3 => {
+                if fs.writable() {
+                    if let Some(inode) = m.random_inode(fs) {
+                        m.write_file(fs, inode);
+                    }
+                }
+            }
+            4 | 5 => {
+                if let Some(inode) = m.random_inode(fs) {
+                    m.read_file(fs, inode);
+                }
+            }
+            6 => {
+                if let Some(d) = m.random_dentry() {
+                    if m.k.chance(0.7) {
+                        m.lookup_rcu(d);
+                    } else {
+                        m.lookup_ref(d);
+                    }
+                }
+            }
+            7 => {
+                if let Some(inode) = m.random_inode(fs) {
+                    m.getattr(fs, inode);
+                    m.peek_inode_state(inode);
+                    if m.k.chance(0.3) {
+                        m.set_inode_flags(fs, inode);
+                    }
+                }
+            }
+            8 => {
+                m.walk_subdirs(root);
+                if m.k.chance(0.12) {
+                    // The deviant libfs readdir (paper Tab. 8 example).
+                    m.simple_readdir(dir, root);
+                }
+            }
+            9 => {
+                if let Some(inode) = m.random_inode(fs) {
+                    m.inode_state_check_locked(inode);
+                    m.inode_lru_add(inode);
+                }
+            }
+            10 => {
+                m.statfs(fs);
+                if m.k.chance(0.2) {
+                    m.sync_fs(fs);
+                }
+            }
+            11 => {
+                if let Some(journal) = m.mounts[&fs].journal {
+                    m.journal_status_peek(journal);
+                    if m.k.chance(0.5) {
+                        m.journal_status_locked(journal);
+                    }
+                    if m.k.chance(0.3) {
+                        m.journal_update_sb(journal);
+                    }
+                    if m.k.chance(0.2) {
+                        m.jh_lockfree_peek();
+                    }
+                }
+                m.inode_lru_scan();
+            }
+            12 => {
+                if let Some(d) = m.random_dentry() {
+                    m.dentry_rename(d);
+                }
+            }
+            13 => {
+                if let Some(inode) = m.random_inode(fs) {
+                    if m.k.chance(0.5) {
+                        m.truncate_file(fs, inode);
+                    } else {
+                        m.mmap_file(fs, inode);
+                    }
+                }
+            }
+            _ => {
+                if let Some(inode) = m.random_inode(fs) {
+                    m.page_cache_lookup(inode);
+                    m.acl_check(inode);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The benchmark workloads driving the simulated kernel.
+//!
+//! The paper uses a custom mix (Sec. 7.1): LTP's `fs-bench-test2`
+//! (create/chown/chmod/random access), `fsstress` (random I/O ops on a
+//! directory tree), `fs_inod` (inode allocation churn), plus custom pipe,
+//! symlink, and permission tests. Each workload here mirrors one of those,
+//! and [`Mix`] interleaves them across the simulated worker tasks.
+
+pub mod fs_bench;
+pub mod fs_inod;
+pub mod fsstress;
+pub mod perms;
+pub mod pipes;
+pub mod symlinks;
+
+use crate::subsys::Machine;
+
+/// A single workload: performs one operation per step.
+pub trait Workload {
+    /// Name for reporting.
+    fn name(&self) -> &'static str;
+    /// Executes one operation on the machine.
+    fn step(&mut self, m: &mut Machine);
+}
+
+/// A weighted mix of workloads, scheduled round-robin over worker tasks.
+pub struct Mix {
+    entries: Vec<(Box<dyn Workload>, u32)>,
+    total_weight: u32,
+}
+
+impl Mix {
+    /// An empty mix.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            total_weight: 0,
+        }
+    }
+
+    /// Adds a workload with a selection weight.
+    pub fn add(mut self, workload: Box<dyn Workload>, weight: u32) -> Self {
+        assert!(weight > 0);
+        self.total_weight += weight;
+        self.entries.push((workload, weight));
+        self
+    }
+
+    /// Builds a mix from a spec string like
+    /// `fsstress=40,fs_inod=15,pipes=10`. Unknown names or zero weights
+    /// are rejected; omitted workloads are simply absent.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut mix = Self::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (name, weight) = part
+                .split_once('=')
+                .ok_or_else(|| format!("missing `=` in mix entry `{part}`"))?;
+            let weight: u32 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid weight in `{part}`"))?;
+            if weight == 0 {
+                return Err(format!("zero weight in `{part}`"));
+            }
+            let workload: Box<dyn Workload> = match name.trim() {
+                "fsstress" => Box::new(fsstress::FsStress::new()),
+                "fs_inod" => Box::new(fs_inod::FsInod::new()),
+                "fs_bench" => Box::new(fs_bench::FsBench::new()),
+                "pipes" => Box::new(pipes::PipeBench::new()),
+                "symlinks" => Box::new(symlinks::SymlinkBench::new()),
+                "perms" => Box::new(perms::PermsBench::new()),
+                other => return Err(format!("unknown workload `{other}`")),
+            };
+            mix = mix.add(workload, weight);
+        }
+        if mix.entries.is_empty() {
+            return Err("empty workload mix".to_owned());
+        }
+        Ok(mix)
+    }
+
+    /// The paper's benchmark mix.
+    pub fn standard() -> Self {
+        Self::new()
+            .add(Box::new(fsstress::FsStress::new()), 40)
+            .add(Box::new(fs_inod::FsInod::new()), 15)
+            .add(Box::new(fs_bench::FsBench::new()), 20)
+            .add(Box::new(pipes::PipeBench::new()), 10)
+            .add(Box::new(symlinks::SymlinkBench::new()), 7)
+            .add(Box::new(perms::PermsBench::new()), 8)
+    }
+
+    /// Runs `n` operations, switching tasks between operations so the
+    /// trace interleaves control flows like the paper's multi-process
+    /// benchmark run.
+    pub fn run(mut self, m: &mut Machine, n: u64) {
+        for i in 0..n {
+            let task = m.k.pick(m.k.cfg.tasks.max(1));
+            m.k.switch_task(task);
+            let mut draw = m.k.pick(self.total_weight as usize) as u32;
+            let idx = self
+                .entries
+                .iter()
+                .position(|(_, w)| {
+                    if draw < *w {
+                        true
+                    } else {
+                        draw -= w;
+                        false
+                    }
+                })
+                .expect("weights cover the draw");
+            self.entries[idx].0.step(m);
+            m.tick();
+            // Periodic background activity, as the kernel would schedule.
+            if i % 97 == 96 {
+                m.writeback_softirq();
+            }
+            if i % 211 == 210 {
+                m.prune_icache();
+                m.shrink_dcache();
+                m.shrink_buffers();
+            }
+        }
+    }
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn standard_mix_runs_all_workloads() {
+        let mut m = Machine::boot(SimConfig::with_seed(77));
+        Mix::standard().run(&mut m, 400);
+        let cov = &m.k.coverage;
+        // Every workload family leaves its footprint.
+        assert!(cov.hits("vfs_create") > 0, "fsstress/fs_bench create");
+        assert!(cov.hits("pipe_write") > 0, "pipes");
+        assert!(cov.hits("vfs_symlink") > 0, "symlinks");
+        assert!(cov.hits("notify_change") > 0, "perms");
+        assert!(cov.hits("__remove_inode_hash") > 0, "fs_inod churn");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight > 0")]
+    fn zero_weight_is_rejected() {
+        let _ = Mix::new().add(Box::new(fsstress::FsStress::new()), 0);
+    }
+
+    #[test]
+    fn from_spec_parses_and_validates() {
+        assert!(Mix::from_spec("fsstress=40,pipes=10").is_ok());
+        assert!(Mix::from_spec("").is_err());
+        assert!(Mix::from_spec("fsstress").is_err());
+        assert!(Mix::from_spec("fsstress=0").is_err());
+        assert!(Mix::from_spec("quake=3").is_err());
+        assert!(Mix::from_spec("fsstress=x").is_err());
+    }
+
+    #[test]
+    fn custom_mix_runs_only_selected_workloads() {
+        let mut m = Machine::boot(SimConfig::with_seed(99));
+        Mix::from_spec("pipes=1").unwrap().run(&mut m, 120);
+        assert!(m.k.coverage.hits("pipe_write") > 0);
+        assert_eq!(m.k.coverage.hits("vfs_symlink"), 0, "symlinks not in mix");
+    }
+}

@@ -1,0 +1,110 @@
+//! Permission workload: chmod/chown/getattr cycles plus device-node
+//! activity (the paper's custom permission test).
+
+use super::Workload;
+use crate::subsys::{FsKind, Machine};
+use crate::Obj;
+
+/// Attribute churn plus occasional block/char-device traffic.
+pub struct PermsBench {
+    bdev: Option<(Obj, Obj)>,
+}
+
+impl PermsBench {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self { bdev: None }
+    }
+}
+
+impl Default for PermsBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for PermsBench {
+    fn name(&self) -> &'static str {
+        "perms"
+    }
+
+    fn step(&mut self, m: &mut Machine) {
+        match m.k.pick(8) {
+            0..=2 => {
+                let fss = [FsKind::Ext4, FsKind::Tmpfs, FsKind::Devtmpfs];
+                let fs = fss[m.k.pick(fss.len())];
+                if let Some(inode) = m.random_inode(fs) {
+                    m.setattr(fs, inode);
+                    m.getattr(fs, inode);
+                }
+            }
+            3 => {
+                let fs = FsKind::Ext4;
+                if let Some(inode) = m.random_inode(fs) {
+                    m.set_inode_flags(fs, inode);
+                }
+            }
+            4 => {
+                // Pseudo filesystems only support lock-free reads.
+                for fs in [FsKind::Proc, FsKind::Sysfs, FsKind::Sockfs] {
+                    if let Some(inode) = m.random_inode(fs) {
+                        m.getattr(fs, inode);
+                    } else {
+                        let root = m.mounts[&fs].root;
+                        let dir = m.dentries[&root].inode.expect("root inode");
+                        if matches!(fs, FsKind::Proc | FsKind::Sysfs) && m.k.chance(0.6) {
+                            // procfs/sysfs entries appear without data ops.
+                            let f = m.iget(fs);
+                            m.d_instantiate(dir, f);
+                        }
+                    }
+                }
+            }
+            5 => {
+                let (inode, bdev) = match self.bdev {
+                    Some(pair) if m.inodes.contains_key(&pair.0) => pair,
+                    _ => {
+                        let pair = m.bdget();
+                        self.bdev = Some(pair);
+                        pair
+                    }
+                };
+                let _ = inode;
+                m.blkdev_get(bdev);
+                if m.k.chance(0.5) {
+                    m.bd_claim(bdev);
+                }
+                m.blkdev_put(bdev);
+                if m.k.chance(0.1) {
+                    m.freeze_bdev(bdev);
+                }
+                if m.k.chance(0.03) {
+                    m.bdev_openers_peek(bdev);
+                }
+            }
+            6 => {
+                if m.cdevs.is_empty() || m.k.chance(0.1) {
+                    m.register_cdev();
+                }
+                let idx = m.k.pick(m.cdevs.len());
+                let cdev = m.cdevs[idx];
+                m.cdev_lookup(cdev);
+            }
+            _ => {
+                // debugfs / anon inode creation (read-only subclasses).
+                for fs in [FsKind::Debugfs, FsKind::AnonInodefs, FsKind::Bdev] {
+                    if m.k.chance(0.3) {
+                        if m.mounts[&fs].inodes.len() < 6 {
+                            let _ = m.iget(fs);
+                        } else if let Some(inode) = m.random_inode(fs) {
+                            m.getattr(fs, inode);
+                        }
+                    }
+                }
+                if m.k.chance(0.3) {
+                    m.remount(FsKind::Ext4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Pipe workload: create/write/read/poll/close cycles (the paper's custom
+//! pipe test).
+
+use super::Workload;
+use crate::subsys::Machine;
+use crate::Obj;
+
+/// Pipe producer/consumer churn on `pipefs`.
+pub struct PipeBench {
+    open: Vec<(Obj, Obj)>,
+}
+
+impl PipeBench {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self { open: Vec::new() }
+    }
+}
+
+impl Default for PipeBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for PipeBench {
+    fn name(&self) -> &'static str {
+        "pipes"
+    }
+
+    fn step(&mut self, m: &mut Machine) {
+        self.open
+            .retain(|&(inode, _)| m.inodes.contains_key(&inode));
+        if self.open.len() < 3 || m.k.chance(0.25) {
+            self.open.push(m.pipe_create());
+            return;
+        }
+        let idx = m.k.pick(self.open.len());
+        let (inode, pipe) = self.open[idx];
+        match m.k.pick(10) {
+            0..=3 => m.pipe_write(pipe),
+            4..=7 => m.pipe_read(pipe),
+            8 => {
+                if m.k.chance(0.3) {
+                    m.pipe_poll(pipe);
+                } else {
+                    m.pipe_read(pipe);
+                }
+            }
+            _ => {
+                self.open.swap_remove(idx);
+                m.pipe_release(inode, pipe);
+            }
+        }
+    }
+}

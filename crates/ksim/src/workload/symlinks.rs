@@ -1,0 +1,56 @@
+//! Symlink workload: create/read/delete symbolic links (the paper's custom
+//! symlink test).
+
+use super::Workload;
+use crate::subsys::{FsKind, Machine};
+use crate::Obj;
+
+/// Symlink churn on tmpfs and rootfs.
+pub struct SymlinkBench {
+    links: Vec<(FsKind, Obj)>,
+}
+
+impl SymlinkBench {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self { links: Vec::new() }
+    }
+}
+
+impl Default for SymlinkBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for SymlinkBench {
+    fn name(&self) -> &'static str {
+        "symlinks"
+    }
+
+    fn step(&mut self, m: &mut Machine) {
+        self.links.retain(|&(_, o)| m.inodes.contains_key(&o));
+        let fs = if m.k.chance(0.5) {
+            FsKind::Tmpfs
+        } else {
+            FsKind::Rootfs
+        };
+        let root = m.mounts[&fs].root;
+        let dir = m.dentries[&root].inode.expect("root inode");
+        if self.links.len() < 4 || m.k.chance(0.4) {
+            let link = m.create_symlink(fs, dir);
+            self.links.push((fs, link));
+        } else {
+            let idx = m.k.pick(self.links.len());
+            let (lfs, link) = self.links[idx];
+            if m.k.chance(0.7) {
+                m.read_symlink(link);
+            } else {
+                self.links.swap_remove(idx);
+                let lroot = m.mounts[&lfs].root;
+                let ldir = m.dentries[&lroot].inode.expect("root inode");
+                m.unlink_file(lfs, ldir, link);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # locksrc: kernel-source lock-usage scanning (paper Fig. 1 substrate)
+//!
+//! The paper's Fig. 1 plots, for every major Linux release from v3.0 to
+//! v4.18, the number of calls to lock-related initialization functions
+//! (spinlocks, mutexes, RCU) and the total lines of code. We cannot ship
+//! 19 kernel trees, so this crate provides
+//!
+//! * a real, reusable [`scan`] module: a tokenizing scanner that counts
+//!   lock-initializer calls and effective LoC in any C source tree — run
+//!   it on an actual kernel checkout and it produces the real Fig. 1 data;
+//! * a [`corpus`] module that synthesizes C-like source trees per release,
+//!   with growth calibrated to the paper's published statistics (+81 %
+//!   mutexes, +45 % spinlocks, +73 % LoC over the 7-year span), so the
+//!   full pipeline can be exercised offline.
+//!
+//! # Examples
+//!
+//! ```
+//! use locksrc::corpus::CorpusSpec;
+//! use locksrc::scan::scan_source;
+//!
+//! let spec = CorpusSpec::for_release("v3.0").expect("known release");
+//! let tree = spec.generate(42);
+//! let counts = scan_source(&tree.concatenated());
+//! assert!(counts.spinlock_inits > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod scan;
+
+pub use corpus::{CorpusSpec, ReleasePoint, RELEASES};
+pub use scan::{scan_source, LockUsageCounts};

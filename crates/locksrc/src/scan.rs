@@ -1,0 +1,316 @@
+//! A tokenizing scanner counting lock-initializer usage and effective LoC
+//! in C source code.
+//!
+//! This is the measurement tool behind the paper's Fig. 1. It recognizes
+//! both the runtime initializer calls (`spin_lock_init(&lock)`) and the
+//! static definition macros (`DEFINE_SPINLOCK(lock)`), skips comments and
+//! string literals, and counts effective lines of code the way `cloc`
+//! does (non-empty, non-comment lines) — the paper counts LoC with cloc
+//! and initializer *calls in the source code*.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters produced by one scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockUsageCounts {
+    /// `spin_lock_init` + `DEFINE_SPINLOCK` + `__SPIN_LOCK_UNLOCKED`.
+    pub spinlock_inits: u64,
+    /// `mutex_init` + `DEFINE_MUTEX`.
+    pub mutex_inits: u64,
+    /// RCU usage: `rcu_read_lock` call sites (the paper plots RCU usage
+    /// rather than initialization, as RCU has no per-instance init).
+    pub rcu_usages: u64,
+    /// `rwlock_init` + `DEFINE_RWLOCK`.
+    pub rwlock_inits: u64,
+    /// `init_rwsem` + `DECLARE_RWSEM`.
+    pub rwsem_inits: u64,
+    /// `seqlock_init` + `DEFINE_SEQLOCK`.
+    pub seqlock_inits: u64,
+    /// `sema_init` + `DEFINE_SEMAPHORE`.
+    pub semaphore_inits: u64,
+    /// Effective lines of code (non-blank, non-comment).
+    pub loc: u64,
+}
+
+impl LockUsageCounts {
+    /// Sum of all counted lock initializations (excluding RCU usages).
+    pub fn total_inits(&self) -> u64 {
+        self.spinlock_inits
+            + self.mutex_inits
+            + self.rwlock_inits
+            + self.rwsem_inits
+            + self.seqlock_inits
+            + self.semaphore_inits
+    }
+
+    /// Adds another scan's counters (for per-file aggregation).
+    pub fn merge(&mut self, other: &LockUsageCounts) {
+        self.spinlock_inits += other.spinlock_inits;
+        self.mutex_inits += other.mutex_inits;
+        self.rcu_usages += other.rcu_usages;
+        self.rwlock_inits += other.rwlock_inits;
+        self.rwsem_inits += other.rwsem_inits;
+        self.seqlock_inits += other.seqlock_inits;
+        self.semaphore_inits += other.semaphore_inits;
+        self.loc += other.loc;
+    }
+}
+
+/// Identifier patterns counted per category. A hit requires the identifier
+/// to appear as a whole token followed by `(` (macro or function call).
+const SPINLOCK_IDS: &[&str] = &["spin_lock_init", "DEFINE_SPINLOCK", "__SPIN_LOCK_UNLOCKED"];
+const MUTEX_IDS: &[&str] = &["mutex_init", "DEFINE_MUTEX", "__MUTEX_INITIALIZER"];
+const RCU_IDS: &[&str] = &["rcu_read_lock", "rcu_read_lock_bh", "rcu_read_lock_sched"];
+const RWLOCK_IDS: &[&str] = &["rwlock_init", "DEFINE_RWLOCK"];
+const RWSEM_IDS: &[&str] = &["init_rwsem", "DECLARE_RWSEM", "__RWSEM_INITIALIZER"];
+const SEQLOCK_IDS: &[&str] = &["seqlock_init", "DEFINE_SEQLOCK"];
+const SEMAPHORE_IDS: &[&str] = &["sema_init", "DEFINE_SEMAPHORE"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment,
+    StringLit,
+    CharLit,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scans one source text and returns the usage counters.
+///
+/// The scanner is a small state machine over bytes: comments and literals
+/// are skipped exactly (including escapes), identifiers are matched as
+/// whole tokens, and a match only counts when followed (modulo whitespace)
+/// by an opening parenthesis.
+pub fn scan_source(src: &str) -> LockUsageCounts {
+    let bytes = src.as_bytes();
+    let mut counts = LockUsageCounts::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+    let mut line_has_code = false;
+    let mut line_started_in_block_comment = false;
+
+    let match_category = |ident: &str| -> Option<usize> {
+        // Returns the index of the matched category.
+        if SPINLOCK_IDS.contains(&ident) {
+            Some(0)
+        } else if MUTEX_IDS.contains(&ident) {
+            Some(1)
+        } else if RCU_IDS.contains(&ident) {
+            Some(2)
+        } else if RWLOCK_IDS.contains(&ident) {
+            Some(3)
+        } else if RWSEM_IDS.contains(&ident) {
+            Some(4)
+        } else if SEQLOCK_IDS.contains(&ident) {
+            Some(5)
+        } else if SEMAPHORE_IDS.contains(&ident) {
+            Some(6)
+        } else {
+            None
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match state {
+            State::Code => {
+                if c == b'\n' {
+                    if line_has_code {
+                        counts.loc += 1;
+                    }
+                    line_has_code = false;
+                    line_started_in_block_comment = false;
+                    i += 1;
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment;
+                    i += 2;
+                } else if c == b'"' {
+                    line_has_code = true;
+                    state = State::StringLit;
+                    i += 1;
+                } else if c == b'\'' {
+                    line_has_code = true;
+                    state = State::CharLit;
+                    i += 1;
+                } else if is_ident_char(c) && !c.is_ascii_digit() {
+                    line_has_code = true;
+                    let start = i;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                    let ident = &src[start..i];
+                    if let Some(cat) = match_category(ident) {
+                        // Look ahead for `(` (allowing whitespace).
+                        let mut j = i;
+                        while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\t') {
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&b'(') {
+                            match cat {
+                                0 => counts.spinlock_inits += 1,
+                                1 => counts.mutex_inits += 1,
+                                2 => counts.rcu_usages += 1,
+                                3 => counts.rwlock_inits += 1,
+                                4 => counts.rwsem_inits += 1,
+                                5 => counts.seqlock_inits += 1,
+                                _ => counts.semaphore_inits += 1,
+                            }
+                        }
+                    }
+                } else {
+                    if !c.is_ascii_whitespace() {
+                        line_has_code = true;
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c == b'\n' {
+                    state = State::Code;
+                    // The newline itself is handled by the Code state rules:
+                    if line_has_code {
+                        counts.loc += 1;
+                    }
+                    line_has_code = false;
+                    line_started_in_block_comment = false;
+                }
+                i += 1;
+            }
+            State::BlockComment => {
+                if c == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::Code;
+                    i += 2;
+                } else {
+                    if c == b'\n' {
+                        if line_has_code {
+                            counts.loc += 1;
+                        }
+                        line_has_code = false;
+                        line_started_in_block_comment = true;
+                    }
+                    i += 1;
+                }
+            }
+            State::StringLit => {
+                if c == b'\\' {
+                    i += 2;
+                } else {
+                    if c == b'"' {
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == b'\\' {
+                    i += 2;
+                } else {
+                    if c == b'\'' {
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    if line_has_code {
+        counts.loc += 1;
+    }
+    let _ = line_started_in_block_comment;
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_initializer_calls() {
+        let src = r#"
+static DEFINE_SPINLOCK(inode_hash_lock);
+void setup(struct foo *f) {
+    spin_lock_init(&f->lock);
+    mutex_init(&f->mtx);
+    rwlock_init(&f->rw);
+    init_rwsem(&f->sem);
+    seqlock_init(&f->seq);
+    sema_init(&f->sema, 1);
+}
+"#;
+        let c = scan_source(src);
+        assert_eq!(c.spinlock_inits, 2);
+        assert_eq!(c.mutex_inits, 1);
+        assert_eq!(c.rwlock_inits, 1);
+        assert_eq!(c.rwsem_inits, 1);
+        assert_eq!(c.seqlock_inits, 1);
+        assert_eq!(c.semaphore_inits, 1);
+        assert_eq!(c.total_inits(), 7);
+    }
+
+    #[test]
+    fn ignores_comments_and_strings() {
+        let src = r#"
+/* spin_lock_init(&x) in a block comment */
+// mutex_init(&y) in a line comment
+const char *s = "spin_lock_init(&z)";
+void f(void) { spin_lock_init(&real); }
+"#;
+        let c = scan_source(src);
+        assert_eq!(c.spinlock_inits, 1);
+        assert_eq!(c.mutex_inits, 0);
+    }
+
+    #[test]
+    fn requires_call_syntax() {
+        // A bare identifier (e.g. in a doc string or table) is not a call.
+        let src = "int spin_lock_init;\nspin_lock_init (&a);\n";
+        let c = scan_source(src);
+        assert_eq!(c.spinlock_inits, 1);
+    }
+
+    #[test]
+    fn does_not_match_identifier_substrings() {
+        let src = "my_spin_lock_init(&a);\nspin_lock_init_late(&b);\n";
+        let c = scan_source(src);
+        assert_eq!(c.spinlock_inits, 0);
+    }
+
+    #[test]
+    fn counts_effective_loc_like_cloc() {
+        let src = "int a;\n\n/* comment\n   more comment */\nint b; // trailing\n";
+        let c = scan_source(src);
+        // `int a;` and `int b;` only.
+        assert_eq!(c.loc, 2);
+    }
+
+    #[test]
+    fn counts_rcu_usages() {
+        let src = "void f(void){ rcu_read_lock(); rcu_read_unlock(); rcu_read_lock_bh(); }";
+        let c = scan_source(src);
+        assert_eq!(c.rcu_usages, 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = scan_source("spin_lock_init(&x);\n");
+        let b = scan_source("mutex_init(&y);\nint z;\n");
+        a.merge(&b);
+        assert_eq!(a.spinlock_inits, 1);
+        assert_eq!(a.mutex_inits, 1);
+        assert_eq!(a.loc, 3);
+    }
+
+    #[test]
+    fn handles_escapes_in_literals() {
+        let src = "const char *s = \"\\\"mutex_init(\\\"\"; char c = '\\''; mutex_init(&m);\n";
+        let c = scan_source(src);
+        assert_eq!(c.mutex_inits, 1);
+    }
+}

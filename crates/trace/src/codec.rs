@@ -1,0 +1,729 @@
+//! Compact binary serialization of traces, plus a CSV event dump.
+//!
+//! The paper's tracing phase writes an event log from the VM and later
+//! converts it to CSV for the MariaDB import (Sec. 6). We provide a
+//! self-describing binary container (`LDOC1`) with LEB128-style varints for
+//! archival and an equivalent CSV dump for inspection with standard tools.
+
+use crate::event::{
+    AccessKind, AcquireMode, ContextKind, DataTypeDef, Event, LockFlavor, MemberDef, SourceLoc,
+    Trace, TraceEvent, TraceMeta,
+};
+use crate::ids::{AllocId, DataTypeId, FnId, Interner, Sym, TaskId};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic bytes identifying a LockDoc binary trace.
+pub const MAGIC: &[u8; 5] = b"LDOC1";
+
+/// Errors produced while encoding or decoding a trace.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// An unknown tag byte was encountered.
+    BadTag(u8),
+    /// A varint exceeded its maximum width.
+    VarintOverflow,
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::BadMagic => write!(f, "not a LockDoc trace (bad magic)"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x}"),
+            CodecError::VarintOverflow => write!(f, "varint overflow"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut buf = [0u8; 1];
+        r.read_exact(&mut buf)?;
+        let byte = buf[0];
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> Result<()> {
+    write_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String> {
+    let len = read_varint(r)?;
+    // Guard against corrupted length prefixes: grow the buffer as bytes
+    // actually arrive instead of pre-allocating an attacker-chosen size.
+    let mut buf = Vec::new();
+    let n = r.take(len).read_to_end(&mut buf)?;
+    if n as u64 != len {
+        return Err(CodecError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated string payload",
+        )));
+    }
+    String::from_utf8(buf).map_err(|_| CodecError::BadUtf8)
+}
+
+fn write_bool<W: Write>(w: &mut W, b: bool) -> Result<()> {
+    w.write_all(&[u8::from(b)])?;
+    Ok(())
+}
+
+fn read_bool<R: Read>(r: &mut R) -> Result<bool> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0] != 0)
+}
+
+fn flavor_tag(f: LockFlavor) -> u8 {
+    match f {
+        LockFlavor::Spinlock => 0,
+        LockFlavor::Rwlock => 1,
+        LockFlavor::Mutex => 2,
+        LockFlavor::Semaphore => 3,
+        LockFlavor::RwSemaphore => 4,
+        LockFlavor::Seqlock => 5,
+        LockFlavor::Rcu => 6,
+        LockFlavor::Softirq => 7,
+        LockFlavor::Hardirq => 8,
+    }
+}
+
+fn flavor_from_tag(t: u8) -> Result<LockFlavor> {
+    Ok(match t {
+        0 => LockFlavor::Spinlock,
+        1 => LockFlavor::Rwlock,
+        2 => LockFlavor::Mutex,
+        3 => LockFlavor::Semaphore,
+        4 => LockFlavor::RwSemaphore,
+        5 => LockFlavor::Seqlock,
+        6 => LockFlavor::Rcu,
+        7 => LockFlavor::Softirq,
+        8 => LockFlavor::Hardirq,
+        other => return Err(CodecError::BadTag(other)),
+    })
+}
+
+fn ctx_tag(c: ContextKind) -> u8 {
+    match c {
+        ContextKind::Task => 0,
+        ContextKind::Softirq => 1,
+        ContextKind::Hardirq => 2,
+    }
+}
+
+fn ctx_from_tag(t: u8) -> Result<ContextKind> {
+    Ok(match t {
+        0 => ContextKind::Task,
+        1 => ContextKind::Softirq,
+        2 => ContextKind::Hardirq,
+        other => return Err(CodecError::BadTag(other)),
+    })
+}
+
+fn write_loc<W: Write>(w: &mut W, loc: SourceLoc) -> Result<()> {
+    write_varint(w, u64::from(loc.file.0))?;
+    write_varint(w, u64::from(loc.line))?;
+    Ok(())
+}
+
+fn read_loc<R: Read>(r: &mut R) -> Result<SourceLoc> {
+    let file = Sym(read_varint(r)? as u32);
+    let line = read_varint(r)? as u32;
+    Ok(SourceLoc { file, line })
+}
+
+fn write_meta<W: Write>(w: &mut W, meta: &TraceMeta) -> Result<()> {
+    write_varint(w, meta.strings.len() as u64)?;
+    for (_, s) in meta.strings.iter() {
+        write_str(w, s)?;
+    }
+    write_varint(w, meta.data_types.len() as u64)?;
+    for dt in &meta.data_types {
+        write_str(w, &dt.name)?;
+        write_varint(w, u64::from(dt.size))?;
+        write_varint(w, dt.members.len() as u64)?;
+        for m in &dt.members {
+            write_str(w, &m.name)?;
+            write_varint(w, u64::from(m.offset))?;
+            write_varint(w, u64::from(m.size))?;
+            write_bool(w, m.atomic)?;
+            write_bool(w, m.is_lock)?;
+        }
+    }
+    write_varint(w, meta.functions.len() as u64)?;
+    for f in &meta.functions {
+        write_str(w, f)?;
+    }
+    write_varint(w, meta.tasks.len() as u64)?;
+    for t in &meta.tasks {
+        write_str(w, t)?;
+    }
+    Ok(())
+}
+
+fn read_meta<R: Read>(r: &mut R) -> Result<TraceMeta> {
+    let mut strings = Interner::new();
+    let nstr = read_varint(r)? as usize;
+    for _ in 0..nstr {
+        let s = read_str(r)?;
+        strings.intern(&s);
+    }
+    let ndt = read_varint(r)? as usize;
+    let mut data_types = Vec::with_capacity(ndt.min(1 << 12));
+    for _ in 0..ndt {
+        let name = read_str(r)?;
+        let size = read_varint(r)? as u32;
+        let nmem = read_varint(r)? as usize;
+        let mut members = Vec::with_capacity(nmem.min(1 << 12));
+        for _ in 0..nmem {
+            members.push(MemberDef {
+                name: read_str(r)?,
+                offset: read_varint(r)? as u32,
+                size: read_varint(r)? as u32,
+                atomic: read_bool(r)?,
+                is_lock: read_bool(r)?,
+            });
+        }
+        data_types.push(DataTypeDef {
+            name,
+            size,
+            members,
+        });
+    }
+    let nfn = read_varint(r)? as usize;
+    let mut functions = Vec::with_capacity(nfn.min(1 << 12));
+    for _ in 0..nfn {
+        functions.push(read_str(r)?);
+    }
+    let ntask = read_varint(r)? as usize;
+    let mut tasks = Vec::with_capacity(ntask.min(1 << 12));
+    for _ in 0..ntask {
+        tasks.push(read_str(r)?);
+    }
+    Ok(TraceMeta {
+        strings,
+        data_types,
+        functions,
+        tasks,
+    })
+}
+
+const TAG_LOCK_INIT: u8 = 1;
+const TAG_ALLOC: u8 = 2;
+const TAG_FREE: u8 = 3;
+const TAG_ACQUIRE: u8 = 4;
+const TAG_RELEASE: u8 = 5;
+const TAG_ACCESS: u8 = 6;
+const TAG_FN_ENTER: u8 = 7;
+const TAG_FN_EXIT: u8 = 8;
+const TAG_TASK_SWITCH: u8 = 9;
+const TAG_CTX_ENTER: u8 = 10;
+const TAG_CTX_EXIT: u8 = 11;
+
+fn write_event<W: Write>(w: &mut W, e: &Event) -> Result<()> {
+    match e {
+        Event::LockInit {
+            addr,
+            name,
+            flavor,
+            is_static,
+        } => {
+            w.write_all(&[TAG_LOCK_INIT])?;
+            write_varint(w, *addr)?;
+            write_varint(w, u64::from(name.0))?;
+            w.write_all(&[flavor_tag(*flavor)])?;
+            write_bool(w, *is_static)?;
+        }
+        Event::Alloc {
+            id,
+            addr,
+            size,
+            data_type,
+            subclass,
+        } => {
+            w.write_all(&[TAG_ALLOC])?;
+            write_varint(w, id.0)?;
+            write_varint(w, *addr)?;
+            write_varint(w, u64::from(*size))?;
+            write_varint(w, u64::from(data_type.0))?;
+            match subclass {
+                Some(s) => {
+                    write_bool(w, true)?;
+                    write_varint(w, u64::from(s.0))?;
+                }
+                None => write_bool(w, false)?,
+            }
+        }
+        Event::Free { id } => {
+            w.write_all(&[TAG_FREE])?;
+            write_varint(w, id.0)?;
+        }
+        Event::LockAcquire { addr, mode, loc } => {
+            w.write_all(&[TAG_ACQUIRE])?;
+            write_varint(w, *addr)?;
+            write_bool(w, matches!(mode, AcquireMode::Exclusive))?;
+            write_loc(w, *loc)?;
+        }
+        Event::LockRelease { addr, loc } => {
+            w.write_all(&[TAG_RELEASE])?;
+            write_varint(w, *addr)?;
+            write_loc(w, *loc)?;
+        }
+        Event::MemAccess {
+            kind,
+            addr,
+            size,
+            loc,
+            atomic,
+        } => {
+            w.write_all(&[TAG_ACCESS])?;
+            write_bool(w, matches!(kind, AccessKind::Write))?;
+            write_varint(w, *addr)?;
+            w.write_all(&[*size])?;
+            write_loc(w, *loc)?;
+            write_bool(w, *atomic)?;
+        }
+        Event::FnEnter { func } => {
+            w.write_all(&[TAG_FN_ENTER])?;
+            write_varint(w, u64::from(func.0))?;
+        }
+        Event::FnExit { func } => {
+            w.write_all(&[TAG_FN_EXIT])?;
+            write_varint(w, u64::from(func.0))?;
+        }
+        Event::TaskSwitch { task } => {
+            w.write_all(&[TAG_TASK_SWITCH])?;
+            write_varint(w, u64::from(task.0))?;
+        }
+        Event::ContextEnter { kind } => {
+            w.write_all(&[TAG_CTX_ENTER, ctx_tag(*kind)])?;
+        }
+        Event::ContextExit { kind } => {
+            w.write_all(&[TAG_CTX_EXIT, ctx_tag(*kind)])?;
+        }
+    }
+    Ok(())
+}
+
+fn read_event<R: Read>(r: &mut R) -> Result<Event> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        TAG_LOCK_INIT => {
+            let addr = read_varint(r)?;
+            let name = Sym(read_varint(r)? as u32);
+            let mut fl = [0u8; 1];
+            r.read_exact(&mut fl)?;
+            let flavor = flavor_from_tag(fl[0])?;
+            let is_static = read_bool(r)?;
+            Event::LockInit {
+                addr,
+                name,
+                flavor,
+                is_static,
+            }
+        }
+        TAG_ALLOC => {
+            let id = AllocId(read_varint(r)?);
+            let addr = read_varint(r)?;
+            let size = read_varint(r)? as u32;
+            let data_type = DataTypeId(read_varint(r)? as u32);
+            let subclass = if read_bool(r)? {
+                Some(Sym(read_varint(r)? as u32))
+            } else {
+                None
+            };
+            Event::Alloc {
+                id,
+                addr,
+                size,
+                data_type,
+                subclass,
+            }
+        }
+        TAG_FREE => Event::Free {
+            id: AllocId(read_varint(r)?),
+        },
+        TAG_ACQUIRE => {
+            let addr = read_varint(r)?;
+            let mode = if read_bool(r)? {
+                AcquireMode::Exclusive
+            } else {
+                AcquireMode::Shared
+            };
+            let loc = read_loc(r)?;
+            Event::LockAcquire { addr, mode, loc }
+        }
+        TAG_RELEASE => {
+            let addr = read_varint(r)?;
+            let loc = read_loc(r)?;
+            Event::LockRelease { addr, loc }
+        }
+        TAG_ACCESS => {
+            let kind = if read_bool(r)? {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let addr = read_varint(r)?;
+            let mut sz = [0u8; 1];
+            r.read_exact(&mut sz)?;
+            let loc = read_loc(r)?;
+            let atomic = read_bool(r)?;
+            Event::MemAccess {
+                kind,
+                addr,
+                size: sz[0],
+                loc,
+                atomic,
+            }
+        }
+        TAG_FN_ENTER => Event::FnEnter {
+            func: FnId(read_varint(r)? as u32),
+        },
+        TAG_FN_EXIT => Event::FnExit {
+            func: FnId(read_varint(r)? as u32),
+        },
+        TAG_TASK_SWITCH => Event::TaskSwitch {
+            task: TaskId(read_varint(r)? as u32),
+        },
+        TAG_CTX_ENTER => {
+            let mut k = [0u8; 1];
+            r.read_exact(&mut k)?;
+            Event::ContextEnter {
+                kind: ctx_from_tag(k[0])?,
+            }
+        }
+        TAG_CTX_EXIT => {
+            let mut k = [0u8; 1];
+            r.read_exact(&mut k)?;
+            Event::ContextExit {
+                kind: ctx_from_tag(k[0])?,
+            }
+        }
+        other => return Err(CodecError::BadTag(other)),
+    })
+}
+
+/// Serializes a trace to the binary `LDOC1` container.
+///
+/// # Examples
+///
+/// ```
+/// use lockdoc_trace::codec::{write_trace, read_trace};
+/// use lockdoc_trace::event::Trace;
+///
+/// let trace = Trace::new();
+/// let mut buf = Vec::new();
+/// write_trace(&trace, &mut buf).unwrap();
+/// let back = read_trace(&mut buf.as_slice()).unwrap();
+/// assert_eq!(trace, back);
+/// ```
+pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> Result<()> {
+    w.write_all(MAGIC)?;
+    write_meta(w, &trace.meta)?;
+    write_varint(w, trace.events.len() as u64)?;
+    let mut last_ts = 0u64;
+    for te in &trace.events {
+        // Delta-encode timestamps: traces are monotonic by construction.
+        write_varint(w, te.ts - last_ts)?;
+        last_ts = te.ts;
+        write_event(w, &te.event)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a trace from the binary `LDOC1` container.
+pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let meta = read_meta(r)?;
+    let n = read_varint(r)? as usize;
+    // Pre-allocate conservatively; a corrupted count must not OOM us.
+    let mut events = Vec::with_capacity(n.min(1 << 16));
+    let mut ts = 0u64;
+    for _ in 0..n {
+        ts += read_varint(r)?;
+        let event = read_event(r)?;
+        events.push(TraceEvent { ts, event });
+    }
+    Ok(Trace { meta, events })
+}
+
+/// Dumps the event stream as CSV (one row per event), resembling the CSV
+/// tables the paper feeds into MariaDB.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("ts,kind,addr,detail,loc\n");
+    let resolve = |s: Sym| trace.meta.strings.resolve(s).to_owned();
+    for te in &trace.events {
+        let (kind, addr, detail, loc) = match &te.event {
+            Event::LockInit {
+                addr,
+                name,
+                flavor,
+                is_static,
+            } => (
+                "lock_init",
+                *addr,
+                format!("{}:{}:{}", resolve(*name), flavor, is_static),
+                String::new(),
+            ),
+            Event::Alloc {
+                id,
+                addr,
+                size,
+                data_type,
+                subclass,
+            } => (
+                "alloc",
+                *addr,
+                format!(
+                    "{}:{}:{}:{}",
+                    id.0,
+                    size,
+                    trace.meta.data_types[data_type.index()].name,
+                    subclass.map(resolve).unwrap_or_default()
+                ),
+                String::new(),
+            ),
+            Event::Free { id } => ("free", 0, format!("{}", id.0), String::new()),
+            Event::LockAcquire { addr, mode, loc } => (
+                "acquire",
+                *addr,
+                format!("{mode:?}"),
+                format!("{}:{}", resolve(loc.file), loc.line),
+            ),
+            Event::LockRelease { addr, loc } => (
+                "release",
+                *addr,
+                String::new(),
+                format!("{}:{}", resolve(loc.file), loc.line),
+            ),
+            Event::MemAccess {
+                kind,
+                addr,
+                size,
+                loc,
+                atomic,
+            } => (
+                "access",
+                *addr,
+                format!("{}:{}:{}", kind.tag(), size, atomic),
+                format!("{}:{}", resolve(loc.file), loc.line),
+            ),
+            Event::FnEnter { func } => (
+                "fn_enter",
+                0,
+                trace.meta.functions[func.index()].clone(),
+                String::new(),
+            ),
+            Event::FnExit { func } => (
+                "fn_exit",
+                0,
+                trace.meta.functions[func.index()].clone(),
+                String::new(),
+            ),
+            Event::TaskSwitch { task } => (
+                "task_switch",
+                0,
+                trace.meta.tasks[task.index()].clone(),
+                String::new(),
+            ),
+            Event::ContextEnter { kind } => ("ctx_enter", 0, kind.to_string(), String::new()),
+            Event::ContextExit { kind } => ("ctx_exit", 0, kind.to_string(), String::new()),
+        };
+        out.push_str(&format!(
+            "{},{},{:#x},{},{}\n",
+            te.ts, kind, addr, detail, loc
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DataTypeDef, MemberDef};
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("fs/inode.c");
+        let name = tr.meta.strings.intern("i_lock");
+        let sub = tr.meta.strings.intern("ext4");
+        let dt = tr.meta.add_data_type(DataTypeDef {
+            name: "inode".into(),
+            size: 64,
+            members: vec![MemberDef {
+                name: "i_state".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+        let f = tr.meta.add_function("iget_locked");
+        let t = tr.meta.add_task("fsstress");
+        tr.push(
+            0,
+            Event::LockInit {
+                addr: 0x2000,
+                name,
+                flavor: LockFlavor::Spinlock,
+                is_static: false,
+            },
+        );
+        tr.push(
+            1,
+            Event::Alloc {
+                id: AllocId(7),
+                addr: 0x1000,
+                size: 64,
+                data_type: dt,
+                subclass: Some(sub),
+            },
+        );
+        tr.push(2, Event::TaskSwitch { task: t });
+        tr.push(3, Event::FnEnter { func: f });
+        tr.push(
+            4,
+            Event::LockAcquire {
+                addr: 0x2000,
+                mode: AcquireMode::Exclusive,
+                loc: SourceLoc::new(file, 42),
+            },
+        );
+        tr.push(
+            5,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1004,
+                size: 4,
+                loc: SourceLoc::new(file, 43),
+                atomic: false,
+            },
+        );
+        tr.push(
+            6,
+            Event::LockRelease {
+                addr: 0x2000,
+                loc: SourceLoc::new(file, 44),
+            },
+        );
+        tr.push(7, Event::FnExit { func: f });
+        tr.push(
+            8,
+            Event::ContextEnter {
+                kind: ContextKind::Hardirq,
+            },
+        );
+        tr.push(
+            9,
+            Event::ContextExit {
+                kind: ContextKind::Hardirq,
+            },
+        );
+        tr.push(10, Event::Free { id: AllocId(7) });
+        tr
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&mut &b"NOPE!"[..]).unwrap_err();
+        assert!(matches!(err, CodecError::BadMagic));
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_io_error() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)));
+    }
+
+    #[test]
+    fn csv_dump_contains_all_rows() {
+        let tr = sample_trace();
+        let csv = to_csv(&tr);
+        // Header plus one row per event.
+        assert_eq!(csv.lines().count(), 1 + tr.len());
+        assert!(csv.contains("acquire"));
+        assert!(csv.contains("i_lock"));
+        assert!(csv.contains("ext4"));
+    }
+}

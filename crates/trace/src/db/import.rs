@@ -1,0 +1,558 @@
+//! Trace import: replays the raw event stream into the relational store,
+//! reconstructing control-flow state, transactions, and stack traces, and
+//! applying the Sec. 5.3 filters.
+
+use crate::db::schema::{Access, Allocation, FlowKey, HeldLock, LockInstance, StackTrace, Txn};
+use crate::db::TraceDb;
+use crate::event::{AcquireMode, ContextKind, Event, SourceLoc, Trace};
+use crate::filter::{FilterConfig, FilterReason};
+use crate::ids::{Addr, AllocId, DataTypeId, FnId, LockId, StackId, TaskId, Timestamp, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Counters describing an import run (reported like paper Sec. 7.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportStats {
+    /// Total events replayed.
+    pub events: u64,
+    /// Memory-access events seen.
+    pub accesses_seen: u64,
+    /// Accesses surviving all filters.
+    pub accesses_imported: u64,
+    /// Accesses dropped, by reason.
+    pub filtered: HashMap<String, u64>,
+    /// Accesses that hit untracked memory or a layout hole.
+    pub unresolved: u64,
+    /// Lock releases without a matching acquisition.
+    pub unmatched_releases: u64,
+    /// Acquisitions of unregistered lock addresses.
+    pub unknown_lock_acquires: u64,
+    /// Transactions materialized.
+    pub txns: u64,
+    /// Registered lock instances.
+    pub locks: u64,
+    /// ... of which statically allocated.
+    pub static_locks: u64,
+    /// ... of which embedded in observed allocations.
+    pub embedded_locks: u64,
+    /// Allocation events.
+    pub allocs: u64,
+    /// Deallocation events.
+    pub frees: u64,
+    /// Distinct stack traces recorded.
+    pub stacks: u64,
+    /// Events dropped because they referenced unknown metadata (possible
+    /// in corrupted or foreign traces; a well-formed tracer emits none).
+    pub invalid_events: u64,
+}
+
+impl ImportStats {
+    fn bump_filtered(&mut self, reason: FilterReason) {
+        *self.filtered.entry(format!("{reason:?}")).or_insert(0) += 1;
+    }
+
+    /// Total number of filtered accesses across all reasons.
+    pub fn total_filtered(&self) -> u64 {
+        self.filtered.values().sum()
+    }
+}
+
+/// Per-control-flow replay state.
+#[derive(Debug, Default)]
+struct FlowState {
+    /// Currently held locks in acquisition order (with reentrancy counts).
+    held: Vec<HeldEntry>,
+    /// The open transaction for the current held set, if materialized.
+    open_txn: Option<TxnId>,
+    /// Shadow call stack.
+    fn_stack: Vec<FnId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeldEntry {
+    lock: LockId,
+    mode: AcquireMode,
+    loc: SourceLoc,
+    ts: Timestamp,
+    count: u32,
+}
+
+/// Replays `trace` into a [`TraceDb`], applying `config`.
+pub fn import(trace: &Trace, config: &FilterConfig) -> TraceDb {
+    Importer::new(trace, config).run()
+}
+
+struct Importer<'a> {
+    trace: &'a Trace,
+    config: &'a FilterConfig,
+    stats: ImportStats,
+
+    allocations: Vec<Allocation>,
+    alloc_index: HashMap<AllocId, usize>,
+    active_allocs: BTreeMap<Addr, AllocId>,
+
+    locks: Vec<LockInstance>,
+    active_locks: HashMap<Addr, LockId>,
+
+    txns: Vec<Txn>,
+    accesses: Vec<Access>,
+
+    stacks: Vec<StackTrace>,
+    stack_index: HashMap<Vec<FnId>, StackId>,
+
+    flows: HashMap<FlowKey, FlowState>,
+    current_task: TaskId,
+    ctx_stack: Vec<ContextKind>,
+
+    /// Pre-resolved filter sets (function names -> ids).
+    global_fn_blacklist: HashSet<FnId>,
+    init_teardown: HashMap<DataTypeId, HashSet<FnId>>,
+    member_blacklist: HashSet<(DataTypeId, u32)>,
+}
+
+impl<'a> Importer<'a> {
+    fn new(trace: &'a Trace, config: &'a FilterConfig) -> Self {
+        // Resolve name-based filter configuration against this trace's
+        // metadata once, so the per-event hot path only checks integer sets.
+        let fn_by_name: HashMap<&str, FnId> = trace
+            .meta
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), FnId(i as u32)))
+            .collect();
+        let global_fn_blacklist = config
+            .global_fn_blacklist
+            .iter()
+            .filter_map(|n| fn_by_name.get(n.as_str()).copied())
+            .collect();
+        let mut init_teardown: HashMap<DataTypeId, HashSet<FnId>> = HashMap::new();
+        let mut member_blacklist = HashSet::new();
+        for (i, dt) in trace.meta.data_types.iter().enumerate() {
+            let dtid = DataTypeId(i as u32);
+            if let Some(funcs) = config.init_teardown.get(&dt.name) {
+                let ids: HashSet<FnId> = funcs
+                    .iter()
+                    .filter_map(|n| fn_by_name.get(n.as_str()).copied())
+                    .collect();
+                if !ids.is_empty() {
+                    init_teardown.insert(dtid, ids);
+                }
+            }
+            for (mi, m) in dt.members.iter().enumerate() {
+                if config.member_blacklisted(&dt.name, &m.name) {
+                    member_blacklist.insert((dtid, mi as u32));
+                }
+            }
+        }
+        Self {
+            trace,
+            config,
+            stats: ImportStats::default(),
+            allocations: Vec::new(),
+            alloc_index: HashMap::new(),
+            active_allocs: BTreeMap::new(),
+            locks: Vec::new(),
+            active_locks: HashMap::new(),
+            txns: Vec::new(),
+            accesses: Vec::new(),
+            stacks: Vec::new(),
+            stack_index: HashMap::new(),
+            flows: HashMap::new(),
+            current_task: TaskId(0),
+            ctx_stack: Vec::new(),
+            global_fn_blacklist,
+            init_teardown,
+            member_blacklist,
+        }
+    }
+
+    fn run(mut self) -> TraceDb {
+        for te in &self.trace.events {
+            self.stats.events += 1;
+            self.step(te.ts, &te.event);
+        }
+        self.stats.txns = self.txns.len() as u64;
+        self.stats.locks = self.locks.len() as u64;
+        self.stats.static_locks = self.locks.iter().filter(|l| l.is_static).count() as u64;
+        self.stats.embedded_locks = self
+            .locks
+            .iter()
+            .filter(|l| l.embedded_in.is_some())
+            .count() as u64;
+        self.stats.stacks = self.stacks.len() as u64;
+        TraceDb {
+            meta: self.trace.meta.clone(),
+            allocations: self.allocations,
+            locks: self.locks,
+            txns: self.txns,
+            accesses: self.accesses,
+            stacks: self.stacks,
+            stats: self.stats,
+        }
+    }
+
+    fn valid_sym(&self, sym: crate::ids::Sym) -> bool {
+        sym.index() < self.trace.meta.strings.len()
+    }
+
+    fn valid_fn(&self, f: FnId) -> bool {
+        f.index() < self.trace.meta.functions.len()
+    }
+
+    fn valid_task(&self, t: TaskId) -> bool {
+        t.index() < self.trace.meta.tasks.len()
+    }
+
+    fn valid_dt(&self, dt: DataTypeId) -> bool {
+        dt.index() < self.trace.meta.data_types.len()
+    }
+
+    fn valid_loc(&self, loc: &SourceLoc) -> bool {
+        self.valid_sym(loc.file)
+    }
+
+    fn current_flow_key(&self) -> FlowKey {
+        match self.ctx_stack.last() {
+            Some(kind) => FlowKey::irq(*kind),
+            None => FlowKey::Task(self.current_task),
+        }
+    }
+
+    fn current_context(&self) -> ContextKind {
+        self.ctx_stack.last().copied().unwrap_or(ContextKind::Task)
+    }
+
+    fn flow(&mut self) -> &mut FlowState {
+        let key = self.current_flow_key();
+        self.flows.entry(key).or_default()
+    }
+
+    fn resolve_alloc(&self, addr: Addr) -> Option<AllocId> {
+        let (_, &id) = self.active_allocs.range(..=addr).next_back()?;
+        let alloc = &self.allocations[self.alloc_index[&id]];
+        alloc.contains(addr).then_some(id)
+    }
+
+    fn close_open_txn(&mut self, ts: Timestamp) {
+        let key = self.current_flow_key();
+        let flow = self.flows.entry(key).or_default();
+        if let Some(txn_id) = flow.open_txn.take() {
+            let txn = &mut self.txns[txn_id.0 as usize];
+            txn.end_ts = txn.end_ts.max(ts);
+        }
+    }
+
+    fn step(&mut self, ts: Timestamp, event: &Event) {
+        match event {
+            Event::LockInit {
+                addr,
+                name,
+                flavor,
+                is_static,
+            } => {
+                if !self.valid_sym(*name) {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                let embedded_in = self.resolve_alloc(*addr).map(|aid| {
+                    let alloc = &self.allocations[self.alloc_index[&aid]];
+                    (aid, (*addr - alloc.addr) as u32)
+                });
+                let id = LockId(self.locks.len() as u32);
+                self.locks.push(LockInstance {
+                    id,
+                    addr: *addr,
+                    name: *name,
+                    flavor: *flavor,
+                    is_static: *is_static,
+                    embedded_in,
+                });
+                self.active_locks.insert(*addr, id);
+            }
+            Event::Alloc {
+                id,
+                addr,
+                size,
+                data_type,
+                subclass,
+            } => {
+                if !self.valid_dt(*data_type)
+                    || subclass.map(|s| !self.valid_sym(s)).unwrap_or(false)
+                    || self.alloc_index.contains_key(id)
+                {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                // Overlap with a live allocation indicates a broken or
+                // hostile tracer; resolving accesses in the overlap would
+                // be ambiguous, so drop the event and count it.
+                let end = *addr + u64::from(*size);
+                let overlaps = self
+                    .active_allocs
+                    .range(..end)
+                    .next_back()
+                    .map(|(_, &prev)| {
+                        self.allocations[self.alloc_index[&prev]].contains(*addr)
+                            || (*addr..end)
+                                .contains(&self.allocations[self.alloc_index[&prev]].addr)
+                    })
+                    .unwrap_or(false);
+                if overlaps {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                self.stats.allocs += 1;
+                let idx = self.allocations.len();
+                self.allocations.push(Allocation {
+                    id: *id,
+                    addr: *addr,
+                    size: *size,
+                    data_type: *data_type,
+                    subclass: *subclass,
+                    alloc_ts: ts,
+                    free_ts: None,
+                });
+                self.alloc_index.insert(*id, idx);
+                self.active_allocs.insert(*addr, *id);
+            }
+            Event::Free { id } => {
+                self.stats.frees += 1;
+                if let Some(&idx) = self.alloc_index.get(id) {
+                    let (addr, size) = {
+                        let alloc = &mut self.allocations[idx];
+                        alloc.free_ts = Some(ts);
+                        (alloc.addr, alloc.size)
+                    };
+                    self.active_allocs.remove(&addr);
+                    // Deactivate embedded lock addresses so a later
+                    // reallocation at the same address registers fresh
+                    // instances.
+                    self.active_locks
+                        .retain(|&a, _| !(a >= addr && a < addr + u64::from(size)));
+                }
+            }
+            Event::LockAcquire { addr, mode, loc } => {
+                if !self.valid_loc(loc) {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                let lock_id = match self.active_locks.get(addr) {
+                    Some(&id) => id,
+                    None => {
+                        self.stats.unknown_lock_acquires += 1;
+                        return;
+                    }
+                };
+                let flavor = self.locks[lock_id.index()].flavor;
+                let flow = self.flow();
+                if flavor.reentrant() {
+                    if let Some(entry) = flow.held.iter_mut().find(|h| h.lock == lock_id) {
+                        entry.count += 1;
+                        return;
+                    }
+                }
+                flow.held.push(HeldEntry {
+                    lock: lock_id,
+                    mode: *mode,
+                    loc: *loc,
+                    ts,
+                    count: 1,
+                });
+                self.close_open_txn(ts);
+            }
+            Event::LockRelease { addr, loc } => {
+                if !self.valid_loc(loc) {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                let lock_id = match self.active_locks.get(addr) {
+                    Some(&id) => id,
+                    None => {
+                        self.stats.unmatched_releases += 1;
+                        return;
+                    }
+                };
+                let flow = self.flow();
+                // Search from the most recent acquisition backwards.
+                match flow.held.iter().rposition(|h| h.lock == lock_id) {
+                    Some(pos) => {
+                        if flow.held[pos].count > 1 {
+                            flow.held[pos].count -= 1;
+                            return;
+                        }
+                        flow.held.remove(pos);
+                        self.close_open_txn(ts);
+                    }
+                    None => self.stats.unmatched_releases += 1,
+                }
+            }
+            Event::MemAccess {
+                kind,
+                addr,
+                size,
+                loc,
+                atomic,
+            } => {
+                if !self.valid_loc(loc) {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                self.stats.accesses_seen += 1;
+                self.handle_access(ts, *kind, *addr, *size, *loc, *atomic);
+            }
+            Event::FnEnter { func } => {
+                if !self.valid_fn(*func) {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                self.flow().fn_stack.push(*func);
+            }
+            Event::FnExit { func } => {
+                let flow = self.flow();
+                // Tolerate mismatches: pop to the matching frame if present.
+                if let Some(pos) = flow.fn_stack.iter().rposition(|f| f == func) {
+                    flow.fn_stack.truncate(pos);
+                }
+            }
+            Event::TaskSwitch { task } => {
+                if !self.valid_task(*task) {
+                    self.stats.invalid_events += 1;
+                    return;
+                }
+                self.current_task = *task;
+            }
+            Event::ContextEnter { kind } => {
+                self.ctx_stack.push(*kind);
+            }
+            Event::ContextExit { kind } => {
+                if self.ctx_stack.last() == Some(kind) {
+                    self.ctx_stack.pop();
+                }
+            }
+        }
+    }
+
+    fn handle_access(
+        &mut self,
+        ts: Timestamp,
+        kind: crate::event::AccessKind,
+        addr: Addr,
+        size: u8,
+        loc: SourceLoc,
+        atomic: bool,
+    ) {
+        let Some(alloc_id) = self.resolve_alloc(addr) else {
+            self.stats.unresolved += 1;
+            return;
+        };
+        let alloc = &self.allocations[self.alloc_index[&alloc_id]];
+        let data_type = alloc.data_type;
+        let subclass = alloc.subclass;
+        let offset = (addr - alloc.addr) as u32;
+        let def = &self.trace.meta.data_types[data_type.index()];
+        let Some(member_idx) = def.member_at(offset) else {
+            self.stats.unresolved += 1;
+            return;
+        };
+        let member = &def.members[member_idx];
+
+        // Filters (paper Sec. 5.3).
+        if self.config.drop_atomic_accesses && atomic {
+            self.stats.bump_filtered(FilterReason::AtomicAccess);
+            return;
+        }
+        if self.config.drop_atomic_members && (member.atomic || member.is_lock) {
+            self.stats.bump_filtered(FilterReason::AtomicOrLockMember);
+            return;
+        }
+        if self
+            .member_blacklist
+            .contains(&(data_type, member_idx as u32))
+        {
+            self.stats.bump_filtered(FilterReason::BlacklistedMember);
+            return;
+        }
+        let flow_key = self.current_flow_key();
+        let context = self.current_context();
+        let flow = self.flows.entry(flow_key).or_default();
+        if let Some(&innermost) = flow.fn_stack.last() {
+            if self.global_fn_blacklist.contains(&innermost) {
+                self.stats.bump_filtered(FilterReason::IgnoredFunction);
+                return;
+            }
+        }
+        if let Some(funcs) = self.init_teardown.get(&data_type) {
+            if flow.fn_stack.iter().any(|f| funcs.contains(f)) {
+                self.stats.bump_filtered(FilterReason::InitTeardownContext);
+                return;
+            }
+        }
+
+        // Materialize the transaction for the current held set on demand.
+        // Lock-free spans are represented as transactions with an empty lock
+        // list, so that every access has a well-defined observation unit for
+        // support counting (the paper keeps such accesses outside the `txns`
+        // table and special-cases them; an empty-set transaction is the
+        // equivalent uniform representation).
+        let txn = Some(match flow.open_txn {
+            Some(id) => {
+                let t = &mut self.txns[id.0 as usize];
+                t.end_ts = t.end_ts.max(ts);
+                id
+            }
+            None => {
+                let id = TxnId(self.txns.len() as u64);
+                let locks = flow
+                    .held
+                    .iter()
+                    .map(|h| HeldLock {
+                        lock: h.lock,
+                        mode: h.mode,
+                        acquired_at: h.loc,
+                        acquired_ts: h.ts,
+                    })
+                    .collect();
+                self.txns.push(Txn {
+                    id,
+                    flow: flow_key,
+                    locks,
+                    start_ts: ts,
+                    end_ts: ts,
+                });
+                flow.open_txn = Some(id);
+                id
+            }
+        });
+
+        // Deduplicate the stack snapshot.
+        let stack = match self.stack_index.get(&flow.fn_stack) {
+            Some(&id) => id,
+            None => {
+                let id = StackId(self.stacks.len() as u32);
+                self.stacks.push(StackTrace {
+                    frames: flow.fn_stack.clone(),
+                });
+                self.stack_index.insert(flow.fn_stack.clone(), id);
+                id
+            }
+        };
+
+        self.accesses.push(Access {
+            id: self.accesses.len() as u64,
+            ts,
+            kind,
+            alloc: alloc_id,
+            data_type,
+            subclass,
+            member: member_idx as u32,
+            size,
+            loc,
+            txn,
+            stack,
+            flow: flow_key,
+            context,
+        });
+        self.stats.accesses_imported += 1;
+    }
+}

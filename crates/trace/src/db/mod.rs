@@ -1,0 +1,680 @@
+//! The relational trace store (paper Fig. 6) and its query API.
+//!
+//! The paper loads post-processed traces into MariaDB; we keep the same
+//! logical schema in an embedded, in-memory store. All LockDoc analyses
+//! (rule derivation, checking, violation finding) run against [`TraceDb`].
+
+pub mod import;
+pub mod schema;
+
+pub use import::{import, ImportStats};
+pub use schema::{Access, Allocation, FlowKey, HeldLock, LockInstance, StackTrace, Txn};
+
+use crate::event::{DataTypeDef, TraceMeta};
+use crate::ids::{DataTypeId, FnId, LockId, StackId, Sym, TxnId};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// The imported, queryable form of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceDb {
+    /// Static metadata carried over from the trace.
+    pub meta: TraceMeta,
+    /// All observed allocations (live and freed).
+    pub allocations: Vec<Allocation>,
+    /// All registered lock instances.
+    pub locks: Vec<LockInstance>,
+    /// All materialized transactions.
+    pub txns: Vec<Txn>,
+    /// The central access table.
+    pub accesses: Vec<Access>,
+    /// Deduplicated stack traces.
+    pub stacks: Vec<StackTrace>,
+    /// Import statistics.
+    pub stats: ImportStats,
+}
+
+impl TraceDb {
+    /// Resolves an interned symbol.
+    pub fn sym(&self, s: Sym) -> &str {
+        self.meta.strings.resolve(s)
+    }
+
+    /// The layout definition of a data type.
+    pub fn data_type(&self, id: DataTypeId) -> &DataTypeDef {
+        &self.meta.data_types[id.index()]
+    }
+
+    /// The name of a data type.
+    pub fn type_name(&self, id: DataTypeId) -> &str {
+        &self.data_type(id).name
+    }
+
+    /// The name of a member of a data type.
+    pub fn member_name(&self, id: DataTypeId, member: u32) -> &str {
+        &self.data_type(id).members[member as usize].name
+    }
+
+    /// The name of a function.
+    pub fn fn_name(&self, f: FnId) -> &str {
+        &self.meta.functions[f.index()]
+    }
+
+    /// A transaction by id.
+    pub fn txn(&self, id: TxnId) -> &Txn {
+        &self.txns[id.0 as usize]
+    }
+
+    /// A lock instance by id.
+    pub fn lock(&self, id: LockId) -> &LockInstance {
+        &self.locks[id.index()]
+    }
+
+    /// A stack trace by id.
+    pub fn stack(&self, id: StackId) -> &StackTrace {
+        &self.stacks[id.index()]
+    }
+
+    /// An allocation by id (allocation ids are dense in import order).
+    pub fn allocation(&self, id: crate::ids::AllocId) -> Option<&Allocation> {
+        // Ids are assigned by the tracer and may be sparse; fall back to scan.
+        self.allocations
+            .binary_search_by_key(&id, |a| a.id)
+            .ok()
+            .map(|i| &self.allocations[i])
+            .or_else(|| self.allocations.iter().find(|a| a.id == id))
+    }
+
+    /// All distinct observation groups `(data type, subclass)` that have at
+    /// least one imported access, in deterministic order.
+    ///
+    /// Subclassed types (paper Sec. 5.3: `struct inode` per filesystem) are
+    /// derived per subclass; unsubclassed types form a single group with
+    /// `subclass = None`.
+    pub fn observation_groups(&self) -> Vec<(DataTypeId, Option<Sym>)> {
+        let set: BTreeSet<(DataTypeId, Option<Sym>)> = self
+            .accesses
+            .iter()
+            .map(|a| (a.data_type, a.subclass))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Human-readable name of an observation group, e.g. `inode:ext4`.
+    pub fn group_name(&self, group: (DataTypeId, Option<Sym>)) -> String {
+        match group.1 {
+            Some(sub) => format!("{}:{}", self.type_name(group.0), self.sym(sub)),
+            None => self.type_name(group.0).to_owned(),
+        }
+    }
+
+    /// Iterates over accesses belonging to one observation group.
+    pub fn group_accesses(
+        &self,
+        group: (DataTypeId, Option<Sym>),
+    ) -> impl Iterator<Item = &Access> {
+        self.accesses
+            .iter()
+            .filter(move |a| a.data_type == group.0 && a.subclass == group.1)
+    }
+
+    /// Renders a stack trace as `outer -> ... -> inner`.
+    pub fn format_stack(&self, id: StackId) -> String {
+        let frames = &self.stack(id).frames;
+        let mut out = String::new();
+        for (i, f) in frames.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" -> ");
+            }
+            out.push_str(self.fn_name(*f));
+        }
+        if out.is_empty() {
+            out.push_str("<empty>");
+        }
+        out
+    }
+
+    /// Renders a source location as `file:line`.
+    pub fn format_loc(&self, loc: crate::event::SourceLoc) -> String {
+        format!("{}:{}", self.sym(loc.file), loc.line)
+    }
+
+    /// Exports the relational tables as CSV strings keyed by table name,
+    /// mirroring the CSV intermediate format of the paper's import pipeline.
+    pub fn export_csv_tables(&self) -> Vec<(String, String)> {
+        let mut tables = Vec::new();
+
+        let mut allocs = String::from("id,addr,size,data_type,subclass,alloc_ts,free_ts\n");
+        for a in &self.allocations {
+            let _ = writeln!(
+                allocs,
+                "{},{:#x},{},{},{},{},{}",
+                a.id.0,
+                a.addr,
+                a.size,
+                self.type_name(a.data_type),
+                a.subclass.map(|s| self.sym(s)).unwrap_or(""),
+                a.alloc_ts,
+                a.free_ts.map(|t| t.to_string()).unwrap_or_default()
+            );
+        }
+        tables.push(("allocations".to_owned(), allocs));
+
+        let mut locks =
+            String::from("id,addr,name,flavor,is_static,embedded_alloc,embedded_offset\n");
+        for l in &self.locks {
+            let (ea, eo) = match l.embedded_in {
+                Some((a, o)) => (a.0.to_string(), o.to_string()),
+                None => (String::new(), String::new()),
+            };
+            let _ = writeln!(
+                locks,
+                "{},{:#x},{},{},{},{},{}",
+                l.id.0,
+                l.addr,
+                self.sym(l.name),
+                l.flavor,
+                l.is_static,
+                ea,
+                eo
+            );
+        }
+        tables.push(("locks".to_owned(), locks));
+
+        let mut txns = String::from("id,flow,start_ts,end_ts,locks\n");
+        for t in &self.txns {
+            let lock_list: Vec<String> = t
+                .locks
+                .iter()
+                .map(|h| self.sym(self.lock(h.lock).name).to_owned())
+                .collect();
+            let _ = writeln!(
+                txns,
+                "{},{:?},{},{},{}",
+                t.id.0,
+                t.flow,
+                t.start_ts,
+                t.end_ts,
+                lock_list.join("|")
+            );
+        }
+        tables.push(("txns".to_owned(), txns));
+
+        let mut accs =
+            String::from("id,ts,kind,alloc,data_type,subclass,member,size,loc,txn,stack\n");
+        for a in &self.accesses {
+            let _ = writeln!(
+                accs,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                a.id,
+                a.ts,
+                a.kind,
+                a.alloc.0,
+                self.type_name(a.data_type),
+                a.subclass.map(|s| self.sym(s)).unwrap_or(""),
+                self.member_name(a.data_type, a.member),
+                a.size,
+                self.format_loc(a.loc),
+                a.txn.map(|t| t.0.to_string()).unwrap_or_default(),
+                a.stack.0
+            );
+        }
+        tables.push(("accesses".to_owned(), accs));
+
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{
+        AccessKind, AcquireMode, ContextKind, Event, LockFlavor, MemberDef, SourceLoc, Trace,
+    };
+    use crate::filter::FilterConfig;
+    use crate::ids::{AllocId, TaskId};
+
+    /// Builds a small trace exercising nesting, reentrancy, contexts and
+    /// filtering, roughly following the paper's Fig. 4 clock example.
+    fn build_trace() -> Trace {
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("clock.c");
+        let sec_lock = tr.meta.strings.intern("sec_lock");
+        let min_lock = tr.meta.strings.intern("min_lock");
+        let dt = tr.meta.add_data_type(DataTypeDef {
+            name: "clock".into(),
+            size: 24,
+            members: vec![
+                MemberDef {
+                    name: "seconds".into(),
+                    offset: 0,
+                    size: 4,
+                    atomic: false,
+                    is_lock: false,
+                },
+                MemberDef {
+                    name: "minutes".into(),
+                    offset: 4,
+                    size: 4,
+                    atomic: false,
+                    is_lock: false,
+                },
+                MemberDef {
+                    name: "refcount".into(),
+                    offset: 8,
+                    size: 4,
+                    atomic: true,
+                    is_lock: false,
+                },
+            ],
+        });
+        let init_fn = tr.meta.add_function("clock_init");
+        let tick_fn = tr.meta.add_function("clock_tick");
+        let task = tr.meta.add_task("ticker");
+
+        let loc = |line| SourceLoc::new(file, line);
+        let mut ts = 0u64;
+        let mut t = |tr: &mut Trace, e: Event| {
+            ts += 1;
+            tr.push(ts, e);
+        };
+
+        t(&mut tr, Event::TaskSwitch { task });
+        t(
+            &mut tr,
+            Event::LockInit {
+                addr: 0x100,
+                name: sec_lock,
+                flavor: LockFlavor::Spinlock,
+                is_static: true,
+            },
+        );
+        t(
+            &mut tr,
+            Event::LockInit {
+                addr: 0x200,
+                name: min_lock,
+                flavor: LockFlavor::Spinlock,
+                is_static: true,
+            },
+        );
+        t(
+            &mut tr,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: 0x1000,
+                size: 24,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        // Init-context write (should be filtered).
+        t(&mut tr, Event::FnEnter { func: init_fn });
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1000,
+                size: 4,
+                loc: loc(5),
+                atomic: false,
+            },
+        );
+        t(&mut tr, Event::FnExit { func: init_fn });
+
+        // Nested critical sections: sec_lock -> min_lock.
+        t(&mut tr, Event::FnEnter { func: tick_fn });
+        t(
+            &mut tr,
+            Event::LockAcquire {
+                addr: 0x100,
+                mode: AcquireMode::Exclusive,
+                loc: loc(10),
+            },
+        );
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1000,
+                size: 4,
+                loc: loc(11),
+                atomic: false,
+            },
+        );
+        t(
+            &mut tr,
+            Event::LockAcquire {
+                addr: 0x200,
+                mode: AcquireMode::Exclusive,
+                loc: loc(12),
+            },
+        );
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1004,
+                size: 4,
+                loc: loc(13),
+                atomic: false,
+            },
+        );
+        t(
+            &mut tr,
+            Event::LockRelease {
+                addr: 0x200,
+                loc: loc(14),
+            },
+        );
+        // Back in the outer transaction.
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: AccessKind::Read,
+                addr: 0x1000,
+                size: 4,
+                loc: loc(15),
+                atomic: false,
+            },
+        );
+        t(
+            &mut tr,
+            Event::LockRelease {
+                addr: 0x100,
+                loc: loc(16),
+            },
+        );
+        // Atomic access (filtered).
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: AccessKind::Read,
+                addr: 0x1008,
+                size: 4,
+                loc: loc(17),
+                atomic: true,
+            },
+        );
+        // Lock-free read outside any txn.
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: AccessKind::Read,
+                addr: 0x1004,
+                size: 4,
+                loc: loc(18),
+                atomic: false,
+            },
+        );
+        t(&mut tr, Event::FnExit { func: tick_fn });
+        t(&mut tr, Event::Free { id: AllocId(1) });
+        tr
+    }
+
+    fn config() -> FilterConfig {
+        let mut cfg = FilterConfig::with_defaults();
+        cfg.add_init_teardown("clock", "clock_init");
+        cfg
+    }
+
+    #[test]
+    fn import_builds_transactions_with_nesting() {
+        let db = import(&build_trace(), &config());
+        // Four materialized txns: [sec], [sec,min], [sec] again, and the
+        // empty-set span of the final lock-free read.
+        assert_eq!(db.txns.len(), 4);
+        assert_eq!(db.txns[0].locks.len(), 1);
+        assert_eq!(db.txns[1].locks.len(), 2);
+        assert_eq!(db.txns[2].locks.len(), 1);
+        assert_eq!(db.txns[3].locks.len(), 0);
+        // Acquisition order in the nested txn is sec_lock -> min_lock.
+        let names: Vec<&str> = db.txns[1]
+            .locks
+            .iter()
+            .map(|h| db.sym(db.lock(h.lock).name))
+            .collect();
+        assert_eq!(names, vec!["sec_lock", "min_lock"]);
+    }
+
+    #[test]
+    fn import_applies_filters() {
+        let db = import(&build_trace(), &config());
+        // 6 accesses seen; init write, atomic member read filtered; 4 left.
+        assert_eq!(db.stats.accesses_seen, 6);
+        assert_eq!(db.stats.accesses_imported, 4);
+        assert_eq!(db.stats.total_filtered(), 2);
+    }
+
+    #[test]
+    fn accesses_are_assigned_to_innermost_txn() {
+        let db = import(&build_trace(), &config());
+        let member_of = |a: &Access| db.member_name(a.data_type, a.member).to_owned();
+        let seconds: Vec<&Access> = db
+            .accesses
+            .iter()
+            .filter(|a| member_of(a) == "seconds")
+            .collect();
+        assert_eq!(seconds.len(), 2);
+        assert_eq!(seconds[0].txn, Some(TxnId(0)));
+        assert_eq!(seconds[1].txn, Some(TxnId(2)));
+        let minutes: Vec<&Access> = db
+            .accesses
+            .iter()
+            .filter(|a| member_of(a) == "minutes")
+            .collect();
+        assert_eq!(minutes.len(), 2);
+        assert_eq!(minutes[0].txn, Some(TxnId(1)));
+        // The lock-free read gets an empty-set transaction of its own.
+        let free_txn = db.txn(minutes[1].txn.unwrap());
+        assert!(free_txn.locks.is_empty());
+    }
+
+    #[test]
+    fn observation_groups_and_names() {
+        let db = import(&build_trace(), &config());
+        let groups = db.observation_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(db.group_name(groups[0]), "clock");
+        assert_eq!(db.group_accesses(groups[0]).count(), 4);
+    }
+
+    #[test]
+    fn stacks_are_deduplicated() {
+        let db = import(&build_trace(), &config());
+        // All imported accesses happen inside clock_tick.
+        assert_eq!(db.stacks.len(), 1);
+        assert_eq!(db.format_stack(StackId(0)), "clock_tick");
+    }
+
+    #[test]
+    fn csv_export_emits_all_tables() {
+        let db = import(&build_trace(), &config());
+        let tables = db.export_csv_tables();
+        let names: Vec<&str> = tables.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["allocations", "locks", "txns", "accesses"]);
+        for (_, csv) in &tables {
+            assert!(csv.lines().count() >= 2, "table must have header + rows");
+        }
+    }
+
+    #[test]
+    fn irq_context_gets_its_own_flow() {
+        let mut tr = build_trace();
+        let file = tr.meta.strings.intern("irq.c");
+        let dt = DataTypeId(0);
+        let last_ts = tr.events.last().unwrap().ts;
+        // Re-allocate, then touch the object from hardirq context with no
+        // locks held by the irq flow.
+        tr.push(
+            last_ts + 1,
+            Event::Alloc {
+                id: AllocId(2),
+                addr: 0x2000,
+                size: 24,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        tr.push(
+            last_ts + 2,
+            Event::LockAcquire {
+                addr: 0x100,
+                mode: AcquireMode::Exclusive,
+                loc: SourceLoc::new(file, 1),
+            },
+        );
+        tr.push(
+            last_ts + 3,
+            Event::ContextEnter {
+                kind: ContextKind::Hardirq,
+            },
+        );
+        tr.push(
+            last_ts + 4,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x2000,
+                size: 4,
+                loc: SourceLoc::new(file, 2),
+                atomic: false,
+            },
+        );
+        tr.push(
+            last_ts + 5,
+            Event::ContextExit {
+                kind: ContextKind::Hardirq,
+            },
+        );
+        tr.push(
+            last_ts + 6,
+            Event::LockRelease {
+                addr: 0x100,
+                loc: SourceLoc::new(file, 3),
+            },
+        );
+        let db = import(&tr, &config());
+        let irq_access = db
+            .accesses
+            .iter()
+            .find(|a| a.context == ContextKind::Hardirq)
+            .expect("irq access imported");
+        // The task's sec_lock does not leak into the irq flow: the irq
+        // access lands in an empty-set transaction.
+        assert!(db.txn(irq_access.txn.unwrap()).locks.is_empty());
+        assert_eq!(irq_access.flow, FlowKey::Irq(1));
+    }
+
+    #[test]
+    fn unmatched_release_is_counted_not_fatal() {
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("x.c");
+        let name = tr.meta.strings.intern("l");
+        tr.meta.add_task("t");
+        tr.push(
+            0,
+            Event::LockInit {
+                addr: 0x10,
+                name,
+                flavor: LockFlavor::Mutex,
+                is_static: true,
+            },
+        );
+        tr.push(1, Event::TaskSwitch { task: TaskId(0) });
+        tr.push(
+            2,
+            Event::LockRelease {
+                addr: 0x10,
+                loc: SourceLoc::new(file, 1),
+            },
+        );
+        let db = import(&tr, &FilterConfig::with_defaults());
+        assert_eq!(db.stats.unmatched_releases, 1);
+    }
+
+    #[test]
+    fn rcu_reentrancy_keeps_single_held_entry() {
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("rcu.c");
+        let rcu = tr.meta.strings.intern("rcu");
+        let dt = tr.meta.add_data_type(DataTypeDef {
+            name: "obj".into(),
+            size: 8,
+            members: vec![MemberDef {
+                name: "val".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+        tr.meta.add_task("t");
+        let loc = SourceLoc::new(file, 1);
+        tr.push(0, Event::TaskSwitch { task: TaskId(0) });
+        tr.push(
+            1,
+            Event::LockInit {
+                addr: 0x10,
+                name: rcu,
+                flavor: LockFlavor::Rcu,
+                is_static: true,
+            },
+        );
+        tr.push(
+            2,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: 0x1000,
+                size: 8,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        tr.push(
+            3,
+            Event::LockAcquire {
+                addr: 0x10,
+                mode: AcquireMode::Shared,
+                loc,
+            },
+        );
+        tr.push(
+            4,
+            Event::LockAcquire {
+                addr: 0x10,
+                mode: AcquireMode::Shared,
+                loc,
+            },
+        );
+        tr.push(
+            5,
+            Event::MemAccess {
+                kind: AccessKind::Read,
+                addr: 0x1000,
+                size: 8,
+                loc,
+                atomic: false,
+            },
+        );
+        tr.push(6, Event::LockRelease { addr: 0x10, loc });
+        tr.push(
+            7,
+            Event::MemAccess {
+                kind: AccessKind::Read,
+                addr: 0x1000,
+                size: 8,
+                loc,
+                atomic: false,
+            },
+        );
+        tr.push(8, Event::LockRelease { addr: 0x10, loc });
+        let db = import(&tr, &FilterConfig::with_defaults());
+        // One txn spanning both accesses: the nested rcu_read_lock does not
+        // change the held set.
+        assert_eq!(db.txns.len(), 1);
+        assert_eq!(db.txns[0].locks.len(), 1);
+        assert_eq!(db.accesses.len(), 2);
+        assert!(db.accesses.iter().all(|a| a.txn == Some(TxnId(0))));
+        assert_eq!(db.stats.unmatched_releases, 0);
+    }
+}

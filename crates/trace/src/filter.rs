@@ -1,0 +1,145 @@
+//! Post-processing filters applied during database import (paper Sec. 5.3).
+//!
+//! The paper filters three classes of memory accesses before rule derivation:
+//!
+//! 1. accesses made from object **initialization/teardown** contexts, where
+//!    locking rules are deliberately violated because the object is not yet
+//!    (or no longer) visible to concurrent control flows,
+//! 2. accesses to **blacklisted members** (out-of-scope nested structures,
+//!    `atomic_t` members, lock variables themselves), and
+//! 3. accesses performed via **atomic accessors** (`atomic_read()` etc.)
+//!    that intentionally bypass the locking discipline, or from globally
+//!    ignored helper functions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Declarative filter configuration.
+///
+/// The paper's concrete setup uses a function blacklist of 99 entries for 9
+/// data types plus 58 globally ignored functions, and a member blacklist of
+/// 30 entries (Sec. 6); [`crate::filter::FilterConfig`] holds the same three
+/// lists in structured form.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Members to drop entirely: `(data type name, member name)`.
+    pub member_blacklist: HashSet<(String, String)>,
+    /// Per-data-type (de)initialization functions; accesses to an instance
+    /// of the type while one of these functions is on the call stack are
+    /// dropped.
+    pub init_teardown: HashMap<String, HashSet<String>>,
+    /// Globally ignored functions (e.g. `atomic_inc`): any access whose
+    /// innermost frame is one of these is dropped.
+    pub global_fn_blacklist: HashSet<String>,
+    /// Drop accesses flagged as atomic by the tracer (default true).
+    pub drop_atomic_accesses: bool,
+    /// Drop accesses to members declared `atomic_t` or lock variables
+    /// (default true).
+    pub drop_atomic_members: bool,
+}
+
+impl FilterConfig {
+    /// A configuration with the paper's default behaviour (atomic filtering
+    /// on, empty blacklists).
+    pub fn with_defaults() -> Self {
+        Self {
+            drop_atomic_accesses: true,
+            drop_atomic_members: true,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a member blacklist entry.
+    pub fn blacklist_member(&mut self, data_type: &str, member: &str) -> &mut Self {
+        self.member_blacklist
+            .insert((data_type.to_owned(), member.to_owned()));
+        self
+    }
+
+    /// Registers an initialization/teardown function for a data type.
+    pub fn add_init_teardown(&mut self, data_type: &str, func: &str) -> &mut Self {
+        self.init_teardown
+            .entry(data_type.to_owned())
+            .or_default()
+            .insert(func.to_owned());
+        self
+    }
+
+    /// Registers a globally ignored function.
+    pub fn ignore_function(&mut self, func: &str) -> &mut Self {
+        self.global_fn_blacklist.insert(func.to_owned());
+        self
+    }
+
+    /// Whether `(data_type, member)` is blacklisted.
+    pub fn member_blacklisted(&self, data_type: &str, member: &str) -> bool {
+        // Avoid allocating a tuple of Strings for the lookup.
+        self.member_blacklist
+            .iter()
+            .any(|(t, m)| t == data_type && m == member)
+    }
+
+    /// Total number of configured blacklist entries (for stats reporting).
+    pub fn entry_counts(&self) -> FilterCounts {
+        FilterCounts {
+            member_entries: self.member_blacklist.len(),
+            init_teardown_entries: self.init_teardown.values().map(|s| s.len()).sum(),
+            global_fn_entries: self.global_fn_blacklist.len(),
+        }
+    }
+}
+
+/// Sizes of the configured blacklists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterCounts {
+    /// Number of `(type, member)` blacklist entries.
+    pub member_entries: usize,
+    /// Number of per-type init/teardown function entries.
+    pub init_teardown_entries: usize,
+    /// Number of globally ignored functions.
+    pub global_fn_entries: usize,
+}
+
+/// Why an access was filtered out (kept for import statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterReason {
+    /// The tracer flagged the access as atomic.
+    AtomicAccess,
+    /// The member is an `atomic_t` or a lock variable.
+    AtomicOrLockMember,
+    /// The `(type, member)` pair is blacklisted.
+    BlacklistedMember,
+    /// An init/teardown function of the type is on the stack.
+    InitTeardownContext,
+    /// The innermost function is globally ignored.
+    IgnoredFunction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_entries() {
+        let mut cfg = FilterConfig::with_defaults();
+        cfg.blacklist_member("inode", "i_sb_list")
+            .add_init_teardown("inode", "alloc_inode")
+            .add_init_teardown("inode", "destroy_inode")
+            .ignore_function("atomic_inc");
+        assert!(cfg.member_blacklisted("inode", "i_sb_list"));
+        assert!(!cfg.member_blacklisted("inode", "i_state"));
+        let counts = cfg.entry_counts();
+        assert_eq!(counts.member_entries, 1);
+        assert_eq!(counts.init_teardown_entries, 2);
+        assert_eq!(counts.global_fn_entries, 1);
+    }
+
+    #[test]
+    fn defaults_enable_atomic_filtering() {
+        let cfg = FilterConfig::with_defaults();
+        assert!(cfg.drop_atomic_accesses);
+        assert!(cfg.drop_atomic_members);
+        let off = FilterConfig::default();
+        assert!(!off.drop_atomic_accesses);
+    }
+}

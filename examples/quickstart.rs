@@ -1,0 +1,101 @@
+//! Quickstart: run a workload on the simulated kernel, derive locking
+//! rules, check the documented rules, and hunt for violations.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ksim::config::SimConfig;
+use ksim::rules;
+use ksim::subsys::Machine;
+use lockdoc_core::checker::{check_rules, summarize};
+use lockdoc_core::derive::{derive, DeriveConfig};
+use lockdoc_core::rulespec::parse_rules;
+use lockdoc_core::violation::find_violations;
+use lockdoc_trace::db::import;
+
+fn main() {
+    // Phase 1: trace an instrumented run (paper Sec. 5.2).
+    let config = SimConfig::with_seed(0x1001).with_faults(rules::default_fault_plan());
+    let mut machine = Machine::boot(config);
+    machine.run_mix(5_000);
+    let injected = machine.k.fault_log.clone();
+    let trace = machine.finish();
+    let summary = trace.summary();
+    println!(
+        "trace: {} events ({} lock ops, {} memory accesses, {} allocs)",
+        summary.total, summary.lock_ops, summary.mem_accesses, summary.allocs
+    );
+
+    // Post-processing: import into the relational store (Sec. 5.3).
+    let db = import(&trace, &rules::filter_config());
+    println!(
+        "store: {} accesses after filtering ({} filtered), {} txns, {} locks",
+        db.stats.accesses_imported,
+        db.stats.total_filtered(),
+        db.stats.txns,
+        db.stats.locks
+    );
+
+    // Phase 2: derive locking rules (Sec. 5.4).
+    let mined = derive(&db, &DeriveConfig::default());
+    println!("\nmined rules per observation group:");
+    for group in &mined.groups {
+        let r = group.rule_count(lockdoc_trace::event::AccessKind::Read);
+        let w = group.rule_count(lockdoc_trace::event::AccessKind::Write);
+        println!(
+            "  {:24} {:3} read rules, {:3} write rules",
+            group.group_name, r, w
+        );
+    }
+
+    // Phase 3a: check the documented rules (Sec. 7.3).
+    let documented = parse_rules(rules::documented_rules()).expect("rule file parses");
+    let checked = check_rules(&db, &documented);
+    println!("\ndocumented-rule validation (paper Tab. 4):");
+    for row in summarize(&checked) {
+        println!(
+            "  {:16} #R={:3} #No={:2} #Ob={:3}  ok={:5.1}% amb={:5.1}% bad={:5.1}%",
+            row.type_name,
+            row.rules,
+            row.not_observed,
+            row.observed,
+            row.pct_correct,
+            row.pct_ambivalent,
+            row.pct_incorrect
+        );
+    }
+
+    // Phase 3b: find rule violations (Sec. 7.5).
+    let violations = find_violations(&db, &mined, 3);
+    println!("\nrule violations (paper Tab. 7):");
+    for v in violations.iter().filter(|v| v.events > 0) {
+        println!(
+            "  {:24} {:6} events, {:2} members, {:3} contexts",
+            v.group_name,
+            v.events,
+            v.members.len(),
+            v.context_count()
+        );
+        for ex in &v.examples {
+            println!(
+                "      e.g. {}.{}:{} held [{}] at {} ({})",
+                ex.group_name,
+                ex.member_name,
+                ex.kind,
+                ex.held
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> "),
+                db.format_loc(ex.loc),
+                db.format_stack(ex.stack)
+            );
+        }
+    }
+    println!(
+        "\nfault oracle: {} injected faults at sites {:?}",
+        injected.total(),
+        injected.fired_sites()
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the LockDoc reproduction workspace.
+//!
+//! This package hosts the runnable [examples](https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples)
+//! and the cross-crate integration tests. The actual functionality lives in:
+//!
+//! * [`ksim`] — the simulated Linux-like kernel substrate and tracer,
+//! * [`lockdoc_trace`] — trace events, codecs, filters, and the relational store,
+//! * [`lockdoc_core`] — the LockDoc analyses (derivation, checking, docgen, violations),
+//! * [`locksrc`] — the source-corpus scanner behind the paper's Fig. 1.
+
+pub use ksim;
+pub use lockdoc_core;
+pub use lockdoc_trace;
+pub use locksrc;

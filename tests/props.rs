@@ -1,0 +1,379 @@
+//! Property-based tests (proptest) of the core invariants:
+//!
+//! * codec round-trips arbitrary event streams,
+//! * transaction reconstruction matches a reference interpreter,
+//! * hypothesis support is anti-monotone under sequence extension,
+//! * the selected winner always satisfies the selection contract,
+//! * rule-notation printing and parsing are inverses,
+//! * the write-over-read fold is idempotent and consistent.
+
+use lockdoc_core::hypothesis::{complies, enumerate, Observation};
+use lockdoc_core::lockset::LockDescriptor;
+use lockdoc_core::matrix::AccessMatrix;
+use lockdoc_core::order::OrderGraph;
+use lockdoc_core::rulespec::{parse_rule, parse_rules, RuleSpec};
+use lockdoc_core::select::{select, SelectionConfig};
+use lockdoc_trace::codec::{read_trace, write_trace};
+use lockdoc_trace::db::import;
+use lockdoc_trace::event::{
+    AccessKind, AcquireMode, DataTypeDef, Event, LockFlavor, MemberDef, SourceLoc, Trace,
+};
+use lockdoc_trace::filter::FilterConfig;
+use lockdoc_trace::ids::{AllocId, TaskId};
+use proptest::prelude::*;
+
+/// A tiny abstract program: operations on two locks and one object with
+/// two members, from which both a trace and a reference lock-state
+/// interpretation are produced.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Lock(u8),
+    Unlock(u8),
+    Access(u8, bool), // member, is_write
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..2).prop_map(Op::Lock),
+        (0u8..2).prop_map(Op::Unlock),
+        ((0u8..2), any::<bool>()).prop_map(|(m, w)| Op::Access(m, w)),
+    ]
+}
+
+/// Builds a well-formed trace from an op list: unlocks of unheld locks and
+/// double locks are dropped (the generator sanitizes rather than rejects).
+fn build_trace(ops: &[Op]) -> (Trace, Vec<(u8, bool, Vec<u8>)>) {
+    let mut tr = Trace::new();
+    let file = tr.meta.strings.intern("prop.c");
+    let la = tr.meta.strings.intern("lock_a");
+    let lb = tr.meta.strings.intern("lock_b");
+    let dt = tr.meta.add_data_type(DataTypeDef {
+        name: "obj".into(),
+        size: 16,
+        members: vec![
+            MemberDef {
+                name: "m0".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            },
+            MemberDef {
+                name: "m1".into(),
+                offset: 8,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            },
+        ],
+    });
+    tr.meta.add_task("t");
+    let loc = SourceLoc::new(file, 1);
+    let mut ts = 0u64;
+    let mut push = |tr: &mut Trace, e: Event| {
+        ts += 1;
+        tr.push(ts, e);
+    };
+    push(&mut tr, Event::TaskSwitch { task: TaskId(0) });
+    for (addr, name) in [(0x100u64, la), (0x200, lb)] {
+        push(
+            &mut tr,
+            Event::LockInit {
+                addr,
+                name,
+                flavor: LockFlavor::Spinlock,
+                is_static: true,
+            },
+        );
+    }
+    push(
+        &mut tr,
+        Event::Alloc {
+            id: AllocId(1),
+            addr: 0x1000,
+            size: 16,
+            data_type: dt,
+            subclass: None,
+        },
+    );
+
+    // Reference interpretation: expected (member, is_write, held locks).
+    let mut held: Vec<u8> = Vec::new();
+    let mut expected = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Lock(l) => {
+                if !held.contains(&l) {
+                    held.push(l);
+                    push(
+                        &mut tr,
+                        Event::LockAcquire {
+                            addr: 0x100 + 0x100 * u64::from(l),
+                            mode: AcquireMode::Exclusive,
+                            loc,
+                        },
+                    );
+                }
+            }
+            Op::Unlock(l) => {
+                if let Some(p) = held.iter().position(|&h| h == l) {
+                    held.remove(p);
+                    push(
+                        &mut tr,
+                        Event::LockRelease {
+                            addr: 0x100 + 0x100 * u64::from(l),
+                            loc,
+                        },
+                    );
+                }
+            }
+            Op::Access(m, w) => {
+                push(
+                    &mut tr,
+                    Event::MemAccess {
+                        kind: if w {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                        addr: 0x1000 + 8 * u64::from(m),
+                        size: 8,
+                        loc,
+                        atomic: false,
+                    },
+                );
+                expected.push((m, w, held.clone()));
+            }
+        }
+    }
+    (tr, expected)
+}
+
+proptest! {
+    /// The importer's transaction reconstruction agrees with the reference
+    /// interpreter for every access.
+    #[test]
+    fn txn_reconstruction_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let (trace, expected) = build_trace(&ops);
+        let db = import(&trace, &FilterConfig::with_defaults());
+        prop_assert_eq!(db.accesses.len(), expected.len());
+        for (access, (m, w, held)) in db.accesses.iter().zip(&expected) {
+            prop_assert_eq!(access.member, u32::from(*m));
+            prop_assert_eq!(access.kind == AccessKind::Write, *w);
+            let txn = db.txn(access.txn.expect("every access has a txn"));
+            let got: Vec<u64> = txn.locks.iter().map(|h| db.lock(h.lock).addr).collect();
+            let want: Vec<u64> = held.iter().map(|&l| 0x100 + 0x100 * u64::from(l)).collect();
+            prop_assert_eq!(got, want, "held-lock order must be acquisition order");
+        }
+    }
+
+    /// Binary codec round trip for arbitrary generated traces.
+    #[test]
+    fn codec_round_trips(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        let (trace, _) = build_trace(&ops);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("encode");
+        let back = read_trace(&mut buf.as_slice()).expect("decode");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Hypothesis support never increases when a lock is appended (support
+    /// anti-monotonicity), and `sa <= total` always holds.
+    #[test]
+    fn support_is_antimonotone(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec(0u8..5, 0..5), 1..12),
+        counts in proptest::collection::vec(1u64..50, 12),
+    ) {
+        let observations: Vec<Observation> = seqs
+            .iter()
+            .zip(&counts)
+            .map(|(seq, &count)| {
+                // Deduplicate within a sequence (held sets are sets).
+                let mut locks: Vec<LockDescriptor> = Vec::new();
+                for &l in seq {
+                    let d = LockDescriptor::global(&format!("L{l}"));
+                    if !locks.contains(&d) {
+                        locks.push(d);
+                    }
+                }
+                Observation { locks, count }
+            })
+            .collect();
+        let set = enumerate(0, AccessKind::Write, &observations);
+        let total: u64 = observations.iter().map(|o| o.count).sum();
+        prop_assert_eq!(set.total, total);
+        for h in &set.hypotheses {
+            prop_assert!(h.sa <= set.total);
+            // Dropping the last lock can only gain support.
+            if h.locks.len() > 1 {
+                let shorter = &h.locks[..h.locks.len() - 1];
+                if let Some(sh) = set.support_of(shorter) {
+                    prop_assert!(sh.sa >= h.sa);
+                }
+            }
+        }
+    }
+
+    /// The winner obeys the selection contract: its support is above the
+    /// threshold and no candidate has strictly lower support (nor equal
+    /// support with more locks).
+    #[test]
+    fn winner_satisfies_contract(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 0..4), 1..10),
+        counts in proptest::collection::vec(1u64..40, 10),
+        threshold in 0.5f64..1.0,
+    ) {
+        let observations: Vec<Observation> = seqs
+            .iter()
+            .zip(&counts)
+            .map(|(seq, &count)| {
+                let mut locks: Vec<LockDescriptor> = Vec::new();
+                for &l in seq {
+                    let d = LockDescriptor::global(&format!("L{l}"));
+                    if !locks.contains(&d) {
+                        locks.push(d);
+                    }
+                }
+                Observation { locks, count }
+            })
+            .collect();
+        let set = enumerate(0, AccessKind::Write, &observations);
+        let cfg = SelectionConfig::with_threshold(threshold);
+        let w = select(&set, &cfg).expect("enumerated sets always select");
+        prop_assert!(w.hypothesis.sr + 1e-12 >= threshold);
+        for h in &set.hypotheses {
+            if h.sr + 1e-12 >= threshold {
+                prop_assert!(
+                    h.sa > w.hypothesis.sa
+                        || (h.sa == w.hypothesis.sa
+                            && h.locks.len() <= w.hypothesis.locks.len()),
+                    "candidate {:?} beats winner {:?}",
+                    h,
+                    w.hypothesis
+                );
+            }
+        }
+        // Every observation that complies with the winner also complies
+        // with each of its prefixes (sanity of the subsequence semantics).
+        for obs in &observations {
+            if complies(&obs.locks, &w.hypothesis.locks) {
+                for cut in 0..w.hypothesis.locks.len() {
+                    prop_assert!(complies(&obs.locks, &w.hypothesis.locks[..cut]));
+                }
+            }
+        }
+    }
+
+    /// Rule notation: display then parse is the identity.
+    #[test]
+    fn rulespec_round_trips(
+        type_idx in 0usize..3,
+        member_idx in 0usize..4,
+        is_write in any::<bool>(),
+        lock_kinds in proptest::collection::vec(0u8..4, 0..3),
+    ) {
+        let types = ["inode", "journal_t", "dentry"];
+        let members = ["i_state", "j_flags", "d_hash", "some_member"];
+        let locks: Vec<LockDescriptor> = lock_kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| match k {
+                0 => LockDescriptor::global(&format!("glock_{i}")),
+                1 => LockDescriptor::es(&format!("mem{i}"), types[type_idx]),
+                2 => LockDescriptor::eo(&format!("mem{i}"), "other_type"),
+                _ => LockDescriptor::rcu(),
+            })
+            .collect();
+        let rule = RuleSpec {
+            type_name: types[type_idx].to_owned(),
+            subclass: None,
+            member: members[member_idx].to_owned(),
+            kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+            locks,
+        };
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed).expect("parses").expect("not a comment");
+        prop_assert_eq!(rule, reparsed);
+    }
+
+    /// Matrix invariants: WoR classification is a partition of the folded
+    /// matrix, and totals equal the raw access counts per member.
+    #[test]
+    fn matrix_wor_partitions_units(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        let (trace, expected) = build_trace(&ops);
+        let db = import(&trace, &FilterConfig::with_defaults());
+        let group = match db.observation_groups().first() {
+            Some(&g) => g,
+            None => return Ok(()), // no accesses generated
+        };
+        let matrix = AccessMatrix::build(&db, group);
+        let mut total_reads = 0u64;
+        let mut total_writes = 0u64;
+        for (member, mm) in &matrix.members {
+            let (r, w) = mm.totals();
+            total_reads += r;
+            total_writes += w;
+            let read_units = mm.relevant_units(AccessKind::Read);
+            let write_units = mm.relevant_units(AccessKind::Write);
+            // WoR: a unit is read XOR write, never both.
+            for u in &read_units {
+                prop_assert!(!write_units.contains(u), "member {member}: unit in both classes");
+            }
+            prop_assert_eq!(read_units.len() + write_units.len(), mm.cells.len());
+            // Folded never exceeds observed; overrides are bounded.
+            for c in mm.cells.values() {
+                prop_assert!(u64::from(c.folded_read()) <= c.reads.max(1));
+            }
+            prop_assert!(mm.wor_overrides() <= mm.cells.len() as u64);
+        }
+        let raw_reads = expected.iter().filter(|(_, w, _)| !*w).count() as u64;
+        let raw_writes = expected.iter().filter(|(_, w, _)| *w).count() as u64;
+        prop_assert_eq!(total_reads, raw_reads);
+        prop_assert_eq!(total_writes, raw_writes);
+    }
+
+    /// Order-graph invariants: edge counts are bounded by lock pairs in
+    /// transactions, and inversions are symmetric findings.
+    #[test]
+    fn order_graph_invariants(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        let (trace, _) = build_trace(&ops);
+        let db = import(&trace, &FilterConfig::with_defaults());
+        let graph = OrderGraph::build(&db);
+        // An edge requires at least one txn with >= 2 locks.
+        let multi = db.txns.iter().filter(|t| t.locks.len() >= 2).count();
+        if multi == 0 {
+            prop_assert!(graph.edges.is_empty());
+        }
+        for ((a, b), e) in &graph.edges {
+            prop_assert!(a != b, "same-class edges are excluded");
+            prop_assert_eq!(&e.from, a);
+            prop_assert_eq!(&e.to, b);
+            prop_assert!(e.count >= 1);
+        }
+        // Each inversion corresponds to both directed edges existing.
+        for inv in graph.inversions() {
+            let f = (inv.forward.from.clone(), inv.forward.to.clone());
+            let r = (inv.forward.to.clone(), inv.forward.from.clone());
+            prop_assert!(graph.edges.contains_key(&f));
+            prop_assert!(graph.edges.contains_key(&r));
+            prop_assert!(inv.forward.count >= inv.backward.count);
+        }
+    }
+
+    /// Parsing a multi-line rule file equals parsing its lines separately.
+    #[test]
+    fn parse_rules_is_linewise(n in 1usize..6) {
+        let lines: Vec<String> = (0..n)
+            .map(|i| format!("inode.member{i}:w = ES(i_lock in inode)"))
+            .collect();
+        let text = lines.join("\n");
+        let bulk = parse_rules(&text).expect("bulk parses");
+        prop_assert_eq!(bulk.len(), n);
+        for (i, rule) in bulk.iter().enumerate() {
+            let single = parse_rule(&lines[i]).unwrap().unwrap();
+            prop_assert_eq!(rule, &single);
+        }
+    }
+}
