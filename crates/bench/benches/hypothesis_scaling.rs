@@ -1,10 +1,13 @@
 //! Microbenchmarks of the hypothesis machinery: subsequence enumeration
 //! as a function of locks per transaction (the combinatorial heart of the
 //! derivator), compliance checks, and the exhaustive Tab. 2 mode.
+//!
+//! Runs on the in-tree `lockdoc_platform::timing` harness; see
+//! `benches/pipeline.rs` for knobs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lockdoc_core::hypothesis::{complies, enumerate, enumerate_exhaustive, Observation};
 use lockdoc_core::lockset::LockDescriptor;
+use lockdoc_platform::timing::Bench;
 use lockdoc_trace::event::AccessKind;
 
 fn observations(locks_per_txn: usize, distinct: usize) -> Vec<Observation> {
@@ -18,42 +21,35 @@ fn observations(locks_per_txn: usize, distinct: usize) -> Vec<Observation> {
         .collect()
 }
 
-fn bench_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hypothesis-enumeration");
+fn bench_enumeration(b: &mut Bench) {
     for locks in [2usize, 4, 6, 8, 10] {
         let obs = observations(locks, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(locks), &obs, |b, obs| {
-            b.iter(|| enumerate(0, AccessKind::Write, obs))
+        b.run(&format!("hypothesis-enumeration/{locks}-locks"), || {
+            enumerate(0, AccessKind::Write, &obs)
         });
     }
-    group.finish();
 }
 
-fn bench_exhaustive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hypothesis-exhaustive");
+fn bench_exhaustive(b: &mut Bench) {
     for locks in [2usize, 3, 4, 5] {
         let obs = observations(locks, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(locks), &obs, |b, obs| {
-            b.iter(|| enumerate_exhaustive(0, AccessKind::Write, obs, locks))
+        b.run(&format!("hypothesis-exhaustive/{locks}-locks"), || {
+            enumerate_exhaustive(0, AccessKind::Write, &obs, locks)
         });
     }
-    group.finish();
 }
 
-fn bench_compliance(c: &mut Criterion) {
+fn bench_compliance(b: &mut Bench) {
     let held: Vec<LockDescriptor> = (0..8)
         .map(|i| LockDescriptor::global(&format!("lock_{i}")))
         .collect();
     let rule = vec![held[1].clone(), held[4].clone(), held[6].clone()];
-    c.bench_function("compliance-check/8-held-3-rule", |b| {
-        b.iter(|| complies(&held, &rule))
-    });
+    b.run("compliance-check/8-held-3-rule", || complies(&held, &rule));
 }
 
-criterion_group!(
-    benches,
-    bench_enumeration,
-    bench_exhaustive,
-    bench_compliance
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_enumeration(&mut b);
+    bench_exhaustive(&mut b);
+    bench_compliance(&mut b);
+}

@@ -1,11 +1,15 @@
-//! Criterion benchmarks for every pipeline phase: trace generation,
-//! database import, rule derivation, documented-rule checking, violation
-//! scanning, and the Fig. 1 source scan.
+//! Benchmarks for every pipeline phase: trace generation, database
+//! import, rule derivation, documented-rule checking, violation scanning,
+//! and the Fig. 1 source scan.
 //!
 //! These are the performance counterparts of the paper's Sec. 7.2 numbers
 //! (34 min tracing, 8 min import, 3 s derivation on the authors' setup).
+//!
+//! Runs on the in-tree `lockdoc_platform::timing` harness (plain
+//! `std::time::Instant`, zero external dependencies). `cargo bench`
+//! executes it like any `harness = false` bench; set
+//! `LOCKDOC_BENCH_QUICK=1` for a single-iteration smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ksim::config::SimConfig;
 use ksim::rules;
 use ksim::subsys::Machine;
@@ -14,6 +18,7 @@ use lockdoc_core::derive::{derive, DeriveConfig};
 use lockdoc_core::rulespec::parse_rules;
 use lockdoc_core::select::{select, SelectionConfig, Strategy};
 use lockdoc_core::violation::find_violations;
+use lockdoc_platform::timing::Bench;
 use lockdoc_trace::codec::{read_trace, write_trace};
 use lockdoc_trace::db::import;
 use lockdoc_trace::event::Trace;
@@ -27,46 +32,37 @@ fn build_trace(ops: u64) -> Trace {
     machine.finish()
 }
 
-fn bench_tracing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tracing");
+fn bench_tracing(b: &mut Bench) {
     for ops in [500u64, 2_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, &ops| {
-            b.iter(|| build_trace(ops));
-        });
+        b.run(&format!("tracing/{ops}-ops"), || build_trace(ops));
     }
-    group.finish();
 }
 
-fn bench_import(c: &mut Criterion) {
+fn bench_import(b: &mut Bench) {
     let trace = build_trace(2_000);
     let cfg = rules::filter_config();
-    c.bench_function("import/2k-ops", |b| b.iter(|| import(&trace, &cfg)));
+    b.run("import/2k-ops", || import(&trace, &cfg));
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(b: &mut Bench) {
     let trace = build_trace(2_000);
     let mut buf = Vec::new();
     write_trace(&trace, &mut buf).expect("encode");
-    let mut group = c.benchmark_group("codec");
-    group.bench_function("encode/2k-ops", |b| {
-        b.iter(|| {
-            let mut out = Vec::new();
-            write_trace(&trace, &mut out).expect("encode");
-            out.len()
-        })
+    b.run("codec/encode/2k-ops", || {
+        let mut out = Vec::new();
+        write_trace(&trace, &mut out).expect("encode");
+        out.len()
     });
-    group.bench_function("decode/2k-ops", |b| {
-        b.iter(|| read_trace(&mut buf.as_slice()).expect("decode"))
+    b.run("codec/decode/2k-ops", || {
+        read_trace(&mut buf.as_slice()).expect("decode")
     });
-    group.finish();
 }
 
-fn bench_derivation(c: &mut Criterion) {
+fn bench_derivation(b: &mut Bench) {
     let trace = build_trace(2_000);
     let db = import(&trace, &rules::filter_config());
-    let mut group = c.benchmark_group("derivation");
-    group.bench_function("derive/2k-ops", |b| {
-        b.iter(|| derive(&db, &DeriveConfig::default()))
+    b.run("derivation/derive/2k-ops", || {
+        derive(&db, &DeriveConfig::default())
     });
     // Ablation: selection strategy cost on the derived hypothesis sets.
     let mined = derive(&db, &DeriveConfig::default());
@@ -86,63 +82,55 @@ fn bench_derivation(c: &mut Criterion) {
         ("naive-max", Strategy::NaiveMax),
         ("naive-lock-preferred", Strategy::NaiveMaxLockPreferred),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("select", name),
-            &strategy,
-            |b, &strategy| {
-                let cfg = SelectionConfig {
-                    accept_threshold: 0.9,
-                    strategy,
-                };
-                b.iter(|| sets.iter().filter_map(|s| select(s, &cfg)).count())
-            },
-        );
+        let cfg = SelectionConfig {
+            accept_threshold: 0.9,
+            strategy,
+        };
+        b.run(&format!("derivation/select/{name}"), || {
+            sets.iter().filter_map(|s| select(s, &cfg)).count()
+        });
     }
-    group.finish();
 }
 
-fn bench_checker_and_violations(c: &mut Criterion) {
+fn bench_checker_and_violations(b: &mut Bench) {
     let trace = build_trace(2_000);
     let db = import(&trace, &rules::filter_config());
     let documented = parse_rules(rules::documented_rules()).expect("rules parse");
-    c.bench_function("check-documented-rules/2k-ops", |b| {
-        b.iter(|| check_rules(&db, &documented))
+    b.run("check-documented-rules/2k-ops", || {
+        check_rules(&db, &documented)
     });
     let mined = derive(&db, &DeriveConfig::default());
-    c.bench_function("find-violations/2k-ops", |b| {
-        b.iter(|| find_violations(&db, &mined, 5))
+    b.run("find-violations/2k-ops", || {
+        find_violations(&db, &mined, 5)
     });
 }
 
-fn bench_order_and_diff(c: &mut Criterion) {
+fn bench_order_and_diff(b: &mut Bench) {
     let trace = build_trace(2_000);
     let db = import(&trace, &rules::filter_config());
-    c.bench_function("order-graph/2k-ops", |b| {
-        b.iter(|| lockdoc_core::order::OrderGraph::build(&db))
+    b.run("order-graph/2k-ops", || {
+        lockdoc_core::order::OrderGraph::build(&db)
     });
     let mined_a = derive(&db, &DeriveConfig::with_threshold(0.9));
     let mined_b = derive(&db, &DeriveConfig::with_threshold(0.95));
-    c.bench_function("rule-diff/2k-ops", |b| {
-        b.iter(|| lockdoc_core::rulediff::diff_rules(&mined_a, &mined_b))
+    b.run("rule-diff/2k-ops", || {
+        lockdoc_core::rulediff::diff_rules(&mined_a, &mined_b)
     });
 }
 
-fn bench_source_scan(c: &mut Criterion) {
+fn bench_source_scan(b: &mut Bench) {
     let spec = CorpusSpec::for_release("v4.10").expect("known release");
     let tree = spec.generate(1).concatenated();
-    c.bench_function("locksrc-scan/v4.10-corpus", |b| {
-        b.iter(|| scan_source(&tree))
-    });
+    b.run("locksrc-scan/v4.10-corpus", || scan_source(&tree));
 }
 
-criterion_group!(
-    benches,
-    bench_tracing,
-    bench_import,
-    bench_codec,
-    bench_derivation,
-    bench_checker_and_violations,
-    bench_order_and_diff,
-    bench_source_scan
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_tracing(&mut b);
+    bench_import(&mut b);
+    bench_codec(&mut b);
+    bench_derivation(&mut b);
+    bench_checker_and_violations(&mut b);
+    bench_order_and_diff(&mut b);
+    bench_source_scan(&mut b);
+}

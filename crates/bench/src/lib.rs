@@ -1,6 +1,6 @@
 //! Experiment harness for the LockDoc reproduction: regenerates every
 //! table and figure of the paper's evaluation (Sec. 7) against the
-//! simulated-kernel substrate, and hosts the Criterion benchmarks.
+//! simulated-kernel substrate, and hosts the in-tree benchmarks.
 //!
 //! Run `cargo run -p lockdoc-bench --bin experiments -- --all` (or pass
 //! individual ids like `--tab4 --fig7`).

@@ -224,7 +224,7 @@ pub fn cmd_derive(args: &Args) -> Result<String> {
         }
     }
     if args.has("json") {
-        return serde_json::to_string_pretty(&mined).map_err(|e| CliError::Rules(e.to_string()));
+        return Ok(lockdoc_platform::json::to_string_pretty(&mined));
     }
     let mut out = String::new();
     for group in &mined.groups {
@@ -258,7 +258,7 @@ pub fn cmd_check(args: &Args) -> Result<String> {
     let parsed = parse_rules(&text).map_err(|e| CliError::Rules(e.to_string()))?;
     let checked = check_rules(&db, &parsed);
     if args.has("json") {
-        return serde_json::to_string_pretty(&checked).map_err(|e| CliError::Rules(e.to_string()));
+        return Ok(lockdoc_platform::json::to_string_pretty(&checked));
     }
     let mut out = String::new();
     for c in &checked {
@@ -313,8 +313,7 @@ pub fn cmd_violations(args: &Args) -> Result<String> {
     let mined = derive(&db, &DeriveConfig::with_threshold(t_ac));
     let violations = find_violations(&db, &mined, max_examples);
     if args.has("json") {
-        return serde_json::to_string_pretty(&violations)
-            .map_err(|e| CliError::Rules(e.to_string()));
+        return Ok(lockdoc_platform::json::to_string_pretty(&violations));
     }
     let mut out = String::new();
     for v in violations.iter().filter(|v| v.events > 0) {
@@ -407,7 +406,7 @@ pub fn cmd_diff(args: &Args) -> Result<String> {
     let new = load("new")?;
     let diff = lockdoc_core::rulediff::diff_rules(&old, &new);
     if args.has("json") {
-        return serde_json::to_string_pretty(&diff).map_err(|e| CliError::Rules(e.to_string()));
+        return Ok(lockdoc_platform::json::to_string_pretty(&diff));
     }
     Ok(diff.render())
 }
@@ -525,8 +524,8 @@ mod tests {
             "--json",
         ]))
         .unwrap();
-        let value: serde_json::Value = serde_json::from_str(&json).expect("valid json");
-        assert!(value["groups"].is_array());
+        let value = lockdoc_platform::json::parse(&json).expect("valid json");
+        assert!(value.get("groups").is_some_and(|g| g.is_array()));
         // diff a trace against itself: empty drift.
         let out = run(&s(&[
             "diff",

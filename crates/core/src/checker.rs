@@ -11,12 +11,11 @@ use crate::hypothesis::{complies, observations_for_cached, ResolutionCache};
 use crate::matrix::AccessMatrix;
 use crate::rulespec::RuleSpec;
 use lockdoc_trace::db::TraceDb;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Classification of a documented rule against the trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Every observation complied (`sr = 1`).
     Correct,
@@ -41,7 +40,7 @@ impl fmt::Display for Verdict {
 }
 
 /// The check result for one documented rule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckedRule {
     /// The documented rule under test.
     pub rule: RuleSpec,
@@ -126,7 +125,7 @@ pub fn check_rules(db: &TraceDb, rules: &[RuleSpec]) -> Vec<CheckedRule> {
 }
 
 /// Per-data-type summary of checked rules (one row of paper Tab. 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TypeCheckSummary {
     /// Data type name.
     pub type_name: String,

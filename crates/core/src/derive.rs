@@ -12,10 +12,9 @@ use crate::select::{select, SelectionConfig, Winner};
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::AccessKind;
 use lockdoc_trace::ids::{DataTypeId, Sym};
-use serde::{Deserialize, Serialize};
 
 /// Derivation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeriveConfig {
     /// Winner-selection parameters (threshold `t_ac` and strategy).
     pub selection: SelectionConfig,
@@ -49,7 +48,7 @@ impl DeriveConfig {
 }
 
 /// The mined rule for one `(member, access kind)` pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinedRule {
     /// Member index in the type layout.
     pub member: u32,
@@ -67,7 +66,7 @@ pub struct MinedRule {
 }
 
 /// All mined rules of one observation group.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupRules {
     /// The data type.
     pub data_type: DataTypeId,
@@ -102,7 +101,7 @@ impl GroupRules {
 }
 
 /// The full result of a derivation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinedRules {
     /// Per-group rule sets, in deterministic group order.
     pub groups: Vec<GroupRules>,

@@ -18,7 +18,6 @@ use crate::lockset::{format_sequence, resolve_txn_locks, LockDescriptor};
 use crate::matrix::{MemberMatrix, Unit};
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::AccessKind;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// Cache of resolved held-lock descriptor sequences per observation unit.
@@ -35,7 +34,7 @@ pub const MAX_SEQ_LEN: usize = 12;
 
 /// One aggregated observation: a distinct held-lock descriptor sequence and
 /// how many observation units exhibited it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Observation {
     /// Resolved held locks in acquisition order (deduplicated descriptors).
     pub locks: Vec<LockDescriptor>,
@@ -44,7 +43,7 @@ pub struct Observation {
 }
 
 /// A candidate locking rule with its support metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hypothesis {
     /// The hypothesised lock sequence; empty means "no lock needed".
     pub locks: Vec<LockDescriptor>,
@@ -71,7 +70,7 @@ impl Hypothesis {
 }
 
 /// All hypotheses for one `(member, access kind)` pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HypothesisSet {
     /// Member index in the type layout.
     pub member: u32,

@@ -1,0 +1,349 @@
+//! JSON projections of the analysis outputs (`--json` in the CLI).
+//!
+//! Replaces the former `serde` derives with explicit
+//! [`ToJson`]/[`FromJson`] impls from `lockdoc_platform`. Serialization is
+//! loss-free for everything the CLI emits: mined rules, checked rules,
+//! violation reports, and rule diffs. Field order is fixed, so output is
+//! byte-stable run to run.
+
+use crate::checker::{CheckedRule, TypeCheckSummary, Verdict};
+use crate::derive::{DeriveConfig, GroupRules, MinedRule, MinedRules};
+use crate::hypothesis::{Hypothesis, HypothesisSet, Observation};
+use crate::lockset::LockDescriptor;
+use crate::rulediff::{ChangedRule, RuleDiff};
+use crate::rulespec::RuleSpec;
+use crate::select::{SelectionConfig, Strategy, Winner};
+use crate::violation::{GroupViolations, ViolationEvent};
+use lockdoc_platform::json::{decode_field, field, FromJson, Json, JsonError, ToJson};
+
+macro_rules! json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::obj(vec![$((stringify!($field), self.$field.to_json())),+])
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                Ok(Self {
+                    $($field: decode_field(v, stringify!($field))?),+
+                })
+            }
+        }
+    };
+}
+
+macro_rules! json_unit_enum {
+    ($ty:ident { $($variant:ident => $name:literal),+ $(,)? }) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                let s = match self {
+                    $($ty::$variant => $name),+
+                };
+                Json::Str(s.to_owned())
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                match v.as_str() {
+                    $(Some($name) => Ok($ty::$variant),)+
+                    Some(other) => Err(JsonError::new(format!(
+                        "unknown {} variant '{other}'",
+                        stringify!($ty)
+                    ))),
+                    None => Err(JsonError::new(concat!(
+                        "expected string for ",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+json_unit_enum!(Strategy {
+    LockDoc => "lockdoc",
+    NaiveMax => "naive_max",
+    NaiveMaxLockPreferred => "naive_max_lock_preferred",
+});
+
+json_unit_enum!(Verdict {
+    Correct => "correct",
+    Ambivalent => "ambivalent",
+    Incorrect => "incorrect",
+    NotObserved => "not_observed",
+});
+
+impl ToJson for LockDescriptor {
+    fn to_json(&self) -> Json {
+        match self {
+            LockDescriptor::Global { name } => Json::obj(vec![
+                ("scope", Json::Str("global".to_owned())),
+                ("name", name.to_json()),
+            ]),
+            LockDescriptor::EmbeddedSame { member, type_name } => Json::obj(vec![
+                ("scope", Json::Str("embedded_same".to_owned())),
+                ("member", member.to_json()),
+                ("type_name", type_name.to_json()),
+            ]),
+            LockDescriptor::EmbeddedOther { member, type_name } => Json::obj(vec![
+                ("scope", Json::Str("embedded_other".to_owned())),
+                ("member", member.to_json()),
+                ("type_name", type_name.to_json()),
+            ]),
+            LockDescriptor::Pseudo { name } => Json::obj(vec![
+                ("scope", Json::Str("pseudo".to_owned())),
+                ("name", name.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for LockDescriptor {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let scope = field(v, "scope")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("lock 'scope' must be a string"))?;
+        match scope {
+            "global" => Ok(LockDescriptor::Global {
+                name: decode_field(v, "name")?,
+            }),
+            "embedded_same" => Ok(LockDescriptor::EmbeddedSame {
+                member: decode_field(v, "member")?,
+                type_name: decode_field(v, "type_name")?,
+            }),
+            "embedded_other" => Ok(LockDescriptor::EmbeddedOther {
+                member: decode_field(v, "member")?,
+                type_name: decode_field(v, "type_name")?,
+            }),
+            "pseudo" => Ok(LockDescriptor::Pseudo {
+                name: decode_field(v, "name")?,
+            }),
+            other => Err(JsonError::new(format!("unknown lock scope '{other}'"))),
+        }
+    }
+}
+
+json_struct!(SelectionConfig {
+    accept_threshold,
+    strategy
+});
+json_struct!(DeriveConfig {
+    selection,
+    cutoff,
+    min_units
+});
+json_struct!(Observation { locks, count });
+json_struct!(Hypothesis { locks, sa, sr });
+json_struct!(HypothesisSet {
+    member,
+    kind,
+    total,
+    hypotheses
+});
+json_struct!(Winner {
+    hypothesis,
+    candidates,
+    threshold
+});
+json_struct!(MinedRule {
+    member,
+    member_name,
+    kind,
+    total_units,
+    winner,
+    hypotheses
+});
+json_struct!(GroupRules {
+    data_type,
+    subclass,
+    group_name,
+    rules
+});
+json_struct!(MinedRules { groups, config });
+json_struct!(RuleSpec {
+    type_name,
+    subclass,
+    member,
+    kind,
+    locks
+});
+json_struct!(CheckedRule {
+    rule,
+    sa,
+    total,
+    sr,
+    verdict
+});
+json_struct!(TypeCheckSummary {
+    type_name,
+    rules,
+    not_observed,
+    observed,
+    pct_correct,
+    pct_ambivalent,
+    pct_incorrect
+});
+json_struct!(ViolationEvent {
+    group_name,
+    member_name,
+    kind,
+    required,
+    held,
+    loc,
+    stack,
+    access_id
+});
+json_struct!(GroupViolations {
+    group_name,
+    events,
+    members,
+    contexts,
+    examples
+});
+json_struct!(ChangedRule { key, old, new });
+json_struct!(RuleDiff {
+    added,
+    removed,
+    changed,
+    unchanged
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdoc_platform::json::{from_str, parse};
+
+    fn sample_mined() -> MinedRules {
+        let hyp = Hypothesis {
+            locks: vec![
+                LockDescriptor::global("sec_lock"),
+                LockDescriptor::es("i_lock", "inode"),
+            ],
+            sa: 99,
+            sr: 0.99,
+        };
+        MinedRules {
+            groups: vec![GroupRules {
+                data_type: lockdoc_trace::ids::DataTypeId(0),
+                subclass: Some(lockdoc_trace::ids::Sym(3)),
+                group_name: "inode:ext4".into(),
+                rules: vec![MinedRule {
+                    member: 2,
+                    member_name: "i_state".into(),
+                    kind: lockdoc_trace::event::AccessKind::Write,
+                    total_units: 100,
+                    winner: Winner {
+                        hypothesis: hyp.clone(),
+                        candidates: 2,
+                        threshold: 0.9,
+                    },
+                    hypotheses: vec![hyp],
+                }],
+            }],
+            config: DeriveConfig::default(),
+        }
+    }
+
+    #[test]
+    fn mined_rules_round_trip() {
+        let mined = sample_mined();
+        let text = mined.to_json().pretty();
+        let back: MinedRules = from_str(&text).unwrap();
+        assert_eq!(back, mined);
+        // The CLI contract: a top-level "groups" array.
+        let v = parse(&text).unwrap();
+        assert!(v.get("groups").is_some_and(|g| g.is_array()));
+    }
+
+    #[test]
+    fn lock_descriptor_variants_round_trip() {
+        for lock in [
+            LockDescriptor::global("inode_hash_lock"),
+            LockDescriptor::es("i_lock", "inode"),
+            LockDescriptor::eo("list_lock", "backing_dev_info"),
+            LockDescriptor::Pseudo { name: "rcu".into() },
+        ] {
+            let text = lock.to_json().compact();
+            let back: LockDescriptor = from_str(&text).unwrap();
+            assert_eq!(back, lock);
+        }
+        assert!(from_str::<LockDescriptor>(r#"{"scope":"warp"}"#).is_err());
+    }
+
+    #[test]
+    fn checked_rule_and_diff_round_trip() {
+        let checked = CheckedRule {
+            rule: RuleSpec {
+                type_name: "inode".into(),
+                subclass: None,
+                member: "i_state".into(),
+                kind: lockdoc_trace::event::AccessKind::Read,
+                locks: vec![LockDescriptor::es("i_lock", "inode")],
+            },
+            sa: 5,
+            total: 10,
+            sr: 0.5,
+            verdict: Verdict::Ambivalent,
+        };
+        let back: CheckedRule = from_str(&checked.to_json().compact()).unwrap();
+        assert_eq!(back, checked);
+
+        let diff = RuleDiff {
+            added: vec![(
+                ("inode:ext4".into(), "i_state".into(), "w".into()),
+                "i_lock".into(),
+            )],
+            removed: vec![],
+            changed: vec![ChangedRule {
+                key: ("clock".into(), "minutes".into(), "w".into()),
+                old: ("sec_lock".into(), 0.9),
+                new: ("sec_lock -> min_lock".into(), 0.99),
+            }],
+            unchanged: 7,
+        };
+        let back: RuleDiff = from_str(&diff.to_json().pretty()).unwrap();
+        assert_eq!(back, diff);
+    }
+
+    #[test]
+    fn violations_round_trip() {
+        use lockdoc_trace::event::SourceLoc;
+        use lockdoc_trace::ids::{StackId, Sym};
+        use std::collections::BTreeSet;
+
+        let ev = ViolationEvent {
+            group_name: "inode:ext4".into(),
+            member_name: "i_state".into(),
+            kind: lockdoc_trace::event::AccessKind::Write,
+            required: vec![LockDescriptor::es("i_lock", "inode")],
+            held: vec![],
+            loc: SourceLoc::new(Sym(1), 120),
+            stack: StackId(4),
+            access_id: 77,
+        };
+        let mut members = BTreeSet::new();
+        members.insert("i_state".to_owned());
+        let mut contexts = BTreeSet::new();
+        contexts.insert((SourceLoc::new(Sym(1), 120), StackId(4)));
+        let group = GroupViolations {
+            group_name: "inode:ext4".into(),
+            events: 1,
+            members,
+            contexts,
+            examples: vec![ev],
+        };
+        let back: GroupViolations = from_str(&group.to_json().pretty()).unwrap();
+        assert_eq!(back, group);
+    }
+
+    #[test]
+    fn strategy_and_verdict_strings_are_stable() {
+        assert_eq!(Strategy::LockDoc.to_json().compact(), "\"lockdoc\"");
+        assert_eq!(
+            Verdict::NotObserved.to_json().compact(),
+            "\"not_observed\""
+        );
+        assert!(from_str::<Strategy>("\"bogus\"").is_err());
+    }
+}

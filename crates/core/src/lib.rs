@@ -47,6 +47,7 @@ pub mod clock;
 pub mod derive;
 pub mod docgen;
 pub mod hypothesis;
+pub mod jsonout;
 pub mod lockset;
 pub mod matrix;
 pub mod order;

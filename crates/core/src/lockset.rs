@@ -15,11 +15,10 @@
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::LockFlavor;
 use lockdoc_trace::ids::{AllocId, LockId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A lock named relative to an accessed object (see module docs).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LockDescriptor {
     /// A statically allocated (global) lock.
     Global {

@@ -19,14 +19,13 @@
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::AccessKind;
 use lockdoc_trace::ids::{AllocId, DataTypeId, Sym, TxnId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An observation unit: one transaction acting on one object instance.
 pub type Unit = (TxnId, AllocId);
 
 /// Raw access counts of one member within one unit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CellCounts {
     /// Number of read accesses.
     pub reads: u64,
@@ -60,7 +59,7 @@ impl CellCounts {
 }
 
 /// Per-member aggregation over all observation units.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemberMatrix {
     /// Counts per unit.
     pub cells: BTreeMap<Unit, CellCounts>,
@@ -96,7 +95,7 @@ impl MemberMatrix {
 }
 
 /// The access matrix of one observation group `(data type, subclass)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessMatrix {
     /// The group this matrix describes.
     pub data_type: DataTypeId,

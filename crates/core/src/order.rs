@@ -17,12 +17,11 @@
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::SourceLoc;
 use lockdoc_trace::ids::LockId;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A lock class: instances that follow the same rules (lockdep's notion).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LockClass {
     /// Class name: the variable name for embedded locks (`i_lock in
     /// inode`), the global name otherwise.
@@ -36,7 +35,7 @@ impl fmt::Display for LockClass {
 }
 
 /// One directed order edge `from -> to` with witnesses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderEdge {
     /// Held class.
     pub from: LockClass,
@@ -49,14 +48,14 @@ pub struct OrderEdge {
 }
 
 /// The order graph plus derived diagnostics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OrderGraph {
     /// All edges keyed `(from, to)`.
     pub edges: BTreeMap<(LockClass, LockClass), OrderEdge>,
 }
 
 /// A detected order inversion: both `a -> b` and `b -> a` were observed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Inversion {
     /// First direction (the more frequent one).
     pub forward: OrderEdge,

@@ -9,7 +9,6 @@
 use crate::derive::MinedRules;
 use crate::lockset::format_sequence;
 use lockdoc_trace::event::AccessKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -17,7 +16,7 @@ use std::fmt::Write as _;
 pub type RuleKey = (String, String, String);
 
 /// One changed winner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChangedRule {
     /// Rule identity.
     pub key: RuleKey,
@@ -28,7 +27,7 @@ pub struct ChangedRule {
 }
 
 /// The diff between two mined-rule sets.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuleDiff {
     /// Rules only mined in the new run (member newly observed).
     pub added: Vec<(RuleKey, String)>,

@@ -17,11 +17,10 @@
 
 use crate::lockset::LockDescriptor;
 use lockdoc_trace::event::AccessKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fully qualified documented locking rule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuleSpec {
     /// Data type the rule applies to, e.g. `inode`.
     pub type_name: String,

@@ -12,11 +12,10 @@
 //! 100 %) wins only when it is the sole candidate.
 
 use crate::hypothesis::{Hypothesis, HypothesisSet};
-use serde::{Deserialize, Serialize};
 
 /// Selection strategy. [`Strategy::LockDoc`] is the paper's contribution;
 /// the naïve strategies are kept as ablation baselines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// Lowest support above the threshold, ties toward more locks.
     #[default]
@@ -30,7 +29,7 @@ pub enum Strategy {
 }
 
 /// Selection parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectionConfig {
     /// Accept threshold `t_ac`: minimum relative support for a hypothesis
     /// to be considered a candidate. The paper adopts 0.9 from Engler et
@@ -60,7 +59,7 @@ impl SelectionConfig {
 }
 
 /// The selected rule for one `(member, access kind)` pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Winner {
     /// The winning hypothesis.
     pub hypothesis: Hypothesis,

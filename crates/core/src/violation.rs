@@ -9,11 +9,10 @@ use crate::lockset::{resolve_txn_locks, LockDescriptor};
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::{AccessKind, SourceLoc};
 use lockdoc_trace::ids::{AllocId, StackId, TxnId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// One rule-violating memory access.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViolationEvent {
     /// Observation group, e.g. `inode:ext4`.
     pub group_name: String,
@@ -34,7 +33,7 @@ pub struct ViolationEvent {
 }
 
 /// Violation summary for one observation group (one row of paper Tab. 7).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupViolations {
     /// Group name.
     pub group_name: String,

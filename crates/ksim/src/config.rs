@@ -1,14 +1,13 @@
 //! Simulation configuration.
 
 use crate::faults::FaultPlan;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one simulator run.
 ///
 /// Everything is deterministic given a configuration: the same `seed`
 /// reproduces the identical trace, mirroring how the paper re-runs the same
 /// benchmark image under Bochs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Seed for all randomized decisions (workload op mix, irq timing,
     /// fault-injection draws).

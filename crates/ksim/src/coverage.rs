@@ -6,11 +6,10 @@
 //! executing a function marks it hit, and optional *coverage points*
 //! (distinct branches inside a function) refine the line estimate.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Coverage record of one declared function.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FnCoverage {
     /// Source file ("directory" grouping derives from its path).
     pub file: String,
@@ -40,13 +39,13 @@ impl FnCoverage {
 }
 
 /// Aggregated coverage over all declared functions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Coverage {
     fns: BTreeMap<String, FnCoverage>,
 }
 
 /// One row of the coverage report (a directory aggregate, as in Tab. 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageRow {
     /// Directory the row aggregates (files directly inside it).
     pub directory: String,

@@ -7,18 +7,17 @@
 //! authoritative oracle — the violation finder's output can be scored
 //! against the exact set of injected events.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A named fault-injection site configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
     /// Probability that one execution of the site skips/misorders its lock.
     pub rate: f64,
 }
 
 /// The set of enabled fault sites.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     sites: BTreeMap<String, FaultSpec>,
 }
@@ -52,7 +51,7 @@ impl FaultPlan {
 }
 
 /// A record of one actually injected fault (the oracle entry).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectedFault {
     /// Site label.
     pub site: String,
@@ -63,7 +62,7 @@ pub struct InjectedFault {
 }
 
 /// The log of injected faults of a finished run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FaultLog {
     /// Injection records in order.
     pub injected: Vec<InjectedFault>,

@@ -18,8 +18,7 @@ use lockdoc_trace::event::{
     AccessKind, AcquireMode, ContextKind, Event, LockFlavor, SourceLoc, Trace,
 };
 use lockdoc_trace::ids::{AllocId, DataTypeId, FnId, Sym, TaskId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lockdoc_platform::rng::Rng;
 use std::collections::HashMap;
 
 /// Handle to a traced object (its allocation id).
@@ -66,7 +65,7 @@ pub struct Kernel {
     pub cfg: SimConfig,
     trace: Trace,
     ts: u64,
-    rng: StdRng,
+    rng: Rng,
     next_addr: u64,
     next_alloc: u64,
     type_ids: HashMap<&'static str, DataTypeId>,
@@ -122,7 +121,7 @@ impl Kernel {
             cfg,
             trace,
             ts: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             next_addr: 0xffff_8800_0000_0000,
             next_alloc: 1,
             type_ids,
@@ -159,7 +158,7 @@ impl Kernel {
     }
 
     /// The deterministic RNG (for workloads and subsystems).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 

@@ -6,11 +6,10 @@
 //! `lockdoc_core::order` analysis.
 
 use lockdoc_trace::event::SourceLoc;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One recorded warning (a potential circular locking dependency).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockdepWarning {
     /// Class held while the inversion happened.
     pub held_class: String,
@@ -24,7 +23,7 @@ pub struct LockdepWarning {
 }
 
 /// The validator state: observed order edges and raised warnings.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Lockdep {
     /// Observed class-order edges `held -> acquired`.
     order: BTreeSet<(String, String)>,

@@ -10,16 +10,14 @@
 //! reported curves are scale-invariant.
 
 use crate::scan::LockUsageCounts;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use lockdoc_platform::rng::Rng;
 use std::fmt::Write as _;
 
 /// Fig. 1 anchor data per release: target counts in the *real* kernel.
 /// Intermediate releases are interpolated between the published endpoints
 /// (spinlocks ≈ 4100 → ≈ 6000 with a late dip, mutexes ≈ 1550 → ≈ 2800,
 /// RCU ≈ 1200 → ≈ 3000, LoC 9.6 M → 16.6 M).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReleasePoint {
     /// Release tag, e.g. `v3.0`.
     pub tag: &'static str,
@@ -201,7 +199,7 @@ impl SourceTree {
 }
 
 /// Generation parameters for one release's tree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorpusSpec {
     /// The release anchor this tree models.
     pub point: ReleasePoint,
@@ -240,7 +238,7 @@ impl CorpusSpec {
     /// *not* be counted), and filler logic making up the LoC budget.
     pub fn generate(&self, seed: u64) -> SourceTree {
         let targets = self.scaled_targets();
-        let mut rng = StdRng::seed_from_u64(seed ^ self.point.loc);
+        let mut rng = Rng::seed_from_u64(seed ^ self.point.loc);
         let mut tree = SourceTree::default();
 
         let mut remaining_spin = targets.spinlock_inits;
@@ -272,7 +270,7 @@ impl CorpusSpec {
 /// Emits one synthetic C file containing exactly the requested initializer
 /// calls plus filler code. Returns `(content, effective loc)`.
 fn generate_file(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     idx: usize,
     spinlocks: u64,
     mutexes: u64,

@@ -8,10 +8,9 @@
 //! does (non-empty, non-comment lines) — the paper counts LoC with cloc
 //! and initializer *calls in the source code*.
 
-use serde::{Deserialize, Serialize};
 
 /// Counters produced by one scan.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockUsageCounts {
     /// `spin_lock_init` + `DEFINE_SPINLOCK` + `__SPIN_LOCK_UNLOCKED`.
     pub spinlock_inits: u64,

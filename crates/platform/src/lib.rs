@@ -1,0 +1,24 @@
+//! Zero-dependency platform layer for the LockDoc workspace.
+//!
+//! The build environment is hermetic: no network, no crates.io registry
+//! cache. Everything the workspace previously pulled from the registry is
+//! provided here, in-tree:
+//!
+//! * [`rng`] — a deterministic SplitMix64/xoshiro256** PRNG with a
+//!   `rand`-compatible surface (`seed_from_u64`, `gen_range`, `gen_bool`).
+//! * [`json`] — a small JSON value model, parser, and writer plus the
+//!   derive-free [`json::ToJson`]/[`json::FromJson`] traits that replace
+//!   the `serde` derive sites.
+//! * [`prop`] — a minimal property-testing harness (seeded case
+//!   generation, shrinking for integers/floats/vecs/tuples, failure seeds
+//!   printed for reproduction) replacing `proptest`.
+//! * [`timing`] — a plain `std::time::Instant` micro-bench runner
+//!   replacing the `criterion` benches.
+//!
+//! Every module is deterministic: identical seeds produce identical
+//! streams, values, and reports (timing measurements excepted).
+
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod timing;

@@ -1,0 +1,571 @@
+//! A minimal property-testing harness replacing `proptest`.
+//!
+//! Model:
+//! * A *generator* is any `Fn(&mut Rng) -> T`.
+//! * A *property* is any `Fn(&T) -> Result<(), String>`; the
+//!   [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] macros
+//!   return the error for you.
+//! * [`check`] runs `Config::cases` cases, each from a seed derived off
+//!   the run seed. On failure it greedily shrinks via the [`Shrink`]
+//!   trait and panics with the run seed, the shrunk input, and a
+//!   copy-pasteable reproduction command.
+//!
+//! Determinism: the default run seed is a constant, so test runs are
+//! reproducible by default. Set `LOCKDOC_PROP_SEED` (decimal or `0x…`)
+//! to explore a different stream and `LOCKDOC_PROP_CASES` to change the
+//! case count. A failure printed as `run seed 0xABC` reproduces with
+//! `LOCKDOC_PROP_SEED=0xABC cargo test -q <test-name>`.
+//!
+//! Old `proptest` regression files are retired by pinning each recorded
+//! counterexample as a named `#[test]` that calls the property function
+//! with the literal input (see `tests/robustness.rs`).
+
+use crate::rng::{derive_seed, Rng};
+
+/// Default run seed: constant so unconfigured runs are deterministic.
+pub const DEFAULT_SEED: u64 = 0x10C_D0C5_EED;
+
+/// Default number of cases per property (proptest's default).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Harness configuration, usually taken from the environment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Run seed; case `i` uses `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Cap on property evaluations spent shrinking one failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Reads `LOCKDOC_PROP_CASES` and `LOCKDOC_PROP_SEED` overrides.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(cases) = std::env::var("LOCKDOC_PROP_CASES") {
+            if let Ok(n) = cases.trim().parse::<u32>() {
+                cfg.cases = n.max(1);
+            }
+        }
+        if let Ok(seed) = std::env::var("LOCKDOC_PROP_SEED") {
+            if let Some(n) = parse_seed(seed.trim()) {
+                cfg.seed = n;
+            }
+        }
+        cfg
+    }
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        text.replace('_', "").parse().ok()
+    }
+}
+
+/// Runs a property over `Config::from_env().cases` generated inputs.
+/// Panics (test failure) on the first counterexample, after shrinking.
+pub fn check<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with(&Config::from_env(), name, gen, prop);
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with<T, G, P>(cfg: &Config, name: &str, gen: G, prop: P)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let case_seed = derive_seed(cfg.seed, case as u64);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let input = gen(&mut rng);
+        if let Err(msg) = prop(&input) {
+            let (shrunk, msg, steps) = shrink_failure(input, msg, &prop, cfg.max_shrink_iters);
+            panic!(
+                "property '{name}' failed at case {case}/{cases} (run seed 0x{seed:x})\n\
+                 shrunk input ({steps} shrink steps): {shrunk:?}\n\
+                 error: {msg}\n\
+                 reproduce: LOCKDOC_PROP_SEED=0x{seed:x} cargo test -q {name}",
+                cases = cfg.cases,
+                seed = cfg.seed,
+            );
+        }
+    }
+}
+
+fn shrink_failure<T, P>(mut cur: T, mut msg: String, prop: &P, max_iters: u32) -> (T, String, u32)
+where
+    T: Clone + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0u32;
+    let mut budget = max_iters;
+    'outer: loop {
+        for cand in cur.shrink() {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(m) = prop(&cand) {
+                cur = cand;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (cur, msg, steps)
+}
+
+/// Candidate-producing shrinker. Candidates must be "smaller" by some
+/// well-founded measure; the greedy loop in [`check`] takes the first
+/// candidate that still fails and repeats until none do.
+pub trait Shrink: Sized {
+    /// Smaller candidate replacements, in preference order. Default: none.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let x = *self;
+                let mut out = Vec::new();
+                if x == 0 {
+                    return out;
+                }
+                out.push(0);
+                #[allow(unused_comparisons)]
+                if x < 0 {
+                    if let Some(pos) = x.checked_neg() {
+                        out.push(pos);
+                    }
+                }
+                // Halving walk toward x: 0, x/2, 3x/4, …, x-1.
+                let mut diff = x / 2;
+                while diff != 0 {
+                    let cand = x - diff;
+                    if cand != x && cand != 0 {
+                        out.push(cand);
+                    }
+                    diff /= 2;
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let x = *self;
+        if x == 0.0 || !x.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        let trunc = x.trunc();
+        if trunc != x {
+            out.push(trunc);
+        }
+        out.push(x / 2.0);
+        out
+    }
+}
+
+impl Shrink for char {}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        drop_chunks(&chars)
+            .into_iter()
+            .map(|cs| cs.into_iter().collect())
+            .collect()
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = drop_chunks(self);
+        // Then shrink elements in place (a few candidates each, to keep
+        // the frontier bounded; the budget in check() caps total work).
+        for i in 0..self.len() {
+            for cand in self[i].shrink().into_iter().take(4) {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Sublist candidates: remove chunks of halving sizes at every offset.
+fn drop_chunks<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let n = items.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let mut k = n;
+    while k > 0 {
+        let mut i = 0;
+        while i < n {
+            let end = (i + k).min(n);
+            let mut v = Vec::with_capacity(n - (end - i));
+            v.extend_from_slice(&items[..i]);
+            v.extend_from_slice(&items[end..]);
+            out.push(v);
+            i += k;
+        }
+        k /= 2;
+    }
+    out
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut out = vec![None];
+                out.extend(inner.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone> Shrink for (A, B, C) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone(), self.2.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b, self.2.clone()));
+        }
+        for c in self.2.shrink() {
+            out.push((self.0.clone(), self.1.clone(), c));
+        }
+        out
+    }
+}
+
+impl<A, B, C, D> Shrink for (A, B, C, D)
+where
+    A: Shrink + Clone,
+    B: Shrink + Clone,
+    C: Shrink + Clone,
+    D: Shrink + Clone,
+{
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone(), self.2.clone(), self.3.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b, self.2.clone(), self.3.clone()));
+        }
+        for c in self.2.shrink() {
+            out.push((self.0.clone(), self.1.clone(), c, self.3.clone()));
+        }
+        for d in self.3.shrink() {
+            out.push((self.0.clone(), self.1.clone(), self.2.clone(), d));
+        }
+        out
+    }
+}
+
+/// Generator helper: a vec whose length is drawn from `len` and whose
+/// elements come from `elem`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len: std::ops::Range<usize>,
+    mut elem: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = if len.start + 1 >= len.end {
+        len.start
+    } else {
+        rng.gen_range(len)
+    };
+    (0..n).map(|_| elem(rng)).collect()
+}
+
+/// Generator helper: a string of printable ASCII plus newline, the
+/// class the old robustness generators used (`[ -~\n]`).
+pub fn ascii_garbage(rng: &mut Rng, len: std::ops::Range<usize>) -> String {
+    vec_of(rng, len, |r| {
+        if r.gen_bool(0.05) {
+            '\n'
+        } else {
+            r.gen_range(0x20u8..0x7f) as char
+        }
+    })
+    .into_iter()
+    .collect()
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`: early-return
+/// an `Err(String)` from a property when the condition fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: equality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {:?}\n  right: {:?} ({}:{})",
+                format!($($arg)+),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`: inequality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// `forall!(name, |rng| gen, |input| property)` — sugar over [`check`].
+#[macro_export]
+macro_rules! forall {
+    ($name:expr, $gen:expr, $prop:expr $(,)?) => {
+        $crate::prop::check($name, $gen, $prop)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config {
+            cases: 50,
+            ..Config::default()
+        };
+        let mut ran = 0u32;
+        check_with(
+            &cfg,
+            "always_true",
+            |rng| rng.gen_range(0u64..100),
+            |_| {
+                // Property closures take &T; count via a Cell-free trick.
+                Ok(())
+            },
+        );
+        // Separate count pass (check_with takes Fn, not FnMut).
+        let counter = std::cell::Cell::new(0u32);
+        check_with(
+            &cfg,
+            "count_cases",
+            |rng| rng.gen_range(0u64..100),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        ran += counter.get();
+        assert_eq!(ran, 50);
+    }
+
+    #[test]
+    fn failure_panics_with_seed_and_shrunk_input() {
+        let cfg = Config {
+            cases: 200,
+            ..Config::default()
+        };
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                &cfg,
+                "sum_small",
+                |rng| vec_of(rng, 0..20, |r| r.gen_range(0u64..100)),
+                |v: &Vec<u64>| {
+                    prop_assert!(v.iter().sum::<u64>() < 50, "sum too big");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("run seed 0x10cd0c5eed"), "msg: {msg}");
+        assert!(msg.contains("LOCKDOC_PROP_SEED=0x10cd0c5eed"), "msg: {msg}");
+        // Greedy shrinking should land on a minimal-ish counterexample:
+        // a single element >= 50.
+        assert!(msg.contains("shrunk input"), "msg: {msg}");
+        let start = msg.find("[").unwrap();
+        let end = msg.find("]").unwrap();
+        let items: Vec<u64> = msg[start + 1..end]
+            .split(',')
+            .map(|s| s.trim().parse().unwrap())
+            .collect();
+        assert_eq!(items.len(), 1, "not minimal: {items:?}");
+        assert!(items[0] >= 50 && items[0] <= 60, "overshrunk: {items:?}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_counterexample() {
+        let run = |seed: u64| -> String {
+            let cfg = Config {
+                cases: 100,
+                seed,
+                ..Config::default()
+            };
+            let result = std::panic::catch_unwind(|| {
+                check_with(
+                    &cfg,
+                    "never_big",
+                    |rng| rng.gen_range(0u64..1000),
+                    |&x| {
+                        prop_assert!(x < 900);
+                        Ok(())
+                    },
+                );
+            });
+            *result.unwrap_err().downcast::<String>().unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn int_shrink_walks_toward_zero() {
+        let c = 100u64.shrink();
+        assert_eq!(c[0], 0);
+        assert!(c.contains(&50));
+        assert!(c.contains(&99));
+        assert!((-8i64).shrink().contains(&8));
+        assert!(0u32.shrink().is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_offers_sublists_first() {
+        let v = vec![1u8, 2, 3, 4];
+        let c = v.shrink();
+        assert_eq!(c[0], Vec::<u8>::new());
+        assert!(c.iter().any(|s| s.len() == 2));
+        assert!(c.iter().any(|s| *s == vec![0u8, 2, 3, 4]));
+    }
+
+    #[test]
+    fn f64_shrink_prefers_zero_then_truncation() {
+        let c = 3.75f64.shrink();
+        assert_eq!(c[0], 0.0);
+        assert!(c.contains(&3.0));
+        assert!(0.0f64.shrink().is_empty());
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X10"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x10c_d0c"), Some(0x10c_d0c));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+
+    #[test]
+    fn ascii_garbage_stays_in_class() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = ascii_garbage(&mut rng, 0..300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! [`Rng`] is xoshiro256** seeded through SplitMix64, mirroring the
+//! construction recommended by Blackman & Vigna. The surface intentionally
+//! matches the subset of `rand` the workspace used (`seed_from_u64`,
+//! `gen_bool`, `gen_range`) so call sites migrate without restructuring.
+//!
+//! Guarantees:
+//! * identical seeds yield identical streams on every platform (the
+//!   implementation is pure integer arithmetic, no platform entropy);
+//! * `gen_range` is unbiased (rejection sampling, not a bare modulo);
+//! * there is no fallback to OS entropy anywhere — an `Rng` can only be
+//!   built from an explicit seed.
+
+/// SplitMix64: a tiny, fast generator used to expand a 64-bit seed into
+/// the 256-bit xoshiro state. Also usable on its own for seed derivation.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives a child seed from a parent seed and an index. Used by the
+/// property harness to give every test case an independent stream.
+pub fn derive_seed(parent: u64, index: u64) -> u64 {
+    let mut sm = SplitMix64::new(parent ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
+    sm.next_u64()
+}
+
+/// xoshiro256** — the workspace-wide deterministic PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds the generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // Draw unconditionally so the stream advances the same way
+        // regardless of the probability value.
+        self.f64_unit() < p
+    }
+
+    /// A uniform value below `bound` (> 0), bias-free via rejection.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Reject draws from the final partial copy of [0, bound) so each
+        // residue is equally likely.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % bound;
+            }
+        }
+    }
+
+    /// A uniform value in `[range.start, range.end)`. Panics if empty,
+    /// matching `rand`'s contract.
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(
+            range.start < range.end,
+            "gen_range called with empty range"
+        );
+        T::sample(self, range.start, range.end)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "gen_range_f64: empty range");
+        range.start + self.f64_unit() * (range.end - range.start)
+    }
+
+    /// A uniform index into a slice, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u64) as usize])
+        }
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleRange: Copy + PartialOrd {
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64) - (lo as u64);
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 0 from the published SplitMix64 code.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(0xD0C);
+        let mut b = Rng::seed_from_u64(0xD0C);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..17);
+            assert!((10..17).contains(&v));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits");
+    }
+
+    #[test]
+    fn f64_unit_in_half_open_interval() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.f64_unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = Rng::seed_from_u64(5);
+        assert!(rng.choose::<u8>(&[]).is_none());
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*rng.choose(&items).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

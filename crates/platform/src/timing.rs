@@ -1,0 +1,116 @@
+//! A plain `std::time::Instant` micro-benchmark runner replacing the
+//! `criterion` harness. No statistics machinery — calibrate an iteration
+//! count against a wall-clock target, time a measurement loop, report
+//! ns/iter. Honors `LOCKDOC_BENCH_TARGET_MS` (per-benchmark measurement
+//! budget, default 200) and `LOCKDOC_BENCH_QUICK=1` (single iteration,
+//! for smoke-testing the harness itself).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub iters: u64,
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// Collects and prints benchmark results.
+#[derive(Debug, Default)]
+pub struct Bench {
+    target: Option<Duration>,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// A runner configured from the environment.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("LOCKDOC_BENCH_QUICK").is_ok_and(|v| v == "1");
+        let target_ms = std::env::var("LOCKDOC_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Self {
+            target: if quick {
+                None
+            } else {
+                Some(Duration::from_millis(target_ms))
+            },
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, prints one result line, and records the measurement.
+    /// The closure's return value is passed through `black_box` so the
+    /// optimizer cannot delete the measured work.
+    pub fn run<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        let iters = match self.target {
+            None => 1,
+            Some(target) => {
+                // Calibrate: time a single iteration, scale to target.
+                let t0 = Instant::now();
+                black_box(f());
+                let once = t0.elapsed().max(Duration::from_nanos(50));
+                (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+            }
+        };
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = t0.elapsed();
+        let m = Measurement {
+            name: name.to_owned(),
+            iters,
+            total,
+        };
+        println!(
+            "bench {:<44} {:>14.1} ns/iter ({} iters, {:.1} ms total)",
+            m.name,
+            m.ns_per_iter(),
+            m.iters,
+            m.total.as_secs_f64() * 1e3
+        );
+        self.results.push(m);
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_records_a_measurement() {
+        let mut b = Bench {
+            target: None,
+            results: Vec::new(),
+        };
+        b.run("noop", || 1 + 1);
+        assert_eq!(b.results().len(), 1);
+        assert_eq!(b.results()[0].iters, 1);
+        assert!(b.results()[0].ns_per_iter() >= 0.0);
+    }
+
+    #[test]
+    fn calibration_scales_iterations() {
+        let mut b = Bench {
+            target: Some(Duration::from_millis(5)),
+            results: Vec::new(),
+        };
+        b.run("cheap", || black_box(2u64).wrapping_mul(3));
+        assert!(b.results()[0].iters > 1);
+    }
+}

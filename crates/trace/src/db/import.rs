@@ -7,11 +7,10 @@ use crate::db::TraceDb;
 use crate::event::{AcquireMode, ContextKind, Event, SourceLoc, Trace};
 use crate::filter::{FilterConfig, FilterReason};
 use crate::ids::{Addr, AllocId, DataTypeId, FnId, LockId, StackId, TaskId, Timestamp, TxnId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Counters describing an import run (reported like paper Sec. 7.2).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ImportStats {
     /// Total events replayed.
     pub events: u64,

@@ -5,11 +5,10 @@
 
 use crate::event::{AccessKind, AcquireMode, ContextKind, LockFlavor, SourceLoc};
 use crate::ids::{Addr, AllocId, DataTypeId, FnId, LockId, StackId, Sym, TaskId, Timestamp, TxnId};
-use serde::{Deserialize, Serialize};
 
 /// One observed allocation of a traced data structure (paper table
 /// `allocations`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allocation {
     /// Stable id from the trace.
     pub id: AllocId,
@@ -38,7 +37,7 @@ impl Allocation {
 /// One lock instance (paper table `locks`). A lock is either statically
 /// allocated (a global like `inode_hash_lock`) or embedded in an observed
 /// allocation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockInstance {
     /// Dense store id.
     pub id: LockId,
@@ -58,7 +57,7 @@ pub struct LockInstance {
 
 /// One lock held by a transaction, in acquisition order (join table between
 /// `txns` and `locks` in the paper's schema).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeldLock {
     /// The held lock.
     pub lock: LockId,
@@ -72,7 +71,7 @@ pub struct HeldLock {
 
 /// A transaction: a maximal span of one control flow during which the set of
 /// held locks is constant (paper Sec. 4.2, table `txns`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Txn {
     /// Dense store id.
     pub id: TxnId,
@@ -89,7 +88,7 @@ pub struct Txn {
 /// Identifies a control flow: an ordinary task, or an interrupt-like context
 /// (which has its own lock state, since it preempts tasks on the single
 /// simulated CPU rather than sharing their critical sections).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FlowKey {
     /// An ordinary task.
     Task(TaskId),
@@ -110,7 +109,7 @@ impl FlowKey {
 }
 
 /// One memory access (the central `accesses` table of the paper's schema).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
     /// Dense row id (position in the access table).
     pub id: u64,
@@ -141,7 +140,7 @@ pub struct Access {
 }
 
 /// A deduplicated stack trace (paper table `stack_traces`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StackTrace {
     /// Frames from outermost to innermost.
     pub frames: Vec<FnId>,

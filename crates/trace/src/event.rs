@@ -8,11 +8,10 @@
 //! per-control-flow lock state ex post.
 
 use crate::ids::{Addr, AllocId, DataTypeId, FnId, Sym, TaskId, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A source-code location (interned file plus line number).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SourceLoc {
     /// Interned file path, e.g. `fs/inode.c`.
     pub file: Sym,
@@ -33,7 +32,7 @@ impl SourceLoc {
 /// `spinlock_t`, `rwlock_t`, `semaphore`, `rw_semaphore`, `mutex` and RCU,
 /// plus the synthetic `softirq`/`hardirq` pseudo-locks recorded for
 /// bottom-half / interrupt-disabled regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockFlavor {
     /// A busy-waiting `spinlock_t`.
     Spinlock,
@@ -97,7 +96,7 @@ impl fmt::Display for LockFlavor {
 }
 
 /// Whether a lock was taken for shared (read) or exclusive (write) access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcquireMode {
     /// Shared / reader side.
     Shared,
@@ -106,7 +105,7 @@ pub enum AcquireMode {
 }
 
 /// The kind of a memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AccessKind {
     /// A read access.
     Read,
@@ -131,7 +130,7 @@ impl fmt::Display for AccessKind {
 }
 
 /// The execution context a control flow runs in (paper Sec. 2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContextKind {
     /// Ordinary task (process/kthread) context.
     Task,
@@ -154,7 +153,7 @@ impl fmt::Display for ContextKind {
 
 /// A single trace event, stamped with a simulated-time [`Timestamp`] in
 /// [`TraceEvent`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// Registration of a lock instance (embedded lock addresses resolve to
     /// their containing allocation at import time; global locks carry an
@@ -248,7 +247,7 @@ pub enum Event {
 }
 
 /// An [`Event`] paired with its simulated timestamp.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Simulated monotonic time.
     pub ts: Timestamp,
@@ -257,7 +256,7 @@ pub struct TraceEvent {
 }
 
 /// Layout description of one member of an observed data type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemberDef {
     /// Member name, e.g. `i_state` (union members are pre-unrolled to
     /// distinct names/offsets, paper Sec. 7.1).
@@ -273,7 +272,7 @@ pub struct MemberDef {
 }
 
 /// Layout description of an observed data type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataTypeDef {
     /// Type name, e.g. `inode`.
     pub name: String,
@@ -303,7 +302,7 @@ impl DataTypeDef {
 }
 
 /// Static metadata accompanying an event stream.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceMeta {
     /// Interner for all symbols referenced from events.
     pub strings: crate::ids::Interner,
@@ -347,7 +346,7 @@ impl TraceMeta {
 }
 
 /// A complete trace: metadata plus the timestamped event stream.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Static metadata (interner, type layouts, function/task names).
     pub meta: TraceMeta,
@@ -408,7 +407,7 @@ impl Trace {
 }
 
 /// Coarse counts over a trace (paper Sec. 7.2 reports these).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceSummary {
     /// Total number of events.
     pub total: usize,

@@ -11,7 +11,6 @@
 //!    that intentionally bypass the locking discipline, or from globally
 //!    ignored helper functions.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Declarative filter configuration.
@@ -20,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 /// data types plus 58 globally ignored functions, and a member blacklist of
 /// 30 entries (Sec. 6); [`crate::filter::FilterConfig`] holds the same three
 /// lists in structured form.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FilterConfig {
     /// Members to drop entirely: `(data type name, member name)`.
     pub member_blacklist: HashSet<(String, String)>,
@@ -90,7 +89,7 @@ impl FilterConfig {
 }
 
 /// Sizes of the configured blacklists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FilterCounts {
     /// Number of `(type, member)` blacklist entries.
     pub member_entries: usize,
@@ -101,7 +100,7 @@ pub struct FilterCounts {
 }
 
 /// Why an access was filtered out (kept for import statistics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FilterReason {
     /// The tracer flagged the access as atomic.
     AtomicAccess,

@@ -5,7 +5,6 @@
 //! interned once in the [`Interner`] carried by the trace metadata, which
 //! keeps the event stream compact and makes equality checks cheap.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -13,7 +12,7 @@ macro_rules! id_newtype {
     ($(#[$meta:meta])* $name:ident($inner:ty)) => {
         $(#[$meta])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $inner);
 
@@ -99,12 +98,23 @@ pub type Timestamp = u64;
 /// assert_eq!(a, b);
 /// assert_eq!(interner.resolve(a), "i_lock");
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Interner {
     strings: Vec<String>,
-    #[serde(skip)]
+    // Derived lookup index; rebuilt lazily after construction from a
+    // serialized string table (see `from_strings`).
     index: HashMap<String, Sym>,
 }
+
+// Equality ignores the derived lookup index: a deserialized interner with
+// a lazily-built index equals the original it was serialized from.
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        self.strings == other.strings
+    }
+}
+
+impl Eq for Interner {}
 
 impl Interner {
     /// Creates an empty interner.
@@ -166,6 +176,20 @@ impl Interner {
             .map(|(i, s)| (Sym(i as u32), s.as_str()))
     }
 
+    /// Rebuilds an interner from a serialized string table. The lookup
+    /// index is left empty and rebuilt lazily on first `intern`.
+    pub fn from_strings(strings: Vec<String>) -> Self {
+        Self {
+            strings,
+            index: HashMap::new(),
+        }
+    }
+
+    /// The interned strings in symbol order (the serialized form).
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
     fn rebuild_index(&mut self) {
         self.index = self
             .strings
@@ -209,11 +233,13 @@ mod tests {
 
     #[test]
     fn deserialized_interner_still_interns() {
+        use lockdoc_platform::json::{FromJson, ToJson};
+
         let mut i = Interner::new();
         i.intern("x");
         i.intern("y");
-        let json = serde_json::to_string(&i).unwrap();
-        let mut j: Interner = serde_json::from_str(&json).unwrap();
+        let json = i.to_json().compact();
+        let mut j = Interner::from_json(&lockdoc_platform::json::parse(&json).unwrap()).unwrap();
         assert_eq!(j.get("x"), Some(Sym(0)));
         assert_eq!(j.intern("y"), Sym(1));
         assert_eq!(j.intern("z"), Sym(2));

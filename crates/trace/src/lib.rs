@@ -25,6 +25,7 @@ pub mod db;
 pub mod event;
 pub mod filter;
 pub mod ids;
+pub mod jsonio;
 
 pub use db::{import, TraceDb};
 pub use event::{Event, Trace, TraceEvent};

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetic by construction: the build must succeed
+# with no network and no registry cache. Run from anywhere.
+#
+#   scripts/verify.sh
+#
+# Fails if:
+#   * any default-feature dependency would need crates.io (offline build),
+#   * any workspace test fails,
+#   * a Cargo.toml reintroduces a registry dependency outside an
+#     explicitly external-gated feature.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# --- dependency-policy guard -------------------------------------------------
+# Every [dependencies]/[dev-dependencies]/[build-dependencies] entry in every
+# manifest must be a path dependency (or the section must be empty). A
+# version-only entry means a crates.io dependency snuck back in.
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Extract dependency sections and flag entries that carry a bare version
+    # requirement without a `path =` key.
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies/) }
+        in_deps && /^[a-zA-Z0-9_-]+[ \t]*=/ {
+            if ($0 !~ /path[ \t]*=/) print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "registry dependency detected (offline policy violation):" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "see DESIGN.md 'Offline-first dependency policy'" >&2
+    exit 1
+fi
+echo "dependency policy: OK (path-only dependencies)"
+
+# --- hermetic build + tests --------------------------------------------------
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "verify: OK"

@@ -1,0 +1,107 @@
+//! Golden-file end-to-end pipeline test: simulate → encode → import →
+//! derive → document, with a fixed seed, and compare the generated
+//! documentation byte-for-byte against a checked-in golden file.
+//!
+//! When the pipeline's output legitimately changes, regenerate with
+//!
+//! ```sh
+//! LOCKDOC_GOLDEN_REGEN=1 cargo test -q --test golden
+//! ```
+//!
+//! and review the diff of `tests/golden/pipeline_doc.txt` like any other
+//! code change.
+
+use ksim::config::SimConfig;
+use ksim::rules;
+use ksim::subsys::Machine;
+use lockdoc_core::derive::{derive, DeriveConfig};
+use lockdoc_core::docgen::{generate_doc, generate_rulespec};
+use lockdoc_trace::codec::write_trace;
+use lockdoc_trace::db::import;
+use std::fs;
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 0x601d_5eed;
+const GOLDEN_OPS: u64 = 2_000;
+
+/// Runs the full pipeline once: returns the encoded trace bytes and the
+/// generated documentation artifact.
+fn run_pipeline() -> (Vec<u8>, String) {
+    let cfg = SimConfig::with_seed(GOLDEN_SEED).with_faults(rules::default_fault_plan());
+    let mut machine = Machine::boot(cfg);
+    machine.run_mix(GOLDEN_OPS);
+    let trace = machine.finish();
+
+    let mut encoded = Vec::new();
+    write_trace(&trace, &mut encoded).expect("encode");
+
+    let db = import(&trace, &rules::filter_config());
+    let mined = derive(&db, &DeriveConfig::default());
+
+    let mut doc = String::new();
+    doc.push_str(&format!(
+        "# golden pipeline artifact (seed 0x{GOLDEN_SEED:x}, {GOLDEN_OPS} ops)\n\n"
+    ));
+    doc.push_str("## rulespec\n\n");
+    for group in &mined.groups {
+        doc.push_str(&generate_rulespec(group));
+    }
+    doc.push_str("\n## documentation\n\n");
+    for group in &mined.groups {
+        doc.push_str(&generate_doc(group));
+        doc.push('\n');
+    }
+    (encoded, doc)
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/pipeline_doc.txt")
+}
+
+/// The end-to-end artifact matches the checked-in golden file exactly.
+#[test]
+fn golden_pipeline_doc_matches() {
+    let (_, doc) = run_pipeline();
+    let path = golden_path();
+    if std::env::var_os("LOCKDOC_GOLDEN_REGEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("mkdir golden");
+        fs::write(&path, &doc).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nregenerate with LOCKDOC_GOLDEN_REGEN=1 cargo test -q --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        doc, want,
+        "pipeline output drifted from tests/golden/pipeline_doc.txt; if the \
+         change is intentional, regenerate with LOCKDOC_GOLDEN_REGEN=1 and \
+         review the diff"
+    );
+}
+
+/// Determinism contract (paper Sec. 4: reproducible traces): identical
+/// seeds yield byte-identical encoded traces AND byte-identical derived
+/// documentation across independent runs in the same process.
+#[test]
+fn identical_seeds_yield_byte_identical_pipeline() {
+    let (trace_a, doc_a) = run_pipeline();
+    let (trace_b, doc_b) = run_pipeline();
+    assert_eq!(trace_a, trace_b, "encoded traces differ between runs");
+    assert_eq!(doc_a, doc_b, "derived documentation differs between runs");
+}
+
+/// A different seed produces a different trace (the determinism above is
+/// not vacuous).
+#[test]
+fn different_seeds_differ() {
+    let (trace_a, _) = run_pipeline();
+    let cfg = SimConfig::with_seed(GOLDEN_SEED ^ 1).with_faults(rules::default_fault_plan());
+    let mut machine = Machine::boot(cfg);
+    machine.run_mix(GOLDEN_OPS);
+    let mut other = Vec::new();
+    write_trace(&machine.finish(), &mut other).expect("encode");
+    assert_ne!(trace_a, other);
+}

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) of the core invariants:
+//! Property-based tests of the core invariants, on the in-tree
+//! `lockdoc_platform::prop` harness:
 //!
 //! * codec round-trips arbitrary event streams,
 //! * transaction reconstruction matches a reference interpreter,
@@ -6,6 +7,9 @@
 //! * the selected winner always satisfies the selection contract,
 //! * rule-notation printing and parsing are inverses,
 //! * the write-over-read fold is idempotent and consistent.
+//!
+//! A failing property prints its run seed; reproduce with
+//! `LOCKDOC_PROP_SEED=<seed> cargo test -q <test-name>`.
 
 use lockdoc_core::hypothesis::{complies, enumerate, Observation};
 use lockdoc_core::lockset::LockDescriptor;
@@ -13,6 +17,9 @@ use lockdoc_core::matrix::AccessMatrix;
 use lockdoc_core::order::OrderGraph;
 use lockdoc_core::rulespec::{parse_rule, parse_rules, RuleSpec};
 use lockdoc_core::select::{select, SelectionConfig};
+use lockdoc_platform::prop::{self, vec_of, Shrink};
+use lockdoc_platform::rng::Rng;
+use lockdoc_platform::{prop_assert, prop_assert_eq};
 use lockdoc_trace::codec::{read_trace, write_trace};
 use lockdoc_trace::db::import;
 use lockdoc_trace::event::{
@@ -20,24 +27,47 @@ use lockdoc_trace::event::{
 };
 use lockdoc_trace::filter::FilterConfig;
 use lockdoc_trace::ids::{AllocId, TaskId};
-use proptest::prelude::*;
 
 /// A tiny abstract program: operations on two locks and one object with
 /// two members, from which both a trace and a reference lock-state
 /// interpretation are produced.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Op {
     Lock(u8),
     Unlock(u8),
     Access(u8, bool), // member, is_write
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..2).prop_map(Op::Lock),
-        (0u8..2).prop_map(Op::Unlock),
-        ((0u8..2), any::<bool>()).prop_map(|(m, w)| Op::Access(m, w)),
-    ]
+fn op_gen(rng: &mut Rng) -> Op {
+    match rng.gen_range(0u8..3) {
+        0 => Op::Lock(rng.gen_range(0u8..2)),
+        1 => Op::Unlock(rng.gen_range(0u8..2)),
+        _ => Op::Access(rng.gen_range(0u8..2), rng.gen_bool(0.5)),
+    }
+}
+
+impl Shrink for Op {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            Op::Lock(0) => vec![],
+            Op::Lock(_) => vec![Op::Lock(0)],
+            Op::Unlock(l) => vec![Op::Lock(l)],
+            Op::Access(m, w) => {
+                let mut out = vec![Op::Lock(0)];
+                if w {
+                    out.push(Op::Access(m, false));
+                }
+                if m > 0 {
+                    out.push(Op::Access(0, w));
+                }
+                out
+            }
+        }
+    }
+}
+
+fn ops_gen(len_max: usize) -> impl Fn(&mut Rng) -> Vec<Op> {
+    move |rng| vec_of(rng, 0..len_max, op_gen)
 }
 
 /// Builds a well-formed trace from an op list: unlocks of unheld locks and
@@ -149,12 +179,30 @@ fn build_trace(ops: &[Op]) -> (Trace, Vec<(u8, bool, Vec<u8>)>) {
     (tr, expected)
 }
 
-proptest! {
-    /// The importer's transaction reconstruction agrees with the reference
-    /// interpreter for every access.
-    #[test]
-    fn txn_reconstruction_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..120)) {
-        let (trace, expected) = build_trace(&ops);
+/// Turns generated `(lock id)` sequences into deduplicated observations.
+fn observations_from(seqs: &[Vec<u8>], counts: &[u64]) -> Vec<Observation> {
+    seqs.iter()
+        .zip(counts)
+        .map(|(seq, &count)| {
+            // Deduplicate within a sequence (held sets are sets).
+            let mut locks: Vec<LockDescriptor> = Vec::new();
+            for &l in seq {
+                let d = LockDescriptor::global(&format!("L{l}"));
+                if !locks.contains(&d) {
+                    locks.push(d);
+                }
+            }
+            Observation { locks, count }
+        })
+        .collect()
+}
+
+/// The importer's transaction reconstruction agrees with the reference
+/// interpreter for every access.
+#[test]
+fn txn_reconstruction_matches_reference() {
+    prop::check("txn_reconstruction_matches_reference", ops_gen(120), |ops| {
+        let (trace, expected) = build_trace(ops);
         let db = import(&trace, &FilterConfig::with_defaults());
         prop_assert_eq!(db.accesses.len(), expected.len());
         for (access, (m, w, held)) in db.accesses.iter().zip(&expected) {
@@ -165,41 +213,51 @@ proptest! {
             let want: Vec<u64> = held.iter().map(|&l| 0x100 + 0x100 * u64::from(l)).collect();
             prop_assert_eq!(got, want, "held-lock order must be acquisition order");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Binary codec round trip for arbitrary generated traces.
-    #[test]
-    fn codec_round_trips(ops in proptest::collection::vec(op_strategy(), 0..150)) {
-        let (trace, _) = build_trace(&ops);
+/// Binary codec round trip for arbitrary generated traces.
+#[test]
+fn codec_round_trips() {
+    prop::check("codec_round_trips", ops_gen(150), |ops| {
+        let (trace, _) = build_trace(ops);
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).expect("encode");
         let back = read_trace(&mut buf.as_slice()).expect("decode");
         prop_assert_eq!(trace, back);
-    }
+        Ok(())
+    });
+}
 
-    /// Hypothesis support never increases when a lock is appended (support
-    /// anti-monotonicity), and `sa <= total` always holds.
-    #[test]
-    fn support_is_antimonotone(
-        seqs in proptest::collection::vec(
-            proptest::collection::vec(0u8..5, 0..5), 1..12),
-        counts in proptest::collection::vec(1u64..50, 12),
-    ) {
-        let observations: Vec<Observation> = seqs
-            .iter()
-            .zip(&counts)
-            .map(|(seq, &count)| {
-                // Deduplicate within a sequence (held sets are sets).
-                let mut locks: Vec<LockDescriptor> = Vec::new();
-                for &l in seq {
-                    let d = LockDescriptor::global(&format!("L{l}"));
-                    if !locks.contains(&d) {
-                        locks.push(d);
-                    }
-                }
-                Observation { locks, count }
-            })
-            .collect();
+/// JSON codec round trip for the same arbitrary traces (the in-tree
+/// `jsonio` layer must agree with the binary codec's event model).
+#[test]
+fn json_round_trips() {
+    prop::check("json_round_trips", ops_gen(150), |ops| {
+        let (trace, _) = build_trace(ops);
+        let text = lockdoc_trace::jsonio::trace_to_json(&trace);
+        let back = lockdoc_trace::jsonio::trace_from_json(&text)
+            .map_err(|e| format!("decode failed: {e}"))?;
+        prop_assert_eq!(trace, back);
+        Ok(())
+    });
+}
+
+/// Hypothesis support never increases when a lock is appended (support
+/// anti-monotonicity), and `sa <= total` always holds.
+#[test]
+fn support_is_antimonotone() {
+    let gen = |rng: &mut Rng| {
+        let seqs = vec_of(rng, 1..12, |r| vec_of(r, 0..5, |r| r.gen_range(0u8..5)));
+        let counts = vec_of(rng, 12..13, |r| r.gen_range(1u64..50));
+        (seqs, counts)
+    };
+    prop::check("support_is_antimonotone", gen, |(seqs, counts)| {
+        let observations = observations_from(seqs, counts);
+        if observations.is_empty() {
+            return Ok(());
+        }
         let set = enumerate(0, AccessKind::Write, &observations);
         let total: u64 = observations.iter().map(|o| o.count).sum();
         prop_assert_eq!(set.total, total);
@@ -213,96 +271,113 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The winner obeys the selection contract: its support is above the
-    /// threshold and no candidate has strictly lower support (nor equal
-    /// support with more locks).
-    #[test]
-    fn winner_satisfies_contract(
-        seqs in proptest::collection::vec(
-            proptest::collection::vec(0u8..4, 0..4), 1..10),
-        counts in proptest::collection::vec(1u64..40, 10),
-        threshold in 0.5f64..1.0,
-    ) {
-        let observations: Vec<Observation> = seqs
-            .iter()
-            .zip(&counts)
-            .map(|(seq, &count)| {
-                let mut locks: Vec<LockDescriptor> = Vec::new();
-                for &l in seq {
-                    let d = LockDescriptor::global(&format!("L{l}"));
-                    if !locks.contains(&d) {
-                        locks.push(d);
+/// The winner obeys the selection contract: its support is above the
+/// threshold and no candidate has strictly lower support (nor equal
+/// support with more locks).
+#[test]
+fn winner_satisfies_contract() {
+    let gen = |rng: &mut Rng| {
+        let seqs = vec_of(rng, 1..10, |r| vec_of(r, 0..4, |r| r.gen_range(0u8..4)));
+        let counts = vec_of(rng, 10..11, |r| r.gen_range(1u64..40));
+        let threshold = rng.gen_range_f64(0.5..1.0);
+        (seqs, counts, threshold)
+    };
+    prop::check(
+        "winner_satisfies_contract",
+        gen,
+        |(seqs, counts, threshold)| {
+            let observations = observations_from(seqs, counts);
+            if observations.is_empty() {
+                return Ok(());
+            }
+            let threshold = threshold.clamp(0.0, 1.0);
+            let set = enumerate(0, AccessKind::Write, &observations);
+            let cfg = SelectionConfig::with_threshold(threshold);
+            let w = select(&set, &cfg).expect("enumerated sets always select");
+            prop_assert!(w.hypothesis.sr + 1e-12 >= threshold);
+            for h in &set.hypotheses {
+                if h.sr + 1e-12 >= threshold {
+                    prop_assert!(
+                        h.sa > w.hypothesis.sa
+                            || (h.sa == w.hypothesis.sa
+                                && h.locks.len() <= w.hypothesis.locks.len()),
+                        "candidate {:?} beats winner {:?}",
+                        h,
+                        w.hypothesis
+                    );
+                }
+            }
+            // Every observation that complies with the winner also complies
+            // with each of its prefixes (sanity of the subsequence semantics).
+            for obs in &observations {
+                if complies(&obs.locks, &w.hypothesis.locks) {
+                    for cut in 0..w.hypothesis.locks.len() {
+                        prop_assert!(complies(&obs.locks, &w.hypothesis.locks[..cut]));
                     }
                 }
-                Observation { locks, count }
-            })
-            .collect();
-        let set = enumerate(0, AccessKind::Write, &observations);
-        let cfg = SelectionConfig::with_threshold(threshold);
-        let w = select(&set, &cfg).expect("enumerated sets always select");
-        prop_assert!(w.hypothesis.sr + 1e-12 >= threshold);
-        for h in &set.hypotheses {
-            if h.sr + 1e-12 >= threshold {
-                prop_assert!(
-                    h.sa > w.hypothesis.sa
-                        || (h.sa == w.hypothesis.sa
-                            && h.locks.len() <= w.hypothesis.locks.len()),
-                    "candidate {:?} beats winner {:?}",
-                    h,
-                    w.hypothesis
-                );
             }
-        }
-        // Every observation that complies with the winner also complies
-        // with each of its prefixes (sanity of the subsequence semantics).
-        for obs in &observations {
-            if complies(&obs.locks, &w.hypothesis.locks) {
-                for cut in 0..w.hypothesis.locks.len() {
-                    prop_assert!(complies(&obs.locks, &w.hypothesis.locks[..cut]));
-                }
-            }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Rule notation: display then parse is the identity.
-    #[test]
-    fn rulespec_round_trips(
-        type_idx in 0usize..3,
-        member_idx in 0usize..4,
-        is_write in any::<bool>(),
-        lock_kinds in proptest::collection::vec(0u8..4, 0..3),
-    ) {
-        let types = ["inode", "journal_t", "dentry"];
-        let members = ["i_state", "j_flags", "d_hash", "some_member"];
-        let locks: Vec<LockDescriptor> = lock_kinds
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| match k {
-                0 => LockDescriptor::global(&format!("glock_{i}")),
-                1 => LockDescriptor::es(&format!("mem{i}"), types[type_idx]),
-                2 => LockDescriptor::eo(&format!("mem{i}"), "other_type"),
-                _ => LockDescriptor::rcu(),
-            })
-            .collect();
-        let rule = RuleSpec {
-            type_name: types[type_idx].to_owned(),
-            subclass: None,
-            member: members[member_idx].to_owned(),
-            kind: if is_write { AccessKind::Write } else { AccessKind::Read },
-            locks,
-        };
-        let printed = rule.to_string();
-        let reparsed = parse_rule(&printed).expect("parses").expect("not a comment");
-        prop_assert_eq!(rule, reparsed);
-    }
+/// Rule notation: display then parse is the identity.
+#[test]
+fn rulespec_round_trips() {
+    let gen = |rng: &mut Rng| {
+        let type_idx = rng.gen_range(0usize..3);
+        let member_idx = rng.gen_range(0usize..4);
+        let is_write = rng.gen_bool(0.5);
+        let lock_kinds = vec_of(rng, 0..3, |r| r.gen_range(0u8..4));
+        (type_idx, member_idx, is_write, lock_kinds)
+    };
+    prop::check(
+        "rulespec_round_trips",
+        gen,
+        |(type_idx, member_idx, is_write, lock_kinds)| {
+            let types = ["inode", "journal_t", "dentry"];
+            let members = ["i_state", "j_flags", "d_hash", "some_member"];
+            let type_idx = type_idx % types.len();
+            let member_idx = member_idx % members.len();
+            let locks: Vec<LockDescriptor> = lock_kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| match k {
+                    0 => LockDescriptor::global(&format!("glock_{i}")),
+                    1 => LockDescriptor::es(&format!("mem{i}"), types[type_idx]),
+                    2 => LockDescriptor::eo(&format!("mem{i}"), "other_type"),
+                    _ => LockDescriptor::rcu(),
+                })
+                .collect();
+            let rule = RuleSpec {
+                type_name: types[type_idx].to_owned(),
+                subclass: None,
+                member: members[member_idx].to_owned(),
+                kind: if *is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                locks,
+            };
+            let printed = rule.to_string();
+            let reparsed = parse_rule(&printed).expect("parses").expect("not a comment");
+            prop_assert_eq!(rule, reparsed);
+            Ok(())
+        },
+    );
+}
 
-    /// Matrix invariants: WoR classification is a partition of the folded
-    /// matrix, and totals equal the raw access counts per member.
-    #[test]
-    fn matrix_wor_partitions_units(ops in proptest::collection::vec(op_strategy(), 0..150)) {
-        let (trace, expected) = build_trace(&ops);
+/// Matrix invariants: WoR classification is a partition of the folded
+/// matrix, and totals equal the raw access counts per member.
+#[test]
+fn matrix_wor_partitions_units() {
+    prop::check("matrix_wor_partitions_units", ops_gen(150), |ops| {
+        let (trace, expected) = build_trace(ops);
         let db = import(&trace, &FilterConfig::with_defaults());
         let group = match db.observation_groups().first() {
             Some(&g) => g,
@@ -319,7 +394,10 @@ proptest! {
             let write_units = mm.relevant_units(AccessKind::Write);
             // WoR: a unit is read XOR write, never both.
             for u in &read_units {
-                prop_assert!(!write_units.contains(u), "member {member}: unit in both classes");
+                prop_assert!(
+                    !write_units.contains(u),
+                    "member {member}: unit in both classes"
+                );
             }
             prop_assert_eq!(read_units.len() + write_units.len(), mm.cells.len());
             // Folded never exceeds observed; overrides are bounded.
@@ -332,13 +410,16 @@ proptest! {
         let raw_writes = expected.iter().filter(|(_, w, _)| *w).count() as u64;
         prop_assert_eq!(total_reads, raw_reads);
         prop_assert_eq!(total_writes, raw_writes);
-    }
+        Ok(())
+    });
+}
 
-    /// Order-graph invariants: edge counts are bounded by lock pairs in
-    /// transactions, and inversions are symmetric findings.
-    #[test]
-    fn order_graph_invariants(ops in proptest::collection::vec(op_strategy(), 0..150)) {
-        let (trace, _) = build_trace(&ops);
+/// Order-graph invariants: edge counts are bounded by lock pairs in
+/// transactions, and inversions are symmetric findings.
+#[test]
+fn order_graph_invariants() {
+    prop::check("order_graph_invariants", ops_gen(150), |ops| {
+        let (trace, _) = build_trace(ops);
         let db = import(&trace, &FilterConfig::with_defaults());
         let graph = OrderGraph::build(&db);
         // An edge requires at least one txn with >= 2 locks.
@@ -360,20 +441,28 @@ proptest! {
             prop_assert!(graph.edges.contains_key(&r));
             prop_assert!(inv.forward.count >= inv.backward.count);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Parsing a multi-line rule file equals parsing its lines separately.
-    #[test]
-    fn parse_rules_is_linewise(n in 1usize..6) {
-        let lines: Vec<String> = (0..n)
-            .map(|i| format!("inode.member{i}:w = ES(i_lock in inode)"))
-            .collect();
-        let text = lines.join("\n");
-        let bulk = parse_rules(&text).expect("bulk parses");
-        prop_assert_eq!(bulk.len(), n);
-        for (i, rule) in bulk.iter().enumerate() {
-            let single = parse_rule(&lines[i]).unwrap().unwrap();
-            prop_assert_eq!(rule, &single);
-        }
-    }
+/// Parsing a multi-line rule file equals parsing its lines separately.
+#[test]
+fn parse_rules_is_linewise() {
+    prop::check(
+        "parse_rules_is_linewise",
+        |rng| rng.gen_range(1usize..6),
+        |&n| {
+            let lines: Vec<String> = (0..n)
+                .map(|i| format!("inode.member{i}:w = ES(i_lock in inode)"))
+                .collect();
+            let text = lines.join("\n");
+            let bulk = parse_rules(&text).expect("bulk parses");
+            prop_assert_eq!(bulk.len(), n);
+            for (i, rule) in bulk.iter().enumerate() {
+                let single = parse_rule(&lines[i]).unwrap().unwrap();
+                prop_assert_eq!(rule, &single);
+            }
+            Ok(())
+        },
+    );
 }

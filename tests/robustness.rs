@@ -2,48 +2,91 @@
 //! panics, and the importer must tolerate anomalous event streams the way
 //! the paper's tooling tolerates real-kernel oddities (unmatched unlocks,
 //! unknown locks, accesses to untracked memory).
+//!
+//! Property tests run on the in-tree `lockdoc_platform::prop` harness.
+//! A failing property prints its run seed; reproduce with
+//! `LOCKDOC_PROP_SEED=<seed> cargo test -q <test-name>`.
 
 use lockdoc_core::clock::clock_trace;
 use lockdoc_core::rulespec::parse_rules;
+use lockdoc_platform::prop::{self, ascii_garbage, vec_of};
 use lockdoc_trace::codec::{read_trace, write_trace, CodecError};
 use lockdoc_trace::db::import;
 use lockdoc_trace::event::{AccessKind, AcquireMode, Event, LockFlavor, SourceLoc, Trace};
 use lockdoc_trace::filter::FilterConfig;
 use lockdoc_trace::ids::{AllocId, TaskId};
-use proptest::prelude::*;
 
-proptest! {
-    /// Decoding arbitrary bytes never panics; it either errors or yields a
-    /// valid trace.
-    #[test]
-    fn decoder_handles_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = read_trace(&mut bytes.as_slice());
-    }
+/// Decoding arbitrary bytes never panics; it either errors or yields a
+/// valid trace.
+#[test]
+fn decoder_handles_garbage() {
+    prop::check(
+        "decoder_handles_garbage",
+        |rng| vec_of(rng, 0..512, |r| r.next_u32() as u8),
+        |bytes| {
+            let _ = read_trace(&mut bytes.as_slice());
+            Ok(())
+        },
+    );
+}
 
-    /// Single-byte corruption of a valid container never panics.
-    #[test]
-    fn decoder_handles_bitflips(pos_frac in 0.0f64..1.0, value in any::<u8>()) {
-        let trace = clock_trace(5, 0);
-        let mut buf = Vec::new();
-        write_trace(&trace, &mut buf).expect("encode");
-        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
-        buf[pos] = value;
-        match read_trace(&mut buf.as_slice()) {
-            Ok(decoded) => {
-                // A lucky corruption may still decode; the result must at
-                // least be structurally importable.
-                let _ = import(&decoded, &FilterConfig::with_defaults());
-            }
-            Err(CodecError::Io(_) | CodecError::BadMagic | CodecError::BadTag(_)
-                | CodecError::VarintOverflow | CodecError::BadUtf8) => {}
+/// Single-byte corruption of a valid container never panics. Shared by the
+/// property runner and the pinned regression case below.
+fn bitflip_property(pos_frac: f64, value: u8) -> Result<(), String> {
+    let trace = clock_trace(5, 0);
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).expect("encode");
+    let pos = ((buf.len() - 1) as f64 * pos_frac.clamp(0.0, 1.0)) as usize;
+    buf[pos] = value;
+    match read_trace(&mut buf.as_slice()) {
+        Ok(decoded) => {
+            // A lucky corruption may still decode; the result must at
+            // least be structurally importable.
+            let _ = import(&decoded, &FilterConfig::with_defaults());
         }
+        Err(
+            CodecError::Io(_)
+            | CodecError::BadMagic
+            | CodecError::BadTag(_)
+            | CodecError::VarintOverflow
+            | CodecError::BadUtf8,
+        ) => {}
     }
+    Ok(())
+}
 
-    /// Rule parsing never panics on arbitrary printable input.
-    #[test]
-    fn rule_parser_handles_garbage(text in "[ -~\n]{0,300}") {
-        let _ = parse_rules(&text);
-    }
+#[test]
+fn decoder_handles_bitflips() {
+    prop::check(
+        "decoder_handles_bitflips",
+        |rng| {
+            let pos_frac = rng.f64_unit();
+            let value = rng.next_u32() as u8;
+            (pos_frac, value)
+        },
+        |&(pos_frac, value)| bitflip_property(pos_frac, value),
+    );
+}
+
+/// Pinned shrunk case from the former proptest regression file
+/// (`tests/robustness.proptest-regressions`): corruption near offset 36%
+/// with byte value 1 once tripped a decoder panic.
+#[test]
+fn regression_decoder_handles_bitflips_shrunk_case() {
+    bitflip_property(0.3613634433190813, 1).unwrap();
+}
+
+/// Rule parsing never panics on arbitrary printable input.
+#[test]
+fn rule_parser_handles_garbage() {
+    prop::check(
+        "rule_parser_handles_garbage",
+        |rng| ascii_garbage(rng, 0..300),
+        |text| {
+            let _ = parse_rules(text);
+            Ok(())
+        },
+    );
 }
 
 /// Releases without acquires, accesses outside any allocation, and
