@@ -1,0 +1,59 @@
+//! Scaling of the sharded derivator across worker counts.
+//!
+//! Mines rules from a mix-workload trace at `jobs = 1, 2, 4` and reports
+//! the speedup over the serial path. The sharded derivator is
+//! output-deterministic, so before timing anything the bench asserts the
+//! mined rules are identical at every worker count — a scaling number for
+//! a wrong answer is worthless.
+//!
+//! Runs on the in-tree `lockdoc_platform::timing` harness; set
+//! `LOCKDOC_BENCH_QUICK=1` for a single-iteration smoke run. Speedup is
+//! bounded by the machine's core count (`jobs > cores` cannot help).
+
+use ksim::config::SimConfig;
+use ksim::rules;
+use ksim::subsys::Machine;
+use lockdoc_core::derive::{derive_par, DeriveConfig};
+use lockdoc_platform::par::available_jobs;
+use lockdoc_platform::timing::Bench;
+
+fn main() {
+    let quick = std::env::var("LOCKDOC_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let ops = if quick { 2_000 } else { 20_000 };
+    let mut machine =
+        Machine::boot(SimConfig::with_seed(0xBEAC).with_faults(rules::default_fault_plan()));
+    machine.run_mix(ops);
+    let trace = machine.finish();
+    let db = lockdoc_trace::db::import(&trace, &rules::filter_config());
+    let config = DeriveConfig::default();
+
+    // Determinism gate: every worker count must mine identical rules.
+    let serial = derive_par(&db, &config, 1);
+    for jobs in [2usize, 4, 8] {
+        assert_eq!(
+            derive_par(&db, &config, jobs),
+            serial,
+            "derive output differs at jobs = {jobs}"
+        );
+    }
+
+    let mut b = Bench::from_env();
+    for jobs in [1usize, 2, 4] {
+        b.run(&format!("derive/{}k-ops/jobs-{jobs}", ops / 1000), || {
+            derive_par(&db, &config, jobs)
+        });
+    }
+    let results = b.results();
+    let base = results[0].ns_per_iter();
+    for m in results {
+        println!(
+            "bench {:<44} speedup vs jobs-1: {:.2}x",
+            m.name,
+            base / m.ns_per_iter()
+        );
+    }
+    println!(
+        "note: machine reports {} available core(s); speedup saturates there",
+        available_jobs()
+    );
+}

@@ -74,6 +74,7 @@ fn bench_derivation(b: &mut Bench) {
             member: r.member,
             kind: r.kind,
             total: r.total_units,
+            truncated: 0,
             hypotheses: r.hypotheses.clone(),
         })
         .collect();
@@ -100,9 +101,7 @@ fn bench_checker_and_violations(b: &mut Bench) {
         check_rules(&db, &documented)
     });
     let mined = derive(&db, &DeriveConfig::default());
-    b.run("find-violations/2k-ops", || {
-        find_violations(&db, &mined, 5)
-    });
+    b.run("find-violations/2k-ops", || find_violations(&db, &mined, 5));
 }
 
 fn bench_order_and_diff(b: &mut Bench) {

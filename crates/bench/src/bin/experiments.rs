@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--all | --<id> ...] [--ops N] [--seed N] [--t-ac X] [--no-faults]\n\
+        "usage: experiments [--all | --<id> ...] [--ops N] [--seed N] [--t-ac X] [--jobs N] [--no-faults]\n\
          ids: {}",
         experiments::ALL.join(", ")
     )
@@ -68,6 +68,13 @@ fn main() -> ExitCode {
                 Some(v) => config.t_ac = v,
                 None => {
                     eprintln!("invalid value for --t-ac");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match next_num("--jobs").and_then(|v| v.parse().ok()) {
+                Some(v) => config.jobs = lockdoc_platform::par::resolve_jobs(Some(v)),
+                None => {
+                    eprintln!("invalid value for --jobs");
                     return ExitCode::FAILURE;
                 }
             },

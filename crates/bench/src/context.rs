@@ -6,10 +6,10 @@ use ksim::config::SimConfig;
 use ksim::faults::FaultLog;
 use ksim::rules;
 use ksim::subsys::Machine;
-use lockdoc_core::checker::{check_rules, CheckedRule};
-use lockdoc_core::derive::{derive, DeriveConfig, MinedRules};
+use lockdoc_core::checker::{check_rules_par, CheckedRule};
+use lockdoc_core::derive::{derive_par, DeriveConfig, MinedRules};
 use lockdoc_core::rulespec::parse_rules;
-use lockdoc_core::violation::{find_violations, GroupViolations};
+use lockdoc_core::violation::{find_violations_par, GroupViolations};
 use lockdoc_trace::db::{import, TraceDb};
 use lockdoc_trace::event::Trace;
 use std::time::{Duration, Instant};
@@ -25,6 +25,9 @@ pub struct EvalConfig {
     pub t_ac: f64,
     /// Whether to enable the default fault plan.
     pub faults: bool,
+    /// Worker count for the analysis phases (`1` = serial; output is
+    /// identical at any value).
+    pub jobs: usize,
 }
 
 impl Default for EvalConfig {
@@ -34,6 +37,7 @@ impl Default for EvalConfig {
             seed: 0x10c_d0c,
             t_ac: 0.9,
             faults: true,
+            jobs: 1,
         }
     }
 }
@@ -98,16 +102,16 @@ impl EvalContext {
         timings.import = t1.elapsed();
 
         let t2 = Instant::now();
-        let mined = derive(&db, &DeriveConfig::with_threshold(config.t_ac));
+        let mined = derive_par(&db, &DeriveConfig::with_threshold(config.t_ac), config.jobs);
         timings.derivation = t2.elapsed();
 
         let t3 = Instant::now();
         let documented = parse_rules(rules::documented_rules()).expect("rule file parses");
-        let checked = check_rules(&db, &documented);
+        let checked = check_rules_par(&db, &documented, config.jobs);
         timings.checking = t3.elapsed();
 
         let t4 = Instant::now();
-        let violations = find_violations(&db, &mined, 5);
+        let violations = find_violations_par(&db, &mined, 5, config.jobs);
         timings.violations = t4.elapsed();
 
         Self {

@@ -3,7 +3,8 @@
 
 use crate::context::EvalContext;
 use crate::table::Table;
-use lockdoc_core::derive::{derive, DeriveConfig};
+use lockdoc_core::derive::{derive_par, DeriveConfig};
+use lockdoc_platform::par::par_map;
 use lockdoc_trace::event::AccessKind;
 use std::collections::BTreeMap;
 
@@ -16,11 +17,17 @@ pub fn thresholds() -> Vec<f64> {
 pub type SweepData = BTreeMap<String, Vec<(f64, f64)>>;
 
 /// Runs the sweep over the 10 non-inode data types (as in the paper,
-/// inode subclasses are excluded for clarity).
+/// inode subclasses are excluded for clarity). The sweep points are
+/// independent derivations, so they fan out across `ctx.config.jobs`
+/// workers; the fold happens in threshold order, so the result is
+/// identical at any worker count.
 pub fn measure(ctx: &EvalContext) -> SweepData {
+    let ths = thresholds();
+    let sweeps = par_map(ctx.config.jobs, &ths, |&t_ac| {
+        derive_par(&ctx.db, &DeriveConfig::with_threshold(t_ac), 1)
+    });
     let mut data: SweepData = BTreeMap::new();
-    for t_ac in thresholds() {
-        let mined = derive(&ctx.db, &DeriveConfig::with_threshold(t_ac));
+    for mined in &sweeps {
         for group in &mined.groups {
             if group.group_name.contains(':') {
                 continue; // skip inode subclasses

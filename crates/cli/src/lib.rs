@@ -20,11 +20,12 @@
 use ksim::config::SimConfig;
 use ksim::rules;
 use ksim::subsys::Machine;
-use lockdoc_core::checker::{check_rules, summarize};
-use lockdoc_core::derive::{derive, DeriveConfig};
+use lockdoc_core::checker::{check_rules_par, summarize};
+use lockdoc_core::derive::{derive_par, DeriveConfig};
 use lockdoc_core::docgen::{generate_doc, generate_rulespec};
 use lockdoc_core::rulespec::parse_rules;
-use lockdoc_core::violation::find_violations;
+use lockdoc_core::violation::find_violations_par;
+use lockdoc_platform::par::resolve_jobs;
 use lockdoc_trace::codec::{read_trace, write_trace};
 use lockdoc_trace::db::{import, TraceDb};
 use lockdoc_trace::event::Trace;
@@ -123,6 +124,20 @@ impl Args {
                 .map_err(|_| CliError::Usage(format!("invalid value for --{name}: `{v}`"))),
         }
     }
+
+    /// Worker count for the analysis phases: `--jobs N`, else the
+    /// `LOCKDOC_JOBS` environment variable, else available parallelism.
+    /// The output is identical at any value (`1` = serial path).
+    pub fn jobs(&self) -> Result<usize> {
+        let explicit: Option<usize> = match self.get("jobs") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("invalid value for --jobs: `{v}`")))?,
+            ),
+        };
+        Ok(resolve_jobs(explicit))
+    }
 }
 
 /// The usage text.
@@ -132,13 +147,16 @@ lockdoc — trace-based analysis of locking rules
 USAGE:
   lockdoc trace      [--ops N] [--seed N] [--no-faults] [--mix SPEC] --out FILE
   lockdoc import     --trace FILE [--csv-dir DIR]
-  lockdoc derive     --trace FILE [--t-ac X] [--group NAME] [--rulespec | --json]
-  lockdoc check      --trace FILE [--rules FILE] [--json]
-  lockdoc doc        --trace FILE [--group NAME]
-  lockdoc violations --trace FILE [--t-ac X] [--max-examples N] [--json]
+  lockdoc derive     --trace FILE [--t-ac X] [--group NAME] [--jobs N] [--rulespec | --json]
+  lockdoc check      --trace FILE [--rules FILE] [--jobs N] [--json]
+  lockdoc doc        --trace FILE [--group NAME] [--jobs N]
+  lockdoc violations --trace FILE [--t-ac X] [--max-examples N] [--jobs N] [--json]
   lockdoc scan       --dir PATH
   lockdoc diff       --old FILE --new FILE [--t-ac X]
   lockdoc order      --trace FILE
+
+`--jobs N` (or LOCKDOC_JOBS) shards the analysis across N workers; output
+is byte-identical at any worker count. Default: available parallelism.
 ";
 
 fn load_db(args: &Args) -> Result<TraceDb> {
@@ -216,7 +234,8 @@ pub fn cmd_import(args: &Args) -> Result<String> {
 pub fn cmd_derive(args: &Args) -> Result<String> {
     let db = load_db(args)?;
     let t_ac: f64 = args.num("t-ac", 0.9f64)?;
-    let mut mined = derive(&db, &DeriveConfig::with_threshold(t_ac));
+    let jobs = args.jobs()?;
+    let mut mined = derive_par(&db, &DeriveConfig::with_threshold(t_ac), jobs);
     if let Some(want) = args.get("group") {
         mined.groups.retain(|g| g.group_name == want);
         if mined.groups.is_empty() {
@@ -243,6 +262,13 @@ pub fn cmd_derive(args: &Args) -> Result<String> {
                     rule.winner.hypothesis.sr * 100.0
                 ));
             }
+            if group.truncated_units > 0 {
+                out.push_str(&format!(
+                    "  ({} observation units exceeded the enumeration cap; \
+                     evidence kept, long hypotheses not enumerated)\n",
+                    group.truncated_units
+                ));
+            }
         }
     }
     Ok(out)
@@ -256,7 +282,7 @@ pub fn cmd_check(args: &Args) -> Result<String> {
         None => rules::documented_rules().to_owned(),
     };
     let parsed = parse_rules(&text).map_err(|e| CliError::Rules(e.to_string()))?;
-    let checked = check_rules(&db, &parsed);
+    let checked = check_rules_par(&db, &parsed, args.jobs()?);
     if args.has("json") {
         return Ok(lockdoc_platform::json::to_string_pretty(&checked));
     }
@@ -288,7 +314,7 @@ pub fn cmd_check(args: &Args) -> Result<String> {
 /// `lockdoc doc`.
 pub fn cmd_doc(args: &Args) -> Result<String> {
     let db = load_db(args)?;
-    let mined = derive(&db, &DeriveConfig::default());
+    let mined = derive_par(&db, &DeriveConfig::default(), args.jobs()?);
     let mut out = String::new();
     for group in &mined.groups {
         if let Some(want) = args.get("group") {
@@ -310,8 +336,9 @@ pub fn cmd_violations(args: &Args) -> Result<String> {
     let db = load_db(args)?;
     let t_ac: f64 = args.num("t-ac", 0.9f64)?;
     let max_examples: usize = args.num("max-examples", 5usize)?;
-    let mined = derive(&db, &DeriveConfig::with_threshold(t_ac));
-    let violations = find_violations(&db, &mined, max_examples);
+    let jobs = args.jobs()?;
+    let mined = derive_par(&db, &DeriveConfig::with_threshold(t_ac), jobs);
+    let violations = find_violations_par(&db, &mined, max_examples, jobs);
     if args.has("json") {
         return Ok(lockdoc_platform::json::to_string_pretty(&violations));
     }
@@ -393,6 +420,7 @@ pub fn cmd_order(args: &Args) -> Result<String> {
 /// `lockdoc diff`: mined-rule drift between two traces.
 pub fn cmd_diff(args: &Args) -> Result<String> {
     let t_ac: f64 = args.num("t-ac", 0.9f64)?;
+    let jobs = args.jobs()?;
     let load = |flag: &str| -> Result<lockdoc_core::derive::MinedRules> {
         let path = args
             .get(flag)
@@ -400,7 +428,7 @@ pub fn cmd_diff(args: &Args) -> Result<String> {
         let bytes = fs::read(path)?;
         let trace = read_trace(&mut bytes.as_slice())?;
         let db = import(&trace, &rules::filter_config());
-        Ok(derive(&db, &DeriveConfig::with_threshold(t_ac)))
+        Ok(derive_par(&db, &DeriveConfig::with_threshold(t_ac), jobs))
     };
     let old = load("old")?;
     let new = load("new")?;
@@ -538,6 +566,21 @@ mod tests {
         assert!(out.contains("0 changed, 0 added, 0 removed"));
         let out = run(&s(&["order", "--trace", trace_path.to_str().unwrap()])).unwrap();
         assert!(out.contains("lock-order graph:"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jobs_flag_does_not_change_output() {
+        let dir = std::env::temp_dir().join("lockdoc-jobs-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.ldoc");
+        run(&s(&["trace", "--ops", "400", "--out", p.to_str().unwrap()])).unwrap();
+        for cmd in ["derive", "doc", "violations", "check"] {
+            let serial = run(&s(&[cmd, "--trace", p.to_str().unwrap(), "--jobs", "1"])).unwrap();
+            let parallel = run(&s(&[cmd, "--trace", p.to_str().unwrap(), "--jobs", "4"])).unwrap();
+            assert_eq!(serial, parallel, "{cmd} output differs across --jobs");
+        }
+        assert!(Args::parse(&s(&["--jobs", "zebra"])).jobs().is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

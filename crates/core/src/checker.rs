@@ -10,6 +10,7 @@
 use crate::hypothesis::{complies, observations_for_cached, ResolutionCache};
 use crate::matrix::AccessMatrix;
 use crate::rulespec::RuleSpec;
+use lockdoc_platform::par::{chunks_for, par_map};
 use lockdoc_trace::db::TraceDb;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -61,67 +62,93 @@ pub struct CheckedRule {
 /// type-wide); a subclassed rule (e.g. `inode:ext4`) only against that
 /// subclass.
 pub fn check_rules(db: &TraceDb, rules: &[RuleSpec]) -> Vec<CheckedRule> {
+    check_rules_par(db, rules, 1)
+}
+
+/// [`check_rules`] sharded across `jobs` workers: matrices build in
+/// parallel per observation group, then contiguous rule chunks are checked
+/// in parallel with a per-chunk [`ResolutionCache`]. Results are identical
+/// to the serial path at any worker count (`jobs = 1` is one chunk with
+/// one cache — the exact serial path).
+pub fn check_rules_par(db: &TraceDb, rules: &[RuleSpec], jobs: usize) -> Vec<CheckedRule> {
     // Build matrices once per observation group.
     let groups = db.observation_groups();
-    let matrices: Vec<(usize, AccessMatrix)> = groups
-        .iter()
-        .enumerate()
-        .map(|(i, &g)| (i, AccessMatrix::build(db, g)))
-        .collect();
+    let matrices: Vec<(usize, AccessMatrix)> =
+        par_map(jobs, &groups, |&g| AccessMatrix::build(db, g))
+            .into_iter()
+            .enumerate()
+            .collect();
 
-    let mut cache = ResolutionCache::new();
-    rules
-        .iter()
-        .map(|rule| {
-            let mut sa = 0u64;
-            let mut total = 0u64;
-            for (gi, matrix) in &matrices {
-                let group = groups[*gi];
-                if db.type_name(group.0) != rule.type_name {
-                    continue;
-                }
-                if let Some(want) = &rule.subclass {
-                    let got = group.1.map(|s| db.sym(s));
-                    if got != Some(want.as_str()) {
-                        continue;
-                    }
-                }
-                let def = db.data_type(group.0);
-                let Some(member_idx) = def.member_named(&rule.member) else {
-                    continue;
-                };
-                let Some(mm) = matrix.member(member_idx as u32) else {
-                    continue;
-                };
-                for obs in observations_for_cached(db, mm, rule.kind, &mut cache) {
-                    total += obs.count;
-                    if complies(&obs.locks, &rule.locks) {
-                        sa += obs.count;
-                    }
-                }
+    let chunks = chunks_for(jobs, rules);
+    let parts = par_map(jobs, &chunks, |chunk| {
+        let mut cache = ResolutionCache::new();
+        chunk
+            .iter()
+            .map(|rule| check_one_rule(db, &groups, &matrices, rule, &mut cache))
+            .collect::<Vec<_>>()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Checks a single documented rule against every matching observation
+/// group.
+fn check_one_rule(
+    db: &TraceDb,
+    groups: &[(
+        lockdoc_trace::ids::DataTypeId,
+        Option<lockdoc_trace::ids::Sym>,
+    )],
+    matrices: &[(usize, AccessMatrix)],
+    rule: &RuleSpec,
+    cache: &mut ResolutionCache,
+) -> CheckedRule {
+    let mut sa = 0u64;
+    let mut total = 0u64;
+    for (gi, matrix) in matrices {
+        let group = groups[*gi];
+        if db.type_name(group.0) != rule.type_name {
+            continue;
+        }
+        if let Some(want) = &rule.subclass {
+            let got = group.1.map(|s| db.sym(s));
+            if got != Some(want.as_str()) {
+                continue;
             }
-            let (sr, verdict) = if total == 0 {
-                (0.0, Verdict::NotObserved)
-            } else {
-                let sr = sa as f64 / total as f64;
-                let v = if sa == total {
-                    Verdict::Correct
-                } else if sa == 0 {
-                    Verdict::Incorrect
-                } else {
-                    Verdict::Ambivalent
-                };
-                (sr, v)
-            };
-            CheckedRule {
-                rule: rule.clone(),
-                sa,
-                total,
-                sr,
-                verdict,
+        }
+        let def = db.data_type(group.0);
+        let Some(member_idx) = def.member_named(&rule.member) else {
+            continue;
+        };
+        let Some(mm) = matrix.member(member_idx as u32) else {
+            continue;
+        };
+        for obs in observations_for_cached(db, mm, rule.kind, cache) {
+            total += obs.count;
+            if complies(&obs.locks, &rule.locks) {
+                sa += obs.count;
             }
-        })
-        .collect()
+        }
+    }
+    let (sr, verdict) = if total == 0 {
+        (0.0, Verdict::NotObserved)
+    } else {
+        let sr = sa as f64 / total as f64;
+        let v = if sa == total {
+            Verdict::Correct
+        } else if sa == 0 {
+            Verdict::Incorrect
+        } else {
+            Verdict::Ambivalent
+        };
+        (sr, v)
+    };
+    CheckedRule {
+        rule: rule.clone(),
+        sa,
+        total,
+        sr,
+        verdict,
+    }
 }
 
 /// Per-data-type summary of checked rules (one row of paper Tab. 4).
@@ -244,5 +271,22 @@ mod tests {
     fn unknown_member_counts_as_not_observed() {
         let c = checked("clock.does_not_exist:w = sec_lock");
         assert_eq!(c[0].verdict, Verdict::NotObserved);
+    }
+
+    #[test]
+    fn parallel_checking_matches_serial_exactly() {
+        let db = clock_db(1000, 1);
+        let rules = parse_rules(
+            "clock.seconds:w = sec_lock\n\
+             clock.minutes:w = sec_lock -> min_lock\n\
+             clock.minutes:w = min_lock -> sec_lock\n\
+             clock.minutes:r = min_lock\n\
+             clock.does_not_exist:w = sec_lock\n",
+        )
+        .unwrap();
+        let serial = check_rules(&db, &rules);
+        for jobs in [2, 3, 4, 16] {
+            assert_eq!(check_rules_par(&db, &rules, jobs), serial, "jobs = {jobs}");
+        }
     }
 }

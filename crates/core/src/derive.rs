@@ -5,10 +5,20 @@
 //! member, the derivator builds the access matrix, aggregates observations
 //! per access kind (after write-over-read folding), enumerates hypotheses,
 //! and selects a winner per the configured strategy.
+//!
+//! Derivation is embarrassingly parallel per `(group, member)` — the
+//! paper's phases share nothing across members once the access matrix is
+//! built. [`derive_par`] shards the work across
+//! [`lockdoc_platform::par::par_map`]: matrices build in parallel per
+//! group, then member chunks run `observations_for` → `enumerate` →
+//! `select` with a *per-shard* [`ResolutionCache`], and the merged rules
+//! are stably sorted by member so the output is byte-identical at any
+//! worker count (`jobs = 1` is the exact serial path).
 
 use crate::hypothesis::{enumerate, observations_for_cached, Hypothesis, ResolutionCache};
 use crate::matrix::AccessMatrix;
 use crate::select::{select, SelectionConfig, Winner};
+use lockdoc_platform::par::{chunks_for, par_map};
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::AccessKind;
 use lockdoc_trace::ids::{DataTypeId, Sym};
@@ -76,6 +86,11 @@ pub struct GroupRules {
     pub group_name: String,
     /// Rules per observed member and kind, ordered by member then kind.
     pub rules: Vec<MinedRule>,
+    /// Sum over this group's hypothesis sets of the observation units whose
+    /// held-lock sequence exceeded the enumeration cap (see
+    /// [`crate::hypothesis::MAX_SEQ_LEN`]): their evidence is kept in full,
+    /// but hypotheses longer than the cap were not enumerated for them.
+    pub truncated_units: u64,
 }
 
 impl GroupRules {
@@ -121,27 +136,37 @@ impl MinedRules {
     }
 }
 
-/// Derives rules for a single observation group.
+/// Derives rules for a single observation group (serial path).
 pub fn derive_group(
     db: &TraceDb,
     group: (DataTypeId, Option<Sym>),
     config: &DeriveConfig,
 ) -> GroupRules {
     let matrix = AccessMatrix::build(db, group);
+    let (rules, truncated_units) = rules_from_matrix(db, &matrix, config, 1);
     GroupRules {
         data_type: group.0,
         subclass: group.1,
         group_name: db.group_name(group),
-        rules: rules_from_matrix(db, &matrix, config),
+        rules,
+        truncated_units,
     }
 }
 
-/// Shared derivation loop over one access matrix: enumerate and select per
-/// observed member and access kind.
-fn rules_from_matrix(db: &TraceDb, matrix: &AccessMatrix, config: &DeriveConfig) -> Vec<MinedRule> {
+/// Derives the rules (and truncation count) for a chunk of observed
+/// members of one matrix, with its own [`ResolutionCache`]. This is the
+/// unit of parallel work: chunks share nothing, so each shard owns its
+/// cache and the merge is a plain ordered concatenation.
+fn rules_for_members(
+    db: &TraceDb,
+    matrix: &AccessMatrix,
+    members: &[u32],
+    config: &DeriveConfig,
+) -> (Vec<MinedRule>, u64) {
     let mut rules = Vec::new();
+    let mut truncated_units = 0u64;
     let mut cache = ResolutionCache::new();
-    for member in matrix.observed_members() {
+    for &member in members {
         let mm = matrix.member(member).expect("member is observed");
         for kind in [AccessKind::Read, AccessKind::Write] {
             let observations = observations_for_cached(db, mm, kind, &mut cache);
@@ -150,6 +175,7 @@ fn rules_from_matrix(db: &TraceDb, matrix: &AccessMatrix, config: &DeriveConfig)
                 continue;
             }
             let set = enumerate(member, kind, &observations);
+            truncated_units += set.truncated;
             let winner =
                 select(&set, &config.selection).expect("enumerated sets always have a winner");
             let hypotheses = set
@@ -168,44 +194,127 @@ fn rules_from_matrix(db: &TraceDb, matrix: &AccessMatrix, config: &DeriveConfig)
             });
         }
     }
-    rules
+    (rules, truncated_units)
+}
+
+/// Derivation loop over one access matrix, sharded across `jobs` workers
+/// by member chunks. `jobs = 1` processes every member in one chunk with
+/// one cache — the exact serial path.
+fn rules_from_matrix(
+    db: &TraceDb,
+    matrix: &AccessMatrix,
+    config: &DeriveConfig,
+    jobs: usize,
+) -> (Vec<MinedRule>, u64) {
+    let members = matrix.observed_members();
+    let chunks = chunks_for(jobs, &members);
+    let parts = par_map(jobs, &chunks, |chunk| {
+        rules_for_members(db, matrix, chunk, config)
+    });
+    merge_rule_parts(parts)
+}
+
+/// Merges per-shard rule lists back into one deterministic list. Shards
+/// arrive in input order (chunks of ascending members), so a stable sort
+/// by member restores the global `member` then `Read`/`Write` order no
+/// matter how the work was partitioned.
+fn merge_rule_parts(parts: Vec<(Vec<MinedRule>, u64)>) -> (Vec<MinedRule>, u64) {
+    let mut rules = Vec::new();
+    let mut truncated_units = 0u64;
+    for (part, truncated) in parts {
+        rules.extend(part);
+        truncated_units += truncated;
+    }
+    rules.sort_by_key(|r| r.member);
+    (rules, truncated_units)
 }
 
 /// Derives type-wide rules with all subclasses pooled (one group per data
 /// type). This is the granularity the Linux documentation speaks at; the
 /// subclassing ablation experiment compares it with [`derive`].
 pub fn derive_pooled(db: &TraceDb, config: &DeriveConfig) -> MinedRules {
+    derive_pooled_par(db, config, 1)
+}
+
+/// [`derive_pooled`] sharded across `jobs` workers; output is identical at
+/// any worker count.
+pub fn derive_pooled_par(db: &TraceDb, config: &DeriveConfig, jobs: usize) -> MinedRules {
     use std::collections::BTreeSet;
     let types: BTreeSet<_> = db.accesses.iter().map(|a| a.data_type).collect();
-    let groups = types
-        .into_iter()
-        .map(|dtid| {
-            let matrix = AccessMatrix::build_pooled(db, dtid);
-            GroupRules {
-                data_type: dtid,
-                subclass: None,
-                group_name: db.type_name(dtid).to_owned(),
-                rules: rules_from_matrix(db, &matrix, config),
-            }
-        })
-        .collect();
+    let types: Vec<_> = types.into_iter().collect();
+    let matrices = par_map(jobs, &types, |&dtid| AccessMatrix::build_pooled(db, dtid));
+    let groups = derive_groups_sharded(db, config, jobs, &matrices, |i| {
+        let dtid = types[i];
+        (dtid, None, db.type_name(dtid).to_owned())
+    });
     MinedRules {
         groups,
         config: *config,
     }
 }
 
-/// Derives rules for every observation group in the database.
+/// Derives rules for every observation group in the database (serial
+/// path; equivalent to [`derive_par`] with `jobs = 1`).
 pub fn derive(db: &TraceDb, config: &DeriveConfig) -> MinedRules {
-    let groups = db
-        .observation_groups()
-        .into_iter()
-        .map(|g| derive_group(db, g, config))
-        .collect();
+    derive_par(db, config, 1)
+}
+
+/// [`derive`] sharded across `jobs` workers: matrices build in parallel
+/// per group, then flat `(group, member-chunk)` shards derive in parallel
+/// with per-shard caches. Output is byte-identical at any worker count.
+pub fn derive_par(db: &TraceDb, config: &DeriveConfig, jobs: usize) -> MinedRules {
+    let group_keys = db.observation_groups();
+    let matrices = par_map(jobs, &group_keys, |&g| AccessMatrix::build(db, g));
+    let groups = derive_groups_sharded(db, config, jobs, &matrices, |i| {
+        let (dtid, subclass) = group_keys[i];
+        (dtid, subclass, db.group_name(group_keys[i]))
+    });
     MinedRules {
         groups,
         config: *config,
     }
+}
+
+/// Shared fan-out for [`derive_par`]/[`derive_pooled_par`]: flattens all
+/// groups into `(group index, member chunk)` shards so small groups do not
+/// serialize behind large ones, runs them through one ordered [`par_map`],
+/// and reassembles per-group results in group order.
+fn derive_groups_sharded(
+    db: &TraceDb,
+    config: &DeriveConfig,
+    jobs: usize,
+    matrices: &[AccessMatrix],
+    group_meta: impl Fn(usize) -> (DataTypeId, Option<Sym>, String),
+) -> Vec<GroupRules> {
+    let members_per_group: Vec<Vec<u32>> = matrices.iter().map(|m| m.observed_members()).collect();
+    let mut shards: Vec<(usize, &[u32])> = Vec::new();
+    for (gi, members) in members_per_group.iter().enumerate() {
+        for chunk in chunks_for(jobs, members) {
+            shards.push((gi, chunk));
+        }
+    }
+    let shard_results = par_map(jobs, &shards, |&(gi, chunk)| {
+        rules_for_members(db, &matrices[gi], chunk, config)
+    });
+    let mut per_group: Vec<Vec<(Vec<MinedRule>, u64)>> = vec![Vec::new(); matrices.len()];
+    for (&(gi, _), result) in shards.iter().zip(shard_results) {
+        per_group[gi].push(result);
+    }
+    per_group
+        .into_iter()
+        .enumerate()
+        .map(|(gi, parts)| {
+            let (rules, truncated_units) = merge_rule_parts(parts);
+            let (data_type, subclass, group_name) = group_meta(gi);
+            GroupRules {
+                data_type,
+                subclass,
+                group_name,
+                rules,
+                truncated_units,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -258,6 +367,27 @@ mod tests {
         assert!(group.rule_for("minutes", AccessKind::Write).is_none());
         // seconds is written ~1017 times -> kept.
         assert!(group.rule_for("seconds", AccessKind::Write).is_some());
+    }
+
+    /// The sharded derivator must be output-identical to the serial path
+    /// at any worker count — including worker counts far above the shard
+    /// count.
+    #[test]
+    fn parallel_derivation_matches_serial_exactly() {
+        let db = clock_db(500, 2);
+        let config = DeriveConfig::default();
+        let serial = derive(&db, &config);
+        for jobs in [2, 3, 4, 8, 32] {
+            assert_eq!(derive_par(&db, &config, jobs), serial, "jobs = {jobs}");
+        }
+        let pooled_serial = derive_pooled(&db, &config);
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                derive_pooled_par(&db, &config, jobs),
+                pooled_serial,
+                "pooled jobs = {jobs}"
+            );
+        }
     }
 
     #[test]

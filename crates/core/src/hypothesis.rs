@@ -28,8 +28,12 @@ use std::collections::{BTreeMap, HashMap};
 pub type ResolutionCache = HashMap<Unit, Vec<LockDescriptor>>;
 
 /// Maximum observed lock-sequence length considered for subsequence
-/// enumeration; longer sequences are truncated (kernel critical sections
-/// hold far fewer locks in practice).
+/// enumeration; only the first `MAX_SEQ_LEN` held locks of a longer
+/// sequence feed hypothesis enumeration (kernel critical sections hold far
+/// fewer locks in practice). The cap applies **only** at enumeration time:
+/// cached resolved sequences keep every held lock, so compliance checks
+/// (checker, violation finder) never lose evidence. Sets that hit the cap
+/// report it via [`HypothesisSet::truncated`].
 pub const MAX_SEQ_LEN: usize = 12;
 
 /// One aggregated observation: a distinct held-lock descriptor sequence and
@@ -78,6 +82,11 @@ pub struct HypothesisSet {
     pub kind: AccessKind,
     /// Total number of observation units (the `sr` denominator).
     pub total: u64,
+    /// Number of observation units whose held-lock sequence exceeded
+    /// [`MAX_SEQ_LEN`] and therefore only contributed its first
+    /// `MAX_SEQ_LEN` locks to enumeration. Surfaced in the derivation
+    /// report instead of dropping locks silently.
+    pub truncated: u64,
     /// Candidate rules, sorted by descending `sa`, then by fewer locks.
     pub hypotheses: Vec<Hypothesis>,
 }
@@ -108,13 +117,15 @@ pub fn observations_for_cached(
     let units: Vec<Unit> = matrix.relevant_units(kind);
     let mut agg: BTreeMap<Vec<LockDescriptor>, u64> = BTreeMap::new();
     for unit in units {
+        // Cache the *complete* resolved sequence: the checker and the
+        // violation finder reuse this cache for compliance checks, and a
+        // truncated entry would silently hide held locks from their
+        // counterexamples. Enumeration applies its own MAX_SEQ_LEN cap.
         let seq = cache.entry(unit).or_insert_with(|| {
             let (txn_id, alloc_id) = unit;
             let txn = db.txn(txn_id);
             let lock_ids: Vec<_> = txn.locks.iter().map(|h| h.lock).collect();
-            let mut seq = resolve_txn_locks(db, alloc_id, &lock_ids);
-            seq.truncate(MAX_SEQ_LEN);
-            seq
+            resolve_txn_locks(db, alloc_id, &lock_ids)
         });
         *agg.entry(seq.clone()).or_insert(0) += 1;
     }
@@ -150,12 +161,37 @@ pub fn complies(held: &[LockDescriptor], rule: &[LockDescriptor]) -> bool {
     rule.iter().all(|r| it.any(|h| h == r))
 }
 
+/// Relative support of a hypothesis over `total` observation units.
+///
+/// The "no lock" hypothesis over an *empty* observation set is vacuously
+/// true (`sr = 1.0`): every one of the zero units complies. This keeps the
+/// [`crate::select::select`] contract — enumerated sets always yield a
+/// winner — honest even for members with no relevant units. Any non-empty
+/// rule over zero units has no supporting evidence and gets `sr = 0.0`.
+fn relative_support(sa: u64, total: u64, locks: &[LockDescriptor]) -> f64 {
+    if total == 0 {
+        if locks.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        sa as f64 / total as f64
+    }
+}
+
 /// Enumerates hypotheses for one member/kind from aggregated observations.
 ///
 /// The "no lock" hypothesis (empty sequence) is always included and is
-/// supported by every observation.
+/// supported by every observation — vacuously with full relative support
+/// when there are no observations at all.
 pub fn enumerate(member: u32, kind: AccessKind, observations: &[Observation]) -> HypothesisSet {
     let total: u64 = observations.iter().map(|o| o.count).sum();
+    let truncated: u64 = observations
+        .iter()
+        .filter(|o| o.locks.len() > MAX_SEQ_LEN)
+        .map(|o| o.count)
+        .sum();
     let mut support: BTreeMap<Vec<LockDescriptor>, u64> = BTreeMap::new();
     support.insert(Vec::new(), total);
     for obs in observations {
@@ -166,13 +202,9 @@ pub fn enumerate(member: u32, kind: AccessKind, observations: &[Observation]) ->
     let mut hypotheses: Vec<Hypothesis> = support
         .into_iter()
         .map(|(locks, sa)| Hypothesis {
+            sr: relative_support(sa, total, &locks),
             locks,
             sa,
-            sr: if total == 0 {
-                0.0
-            } else {
-                sa as f64 / total as f64
-            },
         })
         .collect();
     hypotheses.sort_by(|a, b| {
@@ -184,6 +216,7 @@ pub fn enumerate(member: u32, kind: AccessKind, observations: &[Observation]) ->
         member,
         kind,
         total,
+        truncated,
         hypotheses,
     }
 }
@@ -234,13 +267,9 @@ pub fn enumerate_exhaustive(
                 .map(|o| o.count)
                 .sum();
             Hypothesis {
+                sr: relative_support(sa, total, &locks),
                 locks,
                 sa,
-                sr: if total == 0 {
-                    0.0
-                } else {
-                    sa as f64 / total as f64
-                },
             }
         })
         .collect();
@@ -253,6 +282,7 @@ pub fn enumerate_exhaustive(
         member,
         kind,
         total,
+        truncated: 0,
         hypotheses,
     }
 }
@@ -337,6 +367,132 @@ mod tests {
         assert_eq!(set.total, 0);
         assert_eq!(set.hypotheses.len(), 1);
         assert!(set.hypotheses[0].is_no_lock());
+        // Regression: the no-lock hypothesis is vacuously true over zero
+        // units (sr = 1.0, not 0.0), so selection always finds a winner.
+        assert!((set.hypotheses[0].sr - 1.0).abs() < f64::EPSILON);
+        assert_eq!(set.hypotheses[0].sa, 0);
+    }
+
+    #[test]
+    fn long_sequences_are_counted_not_silently_dropped() {
+        // A 14-lock observation exceeds MAX_SEQ_LEN = 12: enumeration only
+        // considers subsequences of the first 12 locks, and the set
+        // reports how many units were affected.
+        let names: Vec<String> = (0..14).map(|i| format!("l{i:02}")).collect();
+        let long: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let observations = vec![obs(&long, 3), obs(&["l00"], 2)];
+        let set = enumerate(0, AccessKind::Write, &observations);
+        assert_eq!(set.total, 5);
+        assert_eq!(set.truncated, 3, "3 units hit the enumeration cap");
+        // Locks beyond the cap never appear in any hypothesis …
+        assert!(set.support_of(&[l("l13")]).is_none());
+        // … but locks inside the cap keep their full support.
+        assert_eq!(set.support_of(&[l("l00")]).unwrap().sa, 5);
+        assert_eq!(set.support_of(&[l("l11")]).unwrap().sa, 3);
+        // Short sets report zero truncation.
+        assert_eq!(
+            enumerate(0, AccessKind::Read, &[obs(&["a"], 9)]).truncated,
+            0
+        );
+    }
+
+    #[test]
+    fn cached_observations_keep_all_held_locks() {
+        // Regression for the shared-cache truncation bug: a transaction
+        // holding more than MAX_SEQ_LEN locks must surface its complete
+        // sequence through observations_for, because the checker and the
+        // violation finder judge compliance against it.
+        use lockdoc_trace::event::{
+            AcquireMode, DataTypeDef, Event, LockFlavor, MemberDef, SourceLoc, Trace,
+        };
+        use lockdoc_trace::filter::FilterConfig;
+
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("deep.c");
+        let dt = tr.meta.add_data_type(DataTypeDef {
+            name: "deep".into(),
+            size: 4,
+            members: vec![MemberDef {
+                name: "field".into(),
+                offset: 0,
+                size: 4,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+        let task = tr.meta.add_task("nester");
+        let mut ts = 0u64;
+        let mut push = |tr: &mut Trace, e: Event| {
+            ts += 1;
+            tr.push(ts, e);
+        };
+        push(&mut tr, Event::TaskSwitch { task });
+        let nlocks = MAX_SEQ_LEN as u64 + 2;
+        for i in 0..nlocks {
+            let name = tr.meta.strings.intern(&format!("deep_lock_{i:02}"));
+            push(
+                &mut tr,
+                Event::LockInit {
+                    addr: 0x100 + i,
+                    name,
+                    flavor: LockFlavor::Spinlock,
+                    is_static: true,
+                },
+            );
+        }
+        push(
+            &mut tr,
+            Event::Alloc {
+                id: lockdoc_trace::ids::AllocId(1),
+                addr: 0x1000,
+                size: 4,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        for i in 0..nlocks {
+            push(
+                &mut tr,
+                Event::LockAcquire {
+                    addr: 0x100 + i,
+                    mode: AcquireMode::Exclusive,
+                    loc: SourceLoc::new(file, i as u32 + 1),
+                },
+            );
+        }
+        push(
+            &mut tr,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1000,
+                size: 4,
+                loc: SourceLoc::new(file, 40),
+                atomic: false,
+            },
+        );
+        for i in (0..nlocks).rev() {
+            push(
+                &mut tr,
+                Event::LockRelease {
+                    addr: 0x100 + i,
+                    loc: SourceLoc::new(file, 50),
+                },
+            );
+        }
+        let db = lockdoc_trace::db::import(&tr, &FilterConfig::with_defaults());
+        let matrix = crate::matrix::AccessMatrix::build(&db, (dt, None));
+        let mm = matrix.member(0).expect("member observed");
+        let observations = observations_for(&db, mm, AccessKind::Write);
+        assert_eq!(observations.len(), 1);
+        // Every held lock survives in the cached evidence …
+        assert_eq!(observations[0].locks.len(), nlocks as usize);
+        // … and a documented rule naming the deepest lock is judged
+        // compliant (it was held, even though enumeration caps out).
+        let deepest = observations[0].locks.last().unwrap().clone();
+        assert!(complies(&observations[0].locks, &[deepest]));
+        // Enumeration reports the cap instead of hiding it.
+        let set = enumerate(0, AccessKind::Write, &observations);
+        assert_eq!(set.truncated, 1);
     }
 
     #[test]

@@ -139,6 +139,7 @@ json_struct!(HypothesisSet {
     member,
     kind,
     total,
+    truncated,
     hypotheses
 });
 json_struct!(Winner {
@@ -158,7 +159,8 @@ json_struct!(GroupRules {
     data_type,
     subclass,
     group_name,
-    rules
+    rules,
+    truncated_units
 });
 json_struct!(MinedRules { groups, config });
 json_struct!(RuleSpec {
@@ -240,6 +242,7 @@ mod tests {
                     },
                     hypotheses: vec![hyp],
                 }],
+                truncated_units: 0,
             }],
             config: DeriveConfig::default(),
         }
@@ -340,10 +343,7 @@ mod tests {
     #[test]
     fn strategy_and_verdict_strings_are_stable() {
         assert_eq!(Strategy::LockDoc.to_json().compact(), "\"lockdoc\"");
-        assert_eq!(
-            Verdict::NotObserved.to_json().compact(),
-            "\"not_observed\""
-        );
+        assert_eq!(Verdict::NotObserved.to_json().compact(), "\"not_observed\"");
         assert!(from_str::<Strategy>("\"bogus\"").is_err());
     }
 }

@@ -76,11 +76,36 @@ impl Winner {
     }
 }
 
+/// Preference order of the LockDoc strategy: the *preferred* hypothesis
+/// compares `Less`. Lowest support first (the strongest rule above the
+/// threshold is the least-supported one), ties broken toward **more**
+/// locks, then lexicographically smallest lock sequence — a total order,
+/// so the winner is independent of enumeration order.
+fn lockdoc_preference(a: &Hypothesis, b: &Hypothesis) -> std::cmp::Ordering {
+    a.sa.cmp(&b.sa)
+        .then(b.locks.len().cmp(&a.locks.len()))
+        .then_with(|| a.locks.cmp(&b.locks))
+}
+
+/// Preference order shared by **both** naïve baselines (the comparator
+/// used to be duplicated per arm, inviting drift): highest support first,
+/// ties broken toward **fewer** locks — so plain `NaiveMax` exhibits the
+/// paper's objection that "no lock needed" (never contradicted) always
+/// wins — then lexicographically smallest sequence. A total order, so the
+/// ablation experiment is insensitive to enumeration order.
+fn naive_preference(a: &Hypothesis, b: &Hypothesis) -> std::cmp::Ordering {
+    b.sa.cmp(&a.sa)
+        .then(a.locks.len().cmp(&b.locks.len()))
+        .then_with(|| a.locks.cmp(&b.locks))
+}
+
 /// Selects the winning hypothesis from `set` under `config`.
 ///
-/// Returns `None` only for an empty hypothesis set with zero observations
-/// *and* no "no lock" entry, which [`crate::hypothesis::enumerate`] never
-/// produces; callers may safely `expect` a result for enumerated sets.
+/// Returns `None` only when *no* hypothesis reaches the accept threshold.
+/// [`crate::hypothesis::enumerate`] never produces such a set: the
+/// "no lock" hypothesis is always present with full relative support
+/// (vacuously for zero-observation sets), so callers may safely `expect`
+/// a result for enumerated sets.
 pub fn select(set: &HypothesisSet, config: &SelectionConfig) -> Option<Winner> {
     let eps = 1e-12;
     let candidates: Vec<&Hypothesis> = set
@@ -91,47 +116,32 @@ pub fn select(set: &HypothesisSet, config: &SelectionConfig) -> Option<Winner> {
     if candidates.is_empty() {
         return None;
     }
-    let chosen: &Hypothesis = match config.strategy {
-        Strategy::LockDoc => candidates
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                a.sa.cmp(&b.sa)
-                    .then(b.locks.len().cmp(&a.locks.len()))
-                    .then_with(|| a.locks.cmp(&b.locks))
-            })
-            .expect("non-empty candidates"),
-        Strategy::NaiveMax => candidates
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                a.sa.cmp(&b.sa)
-                    .then(b.locks.len().cmp(&a.locks.len()))
-                    .then_with(|| b.locks.cmp(&a.locks))
-            })
-            .expect("non-empty candidates"),
+    let prefer =
+        |cands: &[&Hypothesis],
+         pref: fn(&Hypothesis, &Hypothesis) -> std::cmp::Ordering|
+         -> Option<Hypothesis> { cands.iter().copied().min_by(|a, b| pref(a, b)).cloned() };
+    let chosen: Hypothesis = match config.strategy {
+        Strategy::LockDoc => prefer(&candidates, lockdoc_preference).expect("non-empty candidates"),
+        Strategy::NaiveMax => prefer(&candidates, naive_preference).expect("non-empty candidates"),
         Strategy::NaiveMaxLockPreferred => {
             let lock_candidates: Vec<&Hypothesis> = candidates
                 .iter()
                 .copied()
                 .filter(|h| !h.is_no_lock())
                 .collect();
-            match lock_candidates.into_iter().max_by(|a, b| {
-                a.sa.cmp(&b.sa)
-                    .then(b.locks.len().cmp(&a.locks.len()))
-                    .then_with(|| b.locks.cmp(&a.locks))
-            }) {
+            match prefer(&lock_candidates, naive_preference) {
                 Some(h) => h,
                 None => candidates
                     .iter()
                     .copied()
                     .find(|h| h.is_no_lock())
-                    .expect("no-lock hypothesis is always present"),
+                    .expect("no-lock hypothesis is always present")
+                    .clone(),
             }
         }
     };
     Some(Winner {
-        hypothesis: chosen.clone(),
+        hypothesis: chosen,
         candidates: candidates.len(),
         threshold: config.accept_threshold,
     })
@@ -238,5 +248,81 @@ mod tests {
         let w = select(&set, &SelectionConfig::with_threshold(1.0)).unwrap();
         assert_eq!(w.hypothesis.locks, vec![l("a"), l("b")]);
         assert_eq!(w.candidates, 4); // {}, [a], [b], [a,b]
+    }
+
+    /// Regression: a member/kind pair with zero observations must still
+    /// select the (vacuously true) no-lock rule under every strategy —
+    /// `select` used to return `None` here because the no-lock hypothesis
+    /// carried `sr = 0.0`, violating the documented contract.
+    #[test]
+    fn zero_observation_set_selects_no_lock() {
+        let set = enumerate(0, AccessKind::Write, &[]);
+        for strategy in [
+            Strategy::LockDoc,
+            Strategy::NaiveMax,
+            Strategy::NaiveMaxLockPreferred,
+        ] {
+            let cfg = SelectionConfig {
+                accept_threshold: 0.9,
+                strategy,
+            };
+            let w = select(&set, &cfg).expect("enumerated sets always have a winner");
+            assert!(w.is_no_lock(), "{strategy:?}");
+            assert_eq!(w.hypothesis.sr, 1.0, "{strategy:?}");
+            assert_eq!(w.hypothesis.sa, 0, "{strategy:?}");
+        }
+    }
+
+    /// Pins the naïve tie-break: on equal absolute support the naive
+    /// strategies prefer *fewer* locks, so "no lock" (tied at full support
+    /// when every observation holds the same locks) beats every lock rule.
+    #[test]
+    fn naive_tie_breaks_toward_fewer_locks() {
+        // Every observation holds [a, b]: no-lock, [a], [b], [a,b] all have
+        // sa = 10 and sr = 1.0.
+        let set = enumerate(0, AccessKind::Write, &[obs(&["a", "b"], 10)]);
+        let naive = SelectionConfig {
+            accept_threshold: 0.9,
+            strategy: Strategy::NaiveMax,
+        };
+        let w = select(&set, &naive).unwrap();
+        assert!(w.is_no_lock());
+        // The lock-preferred variant excludes no-lock, then ties toward
+        // fewer locks the same way: a single-lock rule wins, and between
+        // the tied [a] and [b] the lexicographically smaller one.
+        let preferred = SelectionConfig {
+            accept_threshold: 0.9,
+            strategy: Strategy::NaiveMaxLockPreferred,
+        };
+        let w = select(&set, &preferred).unwrap();
+        assert_eq!(w.hypothesis.locks, vec![l("a")]);
+    }
+
+    /// The winner must not depend on the order hypotheses were enumerated
+    /// in — all three strategies use total preference orders.
+    #[test]
+    fn winner_is_invariant_under_hypothesis_order() {
+        let base = clock_set();
+        for strategy in [
+            Strategy::LockDoc,
+            Strategy::NaiveMax,
+            Strategy::NaiveMaxLockPreferred,
+        ] {
+            let cfg = SelectionConfig {
+                accept_threshold: 0.9,
+                strategy,
+            };
+            let want = select(&base, &cfg).unwrap();
+            let mut rotated = base.clone();
+            for _ in 0..rotated.hypotheses.len() {
+                rotated.hypotheses.rotate_left(1);
+                let got = select(&rotated, &cfg).unwrap();
+                assert_eq!(got.hypothesis, want.hypothesis, "{strategy:?}");
+            }
+            let mut reversed = base.clone();
+            reversed.hypotheses.reverse();
+            let got = select(&reversed, &cfg).unwrap();
+            assert_eq!(got.hypothesis, want.hypothesis, "{strategy:?}");
+        }
     }
 }

@@ -3,9 +3,10 @@
 //! reports everything a developer needs to investigate — member, required
 //! locks, actually held locks, source location, and stack trace.
 
-use crate::derive::MinedRules;
+use crate::derive::{GroupRules, MinedRules};
 use crate::hypothesis::complies;
 use crate::lockset::{resolve_txn_locks, LockDescriptor};
+use lockdoc_platform::par::par_map;
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::{AccessKind, SourceLoc};
 use lockdoc_trace::ids::{AllocId, StackId, TxnId};
@@ -65,78 +66,94 @@ pub fn find_violations(
     mined: &MinedRules,
     max_examples: usize,
 ) -> Vec<GroupViolations> {
-    let mut out = Vec::new();
+    find_violations_par(db, mined, max_examples, 1)
+}
+
+/// [`find_violations`] sharded across `jobs` workers, one shard per
+/// observation group. Allocations belong to exactly one group, so per-group
+/// resolution caches lose no sharing, and the ordered fan-out keeps the
+/// group order (and therefore the report) identical at any worker count.
+pub fn find_violations_par(
+    db: &TraceDb,
+    mined: &MinedRules,
+    max_examples: usize,
+    jobs: usize,
+) -> Vec<GroupViolations> {
+    par_map(jobs, &mined.groups, |group_rules| {
+        scan_group(db, group_rules, max_examples)
+    })
+}
+
+/// Scans one observation group for accesses violating its mined rules,
+/// with a group-local `(txn, alloc)` lock-resolution cache.
+fn scan_group(db: &TraceDb, group_rules: &GroupRules, max_examples: usize) -> GroupViolations {
+    let group = (group_rules.data_type, group_rules.subclass);
     // Cache txn lock resolution per (txn, alloc).
     let mut resolved: HashMap<(TxnId, AllocId), Vec<LockDescriptor>> = HashMap::new();
-
-    for group_rules in &mined.groups {
-        let group = (group_rules.data_type, group_rules.subclass);
-        // (member idx, kind) -> required locks, for rules with locks.
-        let ruled: HashMap<(u32, AccessKind), &Vec<LockDescriptor>> = group_rules
-            .rules
-            .iter()
-            .filter(|r| !r.winner.hypothesis.locks.is_empty())
-            .map(|r| ((r.member, r.kind), &r.winner.hypothesis.locks))
+    // (member idx, kind) -> required locks, for rules with locks.
+    let ruled: HashMap<(u32, AccessKind), &Vec<LockDescriptor>> = group_rules
+        .rules
+        .iter()
+        .filter(|r| !r.winner.hypothesis.locks.is_empty())
+        .map(|r| ((r.member, r.kind), &r.winner.hypothesis.locks))
+        .collect();
+    let mut gv = GroupViolations {
+        group_name: group_rules.group_name.clone(),
+        events: 0,
+        members: BTreeSet::new(),
+        contexts: BTreeSet::new(),
+        examples: Vec::new(),
+    };
+    if !ruled.is_empty() {
+        // Write-over-read folding (paper Sec. 4.2) applies to the scan
+        // as well: a read inside a unit that also writes the member is
+        // covered by the write rule (checked via the unit's writes),
+        // so it must not be reported against the read rule.
+        let written_units: HashSet<(TxnId, AllocId, u32)> = db
+            .group_accesses(group)
+            .filter(|a| a.kind == AccessKind::Write)
+            .filter_map(|a| a.txn.map(|t| (t, a.alloc, a.member)))
             .collect();
-        let mut gv = GroupViolations {
-            group_name: group_rules.group_name.clone(),
-            events: 0,
-            members: BTreeSet::new(),
-            contexts: BTreeSet::new(),
-            examples: Vec::new(),
-        };
-        if !ruled.is_empty() {
-            // Write-over-read folding (paper Sec. 4.2) applies to the scan
-            // as well: a read inside a unit that also writes the member is
-            // covered by the write rule (checked via the unit's writes),
-            // so it must not be reported against the read rule.
-            let written_units: HashSet<(TxnId, AllocId, u32)> = db
-                .group_accesses(group)
-                .filter(|a| a.kind == AccessKind::Write)
-                .filter_map(|a| a.txn.map(|t| (t, a.alloc, a.member)))
-                .collect();
-            for access in db.group_accesses(group) {
-                let Some(&required) = ruled.get(&(access.member, access.kind)) else {
-                    continue;
-                };
-                let Some(txn_id) = access.txn else { continue };
-                if access.kind == AccessKind::Read
-                    && written_units.contains(&(txn_id, access.alloc, access.member))
-                {
-                    continue;
-                }
-                let held = resolved
-                    .entry((txn_id, access.alloc))
-                    .or_insert_with(|| {
-                        let txn = db.txn(txn_id);
-                        let lock_ids: Vec<_> = txn.locks.iter().map(|h| h.lock).collect();
-                        resolve_txn_locks(db, access.alloc, &lock_ids)
-                    })
-                    .clone();
-                if complies(&held, required) {
-                    continue;
-                }
-                gv.events += 1;
-                gv.members
-                    .insert(db.member_name(access.data_type, access.member).to_owned());
-                gv.contexts.insert((access.loc, access.stack));
-                if gv.examples.len() < max_examples {
-                    gv.examples.push(ViolationEvent {
-                        group_name: gv.group_name.clone(),
-                        member_name: db.member_name(access.data_type, access.member).to_owned(),
-                        kind: access.kind,
-                        required: required.clone(),
-                        held,
-                        loc: access.loc,
-                        stack: access.stack,
-                        access_id: access.id,
-                    });
-                }
+        for access in db.group_accesses(group) {
+            let Some(&required) = ruled.get(&(access.member, access.kind)) else {
+                continue;
+            };
+            let Some(txn_id) = access.txn else { continue };
+            if access.kind == AccessKind::Read
+                && written_units.contains(&(txn_id, access.alloc, access.member))
+            {
+                continue;
+            }
+            let held = resolved
+                .entry((txn_id, access.alloc))
+                .or_insert_with(|| {
+                    let txn = db.txn(txn_id);
+                    let lock_ids: Vec<_> = txn.locks.iter().map(|h| h.lock).collect();
+                    resolve_txn_locks(db, access.alloc, &lock_ids)
+                })
+                .clone();
+            if complies(&held, required) {
+                continue;
+            }
+            gv.events += 1;
+            gv.members
+                .insert(db.member_name(access.data_type, access.member).to_owned());
+            gv.contexts.insert((access.loc, access.stack));
+            if gv.examples.len() < max_examples {
+                gv.examples.push(ViolationEvent {
+                    group_name: gv.group_name.clone(),
+                    member_name: db.member_name(access.data_type, access.member).to_owned(),
+                    kind: access.kind,
+                    required: required.clone(),
+                    held,
+                    loc: access.loc,
+                    stack: access.stack,
+                    access_id: access.id,
+                });
             }
         }
-        out.push(gv);
     }
-    out
+    gv
 }
 
 /// Total number of violating events across all groups.
@@ -180,6 +197,20 @@ mod tests {
         let violations = find_violations(&db, &mined, 10);
         assert_eq!(total_events(&violations), 0);
         assert_eq!(total_contexts(&violations), 0);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_exactly() {
+        let db = clock_db(2000, 3);
+        let mined = derive(&db, &DeriveConfig::default());
+        let serial = find_violations(&db, &mined, 5);
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                find_violations_par(&db, &mined, 5, jobs),
+                serial,
+                "jobs = {jobs}"
+            );
+        }
     }
 
     #[test]

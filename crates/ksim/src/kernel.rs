@@ -14,11 +14,11 @@ use crate::coverage::Coverage;
 use crate::faults::{FaultLog, InjectedFault};
 use crate::lockdep::Lockdep;
 use crate::types::{TypeSpec, ALL_TYPES};
+use lockdoc_platform::rng::Rng;
 use lockdoc_trace::event::{
     AccessKind, AcquireMode, ContextKind, Event, LockFlavor, SourceLoc, Trace,
 };
 use lockdoc_trace::ids::{AllocId, DataTypeId, FnId, Sym, TaskId};
-use lockdoc_platform::rng::Rng;
 use std::collections::HashMap;
 
 /// Handle to a traced object (its allocation id).

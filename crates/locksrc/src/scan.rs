@@ -8,7 +8,6 @@
 //! does (non-empty, non-comment lines) — the paper counts LoC with cloc
 //! and initializer *calls in the source code*.
 
-
 /// Counters produced by one scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockUsageCounts {

@@ -292,10 +292,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JsonError::at(
-                format!("expected '{}'", b as char),
-                self.pos,
-            ))
+            Err(JsonError::at(format!("expected '{}'", b as char), self.pos))
         }
     }
 
@@ -558,8 +555,7 @@ pub fn field<'a>(v: &'a Json, name: &str) -> Result<&'a Json, JsonError> {
 
 /// Decodes a required object member into `T`.
 pub fn decode_field<T: FromJson>(v: &Json, name: &str) -> Result<T, JsonError> {
-    T::from_json(field(v, name)?)
-        .map_err(|e| JsonError::new(format!("field '{name}': {}", e.msg)))
+    T::from_json(field(v, name)?).map_err(|e| JsonError::new(format!("field '{name}': {}", e.msg)))
 }
 
 macro_rules! impl_json_unsigned {
@@ -789,10 +785,7 @@ mod tests {
 
     #[test]
     fn object_preserves_insertion_order() {
-        let v = Json::obj(vec![
-            ("zebra", Json::U64(1)),
-            ("apple", Json::U64(2)),
-        ]);
+        let v = Json::obj(vec![("zebra", Json::U64(1)), ("apple", Json::U64(2))]);
         assert_eq!(v.compact(), r#"{"zebra":1,"apple":2}"#);
         assert_eq!(parse(&v.compact()).unwrap(), v);
     }
@@ -800,7 +793,10 @@ mod tests {
     #[test]
     fn pretty_output_is_stable_and_reparses() {
         let v = Json::obj(vec![
-            ("groups", Json::Arr(vec![Json::obj(vec![("n", Json::U64(3))])])),
+            (
+                "groups",
+                Json::Arr(vec![Json::obj(vec![("n", Json::U64(3))])]),
+            ),
             ("empty", Json::Arr(vec![])),
         ]);
         let a = v.pretty();
@@ -828,9 +824,26 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         for text in [
-            "", "{", "[", "\"", "{]", "[1,]", "{\"a\":}", "01", "1.", "1e",
-            "tru", "nul", "+1", "--1", "{\"a\" 1}", "[1 2]", "\"\\x\"",
-            "1 2", "{\"a\":1,}", "\u{7}",
+            "",
+            "{",
+            "[",
+            "\"",
+            "{]",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            "nul",
+            "+1",
+            "--1",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\"\\x\"",
+            "1 2",
+            "{\"a\":1,}",
+            "\u{7}",
         ] {
             assert!(parse(text).is_err(), "accepted malformed: {text:?}");
         }

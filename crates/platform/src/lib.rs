@@ -14,11 +14,15 @@
 //!   printed for reproduction) replacing `proptest`.
 //! * [`timing`] — a plain `std::time::Instant` micro-bench runner
 //!   replacing the `criterion` benches.
+//! * [`par`] — a deterministic scoped worker pool (`std::thread::scope`)
+//!   with an ordered map-reduce surface replacing `rayon`-style fan-out.
 //!
 //! Every module is deterministic: identical seeds produce identical
-//! streams, values, and reports (timing measurements excepted).
+//! streams, values, and reports (timing measurements excepted); [`par`]
+//! returns results in input order at any worker count.
 
 pub mod json;
+pub mod par;
 pub mod prop;
 pub mod rng;
 pub mod timing;

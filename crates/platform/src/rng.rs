@@ -59,10 +59,7 @@ impl Rng {
 
     /// Next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -108,10 +105,7 @@ impl Rng {
     /// A uniform value in `[range.start, range.end)`. Panics if empty,
     /// matching `rand`'s contract.
     pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
-        assert!(
-            range.start < range.end,
-            "gen_range called with empty range"
-        );
+        assert!(range.start < range.end, "gen_range called with empty range");
         T::sample(self, range.start, range.end)
     }
 

@@ -29,6 +29,8 @@ pub enum CodecError {
     VarintOverflow,
     /// A string payload was not valid UTF-8.
     BadUtf8,
+    /// Malformed CSV input (unbalanced quotes or stray quote characters).
+    BadCsv(String),
 }
 
 impl fmt::Display for CodecError {
@@ -39,6 +41,7 @@ impl fmt::Display for CodecError {
             CodecError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x}"),
             CodecError::VarintOverflow => write!(f, "varint overflow"),
             CodecError::BadUtf8 => write!(f, "invalid utf-8 in string payload"),
+            CodecError::BadCsv(m) => write!(f, "malformed csv: {m}"),
         }
     }
 }
@@ -495,8 +498,99 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace> {
     Ok(Trace { meta, events })
 }
 
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in double quotes with inner
+/// quotes doubled. Everything else passes through unchanged, so numeric
+/// columns stay byte-identical.
+pub fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parses RFC-4180 CSV text into rows of unescaped fields. Quoted fields
+/// may contain commas, doubled quotes, and line breaks; `\r\n` and `\n`
+/// both terminate records. The final record needs no trailing newline.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    // A record boundary only exists after at least one field character,
+    // separator, or quote — so a trailing newline adds no empty record.
+    let mut pending = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CodecError::BadCsv("quote inside unquoted field".to_owned()));
+                }
+                pending = true;
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(CodecError::BadCsv("unterminated quoted field".to_owned()))
+                        }
+                        Some('"') => match chars.peek() {
+                            Some('"') => {
+                                chars.next();
+                                field.push('"');
+                            }
+                            _ => break,
+                        },
+                        Some(inner) => field.push(inner),
+                    }
+                }
+                match chars.peek() {
+                    None | Some(',') | Some('\n') | Some('\r') => {}
+                    Some(_) => {
+                        return Err(CodecError::BadCsv("data after closing quote".to_owned()))
+                    }
+                }
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                pending = true;
+            }
+            '\n' | '\r' => {
+                if c == '\r' && chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                if pending || !field.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                pending = false;
+            }
+            other => {
+                field.push(other);
+                pending = true;
+            }
+        }
+    }
+    if pending || !field.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
 /// Dumps the event stream as CSV (one row per event), resembling the CSV
-/// tables the paper feeds into MariaDB.
+/// tables the paper feeds into MariaDB. String-valued columns are escaped
+/// per RFC 4180 ([`csv_field`]), so lock names, type names, and file
+/// paths containing commas, quotes, or newlines survive a round trip
+/// through [`parse_csv`].
 pub fn to_csv(trace: &Trace) -> String {
     let mut out = String::new();
     out.push_str("ts,kind,addr,detail,loc\n");
@@ -580,7 +674,11 @@ pub fn to_csv(trace: &Trace) -> String {
         };
         out.push_str(&format!(
             "{},{},{:#x},{},{}\n",
-            te.ts, kind, addr, detail, loc
+            te.ts,
+            kind,
+            addr,
+            csv_field(&detail),
+            csv_field(&loc)
         ));
     }
     out
@@ -725,5 +823,168 @@ mod tests {
         assert!(csv.contains("acquire"));
         assert!(csv.contains("i_lock"));
         assert!(csv.contains("ext4"));
+        // And the parsed form has exactly 5 fields per record.
+        let rows = parse_csv(&csv).unwrap();
+        assert_eq!(rows.len(), 1 + tr.len());
+        assert!(rows.iter().all(|r| r.len() == 5));
+    }
+
+    #[test]
+    fn csv_field_escapes_rfc4180() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn parse_csv_handles_quotes_commas_newlines() {
+        let rows = parse_csv("a,\"b,c\",\"d\"\"e\",\"f\ng\"\nh,,\n").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["a".to_owned(), "b,c".into(), "d\"e".into(), "f\ng".into()],
+                vec!["h".to_owned(), String::new(), String::new()],
+            ]
+        );
+        // CRLF record separators and a missing trailing newline.
+        let rows = parse_csv("a,b\r\nc,d").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["c".to_owned(), "d".into()]);
+        // Malformed inputs are rejected, not mangled.
+        assert!(matches!(
+            parse_csv("ab\"c,d").unwrap_err(),
+            CodecError::BadCsv(_)
+        ));
+        assert!(matches!(
+            parse_csv("\"unterminated").unwrap_err(),
+            CodecError::BadCsv(_)
+        ));
+        assert!(matches!(
+            parse_csv("\"ab\"c").unwrap_err(),
+            CodecError::BadCsv(_)
+        ));
+    }
+
+    /// Any list of arbitrary strings — commas, quotes, newlines and all —
+    /// must survive escape → join → parse unchanged.
+    #[test]
+    fn prop_csv_fields_round_trip() {
+        use lockdoc_platform::prop::{check_with, vec_of, Config};
+        use lockdoc_platform::rng::Rng;
+        let nasty = |r: &mut Rng| -> String {
+            vec_of(r, 0..12, |r| match r.gen_range(0u64..6) {
+                0 => ',',
+                1 => '"',
+                2 => '\n',
+                3 => '\r',
+                _ => r.gen_range(0x20u8..0x7f) as char,
+            })
+            .into_iter()
+            .collect()
+        };
+        let cfg = Config {
+            cases: 200,
+            ..Config::default()
+        };
+        check_with(
+            &cfg,
+            "prop_csv_fields_round_trip",
+            |r| vec_of(r, 1..8, nasty),
+            |fields: &Vec<String>| {
+                let line: String = fields
+                    .iter()
+                    .map(|f| csv_field(f))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let rows = parse_csv(&line).map_err(|e| e.to_string())?;
+                // A record of all-empty fields vanishes only when the line
+                // itself is empty; otherwise exactly one record comes back.
+                if line.is_empty() {
+                    lockdoc_platform::prop_assert!(
+                        rows.is_empty() || rows == vec![vec![String::new()]]
+                    );
+                    return Ok(());
+                }
+                lockdoc_platform::prop_assert_eq!(rows.len(), 1, "one record expected");
+                lockdoc_platform::prop_assert_eq!(&rows[0], fields);
+                Ok(())
+            },
+        );
+    }
+
+    /// A trace whose meta strings are adversarial (commas, quotes,
+    /// newlines in lock names, file paths, function, task, and subclass
+    /// names) must produce CSV that parses back into one 5-field record
+    /// per event with the exact original strings inside.
+    #[test]
+    fn prop_csv_trace_round_trips_nasty_meta() {
+        use lockdoc_platform::prop::{check_with, Config};
+        use lockdoc_platform::rng::Rng;
+        let nasty_name = |r: &mut Rng, tag: &str| -> String {
+            let mut s = String::from(tag);
+            for _ in 0..r.gen_range(1usize..6) {
+                s.push(match r.gen_range(0u64..5) {
+                    0 => ',',
+                    1 => '"',
+                    2 => '\n',
+                    _ => r.gen_range(b'a'..b'{') as char,
+                });
+            }
+            s
+        };
+        let cfg = Config {
+            cases: 40,
+            ..Config::default()
+        };
+        check_with(
+            &cfg,
+            "prop_csv_trace_round_trips_nasty_meta",
+            |r| {
+                (
+                    nasty_name(r, "lock:"),
+                    nasty_name(r, "file:"),
+                    nasty_name(r, "task:"),
+                )
+            },
+            |(lock_name, file_name, task_name): &(String, String, String)| {
+                let mut tr = Trace::new();
+                let name = tr.meta.strings.intern(lock_name);
+                let file = tr.meta.strings.intern(file_name);
+                let task = tr.meta.add_task(task_name);
+                tr.push(
+                    0,
+                    Event::LockInit {
+                        addr: 0x2000,
+                        name,
+                        flavor: LockFlavor::Spinlock,
+                        is_static: true,
+                    },
+                );
+                tr.push(1, Event::TaskSwitch { task });
+                tr.push(
+                    2,
+                    Event::LockAcquire {
+                        addr: 0x2000,
+                        mode: AcquireMode::Exclusive,
+                        loc: SourceLoc::new(file, 7),
+                    },
+                );
+                let csv = to_csv(&tr);
+                let rows = parse_csv(&csv).map_err(|e| e.to_string())?;
+                lockdoc_platform::prop_assert_eq!(rows.len(), 1 + tr.len());
+                lockdoc_platform::prop_assert!(
+                    rows.iter().all(|row| row.len() == 5),
+                    "every record has 5 fields: {rows:?}"
+                );
+                let init_detail = format!("{lock_name}:spinlock_t:true");
+                let acquire_loc = format!("{file_name}:7");
+                lockdoc_platform::prop_assert_eq!(rows[1][3].as_str(), init_detail.as_str());
+                lockdoc_platform::prop_assert_eq!(rows[2][3].as_str(), task_name.as_str());
+                lockdoc_platform::prop_assert_eq!(rows[3][4].as_str(), acquire_loc.as_str());
+                Ok(())
+            },
+        );
     }
 }

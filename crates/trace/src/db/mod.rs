@@ -10,6 +10,7 @@ pub mod schema;
 pub use import::{import, ImportStats};
 pub use schema::{Access, Allocation, FlowKey, HeldLock, LockInstance, StackTrace, Txn};
 
+use crate::codec::csv_field;
 use crate::event::{DataTypeDef, TraceMeta};
 use crate::ids::{DataTypeId, FnId, LockId, StackId, Sym, TxnId};
 use std::collections::BTreeSet;
@@ -152,8 +153,8 @@ impl TraceDb {
                 a.id.0,
                 a.addr,
                 a.size,
-                self.type_name(a.data_type),
-                a.subclass.map(|s| self.sym(s)).unwrap_or(""),
+                csv_field(self.type_name(a.data_type)),
+                csv_field(a.subclass.map(|s| self.sym(s)).unwrap_or("")),
                 a.alloc_ts,
                 a.free_ts.map(|t| t.to_string()).unwrap_or_default()
             );
@@ -172,7 +173,7 @@ impl TraceDb {
                 "{},{:#x},{},{},{},{},{}",
                 l.id.0,
                 l.addr,
-                self.sym(l.name),
+                csv_field(self.sym(l.name)),
                 l.flavor,
                 l.is_static,
                 ea,
@@ -195,7 +196,7 @@ impl TraceDb {
                 t.flow,
                 t.start_ts,
                 t.end_ts,
-                lock_list.join("|")
+                csv_field(&lock_list.join("|"))
             );
         }
         tables.push(("txns".to_owned(), txns));
@@ -210,11 +211,11 @@ impl TraceDb {
                 a.ts,
                 a.kind,
                 a.alloc.0,
-                self.type_name(a.data_type),
-                a.subclass.map(|s| self.sym(s)).unwrap_or(""),
-                self.member_name(a.data_type, a.member),
+                csv_field(self.type_name(a.data_type)),
+                csv_field(a.subclass.map(|s| self.sym(s)).unwrap_or("")),
+                csv_field(self.member_name(a.data_type, a.member)),
                 a.size,
-                self.format_loc(a.loc),
+                csv_field(&self.format_loc(a.loc)),
                 a.txn.map(|t| t.0.to_string()).unwrap_or_default(),
                 a.stack.0
             );

@@ -224,9 +224,7 @@ impl ToJson for Event {
                 ("loc", loc.to_json()),
                 ("atomic", atomic.to_json()),
             ]),
-            Event::FnEnter { func } => {
-                Json::obj(vec![tag("fn_enter"), ("func", func.to_json())])
-            }
+            Event::FnEnter { func } => Json::obj(vec![tag("fn_enter"), ("func", func.to_json())]),
             Event::FnExit { func } => Json::obj(vec![tag("fn_exit"), ("func", func.to_json())]),
             Event::TaskSwitch { task } => {
                 Json::obj(vec![tag("task_switch"), ("task", task.to_json())])
@@ -381,9 +379,12 @@ mod tests {
                 loc,
             },
         );
-        t.push(7, Event::ContextEnter {
-            kind: ContextKind::Hardirq,
-        });
+        t.push(
+            7,
+            Event::ContextEnter {
+                kind: ContextKind::Hardirq,
+            },
+        );
         t.push(
             8,
             Event::MemAccess {
@@ -394,9 +395,12 @@ mod tests {
                 atomic: true,
             },
         );
-        t.push(9, Event::ContextExit {
-            kind: ContextKind::Hardirq,
-        });
+        t.push(
+            9,
+            Event::ContextExit {
+                kind: ContextKind::Hardirq,
+            },
+        );
         t.push(10, Event::FnExit { func: f });
         t.push(11, Event::Free { id: AllocId(1) });
         t
@@ -426,9 +430,7 @@ mod tests {
         let from_codec = read_trace(&mut buf.as_slice()).unwrap();
         // Both codecs must agree with each other event-for-event.
         assert_eq!(from_json.events, from_codec.events);
-        assert_eq!(
-            from_json.meta.data_types, from_codec.meta.data_types,
-        );
+        assert_eq!(from_json.meta.data_types, from_codec.meta.data_types,);
     }
 
     #[test]
@@ -481,7 +483,8 @@ mod tests {
         assert!(trace_from_json("{}").is_err());
         assert!(trace_from_json(r#"{"meta":{},"events":[]}"#).is_err());
         // Events must be an array.
-        let text = r#"{"meta":{"strings":[],"data_types":[],"functions":[],"tasks":[]},"events":{}}"#;
+        let text =
+            r#"{"meta":{"strings":[],"data_types":[],"functions":[],"tasks":[]},"events":{}}"#;
         assert!(trace_from_json(text).is_err());
         // Truncated document.
         let good = trace_to_json(&all_variant_trace());

@@ -6,6 +6,7 @@
 #
 # Fails if:
 #   * any default-feature dependency would need crates.io (offline build),
+#   * the tree is not rustfmt-clean or clippy raises any warning,
 #   * any workspace test fails,
 #   * a Cargo.toml reintroduces a registry dependency outside an
 #     explicitly external-gated feature.
@@ -38,6 +39,11 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "dependency policy: OK (path-only dependencies)"
+
+# --- style + lints -----------------------------------------------------------
+cargo fmt --all -- --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "fmt + clippy: OK"
 
 # --- hermetic build + tests --------------------------------------------------
 cargo build --release --offline --workspace

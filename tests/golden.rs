@@ -14,7 +14,7 @@
 use ksim::config::SimConfig;
 use ksim::rules;
 use ksim::subsys::Machine;
-use lockdoc_core::derive::{derive, DeriveConfig};
+use lockdoc_core::derive::{derive_par, DeriveConfig};
 use lockdoc_core::docgen::{generate_doc, generate_rulespec};
 use lockdoc_trace::codec::write_trace;
 use lockdoc_trace::db::import;
@@ -24,9 +24,10 @@ use std::path::PathBuf;
 const GOLDEN_SEED: u64 = 0x601d_5eed;
 const GOLDEN_OPS: u64 = 2_000;
 
-/// Runs the full pipeline once: returns the encoded trace bytes and the
-/// generated documentation artifact.
-fn run_pipeline() -> (Vec<u8>, String) {
+/// Runs the full pipeline once with the given derivation worker count:
+/// returns the encoded trace bytes and the generated documentation
+/// artifact.
+fn run_pipeline_jobs(jobs: usize) -> (Vec<u8>, String) {
     let cfg = SimConfig::with_seed(GOLDEN_SEED).with_faults(rules::default_fault_plan());
     let mut machine = Machine::boot(cfg);
     machine.run_mix(GOLDEN_OPS);
@@ -36,7 +37,7 @@ fn run_pipeline() -> (Vec<u8>, String) {
     write_trace(&trace, &mut encoded).expect("encode");
 
     let db = import(&trace, &rules::filter_config());
-    let mined = derive(&db, &DeriveConfig::default());
+    let mined = derive_par(&db, &DeriveConfig::default(), jobs);
 
     let mut doc = String::new();
     doc.push_str(&format!(
@@ -52,6 +53,10 @@ fn run_pipeline() -> (Vec<u8>, String) {
         doc.push('\n');
     }
     (encoded, doc)
+}
+
+fn run_pipeline() -> (Vec<u8>, String) {
+    run_pipeline_jobs(1)
 }
 
 fn golden_path() -> PathBuf {
@@ -91,6 +96,20 @@ fn identical_seeds_yield_byte_identical_pipeline() {
     let (trace_b, doc_b) = run_pipeline();
     assert_eq!(trace_a, trace_b, "encoded traces differ between runs");
     assert_eq!(doc_a, doc_b, "derived documentation differs between runs");
+}
+
+/// Determinism contract of the sharded derivator: the generated
+/// documentation is byte-identical whether derivation runs serially or
+/// across a thread pool. The golden file therefore pins the output of
+/// every worker count at once.
+#[test]
+fn parallel_derivation_is_byte_identical_to_serial() {
+    let (_, doc_serial) = run_pipeline_jobs(1);
+    let (_, doc_par) = run_pipeline_jobs(4);
+    assert_eq!(
+        doc_serial, doc_par,
+        "documentation derived at jobs=4 drifted from the serial output"
+    );
 }
 
 /// A different seed produces a different trace (the determinism above is

@@ -11,6 +11,7 @@
 //! A failing property prints its run seed; reproduce with
 //! `LOCKDOC_PROP_SEED=<seed> cargo test -q <test-name>`.
 
+use lockdoc_core::derive::{derive_par, DeriveConfig};
 use lockdoc_core::hypothesis::{complies, enumerate, Observation};
 use lockdoc_core::lockset::LockDescriptor;
 use lockdoc_core::matrix::AccessMatrix;
@@ -201,20 +202,24 @@ fn observations_from(seqs: &[Vec<u8>], counts: &[u64]) -> Vec<Observation> {
 /// interpreter for every access.
 #[test]
 fn txn_reconstruction_matches_reference() {
-    prop::check("txn_reconstruction_matches_reference", ops_gen(120), |ops| {
-        let (trace, expected) = build_trace(ops);
-        let db = import(&trace, &FilterConfig::with_defaults());
-        prop_assert_eq!(db.accesses.len(), expected.len());
-        for (access, (m, w, held)) in db.accesses.iter().zip(&expected) {
-            prop_assert_eq!(access.member, u32::from(*m));
-            prop_assert_eq!(access.kind == AccessKind::Write, *w);
-            let txn = db.txn(access.txn.expect("every access has a txn"));
-            let got: Vec<u64> = txn.locks.iter().map(|h| db.lock(h.lock).addr).collect();
-            let want: Vec<u64> = held.iter().map(|&l| 0x100 + 0x100 * u64::from(l)).collect();
-            prop_assert_eq!(got, want, "held-lock order must be acquisition order");
-        }
-        Ok(())
-    });
+    prop::check(
+        "txn_reconstruction_matches_reference",
+        ops_gen(120),
+        |ops| {
+            let (trace, expected) = build_trace(ops);
+            let db = import(&trace, &FilterConfig::with_defaults());
+            prop_assert_eq!(db.accesses.len(), expected.len());
+            for (access, (m, w, held)) in db.accesses.iter().zip(&expected) {
+                prop_assert_eq!(access.member, u32::from(*m));
+                prop_assert_eq!(access.kind == AccessKind::Write, *w);
+                let txn = db.txn(access.txn.expect("every access has a txn"));
+                let got: Vec<u64> = txn.locks.iter().map(|h| db.lock(h.lock).addr).collect();
+                let want: Vec<u64> = held.iter().map(|&l| 0x100 + 0x100 * u64::from(l)).collect();
+                prop_assert_eq!(got, want, "held-lock order must be acquisition order");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Binary codec round trip for arbitrary generated traces.
@@ -325,6 +330,33 @@ fn winner_satisfies_contract() {
     );
 }
 
+/// Sharded derivation is output-invariant in the worker count: for any
+/// generated trace, `derive_par` at jobs ∈ {2, 3, 5, 8} mines exactly the
+/// rules of the serial jobs=1 path (fewer cases than the other
+/// properties — each case runs the derivator five times).
+#[test]
+fn derive_is_jobs_invariant() {
+    let cfg = prop::Config {
+        cases: 24,
+        ..prop::Config::from_env()
+    };
+    prop::check_with(&cfg, "derive_is_jobs_invariant", ops_gen(200), |ops| {
+        let (trace, _) = build_trace(ops);
+        let db = import(&trace, &FilterConfig::with_defaults());
+        let dcfg = DeriveConfig::default();
+        let serial = derive_par(&db, &dcfg, 1);
+        for jobs in [2usize, 3, 5, 8] {
+            prop_assert_eq!(
+                &serial,
+                &derive_par(&db, &dcfg, jobs),
+                "derive output differs at jobs = {}",
+                jobs
+            );
+        }
+        Ok(())
+    });
+}
+
 /// Rule notation: display then parse is the identity.
 #[test]
 fn rulespec_round_trips() {
@@ -365,7 +397,9 @@ fn rulespec_round_trips() {
                 locks,
             };
             let printed = rule.to_string();
-            let reparsed = parse_rule(&printed).expect("parses").expect("not a comment");
+            let reparsed = parse_rule(&printed)
+                .expect("parses")
+                .expect("not a comment");
             prop_assert_eq!(rule, reparsed);
             Ok(())
         },

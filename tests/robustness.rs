@@ -49,7 +49,8 @@ fn bitflip_property(pos_frac: f64, value: u8) -> Result<(), String> {
             | CodecError::BadMagic
             | CodecError::BadTag(_)
             | CodecError::VarintOverflow
-            | CodecError::BadUtf8,
+            | CodecError::BadUtf8
+            | CodecError::BadCsv(_),
         ) => {}
     }
     Ok(())
