@@ -24,7 +24,7 @@ fn main() {
         Machine::boot(SimConfig::with_seed(0xBEAC).with_faults(rules::default_fault_plan()));
     machine.run_mix(ops);
     let trace = machine.finish();
-    let db = lockdoc_trace::db::import(&trace, &rules::filter_config());
+    let db = lockdoc_trace::db::import(&trace, &rules::filter_config(), 1);
     let config = DeriveConfig::default();
 
     // Determinism gate: every worker count must mine identical rules.

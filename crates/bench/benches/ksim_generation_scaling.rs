@@ -1,0 +1,62 @@
+//! Scaling of sharded ksim trace generation across worker counts.
+//!
+//! Runs the standard workload mix split over 4 shards at `jobs = 1, 2, 4`
+//! and reports the speedup of generating (and merging) the same trace on
+//! more threads. `shards` is part of the trace *content* and stays fixed;
+//! `jobs` must not change a single output byte, so the bench first asserts
+//! the merged traces are identical at every worker count.
+//!
+//! Runs on the in-tree `lockdoc_platform::timing` harness; set
+//! `LOCKDOC_BENCH_QUICK=1` for a single-iteration smoke run.
+
+use ksim::config::SimConfig;
+use ksim::parallel::run_mix_sharded;
+use ksim::rules;
+use lockdoc_platform::par::available_jobs;
+use lockdoc_platform::timing::Bench;
+
+fn main() {
+    let quick = std::env::var("LOCKDOC_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let ops = if quick { 400 } else { 8_000 };
+    let shards = 4;
+    let cfg = SimConfig::with_seed(0x1409).with_faults(rules::default_fault_plan());
+
+    // Determinism gate: the jobs knob must not leak into the trace.
+    let serial = run_mix_sharded(&cfg, None, ops, shards, 1).expect("generation succeeds");
+    for jobs in [2usize, 4, 8] {
+        let run = run_mix_sharded(&cfg, None, ops, shards, jobs).expect("generation succeeds");
+        assert_eq!(
+            run.trace.events, serial.trace.events,
+            "generated trace differs at jobs = {jobs}"
+        );
+        assert_eq!(
+            run.fault_log.injected, serial.fault_log.injected,
+            "fault oracle differs at jobs = {jobs}"
+        );
+    }
+    println!(
+        "trace: {} events ({ops} ops across {shards} shards)",
+        serial.trace.events.len()
+    );
+
+    let mut b = Bench::from_env();
+    for jobs in [1usize, 2, 4] {
+        b.run(
+            &format!("ksim-gen/{ops}-ops/{shards}-shards/jobs-{jobs}"),
+            || run_mix_sharded(&cfg, None, ops, shards, jobs).expect("generation succeeds"),
+        );
+    }
+    let results = b.results();
+    let base = results[0].ns_per_iter();
+    for m in results {
+        println!(
+            "bench {:<44} speedup vs jobs-1: {:.2}x",
+            m.name,
+            base / m.ns_per_iter()
+        );
+    }
+    println!(
+        "note: machine reports {} available core(s); speedup saturates there",
+        available_jobs()
+    );
+}

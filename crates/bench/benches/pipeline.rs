@@ -41,7 +41,7 @@ fn bench_tracing(b: &mut Bench) {
 fn bench_import(b: &mut Bench) {
     let trace = build_trace(2_000);
     let cfg = rules::filter_config();
-    b.run("import/2k-ops", || import(&trace, &cfg));
+    b.run("import/2k-ops", || import(&trace, &cfg, 1));
 }
 
 fn bench_codec(b: &mut Bench) {
@@ -60,7 +60,7 @@ fn bench_codec(b: &mut Bench) {
 
 fn bench_derivation(b: &mut Bench) {
     let trace = build_trace(2_000);
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), 1);
     b.run("derivation/derive/2k-ops", || {
         derive(&db, &DeriveConfig::default())
     });
@@ -95,7 +95,7 @@ fn bench_derivation(b: &mut Bench) {
 
 fn bench_checker_and_violations(b: &mut Bench) {
     let trace = build_trace(2_000);
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), 1);
     let documented = parse_rules(rules::documented_rules()).expect("rules parse");
     b.run("check-documented-rules/2k-ops", || {
         check_rules(&db, &documented)
@@ -106,7 +106,7 @@ fn bench_checker_and_violations(b: &mut Bench) {
 
 fn bench_order_and_diff(b: &mut Bench) {
     let trace = build_trace(2_000);
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), 1);
     b.run("order-graph/2k-ops", || {
         lockdoc_core::order::OrderGraph::build(&db)
     });

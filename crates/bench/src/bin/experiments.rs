@@ -14,7 +14,8 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--all | --<id> ...] [--ops N] [--seed N] [--t-ac X] [--jobs N] [--no-faults]\n\
+        "usage: experiments [--all | --<id> ...] [--ops N] [--seed N] [--t-ac X] [--jobs N] \
+         [--shards N] [--no-faults]\n\
          ids: {}",
         experiments::ALL.join(", ")
     )
@@ -78,6 +79,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shards" => match next_num("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) => config.shards = v,
+                None => {
+                    eprintln!("invalid value for --shards");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--no-faults" => config.faults = false,
             flag if flag.starts_with("--") => {
                 let id = &flag[2..];
@@ -107,8 +115,9 @@ fn main() -> ExitCode {
         .any(|id| !matches!(*id, "fig1" | "tab1" | "tab2"));
     let ctx = if needs_ctx {
         eprintln!(
-            "running evaluation pipeline (ops = {}, seed = {:#x}, t_ac = {}) ...",
-            config.ops, config.seed, config.t_ac
+            "running evaluation pipeline (ops = {}, seed = {:#x}, t_ac = {}, \
+             shards = {}, jobs = {}) ...",
+            config.ops, config.seed, config.t_ac, config.shards, config.jobs
         );
         EvalContext::build(config)
     } else {

@@ -4,8 +4,8 @@
 
 use ksim::config::SimConfig;
 use ksim::faults::FaultLog;
+use ksim::parallel::run_mix_sharded;
 use ksim::rules;
-use ksim::subsys::Machine;
 use lockdoc_core::checker::{check_rules_par, CheckedRule};
 use lockdoc_core::derive::{derive_par, DeriveConfig, MinedRules};
 use lockdoc_core::rulespec::parse_rules;
@@ -25,9 +25,12 @@ pub struct EvalConfig {
     pub t_ac: f64,
     /// Whether to enable the default fault plan.
     pub faults: bool,
-    /// Worker count for the analysis phases (`1` = serial; output is
-    /// identical at any value).
+    /// Worker count for every pipeline phase — generation, import, and
+    /// the analyses (`1` = serial; output is identical at any value).
     pub jobs: usize,
+    /// Shards for workload generation. Unlike `jobs` this is part of the
+    /// trace *content*: `1` reproduces the historical single-machine run.
+    pub shards: u64,
 }
 
 impl Default for EvalConfig {
@@ -38,6 +41,7 @@ impl Default for EvalConfig {
             t_ac: 0.9,
             faults: true,
             jobs: 1,
+            shards: 1,
         }
     }
 }
@@ -90,15 +94,15 @@ impl EvalContext {
         } else {
             SimConfig::with_seed(config.seed)
         };
-        let mut machine = Machine::boot(sim);
-        machine.run_mix(config.ops);
-        let coverage = machine.k.coverage.clone();
-        let fault_log = machine.k.fault_log.clone();
-        let trace = machine.finish();
+        let run = run_mix_sharded(&sim, None, config.ops, config.shards, config.jobs)
+            .expect("workload generation succeeds");
+        let coverage = run.coverage;
+        let fault_log = run.fault_log;
+        let trace = run.trace;
         timings.tracing = t0.elapsed();
 
         let t1 = Instant::now();
-        let db = import(&trace, &rules::filter_config());
+        let db = import(&trace, &rules::filter_config(), config.jobs);
         timings.import = t1.elapsed();
 
         let t2 = Instant::now();

@@ -18,8 +18,8 @@
 #![warn(missing_docs)]
 
 use ksim::config::SimConfig;
+use ksim::parallel::run_mix_sharded;
 use ksim::rules;
-use ksim::subsys::Machine;
 use lockdoc_core::checker::{check_rules_par, summarize};
 use lockdoc_core::derive::{derive_par, DeriveConfig};
 use lockdoc_core::docgen::{generate_doc, generate_rulespec};
@@ -145,8 +145,9 @@ pub const USAGE: &str = "\
 lockdoc — trace-based analysis of locking rules
 
 USAGE:
-  lockdoc trace      [--ops N] [--seed N] [--no-faults] [--mix SPEC] --out FILE
-  lockdoc import     --trace FILE [--csv-dir DIR]
+  lockdoc trace      [--ops N] [--seed N] [--no-faults] [--mix SPEC]
+                     [--shards N] [--jobs N] --out FILE
+  lockdoc import     --trace FILE [--csv-dir DIR] [--jobs N]
   lockdoc derive     --trace FILE [--t-ac X] [--group NAME] [--jobs N] [--rulespec | --json]
   lockdoc check      --trace FILE [--rules FILE] [--jobs N] [--json]
   lockdoc doc        --trace FILE [--group NAME] [--jobs N]
@@ -155,8 +156,11 @@ USAGE:
   lockdoc diff       --old FILE --new FILE [--t-ac X]
   lockdoc order      --trace FILE
 
-`--jobs N` (or LOCKDOC_JOBS) shards the analysis across N workers; output
-is byte-identical at any worker count. Default: available parallelism.
+`--jobs N` (or LOCKDOC_JOBS) runs trace generation, import, and the
+analysis phases on N workers; output is byte-identical at any worker
+count. Default: available parallelism. `trace --shards N` splits the
+workload across N simulated machines (part of the trace *content*, unlike
+--jobs: the same --shards value reproduces the same trace on any machine).
 ";
 
 fn load_db(args: &Args) -> Result<TraceDb> {
@@ -165,7 +169,7 @@ fn load_db(args: &Args) -> Result<TraceDb> {
         .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
     let bytes = fs::read(path)?;
     let trace = read_trace(&mut bytes.as_slice())?;
-    Ok(import(&trace, &rules::filter_config()))
+    Ok(import(&trace, &rules::filter_config(), args.jobs()?))
 }
 
 /// `lockdoc trace`.
@@ -175,27 +179,25 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
     let out = args
         .get("out")
         .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
+    let shards: u64 = args.num("shards", 1u64)?;
+    let jobs = args.jobs()?;
     let mut cfg = SimConfig::with_seed(seed);
     if !args.has("no-faults") {
         cfg = cfg.with_faults(rules::default_fault_plan());
     }
-    let mut machine = Machine::boot(cfg);
-    match args.get("mix") {
-        Some(spec) => machine.run_mix_spec(spec, ops).map_err(CliError::Usage)?,
-        None => machine.run_mix(ops),
-    }
-    let faults = machine.k.fault_log.total();
-    let trace = machine.finish();
-    let summary = trace.summary();
+    let run = run_mix_sharded(&cfg, args.get("mix"), ops, shards, jobs).map_err(CliError::Usage)?;
+    let summary = run.trace.summary();
     let mut buf = Vec::new();
-    write_trace(&trace, &mut buf)?;
+    write_trace(&run.trace, &mut buf)?;
     fs::write(out, &buf)?;
     Ok(format!(
-        "wrote {out}: {} events ({} accesses, {} lock ops), {} injected faults, {} bytes",
+        "wrote {out}: {} events ({} accesses, {} lock ops), {} injected faults, \
+         {} shard(s), {} bytes",
         summary.total,
         summary.mem_accesses,
         summary.lock_ops,
-        faults,
+        run.fault_log.total(),
+        run.shards,
         buf.len()
     ))
 }
@@ -427,7 +429,7 @@ pub fn cmd_diff(args: &Args) -> Result<String> {
             .ok_or_else(|| CliError::Usage(format!("--{flag} FILE is required")))?;
         let bytes = fs::read(path)?;
         let trace = read_trace(&mut bytes.as_slice())?;
-        let db = import(&trace, &rules::filter_config());
+        let db = import(&trace, &rules::filter_config(), jobs);
         Ok(derive_par(&db, &DeriveConfig::with_threshold(t_ac), jobs))
     };
     let old = load("old")?;

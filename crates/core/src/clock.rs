@@ -181,6 +181,7 @@ pub fn clock_db(iterations: u64, faulty: u64) -> TraceDb {
     import(
         &clock_trace(iterations, faulty),
         &FilterConfig::with_defaults(),
+        1,
     )
 }
 

@@ -479,7 +479,7 @@ mod tests {
                 },
             );
         }
-        let db = lockdoc_trace::db::import(&tr, &FilterConfig::with_defaults());
+        let db = lockdoc_trace::db::import(&tr, &FilterConfig::with_defaults(), 1);
         let matrix = crate::matrix::AccessMatrix::build(&db, (dt, None));
         let mm = matrix.member(0).expect("member observed");
         let observations = observations_for(&db, mm, AccessKind::Write);

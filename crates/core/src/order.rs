@@ -454,7 +454,7 @@ mod tests {
                     },
                 );
             }
-            lockdoc_trace::db::import(&tr2, &FilterConfig::with_defaults())
+            lockdoc_trace::db::import(&tr2, &FilterConfig::with_defaults(), 1)
         };
         let graph = OrderGraph::build(&db);
         let inversions = graph.inversions();

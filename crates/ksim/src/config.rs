@@ -22,6 +22,12 @@ pub struct SimConfig {
     pub fault_plan: FaultPlan,
     /// Number of simulated worker tasks the scheduler rotates between.
     pub tasks: usize,
+    /// Shard index when this run is one slice of a sharded workload (see
+    /// [`crate::parallel`]). `None` (the default) is an unsharded run and
+    /// keeps the historical task names and address base; `Some(j)` suffixes
+    /// task names with `.s{j}` and offsets the heap base so shard traces
+    /// occupy disjoint address ranges and can be concatenated.
+    pub shard: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -32,6 +38,7 @@ impl Default for SimConfig {
             softirq_rate: 0.25,
             fault_plan: FaultPlan::default(),
             tasks: 4,
+            shard: None,
         }
     }
 }
@@ -55,6 +62,12 @@ impl SimConfig {
     /// Attaches a fault plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Marks this configuration as shard `j` of a sharded run.
+    pub fn with_shard(mut self, j: u64) -> Self {
+        self.shard = Some(j);
         self
     }
 }

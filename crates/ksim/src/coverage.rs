@@ -152,6 +152,23 @@ impl Coverage {
         row
     }
 
+    /// Merges another collector into this one (used when aggregating the
+    /// shards of a sharded run): hit counts add up, point sets union, and
+    /// declarations missing here are adopted.
+    pub fn merge(&mut self, other: Coverage) {
+        for (name, fc) in other.fns {
+            match self.fns.get_mut(&name) {
+                Some(have) => {
+                    have.hits += fc.hits;
+                    have.points_hit.extend(fc.points_hit);
+                }
+                None => {
+                    self.fns.insert(name, fc);
+                }
+            }
+        }
+    }
+
     /// All declared function names (for tests).
     pub fn function_names(&self) -> Vec<&str> {
         self.fns.keys().map(|s| s.as_str()).collect()

@@ -113,16 +113,23 @@ impl Kernel {
         let mut tasks = Vec::new();
         let mut task_flows = Vec::new();
         for i in 0..ntasks {
-            tasks.push(trace.meta.add_task(&format!("worker-{i}")));
+            let name = match cfg.shard {
+                Some(j) => format!("worker-{i}.s{j}"),
+                None => format!("worker-{i}"),
+            };
+            tasks.push(trace.meta.add_task(&name));
             task_flows.push(FlowShadow::default());
         }
         let seed = cfg.seed;
+        // Disjoint per-shard address windows (1 TiB each) so shard traces
+        // can be concatenated without address collisions.
+        let addr_base = 0xffff_8800_0000_0000u64 + cfg.shard.unwrap_or(0) * (1u64 << 40);
         let mut k = Self {
             cfg,
             trace,
             ts: 0,
             rng: Rng::seed_from_u64(seed),
-            next_addr: 0xffff_8800_0000_0000,
+            next_addr: addr_base,
             next_alloc: 1,
             type_ids,
             type_specs,

@@ -39,6 +39,7 @@ pub mod coverage;
 pub mod faults;
 pub mod kernel;
 pub mod lockdep;
+pub mod parallel;
 pub mod rules;
 pub mod subsys;
 pub mod types;
@@ -46,3 +47,4 @@ pub mod workload;
 
 pub use config::SimConfig;
 pub use kernel::{Kernel, Lock, Obj};
+pub use parallel::{run_mix_sharded, ShardedRun};

@@ -25,7 +25,12 @@ impl Machine {
     pub fn timer_interrupt(&mut self) {
         let fss = FsKind::all();
         let fs = fss[self.k.pick(fss.len())];
-        let bdi = self.mounts[&fs].bdi;
+        // During boot an early interrupt may target a not-yet-mounted fs;
+        // treat it as a spurious timer (the rng draws above still count).
+        let Some(mount) = self.mounts.get(&fs) else {
+            return;
+        };
+        let bdi = mount.bdi;
         let unlocked = self.k.chance(0.06);
         self.k.in_irq(ContextKind::Hardirq, |k| {
             k.in_fn("wb_update_bandwidth", F_WRITEBACK, |k| {
@@ -54,8 +59,11 @@ impl Machine {
     pub fn writeback_softirq(&mut self) {
         let fss = FsKind::all();
         let fs = fss[self.k.pick(fss.len())];
-        let bdi = self.mounts[&fs].bdi;
-        let dirty: Vec<_> = self.mounts[&fs]
+        let Some(mount) = self.mounts.get(&fs) else {
+            return;
+        };
+        let bdi = mount.bdi;
+        let dirty: Vec<_> = mount
             .inodes
             .iter()
             .copied()

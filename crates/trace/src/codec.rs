@@ -503,8 +503,16 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace> {
 /// quotes doubled. Everything else passes through unchanged, so numeric
 /// columns stay byte-identical.
 pub fn csv_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    write_csv_field(&mut out, s);
+    out
+}
+
+/// Appends one CSV field to `out` with the same escaping as [`csv_field`],
+/// without allocating an intermediate `String`. Bulk exporters building
+/// large tables should prefer this over `csv_field` in a `format!`.
+pub fn write_csv_field(out: &mut String, s: &str) {
     if s.contains(['"', ',', '\n', '\r']) {
-        let mut out = String::with_capacity(s.len() + 2);
         out.push('"');
         for c in s.chars() {
             if c == '"' {
@@ -513,9 +521,8 @@ pub fn csv_field(s: &str) -> String {
             out.push(c);
         }
         out.push('"');
-        out
     } else {
-        s.to_owned()
+        out.push_str(s);
     }
 }
 

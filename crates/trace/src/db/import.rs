@@ -1,12 +1,24 @@
 //! Trace import: replays the raw event stream into the relational store,
 //! reconstructing control-flow state, transactions, and stack traces, and
 //! applying the Sec. 5.3 filters.
+//!
+//! Import runs either serially (`jobs = 1`, the reference implementation)
+//! or flow-partitioned on `lockdoc_platform::par` workers (`jobs > 1`).
+//! Transactions and shadow stacks are per control flow (task, softirq,
+//! hardirq), so after one cheap serial pre-pass that resolves all *global*
+//! state — the allocation table, lock registrations, task switches and
+//! context nesting — each flow's slice of the event stream can be replayed
+//! independently and the per-flow tables merged back in event order. The
+//! merge reassigns dense row ids in the order the serial importer would
+//! have produced them, so the resulting [`TraceDb`] is byte-identical at
+//! any worker count (see DESIGN.md, "Flow-partitioned parallel import").
 
 use crate::db::schema::{Access, Allocation, FlowKey, HeldLock, LockInstance, StackTrace, Txn};
 use crate::db::TraceDb;
-use crate::event::{AcquireMode, ContextKind, Event, SourceLoc, Trace};
+use crate::event::{AccessKind, AcquireMode, ContextKind, Event, SourceLoc, Trace, TraceMeta};
 use crate::filter::{FilterConfig, FilterReason};
-use crate::ids::{Addr, AllocId, DataTypeId, FnId, LockId, StackId, TaskId, Timestamp, TxnId};
+use crate::ids::{Addr, AllocId, DataTypeId, FnId, LockId, StackId, Sym, TaskId, Timestamp, TxnId};
+use lockdoc_platform::par::par_map;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Counters describing an import run (reported like paper Sec. 7.2).
@@ -76,43 +88,17 @@ struct HeldEntry {
     count: u32,
 }
 
-/// Replays `trace` into a [`TraceDb`], applying `config`.
-pub fn import(trace: &Trace, config: &FilterConfig) -> TraceDb {
-    Importer::new(trace, config).run()
-}
-
-struct Importer<'a> {
-    trace: &'a Trace,
-    config: &'a FilterConfig,
-    stats: ImportStats,
-
-    allocations: Vec<Allocation>,
-    alloc_index: HashMap<AllocId, usize>,
-    active_allocs: BTreeMap<Addr, AllocId>,
-
-    locks: Vec<LockInstance>,
-    active_locks: HashMap<Addr, LockId>,
-
-    txns: Vec<Txn>,
-    accesses: Vec<Access>,
-
-    stacks: Vec<StackTrace>,
-    stack_index: HashMap<Vec<FnId>, StackId>,
-
-    flows: HashMap<FlowKey, FlowState>,
-    current_task: TaskId,
-    ctx_stack: Vec<ContextKind>,
-
-    /// Pre-resolved filter sets (function names -> ids).
+/// Name-based filter configuration resolved against one trace's metadata,
+/// so the per-event hot path only checks integer sets. Shared read-only by
+/// all import workers.
+struct ResolvedFilters {
     global_fn_blacklist: HashSet<FnId>,
     init_teardown: HashMap<DataTypeId, HashSet<FnId>>,
     member_blacklist: HashSet<(DataTypeId, u32)>,
 }
 
-impl<'a> Importer<'a> {
-    fn new(trace: &'a Trace, config: &'a FilterConfig) -> Self {
-        // Resolve name-based filter configuration against this trace's
-        // metadata once, so the per-event hot path only checks integer sets.
+impl ResolvedFilters {
+    fn resolve(trace: &Trace, config: &FilterConfig) -> Self {
         let fn_by_name: HashMap<&str, FnId> = trace
             .meta
             .functions
@@ -145,6 +131,74 @@ impl<'a> Importer<'a> {
             }
         }
         Self {
+            global_fn_blacklist,
+            init_teardown,
+            member_blacklist,
+        }
+    }
+}
+
+/// Replays `trace` into a [`TraceDb`], applying `config`.
+///
+/// `jobs = 1` runs the serial reference importer; `jobs > 1` partitions the
+/// event stream by control flow and replays the flows on worker threads.
+/// The output is byte-identical for every `jobs` value.
+pub fn import(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb {
+    if jobs <= 1 {
+        Importer::new(trace, config).run()
+    } else {
+        import_parallel(trace, config, jobs)
+    }
+}
+
+fn valid_sym(meta: &TraceMeta, sym: Sym) -> bool {
+    sym.index() < meta.strings.len()
+}
+
+fn valid_fn(meta: &TraceMeta, f: FnId) -> bool {
+    f.index() < meta.functions.len()
+}
+
+fn valid_task(meta: &TraceMeta, t: TaskId) -> bool {
+    t.index() < meta.tasks.len()
+}
+
+fn valid_dt(meta: &TraceMeta, dt: DataTypeId) -> bool {
+    dt.index() < meta.data_types.len()
+}
+
+fn valid_loc(meta: &TraceMeta, loc: &SourceLoc) -> bool {
+    valid_sym(meta, loc.file)
+}
+
+struct Importer<'a> {
+    trace: &'a Trace,
+    config: &'a FilterConfig,
+    stats: ImportStats,
+
+    allocations: Vec<Allocation>,
+    alloc_index: HashMap<AllocId, usize>,
+    active_allocs: BTreeMap<Addr, AllocId>,
+
+    locks: Vec<LockInstance>,
+    active_locks: HashMap<Addr, LockId>,
+
+    txns: Vec<Txn>,
+    accesses: Vec<Access>,
+
+    stacks: Vec<StackTrace>,
+    stack_index: HashMap<Vec<FnId>, StackId>,
+
+    flows: HashMap<FlowKey, FlowState>,
+    current_task: TaskId,
+    ctx_stack: Vec<ContextKind>,
+
+    filters: ResolvedFilters,
+}
+
+impl<'a> Importer<'a> {
+    fn new(trace: &'a Trace, config: &'a FilterConfig) -> Self {
+        Self {
             trace,
             config,
             stats: ImportStats::default(),
@@ -160,9 +214,7 @@ impl<'a> Importer<'a> {
             flows: HashMap::new(),
             current_task: TaskId(0),
             ctx_stack: Vec::new(),
-            global_fn_blacklist,
-            init_teardown,
-            member_blacklist,
+            filters: ResolvedFilters::resolve(trace, config),
         }
     }
 
@@ -189,26 +241,6 @@ impl<'a> Importer<'a> {
             stacks: self.stacks,
             stats: self.stats,
         }
-    }
-
-    fn valid_sym(&self, sym: crate::ids::Sym) -> bool {
-        sym.index() < self.trace.meta.strings.len()
-    }
-
-    fn valid_fn(&self, f: FnId) -> bool {
-        f.index() < self.trace.meta.functions.len()
-    }
-
-    fn valid_task(&self, t: TaskId) -> bool {
-        t.index() < self.trace.meta.tasks.len()
-    }
-
-    fn valid_dt(&self, dt: DataTypeId) -> bool {
-        dt.index() < self.trace.meta.data_types.len()
-    }
-
-    fn valid_loc(&self, loc: &SourceLoc) -> bool {
-        self.valid_sym(loc.file)
     }
 
     fn current_flow_key(&self) -> FlowKey {
@@ -250,7 +282,7 @@ impl<'a> Importer<'a> {
                 flavor,
                 is_static,
             } => {
-                if !self.valid_sym(*name) {
+                if !valid_sym(&self.trace.meta, *name) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -276,8 +308,10 @@ impl<'a> Importer<'a> {
                 data_type,
                 subclass,
             } => {
-                if !self.valid_dt(*data_type)
-                    || subclass.map(|s| !self.valid_sym(s)).unwrap_or(false)
+                if !valid_dt(&self.trace.meta, *data_type)
+                    || subclass
+                        .map(|s| !valid_sym(&self.trace.meta, s))
+                        .unwrap_or(false)
                     || self.alloc_index.contains_key(id)
                 {
                     self.stats.invalid_events += 1;
@@ -332,7 +366,7 @@ impl<'a> Importer<'a> {
                 }
             }
             Event::LockAcquire { addr, mode, loc } => {
-                if !self.valid_loc(loc) {
+                if !valid_loc(&self.trace.meta, loc) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -361,7 +395,7 @@ impl<'a> Importer<'a> {
                 self.close_open_txn(ts);
             }
             Event::LockRelease { addr, loc } => {
-                if !self.valid_loc(loc) {
+                if !valid_loc(&self.trace.meta, loc) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -393,7 +427,7 @@ impl<'a> Importer<'a> {
                 loc,
                 atomic,
             } => {
-                if !self.valid_loc(loc) {
+                if !valid_loc(&self.trace.meta, loc) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -401,7 +435,7 @@ impl<'a> Importer<'a> {
                 self.handle_access(ts, *kind, *addr, *size, *loc, *atomic);
             }
             Event::FnEnter { func } => {
-                if !self.valid_fn(*func) {
+                if !valid_fn(&self.trace.meta, *func) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -415,7 +449,7 @@ impl<'a> Importer<'a> {
                 }
             }
             Event::TaskSwitch { task } => {
-                if !self.valid_task(*task) {
+                if !valid_task(&self.trace.meta, *task) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -435,7 +469,7 @@ impl<'a> Importer<'a> {
     fn handle_access(
         &mut self,
         ts: Timestamp,
-        kind: crate::event::AccessKind,
+        kind: AccessKind,
         addr: Addr,
         size: u8,
         loc: SourceLoc,
@@ -466,6 +500,7 @@ impl<'a> Importer<'a> {
             return;
         }
         if self
+            .filters
             .member_blacklist
             .contains(&(data_type, member_idx as u32))
         {
@@ -476,12 +511,12 @@ impl<'a> Importer<'a> {
         let context = self.current_context();
         let flow = self.flows.entry(flow_key).or_default();
         if let Some(&innermost) = flow.fn_stack.last() {
-            if self.global_fn_blacklist.contains(&innermost) {
+            if self.filters.global_fn_blacklist.contains(&innermost) {
                 self.stats.bump_filtered(FilterReason::IgnoredFunction);
                 return;
             }
         }
-        if let Some(funcs) = self.init_teardown.get(&data_type) {
+        if let Some(funcs) = self.filters.init_teardown.get(&data_type) {
             if flow.fn_stack.iter().any(|f| funcs.contains(f)) {
                 self.stats.bump_filtered(FilterReason::InitTeardownContext);
                 return;
@@ -553,5 +588,660 @@ impl<'a> Importer<'a> {
             context,
         });
         self.stats.accesses_imported += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel import: serial pre-pass + per-flow replay on workers + ordered
+// merge. See DESIGN.md, "Flow-partitioned parallel import", for the safety
+// argument.
+// ---------------------------------------------------------------------------
+
+/// A flow-routed event, tagged with its position in the global stream.
+/// The index is the time axis of the parallel importer: it is unique and
+/// strictly increasing, unlike timestamps, which may repeat.
+struct FlowItem {
+    idx: u64,
+    ts: Timestamp,
+    ev: FlowEv,
+}
+
+/// The per-flow payload of an event. Lock addresses are pre-resolved to
+/// instance ids by the pre-pass (lock registrations are global state);
+/// access addresses are resolved by the workers against the immutable
+/// [`AllocSpans`] index.
+enum FlowEv {
+    Acquire {
+        lock: Option<LockId>,
+        mode: AcquireMode,
+        loc: SourceLoc,
+    },
+    Release {
+        lock: Option<LockId>,
+        loc: SourceLoc,
+    },
+    Access {
+        kind: AccessKind,
+        addr: Addr,
+        size: u8,
+        loc: SourceLoc,
+        atomic: bool,
+    },
+    Enter {
+        func: FnId,
+    },
+    Exit {
+        func: FnId,
+    },
+}
+
+/// One control flow's slice of the event stream, in stream order.
+struct FlowSlice {
+    key: FlowKey,
+    context: ContextKind,
+    items: Vec<FlowItem>,
+}
+
+/// The lifetime of one allocation-table row on the event-index axis:
+/// the row resolves accesses from right after its `Alloc` event until the
+/// `Free` event that removed it from the live-address map.
+struct AllocSpan {
+    addr: Addr,
+    end: Addr,
+    /// Event index of the `Alloc`.
+    act: u64,
+    /// Event index of the removing `Free` (`u64::MAX` if never removed).
+    deact: u64,
+    /// Row index in the allocations table.
+    row: u32,
+}
+
+/// Immutable address → allocation index built by the pre-pass.
+///
+/// Because the serial importer drops `Alloc` events that overlap a live
+/// allocation, the set of spans live at any one event index is
+/// non-overlapping in address space; the span containing an address (if
+/// any) is therefore unique and equal to what `Importer::resolve_alloc`
+/// finds at that point of the replay.
+struct AllocSpans {
+    /// Sorted by `(addr, act)`.
+    spans: Vec<AllocSpan>,
+    /// `max(spans[..=i].end)`, to prune the leftward walk in `resolve`.
+    prefix_max_end: Vec<Addr>,
+}
+
+impl AllocSpans {
+    fn build(mut spans: Vec<AllocSpan>) -> Self {
+        spans.sort_unstable_by_key(|s| (s.addr, s.act));
+        let mut prefix_max_end = Vec::with_capacity(spans.len());
+        let mut max = 0;
+        for s in &spans {
+            max = max.max(s.end);
+            prefix_max_end.push(max);
+        }
+        Self {
+            spans,
+            prefix_max_end,
+        }
+    }
+
+    /// The allocation row live at event index `idx` containing `addr`.
+    fn resolve(&self, addr: Addr, idx: u64) -> Option<u32> {
+        let mut i = self.spans.partition_point(|s| s.addr <= addr);
+        while i > 0 {
+            i -= 1;
+            if self.prefix_max_end[i] <= addr {
+                return None;
+            }
+            let s = &self.spans[i];
+            if s.end > addr && s.act < idx && idx < s.deact {
+                return Some(s.row);
+            }
+        }
+        None
+    }
+}
+
+/// Everything the serial pre-pass produces: the fully-built global tables
+/// and the per-flow event slices ready for worker replay.
+struct PrePass {
+    allocations: Vec<Allocation>,
+    locks: Vec<LockInstance>,
+    spans: AllocSpans,
+    slices: Vec<FlowSlice>,
+    /// Global-event counters: `events`, `allocs`, `frees`, and the
+    /// `invalid_events` attributable to global events.
+    stats: ImportStats,
+}
+
+/// Serial pre-pass: replays exactly the global-state transitions of the
+/// serial importer (allocation table, lock registrations, task switches,
+/// context nesting) and routes every flow-local event to its flow's slice.
+fn pre_pass(trace: &Trace) -> PrePass {
+    let meta = &trace.meta;
+    let mut stats = ImportStats::default();
+    let mut allocations: Vec<Allocation> = Vec::new();
+    let mut alloc_index: HashMap<AllocId, usize> = HashMap::new();
+    let mut active_allocs: BTreeMap<Addr, AllocId> = BTreeMap::new();
+    let mut spans: Vec<AllocSpan> = Vec::new();
+    let mut span_of: HashMap<AllocId, usize> = HashMap::new();
+    let mut locks: Vec<LockInstance> = Vec::new();
+    let mut active_locks: HashMap<Addr, LockId> = HashMap::new();
+    let mut current_task = TaskId(0);
+    let mut ctx_stack: Vec<ContextKind> = Vec::new();
+    let mut slices: Vec<FlowSlice> = Vec::new();
+    let mut slice_of: HashMap<FlowKey, usize> = HashMap::new();
+
+    let resolve_alloc = |active_allocs: &BTreeMap<Addr, AllocId>,
+                         allocations: &[Allocation],
+                         alloc_index: &HashMap<AllocId, usize>,
+                         addr: Addr| {
+        let (_, &id) = active_allocs.range(..=addr).next_back()?;
+        let alloc = &allocations[alloc_index[&id]];
+        alloc.contains(addr).then_some(id)
+    };
+
+    stats.events = trace.events.len() as u64;
+    for (i, te) in trace.events.iter().enumerate() {
+        let idx = i as u64;
+        let ts = te.ts;
+        // Global events mutate the shared tables here and `continue`; the
+        // remaining (flow-local) events fall through as a routed payload.
+        let ev = match &te.event {
+            Event::LockInit {
+                addr,
+                name,
+                flavor,
+                is_static,
+            } => {
+                if !valid_sym(meta, *name) {
+                    stats.invalid_events += 1;
+                    continue;
+                }
+                let embedded_in = resolve_alloc(&active_allocs, &allocations, &alloc_index, *addr)
+                    .map(|aid| {
+                        let alloc = &allocations[alloc_index[&aid]];
+                        (aid, (*addr - alloc.addr) as u32)
+                    });
+                let id = LockId(locks.len() as u32);
+                locks.push(LockInstance {
+                    id,
+                    addr: *addr,
+                    name: *name,
+                    flavor: *flavor,
+                    is_static: *is_static,
+                    embedded_in,
+                });
+                active_locks.insert(*addr, id);
+                continue;
+            }
+            Event::Alloc {
+                id,
+                addr,
+                size,
+                data_type,
+                subclass,
+            } => {
+                if !valid_dt(meta, *data_type)
+                    || subclass.map(|s| !valid_sym(meta, s)).unwrap_or(false)
+                    || alloc_index.contains_key(id)
+                {
+                    stats.invalid_events += 1;
+                    continue;
+                }
+                let end = *addr + u64::from(*size);
+                let overlaps = active_allocs
+                    .range(..end)
+                    .next_back()
+                    .map(|(_, &prev)| {
+                        allocations[alloc_index[&prev]].contains(*addr)
+                            || (*addr..end).contains(&allocations[alloc_index[&prev]].addr)
+                    })
+                    .unwrap_or(false);
+                if overlaps {
+                    stats.invalid_events += 1;
+                    continue;
+                }
+                stats.allocs += 1;
+                let row = allocations.len();
+                allocations.push(Allocation {
+                    id: *id,
+                    addr: *addr,
+                    size: *size,
+                    data_type: *data_type,
+                    subclass: *subclass,
+                    alloc_ts: ts,
+                    free_ts: None,
+                });
+                alloc_index.insert(*id, row);
+                active_allocs.insert(*addr, *id);
+                span_of.insert(*id, spans.len());
+                spans.push(AllocSpan {
+                    addr: *addr,
+                    end,
+                    act: idx,
+                    deact: u64::MAX,
+                    row: row as u32,
+                });
+                continue;
+            }
+            Event::Free { id } => {
+                stats.frees += 1;
+                if let Some(&row) = alloc_index.get(id) {
+                    let (addr, size) = {
+                        let alloc = &mut allocations[row];
+                        alloc.free_ts = Some(ts);
+                        (alloc.addr, alloc.size)
+                    };
+                    // Note: on a malformed double free this removes whatever
+                    // allocation currently occupies `addr` — exactly like
+                    // the serial importer. The removed entry's span ends
+                    // here, whichever allocation it belongs to.
+                    if let Some(removed) = active_allocs.remove(&addr) {
+                        if let Some(&si) = span_of.get(&removed) {
+                            spans[si].deact = idx;
+                        }
+                    }
+                    active_locks.retain(|&a, _| !(a >= addr && a < addr + u64::from(size)));
+                }
+                continue;
+            }
+            Event::TaskSwitch { task } => {
+                if !valid_task(meta, *task) {
+                    stats.invalid_events += 1;
+                    continue;
+                }
+                current_task = *task;
+                continue;
+            }
+            Event::ContextEnter { kind } => {
+                ctx_stack.push(*kind);
+                continue;
+            }
+            Event::ContextExit { kind } => {
+                if ctx_stack.last() == Some(kind) {
+                    ctx_stack.pop();
+                }
+                continue;
+            }
+            Event::LockAcquire { addr, mode, loc } => FlowEv::Acquire {
+                lock: active_locks.get(addr).copied(),
+                mode: *mode,
+                loc: *loc,
+            },
+            Event::LockRelease { addr, loc } => FlowEv::Release {
+                lock: active_locks.get(addr).copied(),
+                loc: *loc,
+            },
+            Event::MemAccess {
+                kind,
+                addr,
+                size,
+                loc,
+                atomic,
+            } => FlowEv::Access {
+                kind: *kind,
+                addr: *addr,
+                size: *size,
+                loc: *loc,
+                atomic: *atomic,
+            },
+            Event::FnEnter { func } => FlowEv::Enter { func: *func },
+            Event::FnExit { func } => FlowEv::Exit { func: *func },
+        };
+        let key = match ctx_stack.last() {
+            Some(kind) => FlowKey::irq(*kind),
+            None => FlowKey::Task(current_task),
+        };
+        let si = *slice_of.entry(key).or_insert_with(|| {
+            slices.push(FlowSlice {
+                key,
+                context: ctx_stack.last().copied().unwrap_or(ContextKind::Task),
+                items: Vec::new(),
+            });
+            slices.len() - 1
+        });
+        slices[si].items.push(FlowItem { idx, ts, ev });
+    }
+
+    PrePass {
+        allocations,
+        locks,
+        spans: AllocSpans::build(spans),
+        slices,
+        stats,
+    }
+}
+
+/// One flow's replay result, with flow-local transaction and stack ids.
+/// `Access::id` temporarily holds the global event index (the merge key).
+#[derive(Default)]
+struct FlowOutput {
+    accesses: Vec<Access>,
+    txns: Vec<Txn>,
+    stacks: Vec<StackTrace>,
+    accesses_seen: u64,
+    accesses_imported: u64,
+    unresolved: u64,
+    unmatched_releases: u64,
+    unknown_lock_acquires: u64,
+    invalid_events: u64,
+    filtered: HashMap<String, u64>,
+}
+
+impl FlowOutput {
+    fn bump_filtered(&mut self, reason: FilterReason) {
+        *self.filtered.entry(format!("{reason:?}")).or_insert(0) += 1;
+    }
+}
+
+/// Replays one flow's slice with a private [`FlowState`], reading only the
+/// immutable global tables built by the pre-pass. Mirrors the serial
+/// importer's per-event logic — including the order of validity,
+/// resolution, and filter checks, so every counter matches.
+fn replay_flow(
+    slice: &FlowSlice,
+    trace: &Trace,
+    config: &FilterConfig,
+    filters: &ResolvedFilters,
+    allocations: &[Allocation],
+    locks: &[LockInstance],
+    spans: &AllocSpans,
+) -> FlowOutput {
+    let meta = &trace.meta;
+    let mut out = FlowOutput::default();
+    let mut held: Vec<HeldEntry> = Vec::new();
+    let mut open_txn: Option<usize> = None;
+    let mut fn_stack: Vec<FnId> = Vec::new();
+    let mut stack_index: HashMap<Vec<FnId>, StackId> = HashMap::new();
+
+    fn close_open_txn(open_txn: &mut Option<usize>, txns: &mut [Txn], ts: Timestamp) {
+        if let Some(i) = open_txn.take() {
+            let txn = &mut txns[i];
+            txn.end_ts = txn.end_ts.max(ts);
+        }
+    }
+
+    for item in &slice.items {
+        match &item.ev {
+            FlowEv::Acquire { lock, mode, loc } => {
+                if !valid_loc(meta, loc) {
+                    out.invalid_events += 1;
+                    continue;
+                }
+                let Some(lock_id) = *lock else {
+                    out.unknown_lock_acquires += 1;
+                    continue;
+                };
+                let flavor = locks[lock_id.index()].flavor;
+                if flavor.reentrant() {
+                    if let Some(entry) = held.iter_mut().find(|h| h.lock == lock_id) {
+                        entry.count += 1;
+                        continue;
+                    }
+                }
+                held.push(HeldEntry {
+                    lock: lock_id,
+                    mode: *mode,
+                    loc: *loc,
+                    ts: item.ts,
+                    count: 1,
+                });
+                close_open_txn(&mut open_txn, &mut out.txns, item.ts);
+            }
+            FlowEv::Release { lock, loc } => {
+                if !valid_loc(meta, loc) {
+                    out.invalid_events += 1;
+                    continue;
+                }
+                let Some(lock_id) = *lock else {
+                    out.unmatched_releases += 1;
+                    continue;
+                };
+                match held.iter().rposition(|h| h.lock == lock_id) {
+                    Some(pos) => {
+                        if held[pos].count > 1 {
+                            held[pos].count -= 1;
+                            continue;
+                        }
+                        held.remove(pos);
+                        close_open_txn(&mut open_txn, &mut out.txns, item.ts);
+                    }
+                    None => out.unmatched_releases += 1,
+                }
+            }
+            FlowEv::Access {
+                kind,
+                addr,
+                size,
+                loc,
+                atomic,
+            } => {
+                if !valid_loc(meta, loc) {
+                    out.invalid_events += 1;
+                    continue;
+                }
+                out.accesses_seen += 1;
+                let Some(row) = spans.resolve(*addr, item.idx) else {
+                    out.unresolved += 1;
+                    continue;
+                };
+                let alloc = &allocations[row as usize];
+                let data_type = alloc.data_type;
+                let subclass = alloc.subclass;
+                let offset = (*addr - alloc.addr) as u32;
+                let def = &meta.data_types[data_type.index()];
+                let Some(member_idx) = def.member_at(offset) else {
+                    out.unresolved += 1;
+                    continue;
+                };
+                let member = &def.members[member_idx];
+
+                if config.drop_atomic_accesses && *atomic {
+                    out.bump_filtered(FilterReason::AtomicAccess);
+                    continue;
+                }
+                if config.drop_atomic_members && (member.atomic || member.is_lock) {
+                    out.bump_filtered(FilterReason::AtomicOrLockMember);
+                    continue;
+                }
+                if filters
+                    .member_blacklist
+                    .contains(&(data_type, member_idx as u32))
+                {
+                    out.bump_filtered(FilterReason::BlacklistedMember);
+                    continue;
+                }
+                if let Some(&innermost) = fn_stack.last() {
+                    if filters.global_fn_blacklist.contains(&innermost) {
+                        out.bump_filtered(FilterReason::IgnoredFunction);
+                        continue;
+                    }
+                }
+                if let Some(funcs) = filters.init_teardown.get(&data_type) {
+                    if fn_stack.iter().any(|f| funcs.contains(f)) {
+                        out.bump_filtered(FilterReason::InitTeardownContext);
+                        continue;
+                    }
+                }
+
+                let txn_local = match open_txn {
+                    Some(i) => {
+                        let t = &mut out.txns[i];
+                        t.end_ts = t.end_ts.max(item.ts);
+                        i
+                    }
+                    None => {
+                        let i = out.txns.len();
+                        let locks = held
+                            .iter()
+                            .map(|h| HeldLock {
+                                lock: h.lock,
+                                mode: h.mode,
+                                acquired_at: h.loc,
+                                acquired_ts: h.ts,
+                            })
+                            .collect();
+                        out.txns.push(Txn {
+                            id: TxnId(i as u64),
+                            flow: slice.key,
+                            locks,
+                            start_ts: item.ts,
+                            end_ts: item.ts,
+                        });
+                        open_txn = Some(i);
+                        i
+                    }
+                };
+
+                let stack = match stack_index.get(&fn_stack) {
+                    Some(&id) => id,
+                    None => {
+                        let id = StackId(out.stacks.len() as u32);
+                        out.stacks.push(StackTrace {
+                            frames: fn_stack.clone(),
+                        });
+                        stack_index.insert(fn_stack.clone(), id);
+                        id
+                    }
+                };
+
+                out.accesses.push(Access {
+                    id: item.idx,
+                    ts: item.ts,
+                    kind: *kind,
+                    alloc: alloc.id,
+                    data_type,
+                    subclass,
+                    member: member_idx as u32,
+                    size: *size,
+                    loc: *loc,
+                    txn: Some(TxnId(txn_local as u64)),
+                    stack,
+                    flow: slice.key,
+                    context: slice.context,
+                });
+                out.accesses_imported += 1;
+            }
+            FlowEv::Enter { func } => {
+                if !valid_fn(meta, *func) {
+                    out.invalid_events += 1;
+                    continue;
+                }
+                fn_stack.push(*func);
+            }
+            FlowEv::Exit { func } => {
+                if let Some(pos) = fn_stack.iter().rposition(|f| f == func) {
+                    fn_stack.truncate(pos);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flow-partitioned parallel import. Byte-identical to the serial path.
+fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb {
+    let filters = ResolvedFilters::resolve(trace, config);
+    let pre = pre_pass(trace);
+    let outputs: Vec<FlowOutput> = par_map(jobs, &pre.slices, |slice| {
+        replay_flow(
+            slice,
+            trace,
+            config,
+            &filters,
+            &pre.allocations,
+            &pre.locks,
+            &pre.spans,
+        )
+    });
+
+    // Merge the per-flow tables back in global event order. Dense row ids
+    // (accesses, txns, stacks) are reassigned in the order the serial
+    // importer produces them: access ids in stream order, and txn/stack ids
+    // at the first access that references them.
+    let total: usize = outputs.iter().map(|o| o.accesses.len()).sum();
+    let mut order: Vec<(u64, u32, u32)> = Vec::with_capacity(total);
+    for (fi, o) in outputs.iter().enumerate() {
+        for (ai, a) in o.accesses.iter().enumerate() {
+            order.push((a.id, fi as u32, ai as u32));
+        }
+    }
+    order.sort_unstable();
+
+    let mut accesses: Vec<Access> = Vec::with_capacity(total);
+    let mut txns: Vec<Txn> = Vec::new();
+    let mut stacks: Vec<StackTrace> = Vec::new();
+    let mut stack_index: HashMap<Vec<FnId>, StackId> = HashMap::new();
+    let mut txn_map: Vec<Vec<Option<TxnId>>> =
+        outputs.iter().map(|o| vec![None; o.txns.len()]).collect();
+    let mut stack_map: Vec<Vec<Option<StackId>>> =
+        outputs.iter().map(|o| vec![None; o.stacks.len()]).collect();
+
+    for (_, fi, ai) in order {
+        let (fi, ai) = (fi as usize, ai as usize);
+        let mut a = outputs[fi].accesses[ai];
+        let local_txn = a.txn.expect("workers always assign a txn").0 as usize;
+        a.txn = Some(match txn_map[fi][local_txn] {
+            Some(id) => id,
+            None => {
+                let id = TxnId(txns.len() as u64);
+                let mut t = outputs[fi].txns[local_txn].clone();
+                t.id = id;
+                txns.push(t);
+                txn_map[fi][local_txn] = Some(id);
+                id
+            }
+        });
+        let local_stack = a.stack.index();
+        a.stack = match stack_map[fi][local_stack] {
+            Some(id) => id,
+            None => {
+                let frames = &outputs[fi].stacks[local_stack].frames;
+                let id = match stack_index.get(frames) {
+                    Some(&id) => id,
+                    None => {
+                        let id = StackId(stacks.len() as u32);
+                        stacks.push(StackTrace {
+                            frames: frames.clone(),
+                        });
+                        stack_index.insert(frames.clone(), id);
+                        id
+                    }
+                };
+                stack_map[fi][local_stack] = Some(id);
+                id
+            }
+        };
+        a.id = accesses.len() as u64;
+        accesses.push(a);
+    }
+
+    let mut stats = pre.stats;
+    for o in &outputs {
+        stats.accesses_seen += o.accesses_seen;
+        stats.accesses_imported += o.accesses_imported;
+        stats.unresolved += o.unresolved;
+        stats.unmatched_releases += o.unmatched_releases;
+        stats.unknown_lock_acquires += o.unknown_lock_acquires;
+        stats.invalid_events += o.invalid_events;
+        for (reason, n) in &o.filtered {
+            *stats.filtered.entry(reason.clone()).or_insert(0) += n;
+        }
+    }
+    stats.txns = txns.len() as u64;
+    stats.locks = pre.locks.len() as u64;
+    stats.static_locks = pre.locks.iter().filter(|l| l.is_static).count() as u64;
+    stats.embedded_locks = pre.locks.iter().filter(|l| l.embedded_in.is_some()).count() as u64;
+    stats.stacks = stacks.len() as u64;
+
+    TraceDb {
+        meta: trace.meta.clone(),
+        allocations: pre.allocations,
+        locks: pre.locks,
+        txns,
+        accesses,
+        stacks,
+        stats,
     }
 }

@@ -10,14 +10,18 @@ pub mod schema;
 pub use import::{import, ImportStats};
 pub use schema::{Access, Allocation, FlowKey, HeldLock, LockInstance, StackTrace, Txn};
 
-use crate::codec::csv_field;
+use crate::codec::write_csv_field;
 use crate::event::{DataTypeDef, TraceMeta};
 use crate::ids::{DataTypeId, FnId, LockId, StackId, Sym, TxnId};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// The imported, queryable form of a trace.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural over every table and counter; the parallel
+/// importer's determinism contract (`import` at any `jobs`) is stated in
+/// terms of it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceDb {
     /// Static metadata carried over from the trace.
     pub meta: TraceMeta,
@@ -142,83 +146,81 @@ impl TraceDb {
 
     /// Exports the relational tables as CSV strings keyed by table name,
     /// mirroring the CSV intermediate format of the paper's import pipeline.
+    ///
+    /// Rows are appended via `fmt::Write` into pre-sized buffers — no
+    /// per-row `format!`/`to_string` temporaries — so exporting a
+    /// million-access table costs four buffer allocations, not millions
+    /// (see `import_parallel_scaling` in the bench crate for numbers).
     pub fn export_csv_tables(&self) -> Vec<(String, String)> {
         let mut tables = Vec::new();
 
-        let mut allocs = String::from("id,addr,size,data_type,subclass,alloc_ts,free_ts\n");
+        let mut allocs = String::with_capacity(64 + self.allocations.len() * 56);
+        allocs.push_str("id,addr,size,data_type,subclass,alloc_ts,free_ts\n");
         for a in &self.allocations {
-            let _ = writeln!(
-                allocs,
-                "{},{:#x},{},{},{},{},{}",
-                a.id.0,
-                a.addr,
-                a.size,
-                csv_field(self.type_name(a.data_type)),
-                csv_field(a.subclass.map(|s| self.sym(s)).unwrap_or("")),
-                a.alloc_ts,
-                a.free_ts.map(|t| t.to_string()).unwrap_or_default()
-            );
+            let _ = write!(allocs, "{},{:#x},{},", a.id.0, a.addr, a.size);
+            write_csv_field(&mut allocs, self.type_name(a.data_type));
+            allocs.push(',');
+            write_csv_field(&mut allocs, a.subclass.map(|s| self.sym(s)).unwrap_or(""));
+            let _ = write!(allocs, ",{},", a.alloc_ts);
+            if let Some(t) = a.free_ts {
+                let _ = write!(allocs, "{t}");
+            }
+            allocs.push('\n');
         }
         tables.push(("allocations".to_owned(), allocs));
 
-        let mut locks =
-            String::from("id,addr,name,flavor,is_static,embedded_alloc,embedded_offset\n");
+        let mut locks = String::with_capacity(72 + self.locks.len() * 56);
+        locks.push_str("id,addr,name,flavor,is_static,embedded_alloc,embedded_offset\n");
         for l in &self.locks {
-            let (ea, eo) = match l.embedded_in {
-                Some((a, o)) => (a.0.to_string(), o.to_string()),
-                None => (String::new(), String::new()),
-            };
-            let _ = writeln!(
-                locks,
-                "{},{:#x},{},{},{},{},{}",
-                l.id.0,
-                l.addr,
-                csv_field(self.sym(l.name)),
-                l.flavor,
-                l.is_static,
-                ea,
-                eo
-            );
+            let _ = write!(locks, "{},{:#x},", l.id.0, l.addr);
+            write_csv_field(&mut locks, self.sym(l.name));
+            let _ = write!(locks, ",{},{},", l.flavor, l.is_static);
+            if let Some((a, o)) = l.embedded_in {
+                let _ = write!(locks, "{},{o}", a.0);
+            } else {
+                locks.push(',');
+            }
+            locks.push('\n');
         }
         tables.push(("locks".to_owned(), locks));
 
-        let mut txns = String::from("id,flow,start_ts,end_ts,locks\n");
+        let mut txns = String::with_capacity(32 + self.txns.len() * 56);
+        txns.push_str("id,flow,start_ts,end_ts,locks\n");
+        let mut lock_list = String::new();
         for t in &self.txns {
-            let lock_list: Vec<String> = t
-                .locks
-                .iter()
-                .map(|h| self.sym(self.lock(h.lock).name).to_owned())
-                .collect();
-            let _ = writeln!(
-                txns,
-                "{},{:?},{},{},{}",
-                t.id.0,
-                t.flow,
-                t.start_ts,
-                t.end_ts,
-                csv_field(&lock_list.join("|"))
-            );
+            lock_list.clear();
+            for (i, h) in t.locks.iter().enumerate() {
+                if i > 0 {
+                    lock_list.push('|');
+                }
+                lock_list.push_str(self.sym(self.lock(h.lock).name));
+            }
+            let _ = write!(txns, "{},{:?},{},{},", t.id.0, t.flow, t.start_ts, t.end_ts);
+            write_csv_field(&mut txns, &lock_list);
+            txns.push('\n');
         }
         tables.push(("txns".to_owned(), txns));
 
-        let mut accs =
-            String::from("id,ts,kind,alloc,data_type,subclass,member,size,loc,txn,stack\n");
+        let mut accs = String::with_capacity(72 + self.accesses.len() * 80);
+        accs.push_str("id,ts,kind,alloc,data_type,subclass,member,size,loc,txn,stack\n");
+        let mut loc_buf = String::new();
         for a in &self.accesses {
-            let _ = writeln!(
-                accs,
-                "{},{},{},{},{},{},{},{},{},{},{}",
-                a.id,
-                a.ts,
-                a.kind,
-                a.alloc.0,
-                csv_field(self.type_name(a.data_type)),
-                csv_field(a.subclass.map(|s| self.sym(s)).unwrap_or("")),
-                csv_field(self.member_name(a.data_type, a.member)),
-                a.size,
-                csv_field(&self.format_loc(a.loc)),
-                a.txn.map(|t| t.0.to_string()).unwrap_or_default(),
-                a.stack.0
-            );
+            let _ = write!(accs, "{},{},{},{},", a.id, a.ts, a.kind, a.alloc.0);
+            write_csv_field(&mut accs, self.type_name(a.data_type));
+            accs.push(',');
+            write_csv_field(&mut accs, a.subclass.map(|s| self.sym(s)).unwrap_or(""));
+            accs.push(',');
+            write_csv_field(&mut accs, self.member_name(a.data_type, a.member));
+            let _ = write!(accs, ",{},", a.size);
+            loc_buf.clear();
+            let _ = write!(loc_buf, "{}:{}", self.sym(a.loc.file), a.loc.line);
+            write_csv_field(&mut accs, &loc_buf);
+            accs.push(',');
+            if let Some(t) = a.txn {
+                let _ = write!(accs, "{}", t.0);
+            }
+            let _ = write!(accs, ",{}", a.stack.0);
+            accs.push('\n');
         }
         tables.push(("accesses".to_owned(), accs));
 
@@ -421,7 +423,7 @@ mod tests {
 
     #[test]
     fn import_builds_transactions_with_nesting() {
-        let db = import(&build_trace(), &config());
+        let db = import(&build_trace(), &config(), 1);
         // Four materialized txns: [sec], [sec,min], [sec] again, and the
         // empty-set span of the final lock-free read.
         assert_eq!(db.txns.len(), 4);
@@ -440,7 +442,7 @@ mod tests {
 
     #[test]
     fn import_applies_filters() {
-        let db = import(&build_trace(), &config());
+        let db = import(&build_trace(), &config(), 1);
         // 6 accesses seen; init write, atomic member read filtered; 4 left.
         assert_eq!(db.stats.accesses_seen, 6);
         assert_eq!(db.stats.accesses_imported, 4);
@@ -449,7 +451,7 @@ mod tests {
 
     #[test]
     fn accesses_are_assigned_to_innermost_txn() {
-        let db = import(&build_trace(), &config());
+        let db = import(&build_trace(), &config(), 1);
         let member_of = |a: &Access| db.member_name(a.data_type, a.member).to_owned();
         let seconds: Vec<&Access> = db
             .accesses
@@ -473,7 +475,7 @@ mod tests {
 
     #[test]
     fn observation_groups_and_names() {
-        let db = import(&build_trace(), &config());
+        let db = import(&build_trace(), &config(), 1);
         let groups = db.observation_groups();
         assert_eq!(groups.len(), 1);
         assert_eq!(db.group_name(groups[0]), "clock");
@@ -482,7 +484,7 @@ mod tests {
 
     #[test]
     fn stacks_are_deduplicated() {
-        let db = import(&build_trace(), &config());
+        let db = import(&build_trace(), &config(), 1);
         // All imported accesses happen inside clock_tick.
         assert_eq!(db.stacks.len(), 1);
         assert_eq!(db.format_stack(StackId(0)), "clock_tick");
@@ -490,7 +492,7 @@ mod tests {
 
     #[test]
     fn csv_export_emits_all_tables() {
-        let db = import(&build_trace(), &config());
+        let db = import(&build_trace(), &config(), 1);
         let tables = db.export_csv_tables();
         let names: Vec<&str> = tables.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["allocations", "locks", "txns", "accesses"]);
@@ -554,7 +556,7 @@ mod tests {
                 loc: SourceLoc::new(file, 3),
             },
         );
-        let db = import(&tr, &config());
+        let db = import(&tr, &config(), 1);
         let irq_access = db
             .accesses
             .iter()
@@ -589,7 +591,7 @@ mod tests {
                 loc: SourceLoc::new(file, 1),
             },
         );
-        let db = import(&tr, &FilterConfig::with_defaults());
+        let db = import(&tr, &FilterConfig::with_defaults(), 1);
         assert_eq!(db.stats.unmatched_releases, 1);
     }
 
@@ -669,7 +671,7 @@ mod tests {
             },
         );
         tr.push(8, Event::LockRelease { addr: 0x10, loc });
-        let db = import(&tr, &FilterConfig::with_defaults());
+        let db = import(&tr, &FilterConfig::with_defaults(), 1);
         // One txn spanning both accesses: the nested rcu_read_lock does not
         // change the held set.
         assert_eq!(db.txns.len(), 1);
@@ -677,5 +679,96 @@ mod tests {
         assert_eq!(db.accesses.len(), 2);
         assert!(db.accesses.iter().all(|a| a.txn == Some(TxnId(0))));
         assert_eq!(db.stats.unmatched_releases, 0);
+    }
+
+    #[test]
+    fn parallel_import_is_byte_identical_to_serial() {
+        let tr = build_trace();
+        let serial = import(&tr, &config(), 1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(import(&tr, &config(), jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_import_handles_multi_flow_traces() {
+        // The irq-flow trace from `irq_context_gets_its_own_flow` plus a
+        // free/realloc at a reused address, exercising the event-index
+        // liveness windows of the parallel resolver.
+        let mut tr = build_trace();
+        let file = tr.meta.strings.intern("irq.c");
+        let dt = DataTypeId(0);
+        let base = tr.events.last().unwrap().ts;
+        tr.push(
+            base + 1,
+            Event::Alloc {
+                id: AllocId(2),
+                addr: 0x1000, // same address as the freed AllocId(1)
+                size: 24,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        tr.push(
+            base + 2,
+            Event::ContextEnter {
+                kind: ContextKind::Softirq,
+            },
+        );
+        tr.push(
+            base + 3,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1000,
+                size: 4,
+                loc: SourceLoc::new(file, 2),
+                atomic: false,
+            },
+        );
+        tr.push(
+            base + 4,
+            Event::ContextExit {
+                kind: ContextKind::Softirq,
+            },
+        );
+        tr.push(base + 5, Event::Free { id: AllocId(2) });
+        // Access after the free: unresolved in both importers.
+        tr.push(
+            base + 6,
+            Event::MemAccess {
+                kind: AccessKind::Read,
+                addr: 0x1000,
+                size: 4,
+                loc: SourceLoc::new(file, 3),
+                atomic: false,
+            },
+        );
+        let serial = import(&tr, &config(), 1);
+        assert!(serial.stats.unresolved >= 1);
+        assert!(serial.accesses.iter().any(|a| a.flow == FlowKey::Irq(0)));
+        for jobs in [2, 3, 8] {
+            assert_eq!(import(&tr, &config(), jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn csv_export_format_is_stable() {
+        // Pins the row format so the fmt::Write fast path stays
+        // byte-compatible with the original format!-based exporter.
+        let db = import(&build_trace(), &config(), 1);
+        let tables = db.export_csv_tables();
+        let alloc_rows: Vec<&str> = tables[0].1.lines().collect();
+        assert_eq!(
+            alloc_rows[0],
+            "id,addr,size,data_type,subclass,alloc_ts,free_ts"
+        );
+        assert_eq!(alloc_rows[1], "1,0x1000,24,clock,,4,19");
+        let lock_rows: Vec<&str> = tables[1].1.lines().collect();
+        assert_eq!(lock_rows[1], "0,0x100,sec_lock,spinlock_t,true,,");
+        let txn_rows: Vec<&str> = tables[2].1.lines().collect();
+        assert_eq!(txn_rows[1], "0,Task(TaskId(0)),10,11,sec_lock");
+        assert_eq!(txn_rows[2], "1,Task(TaskId(0)),12,13,sec_lock|min_lock");
+        let acc_rows: Vec<&str> = tables[3].1.lines().collect();
+        assert_eq!(acc_rows[1], "0,10,w,1,clock,,seconds,4,clock.c:11,0,0");
     }
 }

@@ -13,7 +13,7 @@
 //! use lockdoc_trace::db::import;
 //!
 //! let trace = Trace::new();
-//! let db = import(&trace, &FilterConfig::with_defaults());
+//! let db = import(&trace, &FilterConfig::with_defaults(), 1);
 //! assert!(db.accesses.is_empty());
 //! ```
 
@@ -26,6 +26,7 @@ pub mod event;
 pub mod filter;
 pub mod ids;
 pub mod jsonio;
+pub mod merge;
 
 pub use db::{import, TraceDb};
 pub use event::{Event, Trace, TraceEvent};

@@ -1,0 +1,353 @@
+//! Concatenation of independently recorded traces into one well-formed
+//! trace, used by the sharded ksim workload runner: every shard records on
+//! its own `Machine`, and the shards' traces are stitched together here.
+//!
+//! Each part keeps its events in order but gets
+//! - its metadata unioned into the merged trace (strings by value, data
+//!   types / functions / tasks by name),
+//! - its timestamps rebased so simulated time keeps increasing across the
+//!   shard boundary,
+//! - its allocation ids densely renumbered so ids stay unique and strictly
+//!   increasing across parts (keeping `TraceDb::allocation`'s binary
+//!   search valid).
+//!
+//! Addresses are **not** rewritten: the caller must hand in parts with
+//! disjoint address ranges (ksim derives a per-shard address base from the
+//! shard index), and [`concat_traces`] rejects overlapping parts — an
+//! allocation from one shard still live at its trace's end would otherwise
+//! swallow or invalidate same-address allocations of later shards.
+
+use crate::event::{DataTypeDef, Event, SourceLoc, Trace};
+use crate::ids::{Addr, AllocId, DataTypeId, FnId, Sym, TaskId};
+use std::collections::HashMap;
+
+/// Sentinel for ids that were already dangling in a source part; they must
+/// stay dangling in the merged trace (the importer counts them as invalid
+/// events) instead of aliasing a real entry of the merged metadata.
+const INVALID: u32 = u32::MAX;
+
+/// The address range `[min, max)` touched by one part's events.
+#[derive(Clone, Copy)]
+struct AddrRange {
+    min: Addr,
+    max: Addr,
+}
+
+impl AddrRange {
+    fn overlaps(&self, other: &AddrRange) -> bool {
+        self.min < other.max && other.min < self.max
+    }
+}
+
+fn addr_range(part: &Trace) -> Option<AddrRange> {
+    let mut range: Option<AddrRange> = None;
+    let mut extend = |lo: Addr, hi: Addr| {
+        let r = range.get_or_insert(AddrRange { min: lo, max: hi });
+        r.min = r.min.min(lo);
+        r.max = r.max.max(hi);
+    };
+    for te in &part.events {
+        match &te.event {
+            Event::Alloc { addr, size, .. } => extend(*addr, addr.saturating_add(u64::from(*size))),
+            Event::LockInit { addr, .. }
+            | Event::LockAcquire { addr, .. }
+            | Event::LockRelease { addr, .. }
+            | Event::MemAccess { addr, .. } => extend(*addr, addr.saturating_add(1)),
+            _ => {}
+        }
+    }
+    range
+}
+
+/// Concatenates `parts` into one trace (see the module docs for the
+/// remapping rules). Parts must occupy pairwise disjoint address ranges;
+/// overlapping parts are rejected with a descriptive error.
+pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, String> {
+    // Reject address collisions up front: they would silently corrupt
+    // allocation resolution after the merge.
+    let ranges: Vec<Option<AddrRange>> = parts.iter().map(addr_range).collect();
+    for i in 0..ranges.len() {
+        for j in i + 1..ranges.len() {
+            if let (Some(a), Some(b)) = (&ranges[i], &ranges[j]) {
+                if a.overlaps(b) {
+                    return Err(format!(
+                        "traces {i} and {j} overlap in address space \
+                         ([{:#x}, {:#x}) vs [{:#x}, {:#x})); record shards \
+                         with disjoint address bases",
+                        a.min, a.max, b.min, b.max
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut out = Trace::new();
+    let mut ts_base = 0u64;
+    let mut next_alloc = 1u64;
+
+    for part in parts {
+        // --- Metadata union -------------------------------------------------
+        let sym_map: Vec<Sym> = part
+            .meta
+            .strings
+            .strings()
+            .iter()
+            .map(|s| out.meta.strings.intern(s))
+            .collect();
+        let mut dt_map: Vec<DataTypeId> = Vec::with_capacity(part.meta.data_types.len());
+        for dt in &part.meta.data_types {
+            match out.meta.data_type_named(&dt.name) {
+                Some(existing) => {
+                    let have: &DataTypeDef = &out.meta.data_types[existing.index()];
+                    if have != dt {
+                        return Err(format!(
+                            "conflicting layouts for data type `{}` across traces",
+                            dt.name
+                        ));
+                    }
+                    dt_map.push(existing);
+                }
+                None => dt_map.push(out.meta.add_data_type(dt.clone())),
+            }
+        }
+        let fn_map: Vec<FnId> = part
+            .meta
+            .functions
+            .iter()
+            .map(|name| {
+                out.meta
+                    .functions
+                    .iter()
+                    .position(|f| f == name)
+                    .map(|i| FnId(i as u32))
+                    .unwrap_or_else(|| out.meta.add_function(name))
+            })
+            .collect();
+        let task_map: Vec<TaskId> = part
+            .meta
+            .tasks
+            .iter()
+            .map(|name| {
+                out.meta
+                    .tasks
+                    .iter()
+                    .position(|t| t == name)
+                    .map(|i| TaskId(i as u32))
+                    .unwrap_or_else(|| out.meta.add_task(name))
+            })
+            .collect();
+
+        let map_sym = |s: Sym| sym_map.get(s.index()).copied().unwrap_or(Sym(INVALID));
+        let map_dt = |d: DataTypeId| {
+            dt_map
+                .get(d.index())
+                .copied()
+                .unwrap_or(DataTypeId(INVALID))
+        };
+        let map_fn = |f: FnId| fn_map.get(f.index()).copied().unwrap_or(FnId(INVALID));
+        let map_task = |t: TaskId| task_map.get(t.index()).copied().unwrap_or(TaskId(INVALID));
+        let map_loc = |l: SourceLoc| SourceLoc::new(map_sym(l.file), l.line);
+
+        // --- Event stream ---------------------------------------------------
+        // Alloc ids are renumbered densely in first-appearance order; a
+        // `Free` of a never-allocated id also claims a fresh id, keeping it
+        // dangling in the merged trace as well.
+        let mut alloc_map: HashMap<AllocId, AllocId> = HashMap::new();
+        let mut map_alloc = |id: AllocId| {
+            *alloc_map.entry(id).or_insert_with(|| {
+                let fresh = AllocId(next_alloc);
+                next_alloc += 1;
+                fresh
+            })
+        };
+        let part_last_ts = part.events.last().map(|e| e.ts).unwrap_or(0);
+        for te in part.events {
+            let ev = match te.event {
+                Event::LockInit {
+                    addr,
+                    name,
+                    flavor,
+                    is_static,
+                } => Event::LockInit {
+                    addr,
+                    name: map_sym(name),
+                    flavor,
+                    is_static,
+                },
+                Event::Alloc {
+                    id,
+                    addr,
+                    size,
+                    data_type,
+                    subclass,
+                } => Event::Alloc {
+                    id: map_alloc(id),
+                    addr,
+                    size,
+                    data_type: map_dt(data_type),
+                    subclass: subclass.map(map_sym),
+                },
+                Event::Free { id } => Event::Free { id: map_alloc(id) },
+                Event::LockAcquire { addr, mode, loc } => Event::LockAcquire {
+                    addr,
+                    mode,
+                    loc: map_loc(loc),
+                },
+                Event::LockRelease { addr, loc } => Event::LockRelease {
+                    addr,
+                    loc: map_loc(loc),
+                },
+                Event::MemAccess {
+                    kind,
+                    addr,
+                    size,
+                    loc,
+                    atomic,
+                } => Event::MemAccess {
+                    kind,
+                    addr,
+                    size,
+                    loc: map_loc(loc),
+                    atomic,
+                },
+                Event::FnEnter { func } => Event::FnEnter { func: map_fn(func) },
+                Event::FnExit { func } => Event::FnExit { func: map_fn(func) },
+                Event::TaskSwitch { task } => Event::TaskSwitch {
+                    task: map_task(task),
+                },
+                Event::ContextEnter { kind } => Event::ContextEnter { kind },
+                Event::ContextExit { kind } => Event::ContextExit { kind },
+            };
+            out.push(ts_base + te.ts, ev);
+        }
+        ts_base += part_last_ts;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::import;
+    use crate::event::{AccessKind, LockFlavor, MemberDef};
+    use crate::filter::FilterConfig;
+
+    fn toy_type() -> DataTypeDef {
+        DataTypeDef {
+            name: "obj".into(),
+            size: 8,
+            members: vec![MemberDef {
+                name: "val".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        }
+    }
+
+    fn part(base_addr: Addr, task: &str) -> Trace {
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("obj.c");
+        let dt = tr.meta.add_data_type(toy_type());
+        let t = tr.meta.add_task(task);
+        let f = tr.meta.add_function("touch");
+        tr.push(1, Event::TaskSwitch { task: t });
+        tr.push(
+            2,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: base_addr,
+                size: 8,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        tr.push(3, Event::FnEnter { func: f });
+        tr.push(
+            4,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: base_addr,
+                size: 8,
+                loc: SourceLoc::new(file, 1),
+                atomic: false,
+            },
+        );
+        tr.push(5, Event::FnExit { func: f });
+        tr.push(6, Event::Free { id: AllocId(1) });
+        tr
+    }
+
+    #[test]
+    fn concat_rebases_timestamps_and_alloc_ids() {
+        let merged = concat_traces(vec![part(0x1000, "a"), part(0x2000, "b")]).unwrap();
+        assert_eq!(merged.events.len(), 12);
+        // Timestamps keep increasing across the boundary.
+        let ts: Vec<u64> = merged.events.iter().map(|e| e.ts).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ts[6], 6 + 1);
+        // Both allocations survive with distinct dense ids.
+        let ids: Vec<AllocId> = merged
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::Alloc { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![AllocId(1), AllocId(2)]);
+        // Shared metadata is unioned by name, per-part tasks are kept.
+        assert_eq!(merged.meta.data_types.len(), 1);
+        assert_eq!(merged.meta.functions, vec!["touch".to_owned()]);
+        assert_eq!(merged.meta.tasks, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn concat_output_imports_cleanly() {
+        let merged = concat_traces(vec![part(0x1000, "a"), part(0x2000, "b")]).unwrap();
+        let db = import(&merged, &FilterConfig::with_defaults(), 1);
+        assert_eq!(db.stats.invalid_events, 0);
+        assert_eq!(db.allocations.len(), 2);
+        assert_eq!(db.accesses.len(), 2);
+        assert_eq!(db.stats.unresolved, 0);
+    }
+
+    #[test]
+    fn concat_rejects_overlapping_address_ranges() {
+        let err = concat_traces(vec![part(0x1000, "a"), part(0x1004, "b")]).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn concat_rejects_conflicting_type_layouts() {
+        let a = part(0x1000, "a");
+        let mut b = part(0x2000, "b");
+        b.meta.data_types[0].size = 16;
+        let err = concat_traces(vec![a, b]).unwrap_err();
+        assert!(err.contains("conflicting layouts"), "{err}");
+    }
+
+    #[test]
+    fn concat_keeps_dangling_ids_dangling() {
+        let mut tr = Trace::new();
+        tr.meta.add_task("t");
+        tr.push(1, Event::Free { id: AllocId(77) });
+        tr.push(
+            2,
+            Event::LockInit {
+                addr: 0x10,
+                name: Sym(99), // dangling symbol
+                flavor: LockFlavor::Mutex,
+                is_static: true,
+            },
+        );
+        let merged = concat_traces(vec![tr]).unwrap();
+        let db = import(&merged, &FilterConfig::with_defaults(), 1);
+        // The dangling LockInit stays invalid; the unknown free is counted
+        // but registers nothing.
+        assert_eq!(db.stats.invalid_events, 1);
+        assert_eq!(db.stats.frees, 1);
+        assert_eq!(db.allocations.len(), 0);
+    }
+}

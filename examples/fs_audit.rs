@@ -23,7 +23,7 @@ fn main() {
     machine.run_mix(15_000);
     let oracle = machine.k.fault_log.clone();
     let trace = machine.finish();
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), 1);
 
     // Documentation audit (Sec. 7.3).
     let documented = parse_rules(rules::documented_rules()).unwrap();

@@ -28,7 +28,7 @@ fn main() {
     );
 
     // Post-processing: import into the relational store (Sec. 5.3).
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), 1);
     println!(
         "store: {} accesses after filtering ({} filtered), {} txns, {} locks",
         db.stats.accesses_imported,

@@ -18,7 +18,7 @@ fn main() {
     let mut machine = Machine::boot(SimConfig::with_seed(0x5EEB));
     machine.run_mix(8_000);
     let trace = machine.finish();
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), 1);
 
     println!("fraction of \"no lock\" winners per type (write rules):\n");
     print!("{:20}", "t_ac");

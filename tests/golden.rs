@@ -12,6 +12,7 @@
 //! code change.
 
 use ksim::config::SimConfig;
+use ksim::parallel::run_mix_sharded;
 use ksim::rules;
 use ksim::subsys::Machine;
 use lockdoc_core::derive::{derive_par, DeriveConfig};
@@ -24,19 +25,20 @@ use std::path::PathBuf;
 const GOLDEN_SEED: u64 = 0x601d_5eed;
 const GOLDEN_OPS: u64 = 2_000;
 
-/// Runs the full pipeline once with the given derivation worker count:
-/// returns the encoded trace bytes and the generated documentation
-/// artifact.
-fn run_pipeline_jobs(jobs: usize) -> (Vec<u8>, String) {
+/// Runs the full pipeline once — sharded ksim generation, trace encode,
+/// import, derivation, documentation — with every phase on `jobs`
+/// workers: returns the encoded trace bytes and the generated
+/// documentation artifact. `shards` is part of the trace content (see
+/// `ksim::parallel`); `jobs` must never change a byte of either output.
+fn run_pipeline_sharded(shards: u64, jobs: usize) -> (Vec<u8>, String) {
     let cfg = SimConfig::with_seed(GOLDEN_SEED).with_faults(rules::default_fault_plan());
-    let mut machine = Machine::boot(cfg);
-    machine.run_mix(GOLDEN_OPS);
-    let trace = machine.finish();
+    let run = run_mix_sharded(&cfg, None, GOLDEN_OPS, shards, jobs).expect("generation succeeds");
+    let trace = run.trace;
 
     let mut encoded = Vec::new();
     write_trace(&trace, &mut encoded).expect("encode");
 
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), jobs);
     let mined = derive_par(&db, &DeriveConfig::default(), jobs);
 
     let mut doc = String::new();
@@ -53,6 +55,10 @@ fn run_pipeline_jobs(jobs: usize) -> (Vec<u8>, String) {
         doc.push('\n');
     }
     (encoded, doc)
+}
+
+fn run_pipeline_jobs(jobs: usize) -> (Vec<u8>, String) {
+    run_pipeline_sharded(1, jobs)
 }
 
 fn run_pipeline() -> (Vec<u8>, String) {
@@ -98,17 +104,44 @@ fn identical_seeds_yield_byte_identical_pipeline() {
     assert_eq!(doc_a, doc_b, "derived documentation differs between runs");
 }
 
-/// Determinism contract of the sharded derivator: the generated
-/// documentation is byte-identical whether derivation runs serially or
-/// across a thread pool. The golden file therefore pins the output of
-/// every worker count at once.
+/// Determinism contract of the parallel pipeline: the encoded trace and
+/// the generated documentation are byte-identical whether generation,
+/// import, and derivation run serially or across a thread pool. The
+/// golden file therefore pins the output of every worker count at once.
 #[test]
 fn parallel_derivation_is_byte_identical_to_serial() {
-    let (_, doc_serial) = run_pipeline_jobs(1);
-    let (_, doc_par) = run_pipeline_jobs(4);
+    let (trace_serial, doc_serial) = run_pipeline_jobs(1);
+    let (trace_par, doc_par) = run_pipeline_jobs(4);
+    assert_eq!(
+        trace_serial, trace_par,
+        "trace generated at jobs=4 drifted from the serial output"
+    );
     assert_eq!(
         doc_serial, doc_par,
         "documentation derived at jobs=4 drifted from the serial output"
+    );
+}
+
+/// Same contract with multi-shard generation in the loop: a 4-shard
+/// workload run through the full pipeline at jobs=1 and jobs=4 produces
+/// byte-identical traces and final documentation — and genuinely
+/// different content than the unsharded run (sharding is not a no-op).
+#[test]
+fn sharded_pipeline_is_jobs_invariant_end_to_end() {
+    let (trace_serial, doc_serial) = run_pipeline_sharded(4, 1);
+    let (trace_par, doc_par) = run_pipeline_sharded(4, 4);
+    assert_eq!(
+        trace_serial, trace_par,
+        "4-shard trace differs between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        doc_serial, doc_par,
+        "4-shard documentation differs between jobs=1 and jobs=4"
+    );
+    let (unsharded, _) = run_pipeline_jobs(1);
+    assert_ne!(
+        trace_serial, unsharded,
+        "shard count must be part of the trace content"
     );
 }
 

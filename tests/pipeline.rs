@@ -25,7 +25,7 @@ fn run_pipeline(ops: u64, seed: u64, faults: bool) -> TraceDb {
     let mut buf = Vec::new();
     write_trace(&trace, &mut buf).expect("encode");
     let trace = read_trace(&mut buf.as_slice()).expect("decode");
-    import(&trace, &rules::filter_config())
+    import(&trace, &rules::filter_config(), 1)
 }
 
 /// Ground-truth oracle: on a clean (fault-free) run, the derivator must
@@ -181,7 +181,7 @@ fn fault_oracle_recall() {
     machine.run_mix(12_000);
     let injected = machine.k.fault_log.count("inode_set_flags_lockless") as u64;
     let trace = machine.finish();
-    let db = import(&trace, &rules::filter_config());
+    let db = import(&trace, &rules::filter_config(), 1);
     let mined = derive(&db, &DeriveConfig::default());
     let violations = find_violations(&db, &mined, 1000);
     let iflags_events: u64 = violations

@@ -207,7 +207,7 @@ fn txn_reconstruction_matches_reference() {
         ops_gen(120),
         |ops| {
             let (trace, expected) = build_trace(ops);
-            let db = import(&trace, &FilterConfig::with_defaults());
+            let db = import(&trace, &FilterConfig::with_defaults(), 1);
             prop_assert_eq!(db.accesses.len(), expected.len());
             for (access, (m, w, held)) in db.accesses.iter().zip(&expected) {
                 prop_assert_eq!(access.member, u32::from(*m));
@@ -342,7 +342,7 @@ fn derive_is_jobs_invariant() {
     };
     prop::check_with(&cfg, "derive_is_jobs_invariant", ops_gen(200), |ops| {
         let (trace, _) = build_trace(ops);
-        let db = import(&trace, &FilterConfig::with_defaults());
+        let db = import(&trace, &FilterConfig::with_defaults(), 1);
         let dcfg = DeriveConfig::default();
         let serial = derive_par(&db, &dcfg, 1);
         for jobs in [2usize, 3, 5, 8] {
@@ -355,6 +355,228 @@ fn derive_is_jobs_invariant() {
         }
         Ok(())
     });
+}
+
+/// One step of the multi-flow trace generator behind
+/// [`import_is_jobs_invariant`]: unlike [`Op`] it exercises task
+/// switches, interrupt contexts, allocation churn (including adversarial
+/// double frees and overlapping allocs), function frames, and lock ops on
+/// both static and unknown addresses — every partitioning decision the
+/// parallel importer makes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlowOp {
+    Switch(u8),
+    IrqEnter(bool), // true = hardirq
+    IrqExit(bool),
+    Lock(u8),
+    Unlock(u8),
+    Alloc(u8),            // slot 0..3
+    Free(u8),             // slot (may double-free)
+    Access(u8, u8, bool), // slot, member 0..1, is_write
+    FnEnter(u8),
+    FnExit(u8),
+}
+
+impl Shrink for FlowOp {}
+
+fn flow_op_gen(rng: &mut Rng) -> FlowOp {
+    match rng.gen_range(0u8..10) {
+        0 => FlowOp::Switch(rng.gen_range(0u8..3)),
+        1 => FlowOp::IrqEnter(rng.gen_bool(0.5)),
+        2 => FlowOp::IrqExit(rng.gen_bool(0.5)),
+        3 => FlowOp::Lock(rng.gen_range(0u8..2)),
+        4 => FlowOp::Unlock(rng.gen_range(0u8..2)),
+        5 => FlowOp::Alloc(rng.gen_range(0u8..3)),
+        6 => FlowOp::Free(rng.gen_range(0u8..3)),
+        7 => FlowOp::FnEnter(rng.gen_range(0u8..3)),
+        8 => FlowOp::FnExit(rng.gen_range(0u8..3)),
+        _ => FlowOp::Access(
+            rng.gen_range(0u8..3),
+            rng.gen_range(0u8..2),
+            rng.gen_bool(0.5),
+        ),
+    }
+}
+
+/// Builds a trace from flow ops *without* sanitizing: the importer must
+/// treat malformed input (double frees, unbalanced contexts, unknown-lock
+/// releases) identically on the serial and parallel paths.
+fn build_multiflow_trace(ops: &[FlowOp]) -> Trace {
+    use lockdoc_trace::event::ContextKind;
+    let mut tr = Trace::new();
+    let file = tr.meta.strings.intern("flow.c");
+    let lname = tr.meta.strings.intern("lk");
+    let dt = tr.meta.add_data_type(DataTypeDef {
+        name: "obj".into(),
+        size: 16,
+        members: vec![
+            MemberDef {
+                name: "m0".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            },
+            MemberDef {
+                name: "m1".into(),
+                offset: 8,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            },
+        ],
+    });
+    for t in 0..3 {
+        tr.meta.add_task(&format!("t{t}"));
+    }
+    for f in 0..3 {
+        tr.meta.add_function(&format!("f{f}"));
+    }
+    let loc = SourceLoc::new(file, 7);
+    let mut ts = 0u64;
+    let mut push = |tr: &mut Trace, e: Event| {
+        ts += 1;
+        tr.push(ts, e);
+    };
+    push(&mut tr, Event::TaskSwitch { task: TaskId(0) });
+    for l in 0..2u64 {
+        push(
+            &mut tr,
+            Event::LockInit {
+                addr: 0x100 + 0x100 * l,
+                name: lname,
+                flavor: LockFlavor::Spinlock,
+                is_static: true,
+            },
+        );
+    }
+    let mut next_alloc = 1u64;
+    for op in ops {
+        let ctx = |h: bool| {
+            if h {
+                ContextKind::Hardirq
+            } else {
+                ContextKind::Softirq
+            }
+        };
+        let e = match *op {
+            FlowOp::Switch(t) => Event::TaskSwitch {
+                task: TaskId(u32::from(t)),
+            },
+            FlowOp::IrqEnter(h) => Event::ContextEnter { kind: ctx(h) },
+            FlowOp::IrqExit(h) => Event::ContextExit { kind: ctx(h) },
+            FlowOp::Lock(l) => Event::LockAcquire {
+                addr: 0x100 + 0x100 * u64::from(l),
+                mode: AcquireMode::Exclusive,
+                loc,
+            },
+            FlowOp::Unlock(l) => Event::LockRelease {
+                addr: 0x100 + 0x100 * u64::from(l),
+                loc,
+            },
+            FlowOp::Alloc(s) => {
+                let id = AllocId(next_alloc);
+                next_alloc += 1;
+                Event::Alloc {
+                    id,
+                    addr: 0x1000 + 0x100 * u64::from(s),
+                    size: 16,
+                    data_type: dt,
+                    subclass: None,
+                }
+            }
+            // Adversarial: frees by the *first* id that targeted the slot;
+            // repeat frees of the same slot become double frees.
+            FlowOp::Free(s) => Event::Free {
+                id: AllocId(u64::from(s) + 1),
+            },
+            FlowOp::Access(s, m, w) => Event::MemAccess {
+                kind: if w {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                addr: 0x1000 + 0x100 * u64::from(s) + 8 * u64::from(m),
+                size: 8,
+                loc,
+                atomic: false,
+            },
+            FlowOp::FnEnter(f) => Event::FnEnter {
+                func: lockdoc_trace::ids::FnId(u32::from(f)),
+            },
+            FlowOp::FnExit(f) => Event::FnExit {
+                func: lockdoc_trace::ids::FnId(u32::from(f)),
+            },
+        };
+        push(&mut tr, e);
+    }
+    tr
+}
+
+/// The flow-partitioned parallel importer is output-invariant in the
+/// worker count: for arbitrary (including malformed) multi-flow traces,
+/// `import` at jobs ∈ {2, 3, 5, 8} equals the serial jobs=1 database —
+/// accesses, txns, stacks, allocations, locks, and statistics alike.
+#[test]
+fn import_is_jobs_invariant() {
+    let cfg = prop::Config {
+        cases: 40,
+        ..prop::Config::from_env()
+    };
+    let gen = |rng: &mut Rng| vec_of(rng, 0..250, flow_op_gen);
+    prop::check_with(&cfg, "import_is_jobs_invariant", gen, |ops| {
+        let trace = build_multiflow_trace(ops);
+        let serial = import(&trace, &FilterConfig::with_defaults(), 1);
+        for jobs in [2usize, 3, 5, 8] {
+            prop_assert_eq!(
+                &serial,
+                &import(&trace, &FilterConfig::with_defaults(), jobs),
+                "import output differs at jobs = {}",
+                jobs
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Sharded workload generation is reproducible and jobs-invariant: the
+/// same (seed, shards) pair yields a byte-identical trace and fault
+/// oracle at any worker count (fewer cases — each runs the simulator
+/// three times).
+#[test]
+fn run_mix_is_seed_jobs_reproducible() {
+    let cfg = prop::Config {
+        cases: 8,
+        ..prop::Config::from_env()
+    };
+    let gen = |rng: &mut Rng| {
+        (
+            rng.gen_range(0u64..1 << 48),
+            rng.gen_range(1u64..5), // shards
+        )
+    };
+    prop::check_with(
+        &cfg,
+        "run_mix_is_seed_jobs_reproducible",
+        gen,
+        |&(seed, shards)| {
+            let scfg = ksim::config::SimConfig::with_seed(seed);
+            let a = ksim::parallel::run_mix_sharded(&scfg, None, 60, shards, 1)
+                .map_err(|e| format!("generation failed: {e}"))?;
+            for jobs in [2usize, 4] {
+                let b = ksim::parallel::run_mix_sharded(&scfg, None, 60, shards, jobs)
+                    .map_err(|e| format!("generation failed: {e}"))?;
+                prop_assert_eq!(&a.trace, &b.trace, "trace differs at jobs = {}", jobs);
+                prop_assert_eq!(
+                    &a.fault_log.injected,
+                    &b.fault_log.injected,
+                    "fault oracle differs at jobs = {}",
+                    jobs
+                );
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Rule notation: display then parse is the identity.
@@ -412,7 +634,7 @@ fn rulespec_round_trips() {
 fn matrix_wor_partitions_units() {
     prop::check("matrix_wor_partitions_units", ops_gen(150), |ops| {
         let (trace, expected) = build_trace(ops);
-        let db = import(&trace, &FilterConfig::with_defaults());
+        let db = import(&trace, &FilterConfig::with_defaults(), 1);
         let group = match db.observation_groups().first() {
             Some(&g) => g,
             None => return Ok(()), // no accesses generated
@@ -454,7 +676,7 @@ fn matrix_wor_partitions_units() {
 fn order_graph_invariants() {
     prop::check("order_graph_invariants", ops_gen(150), |ops| {
         let (trace, _) = build_trace(ops);
-        let db = import(&trace, &FilterConfig::with_defaults());
+        let db = import(&trace, &FilterConfig::with_defaults(), 1);
         let graph = OrderGraph::build(&db);
         // An edge requires at least one txn with >= 2 locks.
         let multi = db.txns.iter().filter(|t| t.locks.len() >= 2).count();

@@ -42,7 +42,7 @@ fn bitflip_property(pos_frac: f64, value: u8) -> Result<(), String> {
         Ok(decoded) => {
             // A lucky corruption may still decode; the result must at
             // least be structurally importable.
-            let _ = import(&decoded, &FilterConfig::with_defaults());
+            let _ = import(&decoded, &FilterConfig::with_defaults(), 1);
         }
         Err(
             CodecError::Io(_)
@@ -133,7 +133,7 @@ fn importer_tolerates_anomalous_streams() {
     );
     // Free of an unknown allocation id is the only fatal condition we
     // accept from the tracer side, so don't emit it here.
-    let db = import(&tr, &FilterConfig::with_defaults());
+    let db = import(&tr, &FilterConfig::with_defaults(), 1);
     assert_eq!(db.stats.unmatched_releases, 1);
     assert_eq!(db.stats.unknown_lock_acquires, 1);
     assert_eq!(db.stats.unresolved, 1);
@@ -170,7 +170,7 @@ fn cross_task_release_is_unmatched() {
     );
     tr.push(4, Event::TaskSwitch { task: TaskId(1) });
     tr.push(5, Event::LockRelease { addr: 0x10, loc });
-    let db = import(&tr, &FilterConfig::with_defaults());
+    let db = import(&tr, &FilterConfig::with_defaults(), 1);
     assert_eq!(db.stats.unmatched_releases, 1);
 }
 
@@ -213,7 +213,7 @@ fn unfreed_allocations_remain_resolvable() {
             atomic: false,
         },
     );
-    let db = import(&tr, &FilterConfig::with_defaults());
+    let db = import(&tr, &FilterConfig::with_defaults(), 1);
     assert_eq!(db.accesses.len(), 1);
     let alloc = db.allocation(AllocId(7)).expect("alloc recorded");
     assert_eq!(alloc.free_ts, None);
