@@ -25,9 +25,12 @@ use lockdoc_core::derive::{derive_par, DeriveConfig};
 use lockdoc_core::docgen::{generate_doc, generate_rulespec};
 use lockdoc_core::rulespec::parse_rules;
 use lockdoc_core::violation::find_violations_par;
+use lockdoc_platform::json::{Json, ToJson};
 use lockdoc_platform::par::resolve_jobs;
-use lockdoc_trace::codec::{read_trace, write_trace};
-use lockdoc_trace::db::{import, TraceDb};
+use lockdoc_trace::codec::{read_trace, read_trace_salvage, write_trace, SalvageReport};
+use lockdoc_trace::db::{
+    import, import_resilient, ImportError, ImportReport, ResilientConfig, TraceDb,
+};
 use lockdoc_trace::event::Trace;
 use std::fs;
 use std::io;
@@ -42,6 +45,8 @@ pub enum CliError {
     Io(io::Error),
     /// Trace decoding problem.
     Codec(lockdoc_trace::codec::CodecError),
+    /// Resilient import refusal (strict corruption or exceeded budget).
+    Import(ImportError),
     /// Rule file problem.
     Rules(String),
 }
@@ -52,6 +57,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Codec(e) => write!(f, "trace error: {e}"),
+            CliError::Import(e) => write!(f, "import error: {e}"),
             CliError::Rules(m) => write!(f, "rule error: {m}"),
         }
     }
@@ -66,6 +72,12 @@ impl From<io::Error> for CliError {
 impl From<lockdoc_trace::codec::CodecError> for CliError {
     fn from(e: lockdoc_trace::codec::CodecError) -> Self {
         CliError::Codec(e)
+    }
+}
+
+impl From<ImportError> for CliError {
+    fn from(e: ImportError) -> Self {
+        CliError::Import(e)
     }
 }
 
@@ -148,6 +160,8 @@ USAGE:
   lockdoc trace      [--ops N] [--seed N] [--no-faults] [--mix SPEC]
                      [--shards N] [--jobs N] --out FILE
   lockdoc import     --trace FILE [--csv-dir DIR] [--jobs N]
+                     [--lenient | --strict] [--max-bad-frac X]
+  lockdoc doctor     TRACE [--json] [--jobs N]
   lockdoc derive     --trace FILE [--t-ac X] [--group NAME] [--jobs N] [--rulespec | --json]
   lockdoc check      --trace FILE [--rules FILE] [--jobs N] [--json]
   lockdoc doc        --trace FILE [--group NAME] [--jobs N]
@@ -161,6 +175,11 @@ analysis phases on N workers; output is byte-identical at any worker
 count. Default: available parallelism. `trace --shards N` splits the
 workload across N simulated machines (part of the trace *content*, unlike
 --jobs: the same --shards value reproduces the same trace on any machine).
+
+`import --lenient` salvages damaged containers and quarantines corrupt
+events (up to `--max-bad-frac`, default 0.05); `import --strict` refuses
+the first corrupt event with a typed diagnosis. `doctor` reports a trace's
+health (salvage + quarantine summary) without importing it for analysis.
 ";
 
 fn load_db(args: &Args) -> Result<TraceDb> {
@@ -202,10 +221,96 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
     ))
 }
 
+/// Renders the non-clean parts of a salvage report for terminal output.
+fn describe_salvage(s: &SalvageReport) -> String {
+    let mut line = format!(
+        "salvage: {} decode failure(s), {} byte(s) skipped, recovered {}/{} events",
+        s.failures, s.bytes_skipped, s.recovered_events, s.expected_events
+    );
+    if s.truncated {
+        line.push_str(", input truncated");
+    }
+    if s.trailing_bytes > 0 {
+        line.push_str(&format!(", {} trailing byte(s)", s.trailing_bytes));
+    }
+    line.push('\n');
+    for d in &s.diags {
+        line.push_str(&format!(
+            "  record {} at byte {}: {}{}\n",
+            d.event_index,
+            d.offset,
+            d.error,
+            match d.resumed_at {
+                Some(off) => format!(" (resumed at byte {off})"),
+                None => " (no resync point)".to_owned(),
+            }
+        ));
+    }
+    line
+}
+
+/// Renders the quarantine section of an import report.
+fn describe_quarantine(r: &ImportReport) -> String {
+    let mut out = format!(
+        "quarantined: {}/{} events ({:.2}%)\n",
+        r.quarantined.len(),
+        r.events,
+        r.bad_frac * 100.0
+    );
+    for (class, n) in r.counts() {
+        out.push_str(&format!("  {class}: {n}\n"));
+    }
+    for q in r.quarantined.iter().take(5) {
+        out.push_str(&format!(
+            "  event {}: {}: {}\n",
+            q.event_index, q.class, q.detail
+        ));
+    }
+    if r.quarantined.len() > 5 {
+        out.push_str(&format!("  ... {} more\n", r.quarantined.len() - 5));
+    }
+    out
+}
+
 /// `lockdoc import`.
 pub fn cmd_import(args: &Args) -> Result<String> {
-    let db = load_db(args)?;
+    let lenient = args.has("lenient");
+    let strict = args.has("strict");
+    if lenient && strict {
+        return Err(CliError::Usage(
+            "--lenient and --strict are mutually exclusive".into(),
+        ));
+    }
     let mut out = String::new();
+    let db = if lenient || strict {
+        let path = args
+            .get("trace")
+            .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
+        let bytes = fs::read(path)?;
+        let jobs = args.jobs()?;
+        let (trace, rcfg) = if strict {
+            // Strict: the container must decode perfectly before the
+            // event stream is even considered.
+            (
+                read_trace(&mut bytes.as_slice())?,
+                ResilientConfig::strict(),
+            )
+        } else {
+            let (trace, salvage) = read_trace_salvage(&bytes)?;
+            if !salvage.is_clean() {
+                out.push_str(&describe_salvage(&salvage));
+            }
+            let max_bad_frac: f64 = args.num("max-bad-frac", 0.05f64)?;
+            (trace, ResilientConfig::lenient(max_bad_frac))
+        };
+        let (db, report) = import_resilient(&trace, &rules::filter_config(), jobs, &rcfg)?;
+        if !report.is_clean() {
+            out.push_str(&describe_quarantine(&report));
+        }
+        db
+    } else {
+        load_db(args)?
+    };
     let st = &db.stats;
     out.push_str(&format!(
         "events: {}\naccesses: {} seen, {} imported, {} filtered, {} unresolved\n\
@@ -228,6 +333,69 @@ pub fn cmd_import(args: &Args) -> Result<String> {
             fs::write(&path, csv)?;
             out.push_str(&format!("wrote {}\n", path.display()));
         }
+    }
+    Ok(out)
+}
+
+/// `lockdoc doctor`: trace health report (salvage + quarantine) without
+/// running any analysis.
+pub fn cmd_doctor(args: &Args) -> Result<String> {
+    let path = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .or_else(|| args.get("trace"))
+        .ok_or_else(|| CliError::Usage("doctor needs a TRACE file".into()))?;
+    let bytes = fs::read(path)?;
+    let jobs = args.jobs()?;
+    let (trace, salvage) = match read_trace_salvage(&bytes) {
+        Ok(ok) => ok,
+        Err(e) => {
+            // The header (magic, metadata, event count) is the one part
+            // salvage cannot work around; report rather than error so
+            // `doctor` always renders a diagnosis.
+            if args.has("json") {
+                let v = Json::Obj(vec![
+                    ("verdict".to_owned(), Json::Str("unreadable".to_owned())),
+                    ("error".to_owned(), Json::Str(e.to_string())),
+                ]);
+                return Ok(v.pretty());
+            }
+            return Ok(format!("{path}: UNREADABLE — {e}\n"));
+        }
+    };
+    // Budget 1.0: doctor reports damage, it never refuses over it.
+    let (_, report) = import_resilient(
+        &trace,
+        &rules::filter_config(),
+        jobs,
+        &ResilientConfig::lenient(1.0),
+    )?;
+    let healthy = salvage.is_clean() && report.is_clean();
+    if args.has("json") {
+        let v = Json::Obj(vec![
+            (
+                "verdict".to_owned(),
+                Json::Str(if healthy { "healthy" } else { "degraded" }.to_owned()),
+            ),
+            ("salvage".to_owned(), salvage.to_json()),
+            ("import".to_owned(), report.to_json()),
+        ]);
+        return Ok(v.pretty());
+    }
+    let mut out = if healthy {
+        format!(
+            "{path}: HEALTHY — {} events, 0 quarantined\n",
+            report.events
+        )
+    } else {
+        format!("{path}: DEGRADED\n")
+    };
+    if !salvage.is_clean() {
+        out.push_str(&describe_salvage(&salvage));
+    }
+    if !report.is_clean() {
+        out.push_str(&describe_quarantine(&report));
     }
     Ok(out)
 }
@@ -450,6 +618,7 @@ pub fn run(raw: &[String]) -> Result<String> {
     match cmd.as_str() {
         "trace" => cmd_trace(&args),
         "import" => cmd_import(&args),
+        "doctor" => cmd_doctor(&args),
         "derive" => cmd_derive(&args),
         "check" => cmd_check(&args),
         "doc" => cmd_doc(&args),
@@ -613,6 +782,81 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("unknown workload"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_and_resilient_import_modes() {
+        let dir = std::env::temp_dir().join("lockdoc-doctor-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.ldoc");
+        run(&s(&[
+            "trace",
+            "--ops",
+            "300",
+            "--no-faults",
+            "--out",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // A freshly recorded trace is healthy.
+        let out = run(&s(&["doctor", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("HEALTHY"), "{out}");
+        let json = run(&s(&["doctor", p.to_str().unwrap(), "--json"])).unwrap();
+        let v = lockdoc_platform::json::parse(&json).expect("valid json");
+        assert_eq!(v.get("verdict").and_then(Json::as_str), Some("healthy"));
+        assert!(v.get("salvage").is_some() && v.get("import").is_some());
+
+        // Clip the tail: strict refuses, lenient salvages the prefix.
+        let full = fs::read(&p).unwrap();
+        let clipped = dir.join("clipped.ldoc");
+        fs::write(&clipped, &full[..full.len() - 1]).unwrap();
+        let err = run(&s(&[
+            "import",
+            "--strict",
+            "--trace",
+            clipped.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Codec(_)), "{err}");
+        let out = run(&s(&[
+            "import",
+            "--lenient",
+            "--trace",
+            clipped.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("salvage:"), "{out}");
+        assert!(out.contains("input truncated"), "{out}");
+        assert!(out.contains("txns:"), "{out}");
+        let out = run(&s(&["doctor", clipped.to_str().unwrap()])).unwrap();
+        assert!(out.contains("DEGRADED"), "{out}");
+
+        // A file that is not an LDOC1 container at all: doctor diagnoses
+        // instead of erroring.
+        let garbage = dir.join("garbage.ldoc");
+        fs::write(&garbage, b"not a trace").unwrap();
+        let out = run(&s(&["doctor", garbage.to_str().unwrap()])).unwrap();
+        assert!(out.contains("UNREADABLE"), "{out}");
+
+        // The two policies are mutually exclusive.
+        let err = run(&s(&[
+            "import",
+            "--lenient",
+            "--strict",
+            "--trace",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+        // On a clean trace the resilient paths agree with the fast path.
+        let fast = run(&s(&["import", "--trace", p.to_str().unwrap()])).unwrap();
+        let lenient = run(&s(&["import", "--lenient", "--trace", p.to_str().unwrap()])).unwrap();
+        let strict = run(&s(&["import", "--strict", "--trace", p.to_str().unwrap()])).unwrap();
+        assert_eq!(fast, lenient);
+        assert_eq!(fast, strict);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -128,7 +128,7 @@ pub fn run_mix_sharded(
         ts_base += part_last_ts;
         traces.push(trace);
     }
-    let trace = concat_traces(traces)?;
+    let trace = concat_traces(traces).map_err(|e| e.to_string())?;
 
     Ok(ShardedRun {
         trace,

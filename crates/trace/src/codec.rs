@@ -31,6 +31,19 @@ pub enum CodecError {
     BadUtf8,
     /// Malformed CSV input (unbalanced quotes or stray quote characters).
     BadCsv(String),
+    /// A trace to be encoded has a timestamp older than its predecessor;
+    /// the delta codec cannot represent time travel.
+    NonMonotonic {
+        /// Index of the offending event.
+        event_index: usize,
+        /// Its timestamp.
+        ts: u64,
+        /// The (larger) timestamp of the preceding event.
+        prev_ts: u64,
+    },
+    /// An event references a metadata id (string, type, function, task)
+    /// that the trace's own tables do not contain.
+    DanglingId(String),
 }
 
 impl fmt::Display for CodecError {
@@ -42,6 +55,15 @@ impl fmt::Display for CodecError {
             CodecError::VarintOverflow => write!(f, "varint overflow"),
             CodecError::BadUtf8 => write!(f, "invalid utf-8 in string payload"),
             CodecError::BadCsv(m) => write!(f, "malformed csv: {m}"),
+            CodecError::NonMonotonic {
+                event_index,
+                ts,
+                prev_ts,
+            } => write!(
+                f,
+                "non-monotonic timestamp at event {event_index}: {ts} after {prev_ts}"
+            ),
+            CodecError::DanglingId(what) => write!(f, "dangling id in trace: {what}"),
         }
     }
 }
@@ -57,7 +79,7 @@ impl From<io::Error> for CodecError {
 /// Result alias for codec operations.
 pub type Result<T> = std::result::Result<T, CodecError>;
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<()> {
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -177,7 +199,7 @@ fn read_loc<R: Read>(r: &mut R) -> Result<SourceLoc> {
     Ok(SourceLoc { file, line })
 }
 
-fn write_meta<W: Write>(w: &mut W, meta: &TraceMeta) -> Result<()> {
+pub(crate) fn write_meta<W: Write>(w: &mut W, meta: &TraceMeta) -> Result<()> {
     write_varint(w, meta.strings.len() as u64)?;
     for (_, s) in meta.strings.iter() {
         write_str(w, s)?;
@@ -265,7 +287,7 @@ const TAG_TASK_SWITCH: u8 = 9;
 const TAG_CTX_ENTER: u8 = 10;
 const TAG_CTX_EXIT: u8 = 11;
 
-fn write_event<W: Write>(w: &mut W, e: &Event) -> Result<()> {
+pub(crate) fn write_event<W: Write>(w: &mut W, e: &Event) -> Result<()> {
     match e {
         Event::LockInit {
             addr,
@@ -469,9 +491,16 @@ pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> Result<()> {
     write_meta(w, &trace.meta)?;
     write_varint(w, trace.events.len() as u64)?;
     let mut last_ts = 0u64;
-    for te in &trace.events {
-        // Delta-encode timestamps: traces are monotonic by construction.
-        write_varint(w, te.ts - last_ts)?;
+    for (i, te) in trace.events.iter().enumerate() {
+        // Delta-encode timestamps. Traces built through `Trace::push` are
+        // monotonic, but traces can also arrive via JSON or be assembled
+        // by hand — time travel must fail typed, not overflow the delta.
+        let delta = te.ts.checked_sub(last_ts).ok_or(CodecError::NonMonotonic {
+            event_index: i,
+            ts: te.ts,
+            prev_ts: last_ts,
+        })?;
+        write_varint(w, delta)?;
         last_ts = te.ts;
         write_event(w, &te.event)?;
     }
@@ -491,11 +520,139 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace> {
     let mut events = Vec::with_capacity(n.min(1 << 16));
     let mut ts = 0u64;
     for _ in 0..n {
-        ts += read_varint(r)?;
+        // Saturate rather than wrap: an adversarial delta must not trip
+        // the debug overflow check, and a saturated stream stays monotone.
+        ts = ts.saturating_add(read_varint(r)?);
         let event = read_event(r)?;
         events.push(TraceEvent { ts, event });
     }
     Ok(Trace { meta, events })
+}
+
+/// One decode failure encountered by [`read_trace_salvage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvageDiag {
+    /// Index the failed record would have had in the recovered stream.
+    pub event_index: u64,
+    /// Byte offset (from the start of the container) where decoding failed.
+    pub offset: u64,
+    /// The decode error, rendered.
+    pub error: String,
+    /// Byte offset where a full record decoded again, or `None` when the
+    /// rest of the input held no further decodable record.
+    pub resumed_at: Option<u64>,
+}
+
+/// Structured diagnostics produced alongside the partial trace by
+/// [`read_trace_salvage`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SalvageReport {
+    /// Event count announced by the container header.
+    pub expected_events: u64,
+    /// Events actually recovered.
+    pub recovered_events: u64,
+    /// Bytes skipped while hunting for the next decodable record.
+    pub bytes_skipped: u64,
+    /// Bytes left over after the announced event count was satisfied.
+    pub trailing_bytes: u64,
+    /// The input ended before the announced event count was reached.
+    pub truncated: bool,
+    /// Total number of decode failures (exact even when `diags` is capped).
+    pub failures: u64,
+    /// Per-failure diagnostics, capped at [`MAX_SALVAGE_DIAGS`] entries.
+    pub diags: Vec<SalvageDiag>,
+}
+
+impl SalvageReport {
+    /// True when the stream decoded with no anomalies at all — the
+    /// recovered trace is then bit-for-bit what [`read_trace`] returns.
+    pub fn is_clean(&self) -> bool {
+        self.failures == 0 && !self.truncated && self.trailing_bytes == 0
+    }
+}
+
+/// Cap on stored [`SalvageReport::diags`] entries; the `failures` counter
+/// keeps counting past the cap.
+pub const MAX_SALVAGE_DIAGS: usize = 64;
+
+/// Reads one event record (delta varint + tagged event payload).
+fn read_record(r: &mut &[u8]) -> Result<(u64, Event)> {
+    let delta = read_varint(r)?;
+    let event = read_event(r)?;
+    Ok((delta, event))
+}
+
+/// Best-effort decoder for damaged `LDOC1` containers.
+///
+/// The header (magic, metadata tables, event count) is all-or-nothing: the
+/// metadata is the symbol table every event refers to, so a trace whose
+/// header does not decode is unreadable and this returns the same error
+/// [`read_trace`] would. The event stream, however, is salvaged record by
+/// record: on a decode failure the reader scans forward byte by byte until
+/// a whole record decodes again, notes what it skipped in the
+/// [`SalvageReport`], and keeps going. On a clean input the recovered
+/// trace is exactly the [`read_trace`] result and
+/// [`SalvageReport::is_clean`] holds — salvage never perturbs good data.
+pub fn read_trace_salvage(bytes: &[u8]) -> Result<(Trace, SalvageReport)> {
+    let mut rest = bytes;
+    let mut magic = [0u8; 5];
+    rest.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let meta = read_meta(&mut rest)?;
+    let n = read_varint(&mut rest)? as usize;
+    let mut report = SalvageReport {
+        expected_events: n as u64,
+        ..SalvageReport::default()
+    };
+    let mut events: Vec<TraceEvent> = Vec::with_capacity(n.min(1 << 16));
+    let mut ts = 0u64;
+    while events.len() < n {
+        if rest.is_empty() {
+            report.truncated = true;
+            break;
+        }
+        let start = bytes.len() - rest.len();
+        let mut attempt = rest;
+        match read_record(&mut attempt) {
+            Ok((delta, event)) => {
+                ts = ts.saturating_add(delta);
+                events.push(TraceEvent { ts, event });
+                rest = attempt;
+            }
+            Err(e) => {
+                report.failures += 1;
+                // Resync: the first later offset where a complete record
+                // decodes is our best guess for the next record boundary.
+                let resumed_at =
+                    (start + 1..bytes.len()).find(|&off| read_record(&mut &bytes[off..]).is_ok());
+                if report.diags.len() < MAX_SALVAGE_DIAGS {
+                    report.diags.push(SalvageDiag {
+                        event_index: events.len() as u64,
+                        offset: start as u64,
+                        error: e.to_string(),
+                        resumed_at: resumed_at.map(|off| off as u64),
+                    });
+                }
+                match resumed_at {
+                    Some(off) => {
+                        report.bytes_skipped += (off - start) as u64;
+                        rest = &bytes[off..];
+                    }
+                    None => {
+                        report.bytes_skipped += (bytes.len() - start) as u64;
+                        report.truncated = true;
+                        rest = &[];
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    report.recovered_events = events.len() as u64;
+    report.trailing_bytes = rest.len() as u64;
+    Ok((Trace { meta, events }, report))
 }
 
 /// Escapes one CSV field per RFC 4180: fields containing a comma, a
@@ -598,10 +755,21 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
 /// per RFC 4180 ([`csv_field`]), so lock names, type names, and file
 /// paths containing commas, quotes, or newlines survive a round trip
 /// through [`parse_csv`].
-pub fn to_csv(trace: &Trace) -> String {
+///
+/// Returns [`CodecError::DanglingId`] when an event references a string,
+/// type, function, or task the trace's metadata tables do not contain —
+/// decoded traces are untrusted input and must not panic the exporter.
+pub fn to_csv(trace: &Trace) -> Result<String> {
     let mut out = String::new();
     out.push_str("ts,kind,addr,detail,loc\n");
-    let resolve = |s: Sym| trace.meta.strings.resolve(s).to_owned();
+    let resolve = |s: Sym| -> Result<String> {
+        trace
+            .meta
+            .strings
+            .try_resolve(s)
+            .map(str::to_owned)
+            .ok_or_else(|| CodecError::DanglingId(format!("string #{}", s.0)))
+    };
     for te in &trace.events {
         let (kind, addr, detail, loc) = match &te.event {
             Event::LockInit {
@@ -612,7 +780,7 @@ pub fn to_csv(trace: &Trace) -> String {
             } => (
                 "lock_init",
                 *addr,
-                format!("{}:{}:{}", resolve(*name), flavor, is_static),
+                format!("{}:{}:{}", resolve(*name)?, flavor, is_static),
                 String::new(),
             ),
             Event::Alloc {
@@ -628,8 +796,15 @@ pub fn to_csv(trace: &Trace) -> String {
                     "{}:{}:{}:{}",
                     id.0,
                     size,
-                    trace.meta.data_types[data_type.index()].name,
-                    subclass.map(resolve).unwrap_or_default()
+                    trace
+                        .meta
+                        .data_types
+                        .get(data_type.index())
+                        .map(|d| d.name.as_str())
+                        .ok_or_else(|| {
+                            CodecError::DanglingId(format!("data type #{}", data_type.0))
+                        })?,
+                    subclass.map(resolve).transpose()?.unwrap_or_default()
                 ),
                 String::new(),
             ),
@@ -638,13 +813,13 @@ pub fn to_csv(trace: &Trace) -> String {
                 "acquire",
                 *addr,
                 format!("{mode:?}"),
-                format!("{}:{}", resolve(loc.file), loc.line),
+                format!("{}:{}", resolve(loc.file)?, loc.line),
             ),
             Event::LockRelease { addr, loc } => (
                 "release",
                 *addr,
                 String::new(),
-                format!("{}:{}", resolve(loc.file), loc.line),
+                format!("{}:{}", resolve(loc.file)?, loc.line),
             ),
             Event::MemAccess {
                 kind,
@@ -656,24 +831,39 @@ pub fn to_csv(trace: &Trace) -> String {
                 "access",
                 *addr,
                 format!("{}:{}:{}", kind.tag(), size, atomic),
-                format!("{}:{}", resolve(loc.file), loc.line),
+                format!("{}:{}", resolve(loc.file)?, loc.line),
             ),
             Event::FnEnter { func } => (
                 "fn_enter",
                 0,
-                trace.meta.functions[func.index()].clone(),
+                trace
+                    .meta
+                    .functions
+                    .get(func.index())
+                    .cloned()
+                    .ok_or_else(|| CodecError::DanglingId(format!("function #{}", func.0)))?,
                 String::new(),
             ),
             Event::FnExit { func } => (
                 "fn_exit",
                 0,
-                trace.meta.functions[func.index()].clone(),
+                trace
+                    .meta
+                    .functions
+                    .get(func.index())
+                    .cloned()
+                    .ok_or_else(|| CodecError::DanglingId(format!("function #{}", func.0)))?,
                 String::new(),
             ),
             Event::TaskSwitch { task } => (
                 "task_switch",
                 0,
-                trace.meta.tasks[task.index()].clone(),
+                trace
+                    .meta
+                    .tasks
+                    .get(task.index())
+                    .cloned()
+                    .ok_or_else(|| CodecError::DanglingId(format!("task #{}", task.0)))?,
                 String::new(),
             ),
             Event::ContextEnter { kind } => ("ctx_enter", 0, kind.to_string(), String::new()),
@@ -688,7 +878,7 @@ pub fn to_csv(trace: &Trace) -> String {
             csv_field(&loc)
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -824,7 +1014,7 @@ mod tests {
     #[test]
     fn csv_dump_contains_all_rows() {
         let tr = sample_trace();
-        let csv = to_csv(&tr);
+        let csv = to_csv(&tr).unwrap();
         // Header plus one row per event.
         assert_eq!(csv.lines().count(), 1 + tr.len());
         assert!(csv.contains("acquire"));
@@ -978,7 +1168,7 @@ mod tests {
                         loc: SourceLoc::new(file, 7),
                     },
                 );
-                let csv = to_csv(&tr);
+                let csv = to_csv(&tr).map_err(|e| e.to_string())?;
                 let rows = parse_csv(&csv).map_err(|e| e.to_string())?;
                 lockdoc_platform::prop_assert_eq!(rows.len(), 1 + tr.len());
                 lockdoc_platform::prop_assert!(
@@ -993,5 +1183,202 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    /// A string length prefix claiming far more bytes than the input holds
+    /// must fail with a bounded-allocation EOF error, never an OOM. This
+    /// pins the `read_str` grow-as-bytes-arrive guard.
+    #[test]
+    fn huge_string_length_prefix_fails_without_alloc() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        // Meta: one string whose length prefix claims ~2^48 bytes.
+        write_varint(&mut buf, 1).unwrap();
+        write_varint(&mut buf, 1 << 48).unwrap();
+        buf.extend_from_slice(b"tiny");
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)), "got {err}");
+    }
+
+    /// An event-count header claiming billions of events must fail on the
+    /// missing records, never pre-allocate the claimed capacity. This pins
+    /// the `read_trace` capped `with_capacity` guard.
+    #[test]
+    fn huge_event_count_fails_without_alloc() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::new(), &mut buf).unwrap();
+        // Replace the trailing zero event count with an enormous one.
+        assert_eq!(buf.pop(), Some(0));
+        write_varint(&mut buf, u64::MAX).unwrap();
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)), "got {err}");
+    }
+
+    /// An 11-byte varint (more than 64 bits of payload) is an overflow,
+    /// not a wrap-around.
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xffu8; 11];
+        let err = read_varint(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::VarintOverflow));
+    }
+
+    /// Adversarial timestamp deltas that sum past `u64::MAX` saturate
+    /// instead of tripping the debug overflow check.
+    #[test]
+    fn adversarial_ts_deltas_saturate() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::new(), &mut buf).unwrap();
+        assert_eq!(buf.pop(), Some(0));
+        write_varint(&mut buf, 2).unwrap();
+        write_varint(&mut buf, u64::MAX).unwrap();
+        buf.push(TAG_FREE);
+        write_varint(&mut buf, 1).unwrap();
+        write_varint(&mut buf, u64::MAX).unwrap();
+        buf.push(TAG_FREE);
+        write_varint(&mut buf, 2).unwrap();
+        let tr = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(tr.events.len(), 2);
+        assert_eq!(tr.events[0].ts, u64::MAX);
+        assert_eq!(tr.events[1].ts, u64::MAX);
+    }
+
+    /// Encoding a hand-assembled trace with a timestamp regression fails
+    /// typed; the delta codec cannot represent it.
+    #[test]
+    fn write_trace_rejects_time_travel() {
+        let tr = Trace {
+            meta: TraceMeta::default(),
+            events: vec![
+                TraceEvent {
+                    ts: 5,
+                    event: Event::Free { id: AllocId(1) },
+                },
+                TraceEvent {
+                    ts: 4,
+                    event: Event::Free { id: AllocId(2) },
+                },
+            ],
+        };
+        let err = write_trace(&tr, &mut Vec::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::NonMonotonic {
+                event_index: 1,
+                ts: 4,
+                prev_ts: 5
+            }
+        ));
+    }
+
+    /// Dangling metadata ids in a decoded trace surface as typed errors
+    /// from the CSV exporter instead of index panics.
+    #[test]
+    fn to_csv_reports_dangling_ids() {
+        let tr = Trace {
+            meta: TraceMeta::default(),
+            events: vec![TraceEvent {
+                ts: 0,
+                event: Event::TaskSwitch { task: TaskId(9) },
+            }],
+        };
+        let err = to_csv(&tr).unwrap_err();
+        assert!(matches!(err, CodecError::DanglingId(_)), "got {err}");
+        assert!(err.to_string().contains("task #9"));
+    }
+
+    /// More `parse_csv` edge cases pinned: lone CR record separators,
+    /// quoted CRLF payloads, and empty-field-only records.
+    #[test]
+    fn parse_csv_edge_cases() {
+        // Lone '\r' terminates a record just like '\n'.
+        let rows = parse_csv("a,b\rc,d").unwrap();
+        assert_eq!(rows.len(), 2);
+        // A quoted field may contain CRLF verbatim.
+        let rows = parse_csv("\"a\r\nb\",c").unwrap();
+        assert_eq!(rows, vec![vec!["a\r\nb".to_owned(), "c".into()]]);
+        // Records of empty fields survive.
+        let rows = parse_csv(",,\n").unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![String::new(), String::new(), String::new()]]
+        );
+        // An empty quoted field followed by EOF.
+        let rows = parse_csv("\"\"").unwrap();
+        assert_eq!(rows, vec![vec![String::new()]]);
+        // A quote opening mid-field is rejected even at the very end.
+        assert!(parse_csv("x\"").is_err());
+    }
+
+    /// Salvage on a clean container recovers the identical trace with a
+    /// clean report — byte-identity for good data.
+    #[test]
+    fn salvage_is_identity_on_clean_input() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        let (back, report) = read_trace_salvage(&buf).unwrap();
+        assert_eq!(back, tr);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.recovered_events, tr.len() as u64);
+        // Re-encoding the salvaged trace reproduces the original bytes.
+        let mut again = Vec::new();
+        write_trace(&back, &mut again).unwrap();
+        assert_eq!(again, buf);
+    }
+
+    /// A bad tag mid-stream is skipped with a diagnostic and decoding
+    /// resumes at the next decodable record.
+    #[test]
+    fn salvage_resyncs_past_a_smashed_record() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        // Find the byte offset of each record so we can smash one exactly.
+        let mut clean = Vec::new();
+        clean.extend_from_slice(MAGIC);
+        write_meta(&mut clean, &tr.meta).unwrap();
+        write_varint(&mut clean, tr.events.len() as u64).unwrap();
+        let smash_at = clean.len() + 1; // tag byte of record 0 (delta is 1 byte)
+        buf[smash_at] = 0xff; // not a valid event tag
+        let (back, report) = read_trace_salvage(&buf).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.failures >= 1);
+        assert_eq!(report.diags[0].event_index, 0);
+        assert_eq!(report.diags[0].offset, smash_at as u64 - 1);
+        assert!(report.diags[0].error.contains("0xff"));
+        assert!(report.diags[0].resumed_at.is_some());
+        assert!(report.bytes_skipped >= 1);
+        // Later records were recovered.
+        assert!(!back.events.is_empty());
+        assert!(back.events.len() < tr.events.len() + 1);
+    }
+
+    /// Truncation mid-record keeps the intact prefix and reports the cut.
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_trace() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let (back, report) = read_trace_salvage(&buf).unwrap();
+        assert!(report.truncated);
+        assert!(!report.is_clean());
+        assert_eq!(back.events.len(), tr.events.len() - 1);
+        assert_eq!(back.events[..], tr.events[..tr.events.len() - 1]);
+    }
+
+    /// A header that does not decode is fatal for salvage too: metadata is
+    /// the symbol table everything else refers to.
+    #[test]
+    fn salvage_rejects_unreadable_header() {
+        assert!(matches!(
+            read_trace_salvage(b"NOPE!whatever").unwrap_err(),
+            CodecError::BadMagic
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, 3).unwrap(); // claims 3 strings, has none
+        assert!(read_trace_salvage(&buf).is_err());
     }
 }

@@ -151,23 +151,23 @@ pub fn import(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb {
     }
 }
 
-fn valid_sym(meta: &TraceMeta, sym: Sym) -> bool {
+pub(crate) fn valid_sym(meta: &TraceMeta, sym: Sym) -> bool {
     sym.index() < meta.strings.len()
 }
 
-fn valid_fn(meta: &TraceMeta, f: FnId) -> bool {
+pub(crate) fn valid_fn(meta: &TraceMeta, f: FnId) -> bool {
     f.index() < meta.functions.len()
 }
 
-fn valid_task(meta: &TraceMeta, t: TaskId) -> bool {
+pub(crate) fn valid_task(meta: &TraceMeta, t: TaskId) -> bool {
     t.index() < meta.tasks.len()
 }
 
-fn valid_dt(meta: &TraceMeta, dt: DataTypeId) -> bool {
+pub(crate) fn valid_dt(meta: &TraceMeta, dt: DataTypeId) -> bool {
     dt.index() < meta.data_types.len()
 }
 
-fn valid_loc(meta: &TraceMeta, loc: &SourceLoc) -> bool {
+pub(crate) fn valid_loc(meta: &TraceMeta, loc: &SourceLoc) -> bool {
     valid_sym(meta, loc.file)
 }
 
@@ -319,8 +319,9 @@ impl<'a> Importer<'a> {
                 }
                 // Overlap with a live allocation indicates a broken or
                 // hostile tracer; resolving accesses in the overlap would
-                // be ambiguous, so drop the event and count it.
-                let end = *addr + u64::from(*size);
+                // be ambiguous, so drop the event and count it. The range
+                // end saturates so hostile `addr + size` cannot panic.
+                let end = addr.saturating_add(u64::from(*size));
                 let overlaps = self
                     .active_allocs
                     .range(..end)
@@ -362,7 +363,7 @@ impl<'a> Importer<'a> {
                     // reallocation at the same address registers fresh
                     // instances.
                     self.active_locks
-                        .retain(|&a, _| !(a >= addr && a < addr + u64::from(size)));
+                        .retain(|&a, _| !(a >= addr && a < addr.saturating_add(u64::from(size))));
                 }
             }
             Event::LockAcquire { addr, mode, loc } => {
@@ -789,7 +790,7 @@ fn pre_pass(trace: &Trace) -> PrePass {
                     stats.invalid_events += 1;
                     continue;
                 }
-                let end = *addr + u64::from(*size);
+                let end = addr.saturating_add(u64::from(*size));
                 let overlaps = active_allocs
                     .range(..end)
                     .next_back()
@@ -836,13 +837,17 @@ fn pre_pass(trace: &Trace) -> PrePass {
                     // Note: on a malformed double free this removes whatever
                     // allocation currently occupies `addr` — exactly like
                     // the serial importer. The removed entry's span ends
-                    // here, whichever allocation it belongs to.
+                    // here, whichever allocation it belongs to. Callers who
+                    // need defined double-free semantics go through
+                    // `db::resilient::import_resilient`, which quarantines
+                    // the second free before it reaches this path.
                     if let Some(removed) = active_allocs.remove(&addr) {
                         if let Some(&si) = span_of.get(&removed) {
                             spans[si].deact = idx;
                         }
                     }
-                    active_locks.retain(|&a, _| !(a >= addr && a < addr + u64::from(size)));
+                    active_locks
+                        .retain(|&a, _| !(a >= addr && a < addr.saturating_add(u64::from(size))));
                 }
                 continue;
             }

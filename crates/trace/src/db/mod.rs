@@ -5,9 +5,14 @@
 //! (rule derivation, checking, violation finding) run against [`TraceDb`].
 
 pub mod import;
+pub mod resilient;
 pub mod schema;
 
 pub use import::{import, ImportStats};
+pub use resilient::{
+    import_resilient, import_strict, ImportError, ImportPolicy, ImportReport, QuarantineClass,
+    QuarantineEntry, ResilientConfig,
+};
 pub use schema::{Access, Allocation, FlowKey, HeldLock, LockInstance, StackTrace, Txn};
 
 use crate::codec::write_csv_field;

@@ -1,0 +1,887 @@
+//! Resilient, quarantining trace import.
+//!
+//! [`crate::db::import`] is the fast path: it assumes a well-formed trace
+//! from our own tracer and silently absorbs the few anomaly kinds it can
+//! detect into counters. This module is the curated path for *untrusted*
+//! traces — archived files, foreign tools, salvaged streams. A serial
+//! detector pass classifies every malformed event into a
+//! [`QuarantineClass`], per-flow lock balance is checked on `jobs` workers
+//! (mirroring the flow partitioning of the parallel importer), and the
+//! caller picks a policy:
+//!
+//! * [`ImportPolicy::Strict`] — the first malformed event aborts the
+//!   import with a typed [`ImportError`] naming its class and event index.
+//! * [`ImportPolicy::Lenient`] — malformed events are dropped
+//!   (quarantined), their exact indices and classes are reported in the
+//!   [`ImportReport`], and the sanitized remainder is imported normally.
+//!   An error budget ([`ResilientConfig::max_bad_frac`]) bounds how much
+//!   quarantining is acceptable before the trace is rejected wholesale.
+//!
+//! On a clean trace the detector finds nothing and the sanitized trace
+//! *is* the input, so the resulting [`TraceDb`] is structurally identical
+//! to the fast path's at every `jobs` count — resilience costs one extra
+//! read pass, never a different answer.
+
+use crate::db::import::{import, valid_dt, valid_fn, valid_loc, valid_sym, valid_task};
+use crate::db::schema::FlowKey;
+use crate::db::TraceDb;
+use crate::event::{ContextKind, Event, Trace};
+use crate::filter::FilterConfig;
+use crate::ids::{Addr, AllocId, LockId, TaskId};
+use lockdoc_platform::par::par_map;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// The kinds of malformed events the detector quarantines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QuarantineClass {
+    /// An event timestamp older than its predecessor's.
+    TimestampRegression,
+    /// An event referencing a string, type, function, or task id the
+    /// trace's metadata tables do not contain.
+    DanglingMeta,
+    /// An `Alloc` reusing a live allocation id.
+    DuplicateAllocId,
+    /// An `Alloc` overlapping a live allocation's address range (or
+    /// wrapping the address space).
+    OverlappingAlloc,
+    /// A `Free` of an allocation id never allocated.
+    DanglingFree,
+    /// A `Free` of an allocation id already freed.
+    DoubleFree,
+    /// A `LockRelease` of a registered lock the releasing control flow
+    /// does not hold.
+    UnbalancedRelease,
+}
+
+impl QuarantineClass {
+    /// Stable snake_case name used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuarantineClass::TimestampRegression => "timestamp_regression",
+            QuarantineClass::DanglingMeta => "dangling_meta",
+            QuarantineClass::DuplicateAllocId => "duplicate_alloc_id",
+            QuarantineClass::OverlappingAlloc => "overlapping_alloc",
+            QuarantineClass::DanglingFree => "dangling_free",
+            QuarantineClass::DoubleFree => "double_free",
+            QuarantineClass::UnbalancedRelease => "unbalanced_release",
+        }
+    }
+}
+
+impl fmt::Display for QuarantineClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One quarantined event: where it was, what was wrong with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// Index of the event in the input trace's event stream.
+    pub event_index: u64,
+    /// Why it was quarantined.
+    pub class: QuarantineClass,
+    /// Human-readable specifics (ids, addresses, timestamps involved).
+    pub detail: String,
+}
+
+/// The outcome report accompanying a lenient import.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImportReport {
+    /// Total events in the input trace.
+    pub events: u64,
+    /// Fraction of events quarantined (`0.0` for a clean trace).
+    pub bad_frac: f64,
+    /// Quarantined events in event-index order (at most one entry per
+    /// event: the first failed check wins, mirroring the fast importer's
+    /// check order).
+    pub quarantined: Vec<QuarantineEntry>,
+}
+
+impl ImportReport {
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Per-class quarantine counters, sorted by class.
+    pub fn counts(&self) -> BTreeMap<QuarantineClass, u64> {
+        let mut m = BTreeMap::new();
+        for q in &self.quarantined {
+            *m.entry(q.class).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// What to do when the detector finds a malformed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportPolicy {
+    /// Refuse the trace on the first malformed event.
+    Strict,
+    /// Drop malformed events and report them, subject to the error budget.
+    Lenient,
+}
+
+/// Policy plus error budget for [`import_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilientConfig {
+    /// Strict or lenient handling of malformed events.
+    pub policy: ImportPolicy,
+    /// Lenient only: maximum tolerated `quarantined / events` fraction;
+    /// exceeding it aborts with [`ImportError::BudgetExceeded`].
+    pub max_bad_frac: f64,
+}
+
+impl ResilientConfig {
+    /// Strict policy: any malformed event is fatal.
+    pub fn strict() -> Self {
+        Self {
+            policy: ImportPolicy::Strict,
+            max_bad_frac: 0.0,
+        }
+    }
+
+    /// Lenient policy with the given error budget.
+    pub fn lenient(max_bad_frac: f64) -> Self {
+        Self {
+            policy: ImportPolicy::Lenient,
+            max_bad_frac,
+        }
+    }
+}
+
+impl Default for ResilientConfig {
+    /// Lenient with a 5% error budget — tolerant enough for real archive
+    /// damage, tight enough that a majority-garbage trace is refused.
+    fn default() -> Self {
+        Self::lenient(0.05)
+    }
+}
+
+/// Why a resilient import refused a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// Strict policy: the first malformed event, by class and position.
+    Corrupt {
+        /// Quarantine class of the offending event.
+        class: QuarantineClass,
+        /// Its index in the event stream.
+        event_index: u64,
+        /// Human-readable specifics.
+        detail: String,
+    },
+    /// Lenient policy: more events were quarantined than the error budget
+    /// allows.
+    BudgetExceeded {
+        /// Number of quarantined events.
+        quarantined: u64,
+        /// Total events in the trace.
+        events: u64,
+        /// The configured budget that was exceeded.
+        max_bad_frac: f64,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Corrupt {
+                class,
+                event_index,
+                detail,
+            } => write!(
+                f,
+                "corrupt trace: {class} at event {event_index} ({detail})"
+            ),
+            ImportError::BudgetExceeded {
+                quarantined,
+                events,
+                max_bad_frac,
+            } => write!(
+                f,
+                "error budget exceeded: {quarantined} of {events} events quarantined \
+                 (max_bad_frac {max_bad_frac})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// A lock operation routed to its control flow for the parallel balance
+/// check, tagged with its global event index.
+struct LockOp {
+    idx: u64,
+    acquire: bool,
+    lock: LockId,
+    reentrant: bool,
+    addr: Addr,
+}
+
+/// Detects malformed events, mirroring the fast importer's per-event check
+/// order so strict mode names exactly the event the fast path would have
+/// mishandled first. Global state (allocation table, lock registry, task
+/// and context routing) is replayed serially; per-flow lock balance is
+/// checked on up to `jobs` workers and merged back by event index. The
+/// result is a pure function of the trace — `jobs` never changes it.
+fn detect(trace: &Trace, jobs: usize) -> Vec<QuarantineEntry> {
+    let meta = &trace.meta;
+    let mut entries: Vec<QuarantineEntry> = Vec::new();
+
+    let mut max_ts = 0u64;
+    // Allocation table: addr + size + freed flag per ever-seen id.
+    struct AllocInfo {
+        addr: Addr,
+        size: u32,
+        freed: bool,
+    }
+    let mut allocs: HashMap<AllocId, AllocInfo> = HashMap::new();
+    let mut active_allocs: BTreeMap<Addr, AllocId> = BTreeMap::new();
+    // Registered locks by address (latest registration wins, like the
+    // fast importer's `active_locks`).
+    let mut active_locks: HashMap<Addr, (LockId, bool)> = HashMap::new();
+    let mut n_locks = 0u32;
+    let mut current_task = TaskId(0);
+    let mut ctx_stack: Vec<ContextKind> = Vec::new();
+    // Per-flow slices of lock operations, in first-appearance order so the
+    // worker partition is deterministic.
+    let mut slices: Vec<Vec<LockOp>> = Vec::new();
+    let mut slice_of: HashMap<FlowKey, usize> = HashMap::new();
+
+    macro_rules! quarantine {
+        ($idx:expr, $class:expr, $($fmt:tt)*) => {{
+            entries.push(QuarantineEntry {
+                event_index: $idx,
+                class: $class,
+                detail: format!($($fmt)*),
+            });
+            continue;
+        }};
+    }
+
+    for (i, te) in trace.events.iter().enumerate() {
+        let idx = i as u64;
+        // Timestamps first: an event that travels back in time is dropped
+        // before any of its effects register, and the high-water mark only
+        // advances on kept events so one regressed event cannot drag a
+        // healthy successor into quarantine with it.
+        if te.ts < max_ts {
+            quarantine!(
+                idx,
+                QuarantineClass::TimestampRegression,
+                "ts {} after high-water mark {}",
+                te.ts,
+                max_ts
+            );
+        }
+        match &te.event {
+            Event::LockInit {
+                addr, name, flavor, ..
+            } => {
+                if !valid_sym(meta, *name) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingMeta,
+                        "lock name string #{} (table has {})",
+                        name.0,
+                        meta.strings.len()
+                    );
+                }
+                active_locks.insert(*addr, (LockId(n_locks), flavor.reentrant()));
+                n_locks += 1;
+            }
+            Event::Alloc {
+                id,
+                addr,
+                size,
+                data_type,
+                subclass,
+            } => {
+                if !valid_dt(meta, *data_type) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingMeta,
+                        "data type #{} (table has {})",
+                        data_type.0,
+                        meta.data_types.len()
+                    );
+                }
+                if let Some(s) = subclass {
+                    if !valid_sym(meta, *s) {
+                        quarantine!(
+                            idx,
+                            QuarantineClass::DanglingMeta,
+                            "subclass string #{} (table has {})",
+                            s.0,
+                            meta.strings.len()
+                        );
+                    }
+                }
+                if allocs.contains_key(id) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DuplicateAllocId,
+                        "alloc id {} already in use",
+                        id.0
+                    );
+                }
+                let Some(end) = addr.checked_add(u64::from(*size)) else {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::OverlappingAlloc,
+                        "range {:#x}+{} wraps the address space",
+                        addr,
+                        size
+                    );
+                };
+                let overlaps = active_allocs
+                    .range(..end)
+                    .next_back()
+                    .map(|(&prev_addr, &prev_id)| {
+                        let prev = &allocs[&prev_id];
+                        (*addr >= prev_addr
+                            && *addr < prev_addr.saturating_add(u64::from(prev.size)))
+                            || (*addr..end).contains(&prev_addr)
+                    })
+                    .unwrap_or(false);
+                if overlaps {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::OverlappingAlloc,
+                        "range {:#x}+{} overlaps a live allocation",
+                        addr,
+                        size
+                    );
+                }
+                allocs.insert(
+                    *id,
+                    AllocInfo {
+                        addr: *addr,
+                        size: *size,
+                        freed: false,
+                    },
+                );
+                active_allocs.insert(*addr, *id);
+            }
+            Event::Free { id } => match allocs.get_mut(id) {
+                None => {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingFree,
+                        "free of alloc id {} never allocated",
+                        id.0
+                    );
+                }
+                Some(info) if info.freed => {
+                    // Defined double-free semantics: the second free is
+                    // quarantined here instead of reaching the fast
+                    // importer, where it would deactivate whatever
+                    // allocation happens to occupy the address now.
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DoubleFree,
+                        "alloc id {} already freed",
+                        id.0
+                    );
+                }
+                Some(info) => {
+                    info.freed = true;
+                    let (addr, size) = (info.addr, info.size);
+                    active_allocs.remove(&addr);
+                    active_locks
+                        .retain(|&a, _| !(a >= addr && a < addr.saturating_add(u64::from(size))));
+                }
+            },
+            Event::LockAcquire { addr, loc, .. } => {
+                if !valid_loc(meta, loc) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingMeta,
+                        "acquire loc file string #{} (table has {})",
+                        loc.file.0,
+                        meta.strings.len()
+                    );
+                }
+                // Acquires of unregistered addresses are tolerated (the
+                // fast path counts them in `unknown_lock_acquires`); only
+                // registered locks take part in the balance check.
+                if let Some(&(lock, reentrant)) = active_locks.get(addr) {
+                    let key = flow_key(&ctx_stack, current_task);
+                    route(&mut slices, &mut slice_of, key).push(LockOp {
+                        idx,
+                        acquire: true,
+                        lock,
+                        reentrant,
+                        addr: *addr,
+                    });
+                }
+            }
+            Event::LockRelease { addr, loc } => {
+                if !valid_loc(meta, loc) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingMeta,
+                        "release loc file string #{} (table has {})",
+                        loc.file.0,
+                        meta.strings.len()
+                    );
+                }
+                if let Some(&(lock, reentrant)) = active_locks.get(addr) {
+                    let key = flow_key(&ctx_stack, current_task);
+                    route(&mut slices, &mut slice_of, key).push(LockOp {
+                        idx,
+                        acquire: false,
+                        lock,
+                        reentrant,
+                        addr: *addr,
+                    });
+                }
+                // Releases of unregistered addresses are tolerated like
+                // the fast path's `unmatched_releases` counter: with no
+                // registration there is no flow to balance against.
+            }
+            Event::MemAccess { loc, .. } => {
+                if !valid_loc(meta, loc) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingMeta,
+                        "access loc file string #{} (table has {})",
+                        loc.file.0,
+                        meta.strings.len()
+                    );
+                }
+            }
+            Event::FnEnter { func } => {
+                if !valid_fn(meta, *func) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingMeta,
+                        "function #{} (table has {})",
+                        func.0,
+                        meta.functions.len()
+                    );
+                }
+            }
+            Event::FnExit { .. } => {}
+            Event::TaskSwitch { task } => {
+                if !valid_task(meta, *task) {
+                    quarantine!(
+                        idx,
+                        QuarantineClass::DanglingMeta,
+                        "task #{} (table has {})",
+                        task.0,
+                        meta.tasks.len()
+                    );
+                }
+                current_task = *task;
+            }
+            Event::ContextEnter { kind } => ctx_stack.push(*kind),
+            Event::ContextExit { kind } => {
+                if ctx_stack.last() == Some(kind) {
+                    ctx_stack.pop();
+                }
+            }
+        }
+        max_ts = te.ts;
+    }
+
+    // Per-flow balance check: flows are independent by construction (the
+    // same partitioning the parallel importer relies on), so each slice's
+    // unmatched releases can be found on its own worker.
+    let flow_entries: Vec<Vec<QuarantineEntry>> = par_map(jobs, &slices, |ops| balance_flow(ops));
+    entries.extend(flow_entries.into_iter().flatten());
+    entries.sort_by_key(|e| e.event_index);
+    entries
+}
+
+fn flow_key(ctx_stack: &[ContextKind], current_task: TaskId) -> FlowKey {
+    match ctx_stack.last() {
+        Some(kind) => FlowKey::irq(*kind),
+        None => FlowKey::Task(current_task),
+    }
+}
+
+fn route<'a>(
+    slices: &'a mut Vec<Vec<LockOp>>,
+    slice_of: &mut HashMap<FlowKey, usize>,
+    key: FlowKey,
+) -> &'a mut Vec<LockOp> {
+    let i = *slice_of.entry(key).or_insert_with(|| {
+        slices.push(Vec::new());
+        slices.len() - 1
+    });
+    &mut slices[i]
+}
+
+/// Replays one flow's lock operations with the fast importer's held-lock
+/// semantics (reentrancy counts, most-recent-acquisition matching) and
+/// reports every release that finds nothing to match.
+fn balance_flow(ops: &[LockOp]) -> Vec<QuarantineEntry> {
+    let mut held: Vec<(LockId, u32)> = Vec::new();
+    let mut out = Vec::new();
+    for op in ops {
+        if op.acquire {
+            if op.reentrant {
+                if let Some(entry) = held.iter_mut().find(|(l, _)| *l == op.lock) {
+                    entry.1 += 1;
+                    continue;
+                }
+            }
+            held.push((op.lock, 1));
+        } else {
+            match held.iter().rposition(|(l, _)| *l == op.lock) {
+                Some(pos) => {
+                    if held[pos].1 > 1 {
+                        held[pos].1 -= 1;
+                    } else {
+                        held.remove(pos);
+                    }
+                }
+                None => out.push(QuarantineEntry {
+                    event_index: op.idx,
+                    class: QuarantineClass::UnbalancedRelease,
+                    detail: format!("release of lock {:#x} not held by this flow", op.addr),
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Imports `trace` with malformed-event detection and quarantining.
+///
+/// Strict policy: returns [`ImportError::Corrupt`] naming the class and
+/// event index of the first malformed event. Lenient policy: quarantines
+/// malformed events, imports the sanitized remainder with the fast path at
+/// the requested `jobs` count, and returns the [`TraceDb`] together with
+/// an [`ImportReport`] listing every quarantined event — unless the
+/// quarantined fraction exceeds [`ResilientConfig::max_bad_frac`], which
+/// returns [`ImportError::BudgetExceeded`].
+///
+/// A clean trace yields a `TraceDb` identical to `import(trace, config,
+/// jobs)` and an empty report.
+pub fn import_resilient(
+    trace: &Trace,
+    config: &FilterConfig,
+    jobs: usize,
+    rcfg: &ResilientConfig,
+) -> Result<(TraceDb, ImportReport), ImportError> {
+    let quarantined = detect(trace, jobs);
+    let events = trace.events.len() as u64;
+    let bad_frac = if events == 0 {
+        0.0
+    } else {
+        quarantined.len() as f64 / events as f64
+    };
+    if let Some(first) = quarantined.first() {
+        match rcfg.policy {
+            ImportPolicy::Strict => {
+                return Err(ImportError::Corrupt {
+                    class: first.class,
+                    event_index: first.event_index,
+                    detail: first.detail.clone(),
+                });
+            }
+            ImportPolicy::Lenient => {
+                if bad_frac > rcfg.max_bad_frac {
+                    return Err(ImportError::BudgetExceeded {
+                        quarantined: quarantined.len() as u64,
+                        events,
+                        max_bad_frac: rcfg.max_bad_frac,
+                    });
+                }
+            }
+        }
+    }
+    let db = if quarantined.is_empty() {
+        // Clean trace: the sanitized trace would be the input itself, so
+        // skip the copy — identity with the fast path is structural.
+        import(trace, config, jobs)
+    } else {
+        let drop: HashSet<u64> = quarantined.iter().map(|q| q.event_index).collect();
+        let sanitized = Trace {
+            meta: trace.meta.clone(),
+            events: trace
+                .events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop.contains(&(*i as u64)))
+                .map(|(_, te)| te.clone())
+                .collect(),
+        };
+        import(&sanitized, config, jobs)
+    };
+    Ok((
+        db,
+        ImportReport {
+            events,
+            bad_frac,
+            quarantined,
+        },
+    ))
+}
+
+/// Convenience wrapper: strict import, returning only the database.
+pub fn import_strict(
+    trace: &Trace,
+    config: &FilterConfig,
+    jobs: usize,
+) -> Result<TraceDb, ImportError> {
+    import_resilient(trace, config, jobs, &ResilientConfig::strict()).map(|(db, _)| db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, AcquireMode, DataTypeDef, LockFlavor, MemberDef, SourceLoc};
+    use crate::ids::Sym;
+
+    fn cfg() -> FilterConfig {
+        FilterConfig::with_defaults()
+    }
+
+    /// A small clean trace with one alloc/free pair, one balanced lock
+    /// section, and a couple of accesses.
+    fn clean_trace() -> Trace {
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("fs/inode.c");
+        let lname = tr.meta.strings.intern("i_lock");
+        let dt = tr.meta.add_data_type(DataTypeDef {
+            name: "inode".into(),
+            size: 64,
+            members: vec![MemberDef {
+                name: "i_state".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+        let f = tr.meta.add_function("iget_locked");
+        let task = tr.meta.add_task("fsstress");
+        tr.push(0, Event::TaskSwitch { task });
+        tr.push(
+            1,
+            Event::LockInit {
+                addr: 0x2000,
+                name: lname,
+                flavor: LockFlavor::Spinlock,
+                is_static: true,
+            },
+        );
+        tr.push(
+            2,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: 0x1000,
+                size: 64,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        tr.push(3, Event::FnEnter { func: f });
+        tr.push(
+            4,
+            Event::LockAcquire {
+                addr: 0x2000,
+                mode: AcquireMode::Exclusive,
+                loc: SourceLoc::new(file, 10),
+            },
+        );
+        tr.push(
+            5,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1000,
+                size: 8,
+                loc: SourceLoc::new(file, 11),
+                atomic: false,
+            },
+        );
+        tr.push(
+            6,
+            Event::LockRelease {
+                addr: 0x2000,
+                loc: SourceLoc::new(file, 12),
+            },
+        );
+        tr.push(7, Event::FnExit { func: f });
+        tr.push(8, Event::Free { id: AllocId(1) });
+        tr
+    }
+
+    #[test]
+    fn clean_trace_matches_fast_path_at_any_jobs() {
+        let tr = clean_trace();
+        for jobs in [1usize, 4] {
+            let fast = import(&tr, &cfg(), jobs);
+            let (db, report) =
+                import_resilient(&tr, &cfg(), jobs, &ResilientConfig::default()).unwrap();
+            assert!(report.is_clean());
+            assert_eq!(report.events, tr.len() as u64);
+            assert_eq!(db, fast);
+            let strict = import_strict(&tr, &cfg(), jobs).unwrap();
+            assert_eq!(strict, fast);
+        }
+    }
+
+    /// The satellite-defining test: a double free of id 1 *after* its
+    /// address was reused by id 2. The fast path deactivates id 2 (the
+    /// current occupant); the resilient path quarantines the second free
+    /// so id 2 stays live and its later access resolves.
+    #[test]
+    fn double_free_is_quarantined_not_absorbed() {
+        let mut tr = Trace::new();
+        let file = tr.meta.strings.intern("a.c");
+        let dt = tr.meta.add_data_type(DataTypeDef {
+            name: "obj".into(),
+            size: 16,
+            members: vec![MemberDef {
+                name: "m".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+        let task = tr.meta.add_task("t0");
+        tr.push(0, Event::TaskSwitch { task });
+        tr.push(
+            1,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: 0x1000,
+                size: 16,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        tr.push(2, Event::Free { id: AllocId(1) });
+        // Address reuse by a different allocation.
+        tr.push(
+            3,
+            Event::Alloc {
+                id: AllocId(2),
+                addr: 0x1000,
+                size: 16,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        // Malformed second free of id 1: the fast path would deactivate
+        // id 2 here.
+        tr.push(4, Event::Free { id: AllocId(1) });
+        tr.push(
+            5,
+            Event::MemAccess {
+                kind: AccessKind::Read,
+                addr: 0x1000,
+                size: 8,
+                loc: SourceLoc::new(file, 1),
+                atomic: false,
+            },
+        );
+
+        // Fast path: the access after the bogus free is unresolved.
+        let fast = import(&tr, &cfg(), 1);
+        assert_eq!(fast.stats.unresolved, 1);
+        assert_eq!(fast.stats.accesses_imported, 0);
+
+        // Strict: typed refusal naming class and index.
+        let err = import_strict(&tr, &cfg(), 1).unwrap_err();
+        assert_eq!(
+            err,
+            ImportError::Corrupt {
+                class: QuarantineClass::DoubleFree,
+                event_index: 4,
+                detail: "alloc id 1 already freed".into(),
+            }
+        );
+
+        // Lenient: the second free is quarantined, id 2 stays live, the
+        // access resolves. (The budget is wide open: one bad event in a
+        // six-event trace is 17% — far past the default 5%.)
+        let (db, report) =
+            import_resilient(&tr, &cfg(), 1, &ResilientConfig::lenient(1.0)).unwrap();
+        assert_eq!(
+            report
+                .quarantined
+                .iter()
+                .map(|q| (q.class, q.event_index))
+                .collect::<Vec<_>>(),
+            vec![(QuarantineClass::DoubleFree, 4)]
+        );
+        assert_eq!(db.stats.unresolved, 0);
+        assert_eq!(db.stats.accesses_imported, 1);
+        assert_eq!(db.accesses[0].alloc, AllocId(2));
+    }
+
+    #[test]
+    fn budget_gates_lenient_imports() {
+        let mut tr = clean_trace();
+        let n = tr.events.len() as u64;
+        // Two dangling frees on top of a clean trace.
+        let last_ts = tr.events.last().unwrap().ts;
+        tr.push(last_ts, Event::Free { id: AllocId(900) });
+        tr.push(last_ts, Event::Free { id: AllocId(901) });
+        let err = import_resilient(&tr, &cfg(), 1, &ResilientConfig::lenient(0.05)).unwrap_err();
+        assert_eq!(
+            err,
+            ImportError::BudgetExceeded {
+                quarantined: 2,
+                events: n + 2,
+                max_bad_frac: 0.05,
+            }
+        );
+        let (_, report) = import_resilient(&tr, &cfg(), 1, &ResilientConfig::lenient(0.5)).unwrap();
+        assert_eq!(report.quarantined.len(), 2);
+        assert!(report.bad_frac > 0.0);
+    }
+
+    #[test]
+    fn timestamp_regression_is_dropped_without_dragging_successors() {
+        let base = clean_trace();
+        let mut events = base.events.clone();
+        // Event 5 (the MemAccess) regresses below event 4's timestamp.
+        events[5].ts = 2;
+        let tr = Trace {
+            meta: base.meta.clone(),
+            events,
+        };
+        let (db, report) =
+            import_resilient(&tr, &cfg(), 1, &ResilientConfig::lenient(1.0)).unwrap();
+        assert_eq!(
+            report
+                .quarantined
+                .iter()
+                .map(|q| (q.class, q.event_index))
+                .collect::<Vec<_>>(),
+            vec![(QuarantineClass::TimestampRegression, 5)]
+        );
+        // Only the regressed access was lost; the release at event 6 still
+        // balances.
+        assert_eq!(db.stats.unmatched_releases, 0);
+        assert_eq!(db.stats.accesses_imported, 0);
+    }
+
+    #[test]
+    fn detector_is_jobs_invariant() {
+        let mut tr = clean_trace();
+        let last_ts = tr.events.last().unwrap().ts;
+        tr.push(last_ts, Event::Free { id: AllocId(900) });
+        tr.push(
+            last_ts,
+            Event::LockRelease {
+                addr: 0x2000,
+                loc: SourceLoc::new(Sym(0), 99),
+            },
+        );
+        let a = detect(&tr, 1);
+        let b = detect(&tr, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[1].class, QuarantineClass::UnbalancedRelease);
+    }
+}

@@ -28,9 +28,10 @@ pub struct Allocation {
 }
 
 impl Allocation {
-    /// Whether `addr` lies inside this allocation.
+    /// Whether `addr` lies inside this allocation. The range end saturates
+    /// so a hostile `addr + size` wrapping the address space cannot panic.
     pub fn contains(&self, addr: Addr) -> bool {
-        addr >= self.addr && addr < self.addr + u64::from(self.size)
+        addr >= self.addr && addr < self.addr.saturating_add(u64::from(self.size))
     }
 }
 

@@ -140,9 +140,18 @@ impl Interner {
     ///
     /// # Panics
     ///
-    /// Panics if `sym` was not produced by this interner.
+    /// Panics if `sym` was not produced by this interner. Use
+    /// [`Interner::try_resolve`] when the symbol comes from untrusted
+    /// input (a decoded trace) rather than from this process.
     pub fn resolve(&self, sym: Sym) -> &str {
         &self.strings[sym.index()]
+    }
+
+    /// Resolves a symbol back to its string, returning `None` for symbols
+    /// this interner never produced (e.g. dangling ids in a corrupted
+    /// trace).
+    pub fn try_resolve(&self, sym: Sym) -> Option<&str> {
+        self.strings.get(sym.index()).map(String::as_str)
     }
 
     /// Looks up a string without interning it.

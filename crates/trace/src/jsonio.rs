@@ -8,6 +8,8 @@
 //! Field order is fixed, so serializing the same trace twice yields
 //! byte-identical text.
 
+use crate::codec::{SalvageDiag, SalvageReport};
+use crate::db::resilient::{ImportReport, QuarantineClass, QuarantineEntry};
 use crate::event::{
     AccessKind, AcquireMode, ContextKind, DataTypeDef, Event, LockFlavor, MemberDef, SourceLoc,
     Trace, TraceEvent, TraceMeta, TraceSummary,
@@ -131,6 +133,69 @@ json_struct!(TraceSummary {
     lock_inits,
     other
 });
+
+// --- Robustness reports (resilient import + salvage decode) -------------
+
+json_unit_enum!(QuarantineClass {
+    TimestampRegression => "timestamp_regression",
+    DanglingMeta => "dangling_meta",
+    DuplicateAllocId => "duplicate_alloc_id",
+    OverlappingAlloc => "overlapping_alloc",
+    DanglingFree => "dangling_free",
+    DoubleFree => "double_free",
+    UnbalancedRelease => "unbalanced_release",
+});
+
+json_struct!(QuarantineEntry {
+    event_index,
+    class,
+    detail
+});
+json_struct!(SalvageDiag {
+    event_index,
+    offset,
+    error,
+    resumed_at
+});
+json_struct!(SalvageReport {
+    expected_events,
+    recovered_events,
+    bytes_skipped,
+    trailing_bytes,
+    truncated,
+    failures,
+    diags
+});
+
+impl ToJson for ImportReport {
+    fn to_json(&self) -> Json {
+        // `counts` is derived from `quarantined`, emitted for dashboards
+        // and `lockdoc doctor` consumers that only want the histogram; the
+        // decoder ignores it and rebuilds from the entries.
+        let counts = Json::obj(
+            self.counts()
+                .into_iter()
+                .map(|(class, n)| (class.name(), n.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("events".to_owned(), self.events.to_json()),
+            ("bad_frac".to_owned(), self.bad_frac.to_json()),
+            ("quarantined".to_owned(), self.quarantined.to_json()),
+            ("counts".to_owned(), counts),
+        ])
+    }
+}
+
+impl FromJson for ImportReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ImportReport {
+            events: decode_field(v, "events")?,
+            bad_frac: decode_field(v, "bad_frac")?,
+            quarantined: decode_field(v, "quarantined")?,
+        })
+    }
+}
 
 impl ToJson for Interner {
     fn to_json(&self) -> Json {
@@ -497,5 +562,63 @@ mod tests {
         let text = s.to_json().compact();
         let back: TraceSummary = lockdoc_platform::json::from_str(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn import_report_round_trips_and_exposes_counts() {
+        let report = ImportReport {
+            events: 100,
+            bad_frac: 0.03,
+            quarantined: vec![
+                QuarantineEntry {
+                    event_index: 7,
+                    class: QuarantineClass::DoubleFree,
+                    detail: "alloc id 1 already freed".into(),
+                },
+                QuarantineEntry {
+                    event_index: 12,
+                    class: QuarantineClass::DoubleFree,
+                    detail: "alloc id 2 already freed".into(),
+                },
+                QuarantineEntry {
+                    event_index: 20,
+                    class: QuarantineClass::TimestampRegression,
+                    detail: "ts 5 after high-water mark 9".into(),
+                },
+            ],
+        };
+        let text = report.to_json().compact();
+        // The derived histogram is visible to JSON consumers...
+        let v = parse(&text).unwrap();
+        let counts = v.get("counts").expect("counts object");
+        assert_eq!(counts.get("double_free").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            counts.get("timestamp_regression").and_then(Json::as_u64),
+            Some(1)
+        );
+        // ...and the report itself round-trips from the real fields.
+        let back: ImportReport = lockdoc_platform::json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn salvage_report_round_trips() {
+        let report = SalvageReport {
+            expected_events: 10,
+            recovered_events: 8,
+            bytes_skipped: 3,
+            trailing_bytes: 0,
+            truncated: true,
+            failures: 2,
+            diags: vec![SalvageDiag {
+                event_index: 4,
+                offset: 77,
+                error: "unknown event tag 0xff".into(),
+                resumed_at: Some(81),
+            }],
+        };
+        let text = report.to_json().compact();
+        let back: SalvageReport = lockdoc_platform::json::from_str(&text).unwrap();
+        assert_eq!(back, report);
     }
 }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod corrupt;
 pub mod db;
 pub mod event;
 pub mod filter;
@@ -28,6 +29,7 @@ pub mod ids;
 pub mod jsonio;
 pub mod merge;
 
-pub use db::{import, TraceDb};
+pub use db::{import, import_resilient, TraceDb};
 pub use event::{Event, Trace, TraceEvent};
 pub use filter::FilterConfig;
+pub use merge::{concat_traces, MergeError};

@@ -20,6 +20,67 @@
 use crate::event::{DataTypeDef, Event, SourceLoc, Trace};
 use crate::ids::{Addr, AllocId, DataTypeId, FnId, Sym, TaskId};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why [`concat_traces`] refused to merge its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// Two parts touch overlapping address ranges; allocation resolution
+    /// after the merge would be silently corrupted.
+    AddressOverlap {
+        /// Index of the earlier offending part.
+        first: usize,
+        /// Index of the later offending part.
+        second: usize,
+        /// Address range `[min, max)` of the earlier part.
+        first_range: (Addr, Addr),
+        /// Address range `[min, max)` of the later part.
+        second_range: (Addr, Addr),
+    },
+    /// Two parts define the same data type name with different layouts.
+    ConflictingLayout {
+        /// Name of the data type with divergent definitions.
+        type_name: String,
+    },
+    /// A part's own event stream travels back in time; rebasing cannot
+    /// repair it and the merged trace would violate the `Trace` invariant.
+    NonMonotonic {
+        /// Index of the offending part.
+        part: usize,
+        /// Index of the first event whose timestamp regresses.
+        event_index: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::AddressOverlap {
+                first,
+                second,
+                first_range,
+                second_range,
+            } => write!(
+                f,
+                "traces {first} and {second} overlap in address space \
+                 ([{:#x}, {:#x}) vs [{:#x}, {:#x})); record shards with \
+                 disjoint address bases",
+                first_range.0, first_range.1, second_range.0, second_range.1
+            ),
+            MergeError::ConflictingLayout { type_name } => write!(
+                f,
+                "conflicting layouts for data type `{type_name}` across traces"
+            ),
+            MergeError::NonMonotonic { part, event_index } => write!(
+                f,
+                "trace {part} is not time-ordered: event {event_index} \
+                 travels back in time"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Sentinel for ids that were already dangling in a source part; they must
 /// stay dangling in the merged trace (the importer counts them as invalid
@@ -62,7 +123,19 @@ fn addr_range(part: &Trace) -> Option<AddrRange> {
 /// Concatenates `parts` into one trace (see the module docs for the
 /// remapping rules). Parts must occupy pairwise disjoint address ranges;
 /// overlapping parts are rejected with a descriptive error.
-pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, String> {
+pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, MergeError> {
+    // Validate part-local time order up front: `Trace::push` asserts
+    // monotonicity, so a regressing part must be a typed error here, not a
+    // panic mid-merge.
+    for (pi, part) in parts.iter().enumerate() {
+        if let Some(wi) = part.events.windows(2).position(|w| w[1].ts < w[0].ts) {
+            return Err(MergeError::NonMonotonic {
+                part: pi,
+                event_index: wi + 1,
+            });
+        }
+    }
+
     // Reject address collisions up front: they would silently corrupt
     // allocation resolution after the merge.
     let ranges: Vec<Option<AddrRange>> = parts.iter().map(addr_range).collect();
@@ -70,12 +143,12 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, String> {
         for j in i + 1..ranges.len() {
             if let (Some(a), Some(b)) = (&ranges[i], &ranges[j]) {
                 if a.overlaps(b) {
-                    return Err(format!(
-                        "traces {i} and {j} overlap in address space \
-                         ([{:#x}, {:#x}) vs [{:#x}, {:#x})); record shards \
-                         with disjoint address bases",
-                        a.min, a.max, b.min, b.max
-                    ));
+                    return Err(MergeError::AddressOverlap {
+                        first: i,
+                        second: j,
+                        first_range: (a.min, a.max),
+                        second_range: (b.min, b.max),
+                    });
                 }
             }
         }
@@ -100,10 +173,9 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, String> {
                 Some(existing) => {
                     let have: &DataTypeDef = &out.meta.data_types[existing.index()];
                     if have != dt {
-                        return Err(format!(
-                            "conflicting layouts for data type `{}` across traces",
-                            dt.name
-                        ));
+                        return Err(MergeError::ConflictingLayout {
+                            type_name: dt.name.clone(),
+                        });
                     }
                     dt_map.push(existing);
                 }
@@ -218,9 +290,11 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, String> {
                 Event::ContextEnter { kind } => Event::ContextEnter { kind },
                 Event::ContextExit { kind } => Event::ContextExit { kind },
             };
-            out.push(ts_base + te.ts, ev);
+            // Saturating: rebased time near u64::MAX clamps instead of
+            // panicking; monotonicity is preserved either way.
+            out.push(ts_base.saturating_add(te.ts), ev);
         }
-        ts_base += part_last_ts;
+        ts_base = ts_base.saturating_add(part_last_ts);
     }
     Ok(out)
 }
@@ -316,7 +390,18 @@ mod tests {
     #[test]
     fn concat_rejects_overlapping_address_ranges() {
         let err = concat_traces(vec![part(0x1000, "a"), part(0x1004, "b")]).unwrap_err();
-        assert!(err.contains("overlap"), "{err}");
+        assert!(
+            matches!(
+                err,
+                MergeError::AddressOverlap {
+                    first: 0,
+                    second: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("overlap"), "{err}");
     }
 
     #[test]
@@ -325,7 +410,35 @@ mod tests {
         let mut b = part(0x2000, "b");
         b.meta.data_types[0].size = 16;
         let err = concat_traces(vec![a, b]).unwrap_err();
-        assert!(err.contains("conflicting layouts"), "{err}");
+        assert_eq!(
+            err,
+            MergeError::ConflictingLayout {
+                type_name: "obj".into()
+            }
+        );
+        assert!(err.to_string().contains("conflicting layouts"), "{err}");
+    }
+
+    #[test]
+    fn concat_rejects_time_travelling_parts() {
+        let good = part(0x1000, "a");
+        // Build a regressing part via a struct literal: `Trace::push`
+        // asserts monotonicity, which is exactly what a hostile or buggy
+        // recorder bypasses.
+        let mut bad = part(0x2000, "b");
+        bad.events[3].ts = 1; // was 4, after event 2 at ts 3
+        let bad = Trace {
+            meta: bad.meta.clone(),
+            events: bad.events,
+        };
+        let err = concat_traces(vec![good, bad]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::NonMonotonic {
+                part: 1,
+                event_index: 3
+            }
+        );
     }
 
     #[test]

@@ -49,4 +49,16 @@ echo "fmt + clippy: OK"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# --- corruption-oracle soak (optional) ---------------------------------------
+# LOCKDOC_PROPS_ITERS=N re-runs the corruption differential suite with N
+# property cases per test (default CI runs use the harness default). The
+# suite injects seeded corruption (lockdoc_trace::corrupt) and checks the
+# resilient importer's quarantine reports against the injection oracle.
+if [ -n "${LOCKDOC_PROPS_ITERS:-}" ]; then
+    echo "corruption soak: ${LOCKDOC_PROPS_ITERS} cases per property"
+    LOCKDOC_PROP_CASES="${LOCKDOC_PROPS_ITERS}" \
+        cargo test -q --offline --test corruption
+    echo "corruption soak: OK"
+fi
+
 echo "verify: OK"
