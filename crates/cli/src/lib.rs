@@ -11,6 +11,11 @@
 //! * `lockdoc check` — validate documented rules against a trace,
 //! * `lockdoc doc` — generate locking-rule documentation,
 //! * `lockdoc violations` — report rule-violating accesses,
+//! * `lockdoc races` — Eraser-style lockset race detection with witness
+//!   pairs,
+//! * `lockdoc lint` — cross-pass consistency lint joining rules,
+//!   violations, races, and lock order into ranked findings,
+//! * `lockdoc order` — lock-order graph, inversions, cycles,
 //! * `lockdoc scan` — count lock-initializer usage in a C source tree
 //!   (the Fig. 1 measurement, usable on a real kernel checkout).
 
@@ -23,6 +28,9 @@ use ksim::rules;
 use lockdoc_core::checker::{check_rules_par, summarize};
 use lockdoc_core::derive::{derive_par, DeriveConfig};
 use lockdoc_core::docgen::{generate_doc, generate_rulespec};
+use lockdoc_core::lint::{lint, LintInputs};
+use lockdoc_core::order::OrderGraph;
+use lockdoc_core::race::find_races_par;
 use lockdoc_core::rulespec::parse_rules;
 use lockdoc_core::violation::find_violations_par;
 use lockdoc_platform::json::{Json, ToJson};
@@ -157,7 +165,7 @@ pub const USAGE: &str = "\
 lockdoc — trace-based analysis of locking rules
 
 USAGE:
-  lockdoc trace      [--ops N] [--seed N] [--no-faults] [--mix SPEC]
+  lockdoc trace      [--ops N] [--seed N] [--no-faults | --racy] [--mix SPEC]
                      [--shards N] [--jobs N] --out FILE
   lockdoc import     --trace FILE [--csv-dir DIR] [--jobs N]
                      [--lenient | --strict] [--max-bad-frac X]
@@ -166,15 +174,26 @@ USAGE:
   lockdoc check      --trace FILE [--rules FILE] [--jobs N] [--json]
   lockdoc doc        --trace FILE [--group NAME] [--jobs N]
   lockdoc violations --trace FILE [--t-ac X] [--max-examples N] [--jobs N] [--json]
-  lockdoc scan       --dir PATH
+  lockdoc races      --trace FILE [--jobs N] [--json]
+  lockdoc lint       --trace FILE [--rules FILE] [--t-ac X] [--jobs N] [--json]
+  lockdoc scan       --dir PATH [--json]
   lockdoc diff       --old FILE --new FILE [--t-ac X]
-  lockdoc order      --trace FILE
+  lockdoc order      --trace FILE [--jobs N] [--json]
 
 `--jobs N` (or LOCKDOC_JOBS) runs trace generation, import, and the
 analysis phases on N workers; output is byte-identical at any worker
 count. Default: available parallelism. `trace --shards N` splits the
 workload across N simulated machines (part of the trace *content*, unlike
 --jobs: the same --shards value reproduces the same trace on any machine).
+`trace --racy` additionally enables the seeded lockless-writer fault site
+(a true-positive workload for `races`/`lint`).
+
+`races` reports members whose candidate lockset (Eraser intersection over
+flows, IRQ/flow exclusion as pseudo-locks) is empty, each with a concrete
+two-access witness pair. `lint` joins that with mined rules, documented-rule
+checking, violations, and the lock-order graph into ranked findings
+(CONFIRMED / PROBABLE / SUSPECT / DOWNGRADED) plus doc-vs-observed
+lock-order conflicts.
 
 `import --lenient` salvages damaged containers and quarantines corrupt
 events (up to `--max-bad-frac`, default 0.05); `import --strict` refuses
@@ -200,8 +219,15 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
         .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
     let shards: u64 = args.num("shards", 1u64)?;
     let jobs = args.jobs()?;
+    if args.has("racy") && args.has("no-faults") {
+        return Err(CliError::Usage(
+            "--racy and --no-faults are mutually exclusive".into(),
+        ));
+    }
     let mut cfg = SimConfig::with_seed(seed);
-    if !args.has("no-faults") {
+    if args.has("racy") {
+        cfg = cfg.with_faults(rules::racy_fault_plan());
+    } else if !args.has("no-faults") {
         cfg = cfg.with_faults(rules::default_fault_plan());
     }
     let run = run_mix_sharded(&cfg, args.get("mix"), ops, shards, jobs).map_err(CliError::Usage)?;
@@ -565,6 +591,13 @@ pub fn cmd_scan(args: &Args) -> Result<String> {
             files += 1;
         }
     }
+    if args.has("json") {
+        let v = Json::obj(vec![
+            ("files", (files as u64).to_json()),
+            ("counts", total.to_json()),
+        ]);
+        return Ok(v.pretty());
+    }
     Ok(format!(
         "{files} files: {} spinlock inits, {} mutex inits, {} rwlock inits, \
          {} rwsem inits, {} seqlock inits, {} semaphore inits, {} rcu usages, {} LoC",
@@ -583,8 +616,56 @@ pub fn cmd_scan(args: &Args) -> Result<String> {
 /// cycles (ex-post lockdep).
 pub fn cmd_order(args: &Args) -> Result<String> {
     let db = load_db(args)?;
-    let graph = lockdoc_core::order::OrderGraph::build(&db);
+    let graph = OrderGraph::build_par(&db, args.jobs()?);
+    if args.has("json") {
+        return Ok(lockdoc_platform::json::to_string_pretty(&graph));
+    }
     Ok(graph.report(&db))
+}
+
+/// `lockdoc races`: Eraser-style lockset race detection with witness
+/// pairs.
+pub fn cmd_races(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let races = find_races_par(&db, args.jobs()?);
+    if args.has("json") {
+        return Ok(lockdoc_platform::json::to_string_pretty(&races));
+    }
+    Ok(races.render(&db))
+}
+
+/// `lockdoc lint`: cross-pass consistency lint — joins mined rules,
+/// documented-rule checking, violations, race candidates, and the
+/// lock-order graph into ranked findings.
+pub fn cmd_lint(args: &Args) -> Result<String> {
+    let db = load_db(args)?;
+    let t_ac: f64 = args.num("t-ac", 0.9f64)?;
+    let jobs = args.jobs()?;
+    let mined = derive_par(&db, &DeriveConfig::with_threshold(t_ac), jobs);
+    let text = match args.get("rules") {
+        Some(path) => fs::read_to_string(path)?,
+        None => rules::documented_rules().to_owned(),
+    };
+    let parsed = parse_rules(&text).map_err(|e| CliError::Rules(e.to_string()))?;
+    let checked = check_rules_par(&db, &parsed, jobs);
+    let violations = find_violations_par(&db, &mined, 3, jobs);
+    let races = find_races_par(&db, jobs);
+    let order = OrderGraph::build_par(&db, jobs);
+    let report = lint(
+        &db,
+        &LintInputs {
+            mined: &mined,
+            checked: &checked,
+            violations: &violations,
+            races: &races,
+            order: &order,
+        },
+        jobs,
+    );
+    if args.has("json") {
+        return Ok(lockdoc_platform::json::to_string_pretty(&report));
+    }
+    Ok(report.render(&db))
 }
 
 /// `lockdoc diff`: mined-rule drift between two traces.
@@ -623,6 +704,8 @@ pub fn run(raw: &[String]) -> Result<String> {
         "check" => cmd_check(&args),
         "doc" => cmd_doc(&args),
         "violations" => cmd_violations(&args),
+        "races" => cmd_races(&args),
+        "lint" => cmd_lint(&args),
         "scan" => cmd_scan(&args),
         "diff" => cmd_diff(&args),
         "order" => cmd_order(&args),
@@ -737,6 +820,37 @@ mod tests {
         assert!(out.contains("0 changed, 0 added, 0 removed"));
         let out = run(&s(&["order", "--trace", trace_path.to_str().unwrap()])).unwrap();
         assert!(out.contains("lock-order graph:"));
+        let json = run(&s(&[
+            "order",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let value = lockdoc_platform::json::parse(&json).expect("valid json");
+        assert!(value.get("edges").is_some_and(|e| e.is_array()));
+        let out = run(&s(&["races", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("race detector:"), "{out}");
+        let json = run(&s(&[
+            "races",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let value = lockdoc_platform::json::parse(&json).expect("valid json");
+        assert!(value.get("groups").is_some_and(|g| g.is_array()));
+        let out = run(&s(&["lint", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("consistency lint:"), "{out}");
+        let json = run(&s(&[
+            "lint",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let value = lockdoc_platform::json::parse(&json).expect("valid json");
+        assert!(value.get("findings").is_some_and(|f| f.is_array()));
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -746,7 +860,15 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let p = dir.join("t.ldoc");
         run(&s(&["trace", "--ops", "400", "--out", p.to_str().unwrap()])).unwrap();
-        for cmd in ["derive", "doc", "violations", "check"] {
+        for cmd in [
+            "derive",
+            "doc",
+            "violations",
+            "check",
+            "order",
+            "races",
+            "lint",
+        ] {
             let serial = run(&s(&[cmd, "--trace", p.to_str().unwrap(), "--jobs", "1"])).unwrap();
             let parallel = run(&s(&[cmd, "--trace", p.to_str().unwrap(), "--jobs", "4"])).unwrap();
             assert_eq!(serial, parallel, "{cmd} output differs across --jobs");
@@ -871,6 +993,51 @@ mod tests {
         assert!(out.contains("2 files"));
         assert!(out.contains("1 spinlock inits"));
         assert!(out.contains("1 mutex inits"));
+        let json = run(&s(&["scan", "--dir", dir.to_str().unwrap(), "--json"])).unwrap();
+        let v = lockdoc_platform::json::parse(&json).expect("valid json");
+        assert_eq!(v.get("files").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            v.get("counts")
+                .and_then(|c| c.get("spinlock_inits"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_racy_flag_enables_the_lockless_writer() {
+        let dir = std::env::temp_dir().join("lockdoc-racy-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("r.ldoc");
+        let out = run(&s(&[
+            "trace",
+            "--ops",
+            "1500",
+            "--seed",
+            "2060345069",
+            "--racy",
+            "--out",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("events"));
+        // The racy workload surfaces at least one race candidate.
+        let races = run(&s(&["races", "--trace", p.to_str().unwrap()])).unwrap();
+        assert!(races.contains("RACE"), "{races}");
+        let lint_out = run(&s(&["lint", "--trace", p.to_str().unwrap()])).unwrap();
+        assert!(lint_out.contains("CONFIRMED"), "{lint_out}");
+        let err = run(&s(&[
+            "trace",
+            "--ops",
+            "10",
+            "--racy",
+            "--no-faults",
+            "--out",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
         fs::remove_dir_all(&dir).ok();
     }
 }

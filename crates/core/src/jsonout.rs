@@ -9,11 +9,14 @@
 use crate::checker::{CheckedRule, TypeCheckSummary, Verdict};
 use crate::derive::{DeriveConfig, GroupRules, MinedRule, MinedRules};
 use crate::hypothesis::{Hypothesis, HypothesisSet, Observation};
+use crate::lint::{LintFinding, LintReport, OrderConflict, Severity};
 use crate::lockset::LockDescriptor;
+use crate::order::{Inversion, LockClass, OrderEdge, OrderGraph};
+use crate::race::{GroupRaces, RaceAccess, RaceCandidate, RacePair, RaceReport};
 use crate::rulediff::{ChangedRule, RuleDiff};
 use crate::rulespec::RuleSpec;
 use crate::select::{SelectionConfig, Strategy, Winner};
-use crate::violation::{GroupViolations, ViolationEvent};
+use crate::violation::{GroupViolations, MemberViolationCounts, ViolationEvent};
 use lockdoc_platform::json::{decode_field, field, FromJson, Json, JsonError, ToJson};
 
 macro_rules! json_struct {
@@ -196,11 +199,18 @@ json_struct!(ViolationEvent {
     stack,
     access_id
 });
+json_struct!(MemberViolationCounts {
+    member_name,
+    kind,
+    events,
+    irq_events
+});
 json_struct!(GroupViolations {
     group_name,
     events,
     members,
     contexts,
+    per_member,
     examples
 });
 json_struct!(ChangedRule { key, old, new });
@@ -210,6 +220,123 @@ json_struct!(RuleDiff {
     changed,
     unchanged
 });
+
+// --- race detector + lint + order graph --------------------------------------
+
+json_unit_enum!(Severity {
+    Confirmed => "confirmed",
+    Probable => "probable",
+    Suspect => "suspect",
+    Downgraded => "downgraded",
+});
+
+json_struct!(RaceAccess {
+    kind,
+    context,
+    flow,
+    held,
+    loc,
+    stack,
+    access_id
+});
+json_struct!(RacePair { first, second });
+json_struct!(RaceCandidate {
+    group_name,
+    member,
+    member_name,
+    accesses,
+    writes,
+    flows,
+    witness
+});
+json_struct!(GroupRaces {
+    group_name,
+    data_type,
+    subclass,
+    members_checked,
+    pairless,
+    candidates
+});
+json_struct!(RaceReport { groups });
+
+json_struct!(LintFinding {
+    group_name,
+    member_name,
+    severity,
+    rationale,
+    violations,
+    write_violations,
+    irq_violations,
+    racy,
+    witness,
+    doc_verdict
+});
+json_struct!(OrderConflict {
+    rule,
+    held_first,
+    held_second,
+    documented_count,
+    dominant_count
+});
+json_struct!(LintReport {
+    findings,
+    order_conflicts,
+    groups_checked
+});
+
+impl ToJson for LockClass {
+    fn to_json(&self) -> Json {
+        self.name.to_json()
+    }
+}
+
+impl FromJson for LockClass {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(LockClass {
+            name: String::from_json(v)?,
+        })
+    }
+}
+
+json_struct!(OrderEdge {
+    from,
+    to,
+    count,
+    witness
+});
+json_struct!(Inversion { forward, backward });
+
+impl ToJson for OrderGraph {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "edges",
+                Json::Arr(self.edges.values().map(ToJson::to_json).collect()),
+            ),
+            (
+                "inversions",
+                Json::Arr(self.inversions().iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "cycles",
+                Json::Arr(self.cycles().iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for OrderGraph {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let edges: Vec<OrderEdge> = decode_field(v, "edges")?;
+        let mut graph = OrderGraph::default();
+        for edge in edges {
+            graph
+                .edges
+                .insert((edge.from.clone(), edge.to.clone()), edge);
+        }
+        Ok(graph)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -334,10 +461,134 @@ mod tests {
             events: 1,
             members,
             contexts,
+            per_member: vec![MemberViolationCounts {
+                member_name: "i_state".into(),
+                kind: lockdoc_trace::event::AccessKind::Write,
+                events: 1,
+                irq_events: 0,
+            }],
             examples: vec![ev],
         };
         let back: GroupViolations = from_str(&group.to_json().pretty()).unwrap();
         assert_eq!(back, group);
+    }
+
+    #[test]
+    fn race_report_round_trips() {
+        use lockdoc_trace::event::{AccessKind, ContextKind, SourceLoc};
+        use lockdoc_trace::ids::{DataTypeId, StackId, Sym};
+
+        let side = |kind, line, flow: &str| RaceAccess {
+            kind,
+            context: ContextKind::Task,
+            flow: flow.into(),
+            held: vec![LockDescriptor::es("i_lock", "inode")],
+            loc: SourceLoc::new(Sym(1), line),
+            stack: StackId(9),
+            access_id: u64::from(line),
+        };
+        let report = RaceReport {
+            groups: vec![GroupRaces {
+                group_name: "inode:ext4".into(),
+                data_type: DataTypeId(0),
+                subclass: Some(Sym(3)),
+                members_checked: 7,
+                pairless: 1,
+                candidates: vec![RaceCandidate {
+                    group_name: "inode:ext4".into(),
+                    member: 2,
+                    member_name: "i_state".into(),
+                    accesses: 12,
+                    writes: 5,
+                    flows: 3,
+                    witness: RacePair {
+                        first: side(AccessKind::Write, 100, "alpha"),
+                        second: side(AccessKind::Read, 200, "beta"),
+                    },
+                }],
+            }],
+        };
+        let back: RaceReport = from_str(&report.to_json().pretty()).unwrap();
+        assert_eq!(back, report);
+        let v = parse(&report.to_json().pretty()).unwrap();
+        assert!(v.get("groups").is_some_and(|g| g.is_array()));
+    }
+
+    #[test]
+    fn lint_report_round_trips() {
+        use lockdoc_trace::event::{AccessKind, ContextKind, SourceLoc};
+        use lockdoc_trace::ids::{StackId, Sym};
+
+        let report = LintReport {
+            findings: vec![LintFinding {
+                group_name: "inode:ext4".into(),
+                member_name: "i_state".into(),
+                severity: Severity::Confirmed,
+                rationale: "because".into(),
+                violations: 4,
+                write_violations: 2,
+                irq_violations: 0,
+                racy: true,
+                witness: Some(RacePair {
+                    first: RaceAccess {
+                        kind: AccessKind::Write,
+                        context: ContextKind::Task,
+                        flow: "alpha".into(),
+                        held: vec![],
+                        loc: SourceLoc::new(Sym(1), 10),
+                        stack: StackId(2),
+                        access_id: 1,
+                    },
+                    second: RaceAccess {
+                        kind: AccessKind::Write,
+                        context: ContextKind::Softirq,
+                        flow: "softirq".into(),
+                        held: vec![LockDescriptor::pseudo("softirq")],
+                        loc: SourceLoc::new(Sym(1), 20),
+                        stack: StackId(3),
+                        access_id: 2,
+                    },
+                }),
+                doc_verdict: Some(Verdict::Ambivalent),
+            }],
+            order_conflicts: vec![OrderConflict {
+                rule: "inode.i_state:w = a -> b".into(),
+                held_first: "a".into(),
+                held_second: "b".into(),
+                documented_count: 2,
+                dominant_count: 40,
+            }],
+            groups_checked: 9,
+        };
+        let back: LintReport = from_str(&report.to_json().pretty()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(Severity::Confirmed.to_json().compact(), "\"confirmed\"");
+    }
+
+    #[test]
+    fn order_graph_round_trips_edges() {
+        use lockdoc_trace::event::SourceLoc;
+        use lockdoc_trace::ids::Sym;
+        let class = |n: &str| LockClass { name: n.to_owned() };
+        let mut graph = OrderGraph::default();
+        for (from, to, count) in [("a", "b", 5u64), ("b", "a", 1)] {
+            graph.edges.insert(
+                (class(from), class(to)),
+                OrderEdge {
+                    from: class(from),
+                    to: class(to),
+                    count,
+                    witness: SourceLoc::new(Sym(0), 7),
+                },
+            );
+        }
+        let text = graph.to_json().pretty();
+        let back: OrderGraph = from_str(&text).unwrap();
+        assert_eq!(back, graph);
+        // The projection also carries the derived diagnostics.
+        let v = parse(&text).unwrap();
+        assert!(v.get("inversions").is_some_and(|g| g.is_array()));
+        assert!(v.get("cycles").is_some_and(|g| g.is_array()));
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //! 5. **generates documentation** from the mined rules ([`docgen`],
 //!    Sec. 7.4 / Fig. 8), and
 //! 6. **finds rule violations** — potential locking bugs — with full
-//!    context ([`violation`], Sec. 7.5).
+//!    context ([`violation`], Sec. 7.5),
+//! 7. runs an Eraser-style **lockset race detector** over the same trace,
+//!    with IRQ and single-core flow exclusion encoded as pseudo-locks
+//!    ([`race`]), and
+//! 8. **cross-checks all passes** against each other, ranking findings by
+//!    confidence and flagging documented rules that contradict the
+//!    dominant observed lock order ([`lint`]).
 //!
 //! # Examples
 //!
@@ -48,9 +54,11 @@ pub mod derive;
 pub mod docgen;
 pub mod hypothesis;
 pub mod jsonout;
+pub mod lint;
 pub mod lockset;
 pub mod matrix;
 pub mod order;
+pub mod race;
 pub mod rulediff;
 pub mod rulespec;
 pub mod select;
@@ -60,8 +68,10 @@ pub use checker::{check_rules, summarize, CheckedRule, Verdict};
 pub use derive::{derive, derive_pooled, DeriveConfig, GroupRules, MinedRule, MinedRules};
 pub use docgen::{generate_doc, generate_rulespec};
 pub use hypothesis::{complies, enumerate, Hypothesis, HypothesisSet, Observation};
+pub use lint::{lint, LintFinding, LintInputs, LintReport, OrderConflict, Severity};
 pub use lockset::LockDescriptor;
 pub use order::{Inversion, LockClass, OrderEdge, OrderGraph};
+pub use race::{find_races, GroupRaces, RaceAccess, RaceCandidate, RacePair, RaceReport};
 pub use rulediff::{diff_rules, RuleDiff};
 pub use rulespec::{parse_rule, parse_rules, RuleSpec};
 pub use select::{select, SelectionConfig, Strategy, Winner};

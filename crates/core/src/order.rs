@@ -14,6 +14,8 @@
 //! carry witness information (source location, count) so a reported
 //! inversion can be tracked to code.
 
+use lockdoc_platform::par::{chunks_for, par_map};
+use lockdoc_trace::db::schema::Txn;
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::SourceLoc;
 use lockdoc_trace::ids::LockId;
@@ -91,29 +93,62 @@ impl OrderGraph {
     pub fn build(db: &TraceDb) -> Self {
         let mut graph = OrderGraph::default();
         for txn in &db.txns {
-            for j in 1..txn.locks.len() {
-                let to_class = lock_class(db, txn.locks[j].lock);
-                for held in &txn.locks[..j] {
-                    let from_class = lock_class(db, held.lock);
-                    if from_class == to_class {
-                        continue;
-                    }
-                    let key = (from_class.clone(), to_class.clone());
-                    let witness = txn.locks[j].acquired_at;
-                    graph
-                        .edges
-                        .entry(key)
-                        .and_modify(|e| e.count += 1)
-                        .or_insert(OrderEdge {
-                            from: from_class,
-                            to: to_class.clone(),
-                            count: 1,
-                            witness,
-                        });
-                }
+            graph.record_txn(db, txn);
+        }
+        graph
+    }
+
+    /// [`OrderGraph::build`] sharded across `jobs` workers.
+    ///
+    /// Transactions are split into contiguous chunks; the partial edge
+    /// maps merge back in chunk order, summing counts and keeping the
+    /// earliest witness. Since the serial build's witness is also the
+    /// first occurrence in transaction order, the result is
+    /// byte-identical to `build` at any worker count.
+    pub fn build_par(db: &TraceDb, jobs: usize) -> Self {
+        let chunks = chunks_for(jobs, &db.txns);
+        let parts = par_map(jobs, &chunks, |chunk| {
+            let mut graph = OrderGraph::default();
+            for txn in *chunk {
+                graph.record_txn(db, txn);
+            }
+            graph
+        });
+        let mut graph = OrderGraph::default();
+        for part in parts {
+            for (key, edge) in part.edges {
+                graph
+                    .edges
+                    .entry(key)
+                    .and_modify(|e| e.count += edge.count)
+                    .or_insert(edge);
             }
         }
         graph
+    }
+
+    /// Records one transaction's acquisition-order edges.
+    fn record_txn(&mut self, db: &TraceDb, txn: &Txn) {
+        for j in 1..txn.locks.len() {
+            let to_class = lock_class(db, txn.locks[j].lock);
+            for held in &txn.locks[..j] {
+                let from_class = lock_class(db, held.lock);
+                if from_class == to_class {
+                    continue;
+                }
+                let key = (from_class.clone(), to_class.clone());
+                let witness = txn.locks[j].acquired_at;
+                self.edges
+                    .entry(key)
+                    .and_modify(|e| e.count += 1)
+                    .or_insert(OrderEdge {
+                        from: from_class,
+                        to: to_class.clone(),
+                        count: 1,
+                        witness,
+                    });
+            }
+        }
     }
 
     /// Number of distinct classes in the graph.
@@ -147,12 +182,15 @@ impl OrderGraph {
     }
 
     /// Deadlock-potential clusters: the strongly connected components of
-    /// the class-order graph with more than one node (Tarjan's algorithm).
+    /// the class-order graph with more than one node, plus single nodes
+    /// carrying a self-edge (Tarjan's algorithm).
     ///
     /// Every pair of classes inside one cluster can be reached from each
     /// other through observed acquisition chains, so a cyclic wait is
     /// constructible — the generalization of the pairwise inversions to
-    /// arbitrary-length cycles.
+    /// arbitrary-length cycles. `build` never emits self-edges (same-class
+    /// nesting is skipped), but hand-assembled graphs can contain them and
+    /// a self-edge is a one-node cycle, so it is reported as one.
     pub fn cycles(&self) -> Vec<Vec<LockClass>> {
         // Index the nodes.
         let mut nodes: Vec<LockClass> = Vec::new();
@@ -230,7 +268,9 @@ impl OrderGraph {
                                 break;
                             }
                         }
-                        if component.len() > 1 {
+                        let self_loop =
+                            component.len() == 1 && adj[component[0]].contains(&component[0]);
+                        if component.len() > 1 || self_loop {
                             sccs.push(component);
                         }
                     }
@@ -494,6 +534,74 @@ mod tests {
         assert_eq!(cycles.len(), 1);
         let names: Vec<&str> = cycles[0].iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b", "c"], "d is not part of the SCC");
+    }
+
+    /// A four-node ring plus a chord: the SCC spans all four nodes.
+    #[test]
+    fn tarjan_finds_four_node_cycles() {
+        use lockdoc_trace::event::SourceLoc;
+        use lockdoc_trace::ids::Sym;
+        let mut graph = OrderGraph::default();
+        let class = |n: &str| LockClass { name: n.to_owned() };
+        let loc = SourceLoc::new(Sym(0), 1);
+        for (a, b) in [
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "d"),
+            ("d", "a"),
+            ("b", "d"),
+            ("a", "e"),
+        ] {
+            graph.edges.insert(
+                (class(a), class(b)),
+                OrderEdge {
+                    from: class(a),
+                    to: class(b),
+                    count: 1,
+                    witness: loc,
+                },
+            );
+        }
+        assert!(graph.inversions().is_empty(), "no pairwise inversion");
+        let cycles = graph.cycles();
+        assert_eq!(cycles.len(), 1);
+        let names: Vec<&str> = cycles[0].iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"], "e is outside the SCC");
+    }
+
+    /// A self-edge is a one-node cycle and must be reported; plain
+    /// single-node components must not be.
+    #[test]
+    fn self_edge_forms_single_node_cycle() {
+        use lockdoc_trace::event::SourceLoc;
+        use lockdoc_trace::ids::Sym;
+        let mut graph = OrderGraph::default();
+        let class = |n: &str| LockClass { name: n.to_owned() };
+        let loc = SourceLoc::new(Sym(0), 1);
+        for (a, b) in [("a", "a"), ("a", "b")] {
+            graph.edges.insert(
+                (class(a), class(b)),
+                OrderEdge {
+                    from: class(a),
+                    to: class(b),
+                    count: 1,
+                    witness: loc,
+                },
+            );
+        }
+        let cycles = graph.cycles();
+        assert_eq!(cycles.len(), 1);
+        let names: Vec<&str> = cycles[0].iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a"]);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_exactly() {
+        let db = clock_db(2000, 3);
+        let serial = OrderGraph::build(&db);
+        for jobs in [2, 4, 8] {
+            assert_eq!(OrderGraph::build_par(&db, jobs), serial, "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -33,6 +33,20 @@ pub struct ViolationEvent {
     pub access_id: u64,
 }
 
+/// Per-member, per-kind violation tallies (consumed by the consistency
+/// lint, [`crate::lint`], to join violations with race reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberViolationCounts {
+    /// Member name.
+    pub member_name: String,
+    /// Access kind of the violated rule.
+    pub kind: AccessKind,
+    /// Violating events of this member/kind.
+    pub events: u64,
+    /// How many of them ran in an interrupt-like context.
+    pub irq_events: u64,
+}
+
 /// Violation summary for one observation group (one row of paper Tab. 7).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupViolations {
@@ -44,6 +58,8 @@ pub struct GroupViolations {
     pub members: BTreeSet<String>,
     /// Distinct contexts: `(source location, stack trace)` pairs.
     pub contexts: BTreeSet<(SourceLoc, StackId)>,
+    /// Per-member, per-kind tallies, ordered by member name then kind.
+    pub per_member: Vec<MemberViolationCounts>,
     /// Example events (capped by the `max_examples` argument).
     pub examples: Vec<ViolationEvent>,
 }
@@ -102,8 +118,11 @@ fn scan_group(db: &TraceDb, group_rules: &GroupRules, max_examples: usize) -> Gr
         events: 0,
         members: BTreeSet::new(),
         contexts: BTreeSet::new(),
+        per_member: Vec::new(),
         examples: Vec::new(),
     };
+    let mut tallies: std::collections::BTreeMap<(String, AccessKind), (u64, u64)> =
+        std::collections::BTreeMap::new();
     if !ruled.is_empty() {
         // Write-over-read folding (paper Sec. 4.2) applies to the scan
         // as well: a read inside a unit that also writes the member is
@@ -136,8 +155,15 @@ fn scan_group(db: &TraceDb, group_rules: &GroupRules, max_examples: usize) -> Gr
                 continue;
             }
             gv.events += 1;
-            gv.members
-                .insert(db.member_name(access.data_type, access.member).to_owned());
+            let member_name = db.member_name(access.data_type, access.member).to_owned();
+            let tally = tallies
+                .entry((member_name.clone(), access.kind))
+                .or_default();
+            tally.0 += 1;
+            if access.context != lockdoc_trace::event::ContextKind::Task {
+                tally.1 += 1;
+            }
+            gv.members.insert(member_name);
             gv.contexts.insert((access.loc, access.stack));
             if gv.examples.len() < max_examples {
                 gv.examples.push(ViolationEvent {
@@ -153,6 +179,17 @@ fn scan_group(db: &TraceDb, group_rules: &GroupRules, max_examples: usize) -> Gr
             }
         }
     }
+    gv.per_member = tallies
+        .into_iter()
+        .map(
+            |((member_name, kind), (events, irq_events))| MemberViolationCounts {
+                member_name,
+                kind,
+                events,
+                irq_events,
+            },
+        )
+        .collect();
     gv
 }
 

@@ -83,6 +83,17 @@ pub fn default_fault_plan() -> FaultPlan {
     FaultPlan::none().enable("inode_set_flags_lockless", 0.06)
 }
 
+/// The seeded racy-workload knob (`lockdoc trace --racy`): the default
+/// plan plus a lockless `i_state` update in `__mark_inode_dirty`
+/// (fs/fs-writeback.c:2152). The rate is high enough that short runs
+/// give the race detector cross-task true positives, yet low enough
+/// that the locked writers stay dominant and the miner still derives
+/// `i_state:w = i_lock` — so the injected writes register as rule
+/// violations *and* empty-lockset races, the lint's CONFIRMED tier.
+pub fn racy_fault_plan() -> FaultPlan {
+    default_fault_plan().enable("mark_inode_dirty_lockless", 0.2)
+}
+
 /// The *documented* locking rules of the simulated kernel for the five
 /// relatively well documented data types of paper Tab. 4, in
 /// [`lockdoc-core` rulespec notation](https://docs.rs) (`type.member:kind

@@ -682,12 +682,23 @@ impl Machine {
 
     /// Marks an inode dirty (`__mark_inode_dirty()`): `i_state` under
     /// `i_lock`, io-list membership under the bdi's `wb.list_lock`.
+    ///
+    /// The `mark_inode_dirty_lockless` fault site (enabled by
+    /// [`crate::rules::racy_fault_plan`], the seeded racy-workload knob)
+    /// skips `i_lock` around the `i_state` update — a genuine cross-task
+    /// data race the lockset race detector must confirm, with the
+    /// injection oracle pinning the exact site (line 2152).
     pub fn mark_inode_dirty(&mut self, inode: Obj, bdi: Obj) {
+        let racy = self.k.should_inject("mark_inode_dirty_lockless");
         self.k
             .in_fn("__mark_inode_dirty", "fs/fs-writeback.c", |k| {
-                k.lock(Lock::Of(inode, "i_lock"), 2121);
-                k.rmw(inode, "i_state", 2122);
-                k.unlock(Lock::Of(inode, "i_lock"), 2123);
+                if racy {
+                    k.rmw(inode, "i_state", 2152);
+                } else {
+                    k.lock(Lock::Of(inode, "i_lock"), 2121);
+                    k.rmw(inode, "i_state", 2122);
+                    k.unlock(Lock::Of(inode, "i_lock"), 2123);
+                }
                 k.lock(Lock::Of(bdi, "wb.list_lock"), 2131);
                 k.write(inode, "dirtied_when", 2132);
                 k.write(inode, "i_io_list", 2133);

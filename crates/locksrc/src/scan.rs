@@ -54,6 +54,39 @@ impl LockUsageCounts {
     }
 }
 
+impl lockdoc_platform::json::ToJson for LockUsageCounts {
+    fn to_json(&self) -> lockdoc_platform::json::Json {
+        lockdoc_platform::json::Json::obj(vec![
+            ("spinlock_inits", self.spinlock_inits.to_json()),
+            ("mutex_inits", self.mutex_inits.to_json()),
+            ("rcu_usages", self.rcu_usages.to_json()),
+            ("rwlock_inits", self.rwlock_inits.to_json()),
+            ("rwsem_inits", self.rwsem_inits.to_json()),
+            ("seqlock_inits", self.seqlock_inits.to_json()),
+            ("semaphore_inits", self.semaphore_inits.to_json()),
+            ("loc", self.loc.to_json()),
+        ])
+    }
+}
+
+impl lockdoc_platform::json::FromJson for LockUsageCounts {
+    fn from_json(
+        v: &lockdoc_platform::json::Json,
+    ) -> Result<Self, lockdoc_platform::json::JsonError> {
+        use lockdoc_platform::json::decode_field;
+        Ok(Self {
+            spinlock_inits: decode_field(v, "spinlock_inits")?,
+            mutex_inits: decode_field(v, "mutex_inits")?,
+            rcu_usages: decode_field(v, "rcu_usages")?,
+            rwlock_inits: decode_field(v, "rwlock_inits")?,
+            rwsem_inits: decode_field(v, "rwsem_inits")?,
+            seqlock_inits: decode_field(v, "seqlock_inits")?,
+            semaphore_inits: decode_field(v, "semaphore_inits")?,
+            loc: decode_field(v, "loc")?,
+        })
+    }
+}
+
 /// Identifier patterns counted per category. A hit requires the identifier
 /// to appear as a whole token followed by `(` (macro or function call).
 const SPINLOCK_IDS: &[&str] = &["spin_lock_init", "DEFINE_SPINLOCK", "__SPIN_LOCK_UNLOCKED"];
@@ -228,6 +261,15 @@ pub fn scan_source(src: &str) -> LockUsageCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn usage_counts_round_trip_through_json() {
+        use lockdoc_platform::json::{parse, FromJson, ToJson};
+        let c = scan_source("void f(void) { spin_lock_init(&a); mutex_init(&b); }\n");
+        let text = c.to_json().pretty();
+        let back = LockUsageCounts::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
 
     #[test]
     fn counts_initializer_calls() {

@@ -49,6 +49,29 @@ echo "fmt + clippy: OK"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# --- races / lint determinism gate -------------------------------------------
+# The race detector and consistency lint must be byte-identical at any
+# worker count, in both text and JSON renderings. Exercised through the
+# real CLI on a freshly generated racy-knob trace (quick mode: small op
+# count; the same gate runs at scale in the race_detection_scaling bench).
+LOCKDOC="$(pwd)/target/release/lockdoc"
+GATE_DIR="$(mktemp -d)"
+trap 'rm -rf "$GATE_DIR"' EXIT
+"$LOCKDOC" trace --ops 800 --racy --out "$GATE_DIR/racy.ldoc" > /dev/null
+for cmd in races lint; do
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 1 > "$GATE_DIR/$cmd.1.txt"
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 4 > "$GATE_DIR/$cmd.4.txt"
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 1 --json > "$GATE_DIR/$cmd.1.json"
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 4 --json > "$GATE_DIR/$cmd.4.json"
+    diff -u "$GATE_DIR/$cmd.1.txt" "$GATE_DIR/$cmd.4.txt" \
+        || { echo "$cmd text output differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+    diff -u "$GATE_DIR/$cmd.1.json" "$GATE_DIR/$cmd.4.json" \
+        || { echo "$cmd JSON output differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+done
+grep -q "RACE" "$GATE_DIR/races.1.txt" \
+    || { echo "racy-knob trace produced no race candidates" >&2; exit 1; }
+echo "races/lint determinism gate: OK (byte-identical at --jobs 1 and 4)"
+
 # --- corruption-oracle soak (optional) ---------------------------------------
 # LOCKDOC_PROPS_ITERS=N re-runs the corruption differential suite with N
 # property cases per test (default CI runs use the harness default). The

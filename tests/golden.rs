@@ -15,8 +15,14 @@ use ksim::config::SimConfig;
 use ksim::parallel::run_mix_sharded;
 use ksim::rules;
 use ksim::subsys::Machine;
+use lockdoc_core::checker::check_rules_par;
 use lockdoc_core::derive::{derive_par, DeriveConfig};
 use lockdoc_core::docgen::{generate_doc, generate_rulespec};
+use lockdoc_core::lint::{lint, LintInputs};
+use lockdoc_core::order::OrderGraph;
+use lockdoc_core::race::find_races_par;
+use lockdoc_core::rulespec::parse_rules;
+use lockdoc_core::violation::find_violations_par;
 use lockdoc_trace::codec::write_trace;
 use lockdoc_trace::db::import;
 use std::fs;
@@ -54,6 +60,29 @@ fn run_pipeline_sharded(shards: u64, jobs: usize) -> (Vec<u8>, String) {
         doc.push_str(&generate_doc(group));
         doc.push('\n');
     }
+
+    // Race detection + cross-pass consistency lint, sharded like every
+    // other phase; the golden file pins both text reports too.
+    let documented = parse_rules(rules::documented_rules()).expect("documented rules parse");
+    let checked = check_rules_par(&db, &documented, jobs);
+    let violations = find_violations_par(&db, &mined, 3, jobs);
+    let races = find_races_par(&db, jobs);
+    let order = OrderGraph::build_par(&db, jobs);
+    let report = lint(
+        &db,
+        &LintInputs {
+            mined: &mined,
+            checked: &checked,
+            violations: &violations,
+            races: &races,
+            order: &order,
+        },
+        jobs,
+    );
+    doc.push_str("## races\n\n");
+    doc.push_str(&races.render(&db));
+    doc.push_str("\n## lint\n\n");
+    doc.push_str(&report.render(&db));
     (encoded, doc)
 }
 

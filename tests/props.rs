@@ -701,6 +701,70 @@ fn order_graph_invariants() {
     });
 }
 
+/// In-situ / ex-post lock-order parity: every warning the runtime
+/// `ksim::lockdep` validator raises during a simulation corresponds to an
+/// inversion the ex-post `OrderGraph` finds in the recorded trace of the
+/// same run. Both analyses name classes identically (globals by name,
+/// embedded locks as `member in type`), so the warning's unordered class
+/// pair must appear among the graph's inversion pairs (fewer cases —
+/// each runs the full simulator).
+#[test]
+fn lockdep_warnings_are_order_graph_inversions() {
+    let cfg = prop::Config {
+        cases: 12,
+        ..prop::Config::from_env()
+    };
+    let gen = |rng: &mut Rng| rng.gen_range(0u64..1 << 48);
+    let warnings_seen = std::cell::Cell::new(0usize);
+    prop::check_with(
+        &cfg,
+        "lockdep_warnings_are_order_graph_inversions",
+        gen,
+        |&seed| {
+            let scfg = ksim::config::SimConfig::with_seed(seed)
+                .with_faults(ksim::rules::default_fault_plan());
+            let mut machine = ksim::subsys::Machine::boot(scfg);
+            machine.run_mix(900);
+            let warnings = machine.k.lockdep.warnings.clone();
+            let trace = machine.finish();
+            let db = import(&trace, &ksim::rules::filter_config(), 1);
+            let graph = OrderGraph::build(&db);
+            let inversion_pairs: Vec<(String, String)> = graph
+                .inversions()
+                .iter()
+                .map(|inv| {
+                    let mut pair = [inv.forward.from.name.clone(), inv.forward.to.name.clone()];
+                    pair.sort();
+                    let [a, b] = pair;
+                    (a, b)
+                })
+                .collect();
+            warnings_seen.set(warnings_seen.get() + warnings.len());
+            for w in &warnings {
+                let mut pair = [w.held_class.clone(), w.acquired_class.clone()];
+                pair.sort();
+                let [a, b] = pair;
+                prop_assert!(
+                    inversion_pairs.contains(&(a.clone(), b.clone())),
+                    "lockdep warned about {} <-> {} but the ex-post graph has \
+                     inversions {:?} (seed {})",
+                    a,
+                    b,
+                    inversion_pairs,
+                    seed
+                );
+            }
+            Ok(())
+        },
+    );
+    // Non-vacuity: the default fault plan injects an order inversion, so
+    // the runs above must actually have exercised the property.
+    assert!(
+        warnings_seen.get() > 0,
+        "no lockdep warnings across any case — the parity property ran vacuously"
+    );
+}
+
 /// Parsing a multi-line rule file equals parsing its lines separately.
 #[test]
 fn parse_rules_is_linewise() {
