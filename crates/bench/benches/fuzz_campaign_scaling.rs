@@ -1,0 +1,116 @@
+//! Scaling of the coverage-guided workload fuzzer across worker counts.
+//!
+//! Runs a fixed campaign (`ksim::fuzz::run_campaign`) at `jobs = 1, 2, 4`
+//! and reports candidates/second plus the speedup over the serial pass.
+//! Campaign reports are output-deterministic, so before timing anything
+//! the bench asserts the reports are *equal* at every worker count, and
+//! that the campaign actually improves on the standard mix — a scaling
+//! number for a non-steering fuzzer is worthless.
+//!
+//! Results land in `BENCH_fuzz.json` at the repository root, including
+//! the machine's available core count: within a generation candidates
+//! evaluate independently, so the speedup ceiling is
+//! `min(generation, cores)`.
+//!
+//! Runs on the in-tree `lockdoc_platform::timing` harness; set
+//! `LOCKDOC_BENCH_QUICK=1` for a single-iteration smoke run.
+
+use ksim::fuzz::{run_campaign, FuzzConfig};
+use lockdoc_platform::json::Json;
+use lockdoc_platform::par::available_jobs;
+use lockdoc_platform::timing::Bench;
+
+fn main() {
+    let quick = std::env::var("LOCKDOC_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let cfg = FuzzConfig {
+        budget: if quick { 4 } else { 24 },
+        ops: if quick { 200 } else { 1500 },
+        generation: 4,
+        ..FuzzConfig::default()
+    };
+    println!(
+        "campaign: seed=0x{:x} budget={} ops={} shards={} generation={}",
+        cfg.seed, cfg.budget, cfg.ops, cfg.shards, cfg.generation
+    );
+
+    // Identity + steering gate: every worker count must produce the same
+    // report, and the frontier must beat the baseline somewhere.
+    let serial = run_campaign(&cfg, 1).expect("campaign runs");
+    for jobs in [2usize, 4] {
+        let report = run_campaign(&cfg, jobs).expect("campaign runs");
+        assert_eq!(report, serial, "fuzz report differs at jobs = {jobs}");
+    }
+    assert!(
+        serial.improves_baseline(),
+        "campaign failed to improve on the standard mix:\n{}",
+        serial.render()
+    );
+    println!("improved dimensions: {}", serial.improved.join(", "));
+
+    let mut b = Bench::from_env();
+    let job_counts = [1usize, 2, 4];
+    for &jobs in &job_counts {
+        b.run(
+            &format!("fuzz/{}-candidates/jobs-{jobs}", cfg.budget),
+            || run_campaign(&cfg, jobs).expect("campaign runs"),
+        );
+    }
+
+    let results = b.results().to_vec();
+    let base = results[0].ns_per_iter();
+    let mut json_runs = Vec::new();
+    for (i, &jobs) in job_counts.iter().enumerate() {
+        let m = &results[i];
+        let cps = cfg.budget as f64 / (m.ns_per_iter() / 1e9);
+        let speedup = base / m.ns_per_iter();
+        println!(
+            "bench {:<44} {:>10.1} candidates/s, speedup vs jobs-1: {:.2}x",
+            m.name, cps, speedup
+        );
+        json_runs.push(Json::obj(vec![
+            ("jobs", Json::U64(jobs as u64)),
+            ("ns_per_iter", Json::F64(m.ns_per_iter())),
+            ("candidates_per_sec", Json::F64(cps)),
+            ("speedup_vs_serial", Json::F64(speedup)),
+        ]));
+    }
+
+    let cores = available_jobs();
+    let report = Json::obj(vec![
+        ("bench", Json::Str("fuzz_campaign_scaling".into())),
+        ("quick", Json::Bool(quick)),
+        ("budget", Json::U64(cfg.budget)),
+        ("ops", Json::U64(cfg.ops)),
+        ("generation", Json::U64(cfg.generation)),
+        ("available_cores", Json::U64(cores as u64)),
+        (
+            "improved_dimensions",
+            Json::Arr(
+                serial
+                    .improved
+                    .iter()
+                    .map(|d| Json::Str(d.clone()))
+                    .collect(),
+            ),
+        ),
+        ("corpus_size", Json::U64(serial.corpus.len() as u64)),
+        (
+            "identity_gate",
+            Json::Str("passed for jobs in {2,4}".into()),
+        ),
+        ("runs", Json::Arr(json_runs)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fuzz.json");
+    std::fs::write(out, report.pretty() + "\n").expect("write BENCH_fuzz.json");
+    println!("wrote {out}");
+
+    println!("note: machine reports {cores} available core(s); speedup saturates there");
+    if !quick && cores >= 4 {
+        let at4 = results[2].ns_per_iter();
+        let speedup = base / at4;
+        assert!(
+            speedup >= 1.5,
+            "expected >= 1.5x speedup at jobs = 4 on a {cores}-core machine, got {speedup:.2}x"
+        );
+    }
+}

@@ -179,6 +179,8 @@ USAGE:
   lockdoc scan       --dir PATH [--json]
   lockdoc diff       --old FILE --new FILE [--t-ac X]
   lockdoc order      --trace FILE [--jobs N] [--json]
+  lockdoc fuzz       [--budget N] [--ops N] [--seed N] [--shards N]
+                     [--generation N] [--jobs N] [--json]
 
 `--jobs N` (or LOCKDOC_JOBS) runs trace generation, import, and the
 analysis phases on N workers; output is byte-identical at any worker
@@ -199,6 +201,13 @@ lock-order conflicts.
 events (up to `--max-bad-frac`, default 0.05); `import --strict` refuses
 the first corrupt event with a typed diagnosis. `doctor` reports a trace's
 health (salvage + quarantine summary) without importing it for analysis.
+
+`fuzz` runs a coverage-guided campaign over workload mixes: --budget
+mutated candidates (in rounds of --generation), each running --ops
+operations, scored on uncovered functions, zero-observation members,
+unseen lock combinations, and pairless race candidates. The report is a
+pure function of (--seed, --budget, --ops, --shards, --generation);
+--jobs only changes wall-clock time.
 ";
 
 fn load_db(args: &Args) -> Result<TraceDb> {
@@ -690,6 +699,24 @@ pub fn cmd_diff(args: &Args) -> Result<String> {
     Ok(diff.render())
 }
 
+/// `lockdoc fuzz`: coverage-guided feedback fuzzing of workload mixes.
+pub fn cmd_fuzz(args: &Args) -> Result<String> {
+    let defaults = ksim::fuzz::FuzzConfig::default();
+    let cfg = ksim::fuzz::FuzzConfig {
+        seed: args.num("seed", defaults.seed)?,
+        budget: args.num("budget", defaults.budget)?,
+        ops: args.num("ops", defaults.ops)?,
+        shards: args.num("shards", defaults.shards)?,
+        generation: args.num("generation", defaults.generation)?,
+    };
+    let report = ksim::fuzz::run_campaign(&cfg, args.jobs()?)
+        .map_err(|e| CliError::Usage(format!("fuzz: {e}")))?;
+    if args.has("json") {
+        return Ok(lockdoc_platform::json::to_string_pretty(&report));
+    }
+    Ok(report.render())
+}
+
 /// Dispatches a full command line (without the binary name).
 pub fn run(raw: &[String]) -> Result<String> {
     let Some(cmd) = raw.first() else {
@@ -709,6 +736,7 @@ pub fn run(raw: &[String]) -> Result<String> {
         "scan" => cmd_scan(&args),
         "diff" => cmd_diff(&args),
         "order" => cmd_order(&args),
+        "fuzz" => cmd_fuzz(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand `{other}`\n{USAGE}"
@@ -875,6 +903,28 @@ mod tests {
         }
         assert!(Args::parse(&s(&["--jobs", "zebra"])).jobs().is_err());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fuzz_subcommand_is_jobs_invariant_and_round_trips_json() {
+        let base = s(&["fuzz", "--budget", "2", "--ops", "140", "--seed", "5"]);
+        let serial = run(&[base.clone(), s(&["--jobs", "1"])].concat()).unwrap();
+        let parallel = run(&[base.clone(), s(&["--jobs", "4"])].concat()).unwrap();
+        assert_eq!(serial, parallel, "fuzz output differs across --jobs");
+        assert!(
+            serial.contains("fuzz campaign: seed=0x5 budget=2"),
+            "{serial}"
+        );
+        assert!(serial.contains("baseline (standard mix):"), "{serial}");
+        let json = run(&[base, s(&["--json", "--jobs", "2"])].concat()).unwrap();
+        let report: ksim::fuzz::FuzzReport =
+            lockdoc_platform::json::from_str(&json).expect("valid fuzz json");
+        assert_eq!(report.seed, 5);
+        assert_eq!(report.budget, 2);
+        assert_eq!(report.corpus[0].gain, "baseline");
+        // Bad knobs surface as usage errors, not panics.
+        assert!(run(&s(&["fuzz", "--budget", "0"])).is_err());
+        assert!(run(&s(&["fuzz", "--budget", "x"])).is_err());
     }
 
     #[test]

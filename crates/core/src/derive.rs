@@ -113,6 +113,20 @@ impl GroupRules {
     pub fn rule_count(&self, kind: AccessKind) -> usize {
         self.rules.iter().filter(|r| r.kind == kind).count()
     }
+
+    /// Distinct members with at least one mined rule. Rules are ordered
+    /// by member, so counting ascents is enough.
+    pub fn observed_member_count(&self) -> usize {
+        let mut count = 0;
+        let mut last = None;
+        for rule in &self.rules {
+            if last != Some(rule.member) {
+                count += 1;
+                last = Some(rule.member);
+            }
+        }
+        count
+    }
 }
 
 /// The full result of a derivation run.
@@ -133,6 +147,39 @@ impl MinedRules {
     /// Total number of mined rules across all groups.
     pub fn rule_count(&self) -> usize {
         self.groups.iter().map(|g| g.rules.len()).sum()
+    }
+
+    /// Distinct members with at least one mined rule, summed over groups.
+    pub fn observed_member_count(&self) -> usize {
+        self.groups
+            .iter()
+            .map(GroupRules::observed_member_count)
+            .sum()
+    }
+
+    /// Rule-relevant members declared by the observed groups' type
+    /// layouts (lock and atomic members are excluded: the import filter
+    /// drops their accesses, so they can never be observed). The
+    /// difference to [`Self::observed_member_count`] is the
+    /// zero-observation count the fuzzing feedback signal minimizes.
+    pub fn declared_member_count(&self, db: &TraceDb) -> usize {
+        self.groups
+            .iter()
+            .map(|g| {
+                db.data_type(g.data_type)
+                    .members
+                    .iter()
+                    .filter(|m| !m.is_lock && !m.atomic)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Declared-but-never-observed members across all groups (the
+    /// paper's "not observed" rows; dark signal for the fuzzer).
+    pub fn zero_observation_member_count(&self, db: &TraceDb) -> usize {
+        self.declared_member_count(db)
+            .saturating_sub(self.observed_member_count())
     }
 }
 

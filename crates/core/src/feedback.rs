@@ -1,0 +1,125 @@
+//! Analysis-side feedback signal for coverage-guided workload fuzzing
+//! (DESIGN.md §5.5).
+//!
+//! LockDoc's rule quality is bounded by what the workloads exercise:
+//! members with zero observations derive no rules, and the race pass
+//! tallies "pairless" candidates it cannot witness. The paper's follow-up
+//! ("Improving Linux-Kernel Tests for LockDoc with Feedback-driven
+//! Fuzzing") closes that loop by mutating workloads toward the dark
+//! signals. [`AnalysisSignal`] is the analysis half of that feedback: the
+//! dimensions of an imported trace a fuzzer wants to push on that only the
+//! derivation/race/order passes can see. The simulator half (function
+//! coverage) lives in `ksim::coverage`; `ksim::fuzz` combines both.
+//!
+//! Every field is an exact integer or a sorted string list — no floats —
+//! so campaign reports built from this signal are byte-stable.
+
+use crate::derive::MinedRules;
+use crate::order::OrderGraph;
+use crate::race::RaceReport;
+use lockdoc_trace::db::TraceDb;
+
+/// The derivation/race/order dimensions of the fuzzing feedback signal,
+/// computed from one imported trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisSignal {
+    /// Non-lock members declared by the observed groups' type layouts
+    /// (the universe the zero-observation count is measured against).
+    pub members_total: u64,
+    /// Members with at least one mined rule.
+    pub observed_members: u64,
+    /// Declared members no observation unit ever touched: each derives no
+    /// rule at all (the paper's "not observed" rows).
+    pub zero_observation_members: u64,
+    /// Distinct nested lock-acquisition pairs (`outer -> inner` edges of
+    /// the lock-order graph), sorted: the lock-state combinations the
+    /// trace actually witnessed.
+    pub lock_combos: Vec<String>,
+    /// Race candidates with a concrete witness pair.
+    pub race_candidates: u64,
+    /// Members whose candidate lockset emptied collectively but that lack
+    /// a witness pair — dark signal the fuzzer tries to convert into
+    /// concrete witnesses.
+    pub pairless: u64,
+}
+
+impl AnalysisSignal {
+    /// Computes the signal from the three analysis passes over one trace.
+    pub fn compute(
+        db: &TraceDb,
+        mined: &MinedRules,
+        races: &RaceReport,
+        order: &OrderGraph,
+    ) -> Self {
+        let members_total = mined.declared_member_count(db) as u64;
+        let observed_members = mined.observed_member_count() as u64;
+        let lock_combos = order
+            .edges
+            .keys()
+            .map(|(from, to)| format!("{} -> {}", from.name, to.name))
+            .collect();
+        Self {
+            members_total,
+            observed_members,
+            zero_observation_members: members_total.saturating_sub(observed_members),
+            lock_combos,
+            race_candidates: races.candidate_count() as u64,
+            pairless: races.pairless_total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::clock_db;
+    use crate::derive::{derive, DeriveConfig};
+    use crate::race::find_races;
+
+    #[test]
+    fn clock_signal_counts_are_exact() {
+        let db = clock_db(500, 1);
+        let mined = derive(&db, &DeriveConfig::default());
+        let races = find_races(&db);
+        let order = OrderGraph::build(&db);
+        let sig = AnalysisSignal::compute(&db, &mined, &races, &order);
+        // The clock type has two data members (seconds, minutes); the
+        // workload touches both.
+        assert_eq!(sig.members_total, 2);
+        assert_eq!(sig.observed_members, 2);
+        assert_eq!(sig.zero_observation_members, 0);
+        // sec_lock is always taken before min_lock in the clock workload.
+        assert!(sig
+            .lock_combos
+            .iter()
+            .any(|c| c.contains("sec_lock") && c.contains("min_lock")));
+        // The combo list is sorted (BTreeMap key order).
+        let mut sorted = sig.lock_combos.clone();
+        sorted.sort();
+        assert_eq!(sig.lock_combos, sorted);
+        assert_eq!(sig.race_candidates, 0);
+        assert_eq!(sig.pairless, 0);
+    }
+
+    #[test]
+    fn suppressed_members_count_as_zero_observation() {
+        let db = clock_db(500, 1);
+        // min_units high enough that only `seconds` (written every
+        // iteration) survives; `minutes` becomes a zero-observation
+        // member from the signal's point of view.
+        let cfg = DeriveConfig {
+            min_units: 100,
+            ..DeriveConfig::default()
+        };
+        let mined = derive(&db, &cfg);
+        let races = find_races(&db);
+        let order = OrderGraph::build(&db);
+        let sig = AnalysisSignal::compute(&db, &mined, &races, &order);
+        assert_eq!(sig.members_total, 2);
+        assert!(sig.zero_observation_members >= 1, "{sig:?}");
+        assert_eq!(
+            sig.members_total,
+            sig.observed_members + sig.zero_observation_members
+        );
+    }
+}

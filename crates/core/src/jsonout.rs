@@ -8,6 +8,7 @@
 
 use crate::checker::{CheckedRule, TypeCheckSummary, Verdict};
 use crate::derive::{DeriveConfig, GroupRules, MinedRule, MinedRules};
+use crate::feedback::AnalysisSignal;
 use crate::hypothesis::{Hypothesis, HypothesisSet, Observation};
 use crate::lint::{LintFinding, LintReport, OrderConflict, Severity};
 use crate::lockset::LockDescriptor;
@@ -282,6 +283,18 @@ json_struct!(LintReport {
     findings,
     order_conflicts,
     groups_checked
+});
+
+// The analysis half of the fuzzing feedback signal (DESIGN §5.5); the
+// combined campaign reports serialize in `ksim::fuzz` (ksim depends on
+// this crate, so the orphan rule forces the split).
+json_struct!(AnalysisSignal {
+    members_total,
+    observed_members,
+    zero_observation_members,
+    lock_combos,
+    race_candidates,
+    pairless
 });
 
 impl ToJson for LockClass {
@@ -589,6 +602,23 @@ mod tests {
         let v = parse(&text).unwrap();
         assert!(v.get("inversions").is_some_and(|g| g.is_array()));
         assert!(v.get("cycles").is_some_and(|g| g.is_array()));
+    }
+
+    #[test]
+    fn analysis_signal_round_trips() {
+        let sig = AnalysisSignal {
+            members_total: 40,
+            observed_members: 31,
+            zero_observation_members: 9,
+            lock_combos: vec!["a -> b".into(), "b -> c".into()],
+            race_candidates: 2,
+            pairless: 1,
+        };
+        let text = sig.to_json().pretty();
+        let back: AnalysisSignal = from_str(&text).unwrap();
+        assert_eq!(back, sig);
+        let v = parse(&text).unwrap();
+        assert!(v.get("lock_combos").is_some_and(|c| c.is_array()));
     }
 
     #[test]

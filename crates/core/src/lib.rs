@@ -52,6 +52,7 @@ pub mod checker;
 pub mod clock;
 pub mod derive;
 pub mod docgen;
+pub mod feedback;
 pub mod hypothesis;
 pub mod jsonout;
 pub mod lint;
@@ -67,6 +68,7 @@ pub mod violation;
 pub use checker::{check_rules, summarize, CheckedRule, Verdict};
 pub use derive::{derive, derive_pooled, DeriveConfig, GroupRules, MinedRule, MinedRules};
 pub use docgen::{generate_doc, generate_rulespec};
+pub use feedback::AnalysisSignal;
 pub use hypothesis::{complies, enumerate, Hypothesis, HypothesisSet, Observation};
 pub use lint::{lint, LintFinding, LintInputs, LintReport, OrderConflict, Severity};
 pub use lockset::LockDescriptor;

@@ -134,6 +134,15 @@ impl RaceReport {
         self.groups.iter().map(|g| g.candidates.len()).sum()
     }
 
+    /// Total pairless tally across groups: members whose candidate
+    /// lockset emptied collectively but that lack a pairwise-disjoint
+    /// witness pair. Dark signal for the workload fuzzer (DESIGN §5.5):
+    /// a mix that produces a concrete witness converts a pairless entry
+    /// into a reported candidate.
+    pub fn pairless_total(&self) -> u64 {
+        self.groups.iter().map(|g| g.pairless).sum()
+    }
+
     /// Finds a candidate by group name and member name.
     pub fn candidate(&self, group_name: &str, member_name: &str) -> Option<&RaceCandidate> {
         self.groups

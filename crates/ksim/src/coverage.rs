@@ -8,6 +8,12 @@
 
 use std::collections::{BTreeMap, HashSet};
 
+/// File attributed to functions first seen through [`Coverage::hit`]
+/// rather than a declaration. Entries carrying it are placeholders: a
+/// later declaration (or a merge with a declaring collector) upgrades
+/// them in place without losing hits.
+const PLACEHOLDER_FILE: &str = "fs/unknown.c";
+
 /// Coverage record of one declared function.
 #[derive(Debug, Clone)]
 pub struct FnCoverage {
@@ -92,14 +98,34 @@ impl Coverage {
     }
 
     /// Declares a function with a number of branch coverage points.
+    ///
+    /// Declaring a function that was already auto-registered by
+    /// [`Coverage::hit`] upgrades the placeholder in place (real file,
+    /// line count, and point total) while keeping its recorded hits.
+    /// Re-declaring an already-declared function never shrinks its point
+    /// total — the larger declaration wins, so point-level line
+    /// estimates cannot regress.
     pub fn declare_with_points(&mut self, name: &str, file: &str, lines: u32, points: u32) {
-        self.fns.entry(name.to_owned()).or_insert(FnCoverage {
-            file: file.to_owned(),
-            lines,
-            hits: 0,
-            points_hit: HashSet::new(),
-            points_total: points,
-        });
+        match self.fns.get_mut(name) {
+            Some(f) if f.file == PLACEHOLDER_FILE => {
+                f.file = file.to_owned();
+                f.lines = lines;
+                f.points_total = points;
+            }
+            Some(f) => f.points_total = f.points_total.max(points),
+            None => {
+                self.fns.insert(
+                    name.to_owned(),
+                    FnCoverage {
+                        file: file.to_owned(),
+                        lines,
+                        hits: 0,
+                        points_hit: HashSet::new(),
+                        points_total: points,
+                    },
+                );
+            }
+        }
     }
 
     /// Records an execution of `name`. Undeclared functions are registered
@@ -108,7 +134,7 @@ impl Coverage {
         self.fns
             .entry(name.to_owned())
             .or_insert(FnCoverage {
-                file: "fs/unknown.c".to_owned(),
+                file: PLACEHOLDER_FILE.to_owned(),
                 lines: 10,
                 hits: 0,
                 points_hit: HashSet::new(),
@@ -153,12 +179,20 @@ impl Coverage {
     }
 
     /// Merges another collector into this one (used when aggregating the
-    /// shards of a sharded run): hit counts add up, point sets union, and
-    /// declarations missing here are adopted.
+    /// shards of a sharded run): hit counts add up, point sets union,
+    /// declarations missing here are adopted, and a placeholder entry
+    /// (auto-registered by [`Coverage::hit`]) adopts the other side's
+    /// real declaration. Point totals take the larger declaration so a
+    /// merge can never shrink a function's point universe.
     pub fn merge(&mut self, other: Coverage) {
         for (name, fc) in other.fns {
             match self.fns.get_mut(&name) {
                 Some(have) => {
+                    if have.file == PLACEHOLDER_FILE && fc.file != PLACEHOLDER_FILE {
+                        have.file = fc.file;
+                        have.lines = fc.lines;
+                    }
+                    have.points_total = have.points_total.max(fc.points_total);
                     have.hits += fc.hits;
                     have.points_hit.extend(fc.points_hit);
                 }
@@ -172,6 +206,27 @@ impl Coverage {
     /// All declared function names (for tests).
     pub fn function_names(&self) -> Vec<&str> {
         self.fns.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Sorted names of functions executed at least once. Sorted output
+    /// (BTreeMap key order) keeps consumers byte-stable — the fuzzing
+    /// frontier unions these across candidate runs.
+    pub fn covered_function_names(&self) -> Vec<String> {
+        self.fns
+            .iter()
+            .filter(|(_, f)| f.hits > 0)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Number of functions executed at least once.
+    pub fn covered_fn_count(&self) -> u64 {
+        self.fns.values().filter(|f| f.hits > 0).count() as u64
+    }
+
+    /// Number of declared functions (the coverage denominator).
+    pub fn total_fn_count(&self) -> u64 {
+        self.fns.len() as u64
     }
 
     /// Total executions of a function.
@@ -227,5 +282,104 @@ mod tests {
         let mut c = Coverage::new();
         c.hit("surprise");
         assert_eq!(c.hits("surprise"), 1);
+    }
+
+    #[test]
+    fn declare_after_hit_upgrades_placeholder_in_place() {
+        let mut c = Coverage::new();
+        c.hit("late");
+        c.hit("late");
+        c.declare_with_points("late", "fs/inode.c", 80, 4);
+        assert_eq!(c.hits("late"), 2, "hits survive the upgrade");
+        let row = c.report_dir("fs");
+        assert_eq!(row.fns_total, 1, "placeholder file replaced by fs/inode.c");
+        assert_eq!(row.lines_total, 80);
+    }
+
+    #[test]
+    fn redeclare_never_shrinks_point_totals() {
+        let mut c = Coverage::new();
+        c.declare_with_points("f", "fs/x.c", 100, 4);
+        c.hit("f");
+        c.hit_point("f", 0);
+        c.hit_point("f", 1);
+        c.declare_with_points("f", "fs/x.c", 100, 2); // smaller: ignored
+        assert_eq!(c.report_dir("fs").lines_covered, 50, "still 2 of 4");
+        c.declare_with_points("f", "fs/x.c", 100, 8); // larger: adopted
+        assert_eq!(c.report_dir("fs").lines_covered, 25, "now 2 of 8");
+    }
+
+    #[test]
+    fn merge_of_disjoint_files_keeps_both_sides_exact() {
+        let mut a = Coverage::new();
+        a.declare("inode_a", "fs/inode.c", 100);
+        a.hit("inode_a");
+        let mut b = Coverage::new();
+        b.declare("ext4_b", "fs/ext4/inode.c", 50);
+        b.hit("ext4_b");
+        b.hit("ext4_b");
+        a.merge(b);
+        assert_eq!(a.hits("inode_a"), 1);
+        assert_eq!(a.hits("ext4_b"), 2);
+        assert_eq!(a.report_dir("fs").fns_total, 1);
+        assert_eq!(a.report_dir("fs/ext4").fns_total, 1);
+    }
+
+    #[test]
+    fn merge_unions_points_and_adds_hits() {
+        let mut a = Coverage::new();
+        a.declare_with_points("f", "fs/x.c", 100, 4);
+        a.hit("f");
+        a.hit_point("f", 0);
+        let mut b = Coverage::new();
+        b.declare_with_points("f", "fs/x.c", 100, 4);
+        b.hit("f");
+        b.hit_point("f", 0); // shared point must not double-count
+        b.hit_point("f", 1);
+        a.merge(b);
+        assert_eq!(a.hits("f"), 2);
+        assert_eq!(a.report_dir("fs").lines_covered, 50, "2 of 4 points");
+    }
+
+    #[test]
+    fn merge_adopts_declaration_over_placeholder() {
+        // One shard only hit the function (placeholder entry), another
+        // declared it properly; the merge must end up fully declared.
+        let mut a = Coverage::new();
+        a.hit("f");
+        let mut b = Coverage::new();
+        b.declare_with_points("f", "fs/x.c", 60, 3);
+        b.hit("f");
+        b.hit_point("f", 2);
+        a.merge(b);
+        assert_eq!(a.hits("f"), 2);
+        let row = a.report_dir("fs");
+        assert_eq!(row.fns_total, 1, "placeholder upgraded to fs/x.c");
+        assert_eq!(row.lines_covered, 20, "1 of 3 points over 60 lines");
+    }
+
+    #[test]
+    fn merge_with_different_point_totals_keeps_the_larger() {
+        let mut a = Coverage::new();
+        a.declare_with_points("f", "fs/x.c", 100, 2);
+        a.hit("f");
+        a.hit_point("f", 0);
+        let mut b = Coverage::new();
+        b.declare_with_points("f", "fs/x.c", 100, 8);
+        a.merge(b);
+        assert_eq!(a.report_dir("fs").lines_covered, 13, "1 of 8, not 1 of 2");
+    }
+
+    #[test]
+    fn covered_name_accessors_are_sorted_and_exact() {
+        let mut c = Coverage::new();
+        c.declare("b_fn", "fs/b.c", 10);
+        c.declare("a_fn", "fs/a.c", 10);
+        c.declare("never", "fs/n.c", 10);
+        c.hit("b_fn");
+        c.hit("a_fn");
+        assert_eq!(c.covered_function_names(), vec!["a_fn", "b_fn"]);
+        assert_eq!(c.covered_fn_count(), 2);
+        assert_eq!(c.total_fn_count(), 3);
     }
 }

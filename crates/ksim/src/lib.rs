@@ -37,6 +37,7 @@
 pub mod config;
 pub mod coverage;
 pub mod faults;
+pub mod fuzz;
 pub mod kernel;
 pub mod lockdep;
 pub mod parallel;

@@ -39,16 +39,24 @@ impl Mix {
     }
 
     /// Adds a workload with a selection weight.
+    ///
+    /// Panics if the weight is zero or the total weight would overflow
+    /// `u32` — builder-style callers pass literals; [`Mix::from_spec`]
+    /// validates untrusted specs and returns `Err` instead.
     pub fn add(mut self, workload: Box<dyn Workload>, weight: u32) -> Self {
         assert!(weight > 0);
-        self.total_weight += weight;
+        self.total_weight = self
+            .total_weight
+            .checked_add(weight)
+            .expect("mix weight overflow");
         self.entries.push((workload, weight));
         self
     }
 
     /// Builds a mix from a spec string like
-    /// `fsstress=40,fs_inod=15,pipes=10`. Unknown names or zero weights
-    /// are rejected; omitted workloads are simply absent.
+    /// `fsstress=40,fs_inod=15,pipes=10`. Unknown or repeated names, zero
+    /// weights, and totals overflowing `u32` are rejected; omitted
+    /// workloads are simply absent.
     pub fn from_spec(spec: &str) -> Result<Self, String> {
         let mut mix = Self::new();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
@@ -71,7 +79,14 @@ impl Mix {
                 "perms" => Box::new(perms::PermsBench::new()),
                 other => return Err(format!("unknown workload `{other}`")),
             };
-            mix = mix.add(workload, weight);
+            if mix.entries.iter().any(|(w, _)| w.name() == workload.name()) {
+                return Err(format!("duplicate workload `{}` in mix", workload.name()));
+            }
+            mix.total_weight = mix
+                .total_weight
+                .checked_add(weight)
+                .ok_or_else(|| "mix weight overflow".to_owned())?;
+            mix.entries.push((workload, weight));
         }
         if mix.entries.is_empty() {
             return Err("empty workload mix".to_owned());
@@ -163,6 +178,34 @@ mod tests {
         assert!(Mix::from_spec("fsstress=0").is_err());
         assert!(Mix::from_spec("quake=3").is_err());
         assert!(Mix::from_spec("fsstress=x").is_err());
+    }
+
+    #[test]
+    fn from_spec_error_messages_name_the_offending_entry() {
+        let err = Mix::from_spec("quake=3").err().unwrap();
+        assert!(err.contains("quake"), "{err}");
+        let err = Mix::from_spec("pipes=0").err().unwrap();
+        assert!(err.contains("pipes=0"), "{err}");
+        let err = Mix::from_spec("   ,  ,").err().unwrap();
+        assert_eq!(err, "empty workload mix");
+    }
+
+    #[test]
+    fn from_spec_rejects_duplicate_workloads() {
+        let err = Mix::from_spec("pipes=1,fsstress=2,pipes=3").err().unwrap();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("pipes"), "{err}");
+    }
+
+    #[test]
+    fn from_spec_rejects_total_weight_overflow() {
+        // Each entry fits in u32, but the sum wraps; must be an Err, not
+        // a silent wrap that breaks `run`'s weighted draw.
+        let spec = format!("fsstress={m},pipes={m}", m = u32::MAX);
+        let err = Mix::from_spec(&spec).err().unwrap();
+        assert!(err.contains("overflow"), "{err}");
+        // A single maximal weight is still fine.
+        assert!(Mix::from_spec(&format!("pipes={}", u32::MAX)).is_ok());
     }
 
     #[test]

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Guard for TRACEABILITY.md: every `path/to/file.rs::test_name` reference
+# in the matrix must point at a file that still exists and still defines
+# `fn test_name`. A renamed or deleted test therefore fails CI until the
+# matrix row is updated — the matrix cannot silently rot.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MATRIX=TRACEABILITY.md
+if [[ ! -f "$MATRIX" ]]; then
+    echo "FAIL: $MATRIX is missing" >&2
+    exit 1
+fi
+
+refs=$(grep -oE '[A-Za-z0-9_./-]+\.rs::[a-z0-9_]+' "$MATRIX" | sort -u)
+if [[ -z "$refs" ]]; then
+    echo "FAIL: $MATRIX contains no file.rs::test_name references" >&2
+    exit 1
+fi
+
+missing=0
+count=0
+while IFS= read -r ref; do
+    file=${ref%%::*}
+    name=${ref##*::}
+    count=$((count + 1))
+    if [[ ! -f "$file" ]]; then
+        echo "FAIL: $MATRIX references $ref but $file does not exist" >&2
+        missing=$((missing + 1))
+        continue
+    fi
+    if ! grep -qE "fn ${name}\b" "$file"; then
+        echo "FAIL: $MATRIX references $ref but $file has no 'fn ${name}'" >&2
+        missing=$((missing + 1))
+    fi
+done <<< "$refs"
+
+if [[ $missing -gt 0 ]]; then
+    echo "traceability check FAILED: $missing of $count references are stale" >&2
+    exit 1
+fi
+echo "traceability check OK: $count test references verified"

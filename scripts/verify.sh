@@ -72,6 +72,25 @@ grep -q "RACE" "$GATE_DIR/races.1.txt" \
     || { echo "racy-knob trace produced no race candidates" >&2; exit 1; }
 echo "races/lint determinism gate: OK (byte-identical at --jobs 1 and 4)"
 
+# --- fuzz campaign determinism gate -------------------------------------------
+# A quick coverage-guided fuzzing campaign must be byte-identical at any
+# worker count, in both text and JSON renderings (the same gate runs at
+# scale in the fuzz_campaign_scaling bench).
+for fmt in "" "--json"; do
+    # shellcheck disable=SC2086  # $fmt intentionally word-splits
+    "$LOCKDOC" fuzz --budget 2 --ops 160 --seed 1 --jobs 1 $fmt > "$GATE_DIR/fuzz.1$fmt.out"
+    # shellcheck disable=SC2086
+    "$LOCKDOC" fuzz --budget 2 --ops 160 --seed 1 --jobs 4 $fmt > "$GATE_DIR/fuzz.4$fmt.out"
+    diff -u "$GATE_DIR/fuzz.1$fmt.out" "$GATE_DIR/fuzz.4$fmt.out" \
+        || { echo "fuzz ${fmt:-text} output differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+done
+grep -q "fuzz campaign:" "$GATE_DIR/fuzz.1.out" \
+    || { echo "fuzz smoke campaign produced no report" >&2; exit 1; }
+echo "fuzz determinism gate: OK (byte-identical at --jobs 1 and 4)"
+
+# --- invariant -> test traceability matrix ------------------------------------
+scripts/check_traceability.sh
+
 # --- corruption-oracle soak (optional) ---------------------------------------
 # LOCKDOC_PROPS_ITERS=N re-runs the corruption differential suite with N
 # property cases per test (default CI runs use the harness default). The

@@ -83,6 +83,21 @@ fn run_pipeline_sharded(shards: u64, jobs: usize) -> (Vec<u8>, String) {
     doc.push_str(&races.render(&db));
     doc.push_str("\n## lint\n\n");
     doc.push_str(&report.render(&db));
+
+    // A small feedback-fuzzing campaign rides on the same golden file:
+    // its report is a pure function of the config below, and passing the
+    // pipeline's `jobs` through pins the jobs-invariance of the campaign
+    // loop alongside every other phase.
+    let fuzz_cfg = ksim::fuzz::FuzzConfig {
+        seed: GOLDEN_SEED,
+        budget: 4,
+        ops: 240,
+        shards: 1,
+        generation: 2,
+    };
+    let fuzz = ksim::fuzz::run_campaign(&fuzz_cfg, jobs).expect("fuzz campaign runs");
+    doc.push_str("\n## fuzz\n\n");
+    doc.push_str(&fuzz.render());
     (encoded, doc)
 }
 
