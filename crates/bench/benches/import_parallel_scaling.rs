@@ -21,10 +21,23 @@
 use ksim::config::SimConfig;
 use ksim::parallel::run_mix_sharded;
 use ksim::rules;
-use lockdoc_platform::json::Json;
+use lockdoc_platform::json::{parse, Json};
 use lockdoc_platform::par::available_jobs;
 use lockdoc_platform::timing::Bench;
-use lockdoc_trace::db::import;
+use lockdoc_trace::db::{filter_fingerprint, import, read_archive, write_archive};
+
+/// The jobs=1 `events_per_sec` recorded in an earlier `BENCH_import.json`,
+/// if one exists: the before/after anchor for hot-path changes.
+fn previous_jobs1_evps(path: &str) -> Option<f64> {
+    let report = parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    report
+        .get("runs")?
+        .as_array()?
+        .iter()
+        .find(|r| r.get("jobs").and_then(Json::as_u64) == Some(1))?
+        .get("events_per_sec")?
+        .as_f64()
+}
 
 fn main() {
     let quick = std::env::var("LOCKDOC_BENCH_QUICK").is_ok_and(|v| v == "1");
@@ -63,6 +76,14 @@ fn main() {
         });
     }
     b.run("export-csv-tables", || serial.export_csv_tables());
+    // The cached-archive reload path: what re-opening an already-imported
+    // trace costs instead of a full re-decode + re-import.
+    let fp = filter_fingerprint(&fcfg);
+    let archive = write_archive(&serial, 0x1409, fp);
+    b.run("archive-reload", || {
+        read_archive(&archive, 0x1409, fp, std::sync::Arc::clone(&serial.meta))
+            .expect("roundtrip archive is valid")
+    });
 
     let results = b.results().to_vec();
     let base = results[0].ns_per_iter();
@@ -88,6 +109,33 @@ fn main() {
         csv.name,
         csv.ns_per_iter() / 1e6
     );
+    let arch = &results[job_counts.len() + 1];
+    let arch_evps = events as f64 / (arch.ns_per_iter() / 1e9);
+    println!(
+        "bench {:<44} {:>12.0} events/s equivalent (columnar slab read, \
+         no event decode or replay)",
+        arch.name, arch_evps
+    );
+
+    // Before/after anchor: compare this tree's serial import against the
+    // jobs=1 throughput recorded in the committed report, if present.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_import.json");
+    let jobs1_evps = events as f64 / (results[0].ns_per_iter() / 1e9);
+    let before_after = match previous_jobs1_evps(out) {
+        Some(prev) if prev > 0.0 => {
+            println!(
+                "jobs-1 before/after: {prev:.0} -> {jobs1_evps:.0} events/s \
+                 ({:.2}x)",
+                jobs1_evps / prev
+            );
+            Json::obj(vec![
+                ("previous_events_per_sec", Json::F64(prev)),
+                ("current_events_per_sec", Json::F64(jobs1_evps)),
+                ("improvement_factor", Json::F64(jobs1_evps / prev)),
+            ])
+        }
+        _ => Json::Null,
+    };
 
     let cores = available_jobs();
     let report = Json::obj(vec![
@@ -101,9 +149,11 @@ fn main() {
             Json::Str("passed for jobs in {2,4,8}".into()),
         ),
         ("runs", Json::Arr(json_runs)),
+        ("jobs1_before_after", before_after),
         ("export_csv_ns_per_iter", Json::F64(csv.ns_per_iter())),
+        ("archive_reload_ns_per_iter", Json::F64(arch.ns_per_iter())),
+        ("archive_reload_events_per_sec", Json::F64(arch_evps)),
     ]);
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_import.json");
     std::fs::write(out, report.pretty() + "\n").expect("write BENCH_import.json");
     println!("wrote {out}");
 

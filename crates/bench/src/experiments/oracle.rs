@@ -56,8 +56,8 @@ pub fn score(ctx: &EvalContext) -> OracleScore {
             let innermost = ctx
                 .db
                 .stack(*stack)
-                .innermost()
-                .map(|f| ctx.db.fn_name(f).to_owned())
+                .last()
+                .map(|&f| ctx.db.fn_name(f).to_owned())
                 .unwrap_or_default();
             let class = if FAULT_FUNCTIONS.contains(&innermost.as_str()) {
                 out.recovered += 1;

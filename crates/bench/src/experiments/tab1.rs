@@ -28,9 +28,9 @@ pub fn measure() -> Vec<(String, AccessKind, Tab1Row)> {
     // Identify the roll-over iteration's transactions: b is the last txn
     // (two locks), a is the txn before it.
     let b = db.txns.last().expect("txns exist").id;
-    let a = db.txns[db.txns.len() - 2].id;
-    assert_eq!(db.txns[b.0 as usize].locks.len(), 2);
-    assert_eq!(db.txns[a.0 as usize].locks.len(), 1);
+    let a = db.txns.get(db.txns.len() - 2).id;
+    assert_eq!(db.txn(b).locks.len(), 2);
+    assert_eq!(db.txn(a).locks.len(), 1);
 
     let mut out = Vec::new();
     for (member_idx, name) in [(0u32, "seconds"), (1u32, "minutes")] {

@@ -35,9 +35,12 @@ use lockdoc_core::rulespec::parse_rules;
 use lockdoc_core::violation::find_violations_par;
 use lockdoc_platform::json::{Json, ToJson};
 use lockdoc_platform::par::resolve_jobs;
-use lockdoc_trace::codec::{read_trace, read_trace_salvage, write_trace, SalvageReport};
+use lockdoc_trace::codec::{
+    read_trace, read_trace_salvage, write_trace, SalvageReport, TraceReader,
+};
 use lockdoc_trace::db::{
-    import, import_resilient, ImportError, ImportReport, ResilientConfig, TraceDb,
+    filter_fingerprint, fnv1a, import_resilient, import_stream, read_archive, write_archive,
+    ImportError, ImportReport, ResilientConfig, TraceDb,
 };
 use lockdoc_trace::event::Trace;
 use std::fs;
@@ -184,7 +187,14 @@ USAGE:
 
 `--jobs N` (or LOCKDOC_JOBS) runs trace generation, import, and the
 analysis phases on N workers; output is byte-identical at any worker
-count. Default: available parallelism. `trace --shards N` splits the
+count. Default: available parallelism.
+
+`--cache-dir DIR` (or LOCKDOC_CACHE_DIR) keeps a columnar archive of the
+imported store per trace: commands that read `--trace FILE` load a valid
+archive directly instead of re-decoding and re-importing, and rewrite it
+after a fresh import. Archives self-invalidate on trace content, filter
+config, or format-version changes; a stale or corrupt archive only costs
+a re-import, never a wrong answer. `trace --shards N` splits the
 workload across N simulated machines (part of the trace *content*, unlike
 --jobs: the same --shards value reproduces the same trace on any machine).
 `trace --racy` additionally enables the seeded lockless-writer fault site
@@ -214,9 +224,68 @@ fn load_db(args: &Args) -> Result<TraceDb> {
     let path = args
         .get("trace")
         .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
-    let bytes = fs::read(path)?;
-    let trace = read_trace(&mut bytes.as_slice())?;
-    Ok(import(&trace, &rules::filter_config(), args.jobs()?))
+    load_db_from(path, args)
+}
+
+/// Loads and imports a trace, streaming the decode straight into the
+/// importer (the full event vector is never materialized). With
+/// `--cache-dir DIR` (or `LOCKDOC_CACHE_DIR`), a columnar archive of the
+/// imported store is kept next to the analysis: a valid archive is loaded
+/// directly, a stale/absent one is rewritten after a fresh import.
+fn load_db_from(path: &str, args: &Args) -> Result<TraceDb> {
+    let config = rules::filter_config();
+    let jobs = args.jobs()?;
+    let cache_dir = args
+        .get("cache-dir")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("LOCKDOC_CACHE_DIR").ok());
+    match cache_dir {
+        Some(dir) => load_db_cached(path, Path::new(&dir), &config, jobs),
+        None => {
+            let file = fs::File::open(path)?;
+            let reader = TraceReader::new(io::BufReader::new(file))?;
+            Ok(import_stream(reader, &config, jobs)?)
+        }
+    }
+}
+
+/// Archive location for a trace path: keyed by file name for readability
+/// plus an FNV-1a hash of the full path so same-named traces in different
+/// directories cannot collide.
+fn archive_path(cache_dir: &Path, trace_path: &str) -> std::path::PathBuf {
+    let name = Path::new(trace_path)
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("trace");
+    cache_dir.join(format!(
+        "{name}.{:016x}.ldarc",
+        fnv1a(trace_path.as_bytes())
+    ))
+}
+
+fn load_db_cached(
+    trace_path: &str,
+    cache_dir: &Path,
+    config: &lockdoc_trace::filter::FilterConfig,
+    jobs: usize,
+) -> Result<TraceDb> {
+    let bytes = fs::read(trace_path)?;
+    let checksum = fnv1a(&bytes);
+    let fp = filter_fingerprint(config);
+    let apath = archive_path(cache_dir, trace_path);
+    let reader = TraceReader::new(bytes.as_slice())?;
+    let meta = std::sync::Arc::clone(reader.meta());
+    if let Ok(abytes) = fs::read(&apath) {
+        if let Some(db) = read_archive(&abytes, checksum, fp, std::sync::Arc::clone(&meta)) {
+            return Ok(db);
+        }
+    }
+    let db = import_stream(reader, config, jobs)?;
+    fs::create_dir_all(cache_dir)?;
+    // A torn write fails validation on the next run and simply misses, so
+    // a best-effort write is safe; failure to cache must not fail the run.
+    let _ = fs::write(&apath, write_archive(&db, checksum, fp));
+    Ok(db)
 }
 
 /// `lockdoc trace`.
@@ -685,9 +754,9 @@ pub fn cmd_diff(args: &Args) -> Result<String> {
         let path = args
             .get(flag)
             .ok_or_else(|| CliError::Usage(format!("--{flag} FILE is required")))?;
-        let bytes = fs::read(path)?;
-        let trace = read_trace(&mut bytes.as_slice())?;
-        let db = import(&trace, &rules::filter_config(), jobs);
+        let file = fs::File::open(path)?;
+        let reader = TraceReader::new(io::BufReader::new(file))?;
+        let db = import_stream(reader, &rules::filter_config(), jobs)?;
         Ok(derive_par(&db, &DeriveConfig::with_threshold(t_ac), jobs))
     };
     let old = load("old")?;
@@ -902,6 +971,66 @@ mod tests {
             assert_eq!(serial, parallel, "{cmd} output differs across --jobs");
         }
         assert!(Args::parse(&s(&["--jobs", "zebra"])).jobs().is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_dir_hits_are_byte_identical_to_fresh_imports() {
+        let dir = std::env::temp_dir().join("lockdoc-cache-test");
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.ldoc");
+        let cache = dir.join("cache");
+        let t = p.to_str().unwrap();
+        let c = cache.to_str().unwrap();
+        run(&s(&["trace", "--ops", "400", "--out", t])).unwrap();
+        for cmd in ["races", "lint", "order"] {
+            let fresh = run(&s(&[cmd, "--trace", t, "--jobs", "1"])).unwrap();
+            // First cached run writes the archive (miss), second loads it
+            // (hit); both must match the uncached output, across jobs.
+            let miss = run(&s(&[cmd, "--trace", t, "--jobs", "1", "--cache-dir", c])).unwrap();
+            let hit = run(&s(&[cmd, "--trace", t, "--jobs", "4", "--cache-dir", c])).unwrap();
+            assert_eq!(fresh, miss, "{cmd}: cache miss output differs");
+            assert_eq!(fresh, hit, "{cmd}: cache hit output differs");
+        }
+        let archives: Vec<_> = fs::read_dir(&cache)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(archives.len(), 1, "one archive per (path, trace) key");
+        // Regenerating the trace (new content) must invalidate the archive:
+        // the next cached run still matches a fresh import of the new trace.
+        run(&s(&["trace", "--ops", "500", "--seed", "9", "--out", t])).unwrap();
+        let fresh = run(&s(&["races", "--trace", t, "--jobs", "1"])).unwrap();
+        let cached = run(&s(&[
+            "races",
+            "--trace",
+            t,
+            "--jobs",
+            "1",
+            "--cache-dir",
+            c,
+        ]))
+        .unwrap();
+        assert_eq!(fresh, cached, "stale archive must miss, not serve old data");
+        // A corrupt archive misses cleanly too.
+        let apath = &archives[0];
+        let mut bytes = fs::read(apath).unwrap();
+        if let Some(b) = bytes.get_mut(40) {
+            *b ^= 0xff;
+        }
+        fs::write(apath, &bytes).unwrap();
+        let after_corrupt = run(&s(&[
+            "races",
+            "--trace",
+            t,
+            "--jobs",
+            "1",
+            "--cache-dir",
+            c,
+        ]))
+        .unwrap();
+        assert_eq!(fresh, after_corrupt, "corrupt archive must fall back");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -37,10 +37,10 @@ const CLOCK_ADDR: u64 = 0x1000;
 /// ```
 pub fn clock_trace(iterations: u64, faulty: u64) -> Trace {
     let mut tr = Trace::new();
-    let file = tr.meta.strings.intern("clock.c");
-    let sec_lock = tr.meta.strings.intern("sec_lock");
-    let min_lock = tr.meta.strings.intern("min_lock");
-    let dt = tr.meta.add_data_type(DataTypeDef {
+    let file = tr.meta_mut().strings.intern("clock.c");
+    let sec_lock = tr.meta_mut().strings.intern("sec_lock");
+    let min_lock = tr.meta_mut().strings.intern("min_lock");
+    let dt = tr.meta_mut().add_data_type(DataTypeDef {
         name: "clock".into(),
         size: 8,
         members: vec![
@@ -60,9 +60,9 @@ pub fn clock_trace(iterations: u64, faulty: u64) -> Trace {
             },
         ],
     });
-    let tick = tr.meta.add_function("clock_tick");
-    let tick_buggy = tr.meta.add_function("clock_tick_buggy");
-    let task = tr.meta.add_task("timekeeper");
+    let tick = tr.meta_mut().add_function("clock_tick");
+    let tick_buggy = tr.meta_mut().add_function("clock_tick_buggy");
+    let task = tr.meta_mut().add_task("timekeeper");
 
     let mut ts = 0u64;
     let mut push = |tr: &mut Trace, e: Event| {
@@ -212,7 +212,7 @@ mod tests {
         // one before it is transaction a with sec_lock only.
         let b = db.txns.last().expect("txns exist");
         assert_eq!(b.locks.len(), 2);
-        let a = &db.txns[db.txns.len() - 2];
+        let a = db.txns.get(db.txns.len() - 2);
         assert_eq!(a.locks.len(), 1);
     }
 

@@ -408,8 +408,8 @@ mod tests {
         use lockdoc_trace::filter::FilterConfig;
 
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("deep.c");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("deep.c");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "deep".into(),
             size: 4,
             members: vec![MemberDef {
@@ -420,7 +420,7 @@ mod tests {
                 is_lock: false,
             }],
         });
-        let task = tr.meta.add_task("nester");
+        let task = tr.meta_mut().add_task("nester");
         let mut ts = 0u64;
         let mut push = |tr: &mut Trace, e: Event| {
             ts += 1;
@@ -429,7 +429,7 @@ mod tests {
         push(&mut tr, Event::TaskSwitch { task });
         let nlocks = MAX_SEQ_LEN as u64 + 2;
         for i in 0..nlocks {
-            let name = tr.meta.strings.intern(&format!("deep_lock_{i:02}"));
+            let name = tr.meta_mut().strings.intern(&format!("deep_lock_{i:02}"));
             push(
                 &mut tr,
                 Event::LockInit {

@@ -126,10 +126,10 @@ impl AccessMatrix {
         )
     }
 
-    fn from_accesses<'a>(
+    fn from_accesses(
         data_type: DataTypeId,
         subclass: Option<Sym>,
-        accesses: impl Iterator<Item = &'a lockdoc_trace::db::Access>,
+        accesses: impl Iterator<Item = lockdoc_trace::db::Access>,
     ) -> Self {
         let mut members: BTreeMap<u32, MemberMatrix> = BTreeMap::new();
         for a in accesses {

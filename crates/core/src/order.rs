@@ -14,8 +14,8 @@
 //! carry witness information (source location, count) so a reported
 //! inversion can be tracked to code.
 
-use lockdoc_platform::par::{chunks_for, par_map};
-use lockdoc_trace::db::schema::Txn;
+use lockdoc_platform::par::par_map;
+use lockdoc_trace::db::schema::HeldLock;
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::SourceLoc;
 use lockdoc_trace::ids::LockId;
@@ -92,8 +92,8 @@ impl OrderGraph {
     /// special-cases.
     pub fn build(db: &TraceDb) -> Self {
         let mut graph = OrderGraph::default();
-        for txn in &db.txns {
-            graph.record_txn(db, txn);
+        for txn in db.txns.iter() {
+            graph.record_txn(db, txn.locks);
         }
         graph
     }
@@ -106,11 +106,23 @@ impl OrderGraph {
     /// first occurrence in transaction order, the result is
     /// byte-identical to `build` at any worker count.
     pub fn build_par(db: &TraceDb, jobs: usize) -> Self {
-        let chunks = chunks_for(jobs, &db.txns);
-        let parts = par_map(jobs, &chunks, |chunk| {
+        // The columnar txn table has no slice to hand to `chunks_for`;
+        // split the id space into the same contiguous ranges instead.
+        let n = db.txns.len();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        if n > 0 {
+            let size = n.div_ceil(jobs.max(1));
+            let mut start = 0;
+            while start < n {
+                let end = (start + size).min(n);
+                ranges.push((start, end));
+                start = end;
+            }
+        }
+        let parts = par_map(jobs, &ranges, |&(start, end)| {
             let mut graph = OrderGraph::default();
-            for txn in *chunk {
-                graph.record_txn(db, txn);
+            for i in start..end {
+                graph.record_txn(db, db.txns.get(i).locks);
             }
             graph
         });
@@ -128,16 +140,16 @@ impl OrderGraph {
     }
 
     /// Records one transaction's acquisition-order edges.
-    fn record_txn(&mut self, db: &TraceDb, txn: &Txn) {
-        for j in 1..txn.locks.len() {
-            let to_class = lock_class(db, txn.locks[j].lock);
-            for held in &txn.locks[..j] {
+    fn record_txn(&mut self, db: &TraceDb, locks: &[HeldLock]) {
+        for j in 1..locks.len() {
+            let to_class = lock_class(db, locks[j].lock);
+            for held in &locks[..j] {
                 let from_class = lock_class(db, held.lock);
                 if from_class == to_class {
                     continue;
                 }
                 let key = (from_class.clone(), to_class.clone());
-                let witness = txn.locks[j].acquired_at;
+                let witness = locks[j].acquired_at;
                 self.edges
                     .entry(key)
                     .and_modify(|e| e.count += 1)
@@ -350,10 +362,10 @@ mod tests {
         use lockdoc_trace::event::{AcquireMode, Event, LockFlavor, SourceLoc, Trace};
         use lockdoc_trace::filter::FilterConfig;
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("x.c");
-        let a = tr.meta.strings.intern("lock_a");
-        let b = tr.meta.strings.intern("lock_b");
-        tr.meta.add_task("t");
+        let file = tr.meta_mut().strings.intern("x.c");
+        let a = tr.meta_mut().strings.intern("lock_a");
+        let b = tr.meta_mut().strings.intern("lock_b");
+        tr.meta_mut().add_task("t");
         let loc = |l| SourceLoc::new(file, l);
         let mut ts = 0;
         let mut push = |tr: &mut Trace, e| {
@@ -409,21 +421,23 @@ mod tests {
         // (Rebuild with accesses interleaved.)
         let db = {
             let mut tr2 = Trace::new();
-            let file = tr2.meta.strings.intern("x.c");
-            let a = tr2.meta.strings.intern("lock_a");
-            let b = tr2.meta.strings.intern("lock_b");
-            let dt = tr2.meta.add_data_type(lockdoc_trace::event::DataTypeDef {
-                name: "obj".into(),
-                size: 8,
-                members: vec![lockdoc_trace::event::MemberDef {
-                    name: "v".into(),
-                    offset: 0,
+            let file = tr2.meta_mut().strings.intern("x.c");
+            let a = tr2.meta_mut().strings.intern("lock_a");
+            let b = tr2.meta_mut().strings.intern("lock_b");
+            let dt = tr2
+                .meta_mut()
+                .add_data_type(lockdoc_trace::event::DataTypeDef {
+                    name: "obj".into(),
                     size: 8,
-                    atomic: false,
-                    is_lock: false,
-                }],
-            });
-            tr2.meta.add_task("t");
+                    members: vec![lockdoc_trace::event::MemberDef {
+                        name: "v".into(),
+                        offset: 0,
+                        size: 8,
+                        atomic: false,
+                        is_lock: false,
+                    }],
+                });
+            tr2.meta_mut().add_task("t");
             let loc = |l| SourceLoc::new(file, l);
             let mut ts = 0;
             let mut push = |tr: &mut Trace, e| {

@@ -421,9 +421,9 @@ mod tests {
         use lockdoc_trace::event::{AcquireMode, DataTypeDef, Event, LockFlavor, MemberDef, Trace};
         use lockdoc_trace::filter::FilterConfig;
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("x.c");
-        let guard = tr.meta.strings.intern("guard");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("x.c");
+        let guard = tr.meta_mut().strings.intern("guard");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "obj".into(),
             size: 8,
             members: vec![MemberDef {
@@ -434,8 +434,8 @@ mod tests {
                 is_lock: false,
             }],
         });
-        let t0 = tr.meta.add_task("alpha");
-        let t1 = tr.meta.add_task("beta");
+        let t0 = tr.meta_mut().add_task("alpha");
+        let t1 = tr.meta_mut().add_task("beta");
         let loc = |l| SourceLoc::new(file, l);
         let mut ts = 0;
         let mut push = |tr: &mut Trace, e| {

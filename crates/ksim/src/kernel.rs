@@ -101,7 +101,7 @@ impl Kernel {
         let mut type_specs = HashMap::new();
         let mut member_layout = HashMap::new();
         for spec in ALL_TYPES {
-            let id = trace.meta.add_data_type(spec.to_def());
+            let id = trace.meta_mut().add_data_type(spec.to_def());
             type_ids.insert(spec.name, id);
             type_specs.insert(spec.name, *spec);
             let (defs, _) = spec.layout();
@@ -117,7 +117,7 @@ impl Kernel {
                 Some(j) => format!("worker-{i}.s{j}"),
                 None => format!("worker-{i}"),
             };
-            tasks.push(trace.meta.add_task(&name));
+            tasks.push(trace.meta_mut().add_task(&name));
             task_flows.push(FlowShadow::default());
         }
         let seed = cfg.seed;
@@ -192,7 +192,7 @@ impl Kernel {
         if let Some(&s) = self.files.get(name) {
             return s;
         }
-        let s = self.trace.meta.strings.intern(name);
+        let s = self.trace.meta_mut().strings.intern(name);
         self.files.insert(name, s);
         s
     }
@@ -222,7 +222,7 @@ impl Kernel {
         }
         let addr = self.next_addr;
         self.next_addr += 64;
-        let sym = self.trace.meta.strings.intern(name);
+        let sym = self.trace.meta_mut().strings.intern(name);
         self.emit(Event::LockInit {
             addr,
             name: sym,
@@ -250,7 +250,7 @@ impl Kernel {
         self.next_addr += u64::from(def.size) + 64;
         let id = AllocId(self.next_alloc);
         self.next_alloc += 1;
-        let subclass_sym = subclass.map(|s| self.trace.meta.strings.intern(s));
+        let subclass_sym = subclass.map(|s| self.trace.meta_mut().strings.intern(s));
         self.emit(Event::Alloc {
             id,
             addr,
@@ -260,7 +260,7 @@ impl Kernel {
         });
         for (idx, offset, flavor) in spec.lock_members() {
             let name = spec.members[idx].name;
-            let sym = self.trace.meta.strings.intern(name);
+            let sym = self.trace.meta_mut().strings.intern(name);
             self.emit(Event::LockInit {
                 addr: addr + u64::from(offset),
                 name: sym,
@@ -462,7 +462,7 @@ impl Kernel {
         let func = match self.fns.get(name) {
             Some(&f) => f,
             None => {
-                let f = self.trace.meta.add_function(name);
+                let f = self.trace.meta_mut().add_function(name);
                 self.fns.insert(name, f);
                 f
             }

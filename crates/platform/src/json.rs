@@ -652,6 +652,18 @@ impl ToJson for &str {
     }
 }
 
+impl<T: ToJson> ToJson for std::sync::Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for std::sync::Arc<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        T::from_json(v).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: ToJson> ToJson for Option<T> {
     fn to_json(&self) -> Json {
         match self {

@@ -21,6 +21,7 @@
 //! streams, values, and reports (timing measurements excepted); [`par`]
 //! returns results in input order at any worker count.
 
+pub mod hash;
 pub mod json;
 pub mod par;
 pub mod prop;

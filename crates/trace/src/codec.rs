@@ -44,6 +44,10 @@ pub enum CodecError {
     /// An event references a metadata id (string, type, function, task)
     /// that the trace's own tables do not contain.
     DanglingId(String),
+    /// A count field (string/type/member/function/task table sizes, event
+    /// count) does not fit in `usize` on this target. On 32-bit hosts a
+    /// >4G count used to wrap silently; it now fails typed.
+    CountOverflow,
 }
 
 impl fmt::Display for CodecError {
@@ -64,6 +68,9 @@ impl fmt::Display for CodecError {
                 "non-monotonic timestamp at event {event_index}: {ts} after {prev_ts}"
             ),
             CodecError::DanglingId(what) => write!(f, "dangling id in trace: {what}"),
+            CodecError::CountOverflow => {
+                write!(f, "count does not fit in usize on this target")
+            }
         }
     }
 }
@@ -107,6 +114,12 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64> {
         }
         shift += 7;
     }
+}
+
+/// Reads a table/event count, rejecting values that do not fit in `usize`
+/// on the current target instead of truncating them with `as`.
+fn read_count<R: Read>(r: &mut R) -> Result<usize> {
+    usize::try_from(read_varint(r)?).map_err(|_| CodecError::CountOverflow)
 }
 
 fn write_str<W: Write>(w: &mut W, s: &str) -> Result<()> {
@@ -228,28 +241,159 @@ pub(crate) fn write_meta<W: Write>(w: &mut W, meta: &TraceMeta) -> Result<()> {
     Ok(())
 }
 
-fn read_meta<R: Read>(r: &mut R) -> Result<TraceMeta> {
-    let mut strings = Interner::new();
-    let nstr = read_varint(r)? as usize;
-    for _ in 0..nstr {
-        let s = read_str(r)?;
-        strings.intern(&s);
+/// Default refill granularity of [`ChunkedDecoder`]; also the compaction
+/// threshold for its consumed prefix.
+const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// Whether a decode failure only means "ran off the end of the currently
+/// buffered bytes" — the chunked decoder refills and retries on these.
+/// Within buffered data every `read_exact`/`take` exhaustion maps to
+/// `ErrorKind::UnexpectedEof`, so the check is exact.
+fn is_buffer_eof(e: &CodecError) -> bool {
+    matches!(e, CodecError::Io(io) if io.kind() == io::ErrorKind::UnexpectedEof)
+}
+
+/// Incremental decoder over any [`Read`] source.
+///
+/// Bytes are pulled in `chunk`-sized refills and parsed out of an internal
+/// buffer. A parse that runs off the buffered end is retried after a
+/// refill, so every parser sees exactly the bytes a whole-slice decode
+/// would — the chunked and slice paths are behaviorally identical,
+/// including on corrupted input (the salvage resync scan probes the same
+/// offsets with the same outcomes). Only the consumed prefix is ever
+/// dropped, so peak memory is bounded by the largest single record plus
+/// one chunk rather than the file size.
+struct ChunkedDecoder<R> {
+    src: R,
+    chunk: usize,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    pos: usize,
+    /// Absolute input offset of `buf[0]`.
+    base: u64,
+    /// The source reported end-of-input.
+    eof: bool,
+}
+
+impl<R: Read> ChunkedDecoder<R> {
+    fn new(src: R, chunk: usize) -> Self {
+        Self {
+            src,
+            chunk: chunk.max(1),
+            buf: Vec::new(),
+            pos: 0,
+            base: 0,
+            eof: false,
+        }
     }
-    let ndt = read_varint(r)? as usize;
+
+    /// Pulls one more chunk from the source (sets `eof` on empty read).
+    fn fill(&mut self) -> Result<()> {
+        let old = self.buf.len();
+        self.buf.resize(old + self.chunk, 0);
+        let n = loop {
+            match self.src.read(&mut self.buf[old..]) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.buf.truncate(old);
+                    return Err(e.into());
+                }
+            }
+        };
+        self.buf.truncate(old + n);
+        if n == 0 {
+            self.eof = true;
+        }
+        Ok(())
+    }
+
+    /// Drops the consumed prefix once it exceeds one chunk.
+    fn maybe_compact(&mut self) {
+        if self.pos >= self.chunk {
+            self.buf.drain(..self.pos);
+            self.base += self.pos as u64;
+            self.pos = 0;
+        }
+    }
+
+    /// Absolute input offset of the next unconsumed byte.
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    /// Runs a slice parser over the buffered tail, refilling and retrying
+    /// when it runs out of buffered bytes before the true end of input.
+    fn decode<T>(&mut self, mut f: impl FnMut(&mut &[u8]) -> Result<T>) -> Result<T> {
+        loop {
+            let mut s = &self.buf[self.pos..];
+            let before = s.len();
+            match f(&mut s) {
+                Ok(v) => {
+                    self.pos += before - s.len();
+                    return Ok(v);
+                }
+                Err(e) if !self.eof && is_buffer_eof(&e) => self.fill()?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether any unconsumed input remains (refills as needed to know).
+    fn has_data(&mut self) -> Result<bool> {
+        while self.pos == self.buf.len() && !self.eof {
+            self.fill()?;
+        }
+        Ok(self.pos < self.buf.len())
+    }
+
+    /// Reads the source to its end and returns how many unconsumed bytes
+    /// remain past the current position.
+    fn count_remaining(&mut self) -> Result<u64> {
+        while !self.eof {
+            self.fill()?;
+        }
+        Ok((self.buf.len() - self.pos) as u64)
+    }
+}
+
+fn read_magic(r: &mut &[u8]) -> Result<()> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    Ok(())
+}
+
+/// Decodes the metadata tables piecewise, so a refill mid-table retries
+/// only the item that straddled the chunk boundary.
+fn read_meta<R: Read>(d: &mut ChunkedDecoder<R>) -> Result<TraceMeta> {
+    let mut strings = Interner::new();
+    let nstr = d.decode(|r| read_count(r))?;
+    for _ in 0..nstr {
+        let s = d.decode(|r| read_str(r))?;
+        strings.intern(&s);
+        d.maybe_compact();
+    }
+    let ndt = d.decode(|r| read_count(r))?;
     let mut data_types = Vec::with_capacity(ndt.min(1 << 12));
     for _ in 0..ndt {
-        let name = read_str(r)?;
-        let size = read_varint(r)? as u32;
-        let nmem = read_varint(r)? as usize;
+        let name = d.decode(|r| read_str(r))?;
+        let size = d.decode(|r| Ok(read_varint(r)? as u32))?;
+        let nmem = d.decode(|r| read_count(r))?;
         let mut members = Vec::with_capacity(nmem.min(1 << 12));
         for _ in 0..nmem {
-            members.push(MemberDef {
-                name: read_str(r)?,
-                offset: read_varint(r)? as u32,
-                size: read_varint(r)? as u32,
-                atomic: read_bool(r)?,
-                is_lock: read_bool(r)?,
-            });
+            members.push(d.decode(|r| {
+                Ok(MemberDef {
+                    name: read_str(r)?,
+                    offset: read_varint(r)? as u32,
+                    size: read_varint(r)? as u32,
+                    atomic: read_bool(r)?,
+                    is_lock: read_bool(r)?,
+                })
+            })?);
+            d.maybe_compact();
         }
         data_types.push(DataTypeDef {
             name,
@@ -257,15 +401,17 @@ fn read_meta<R: Read>(r: &mut R) -> Result<TraceMeta> {
             members,
         });
     }
-    let nfn = read_varint(r)? as usize;
+    let nfn = d.decode(|r| read_count(r))?;
     let mut functions = Vec::with_capacity(nfn.min(1 << 12));
     for _ in 0..nfn {
-        functions.push(read_str(r)?);
+        functions.push(d.decode(|r| read_str(r))?);
+        d.maybe_compact();
     }
-    let ntask = read_varint(r)? as usize;
+    let ntask = d.decode(|r| read_count(r))?;
     let mut tasks = Vec::with_capacity(ntask.min(1 << 12));
     for _ in 0..ntask {
-        tasks.push(read_str(r)?);
+        tasks.push(d.decode(|r| read_str(r))?);
+        d.maybe_compact();
     }
     Ok(TraceMeta {
         strings,
@@ -507,26 +653,101 @@ pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> Result<()> {
     Ok(())
 }
 
+/// Streaming `LDOC1` reader: decodes the header eagerly and then yields
+/// events one at a time, holding at most one chunk of input in memory.
+///
+/// This is the decode half of the streaming import pipeline — consumers
+/// (the importer's serial pre-pass, [`read_trace`]) overlap their own work
+/// with decode instead of waiting for a full `Vec<TraceEvent>`. The
+/// chunked path is byte-equivalent to decoding from a whole in-memory
+/// slice at any chunk size.
+///
+/// The reader may pull bytes from the source past the end of the
+/// container (it refills in whole chunks); don't interleave other reads
+/// on the same source.
+pub struct TraceReader<R: Read> {
+    d: ChunkedDecoder<R>,
+    meta: std::sync::Arc<TraceMeta>,
+    expected: usize,
+    read: usize,
+    ts: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a container and decodes its header (magic + metadata tables +
+    /// event count). Fails with the same errors [`read_trace`] would.
+    pub fn new(src: R) -> Result<Self> {
+        Self::with_chunk_size(src, DEFAULT_CHUNK)
+    }
+
+    /// As [`TraceReader::new`] with an explicit refill granularity
+    /// (clamped to at least 1; mainly for boundary-straddling tests).
+    pub fn with_chunk_size(src: R, chunk: usize) -> Result<Self> {
+        let mut d = ChunkedDecoder::new(src, chunk);
+        d.decode(read_magic)?;
+        let meta = read_meta(&mut d)?;
+        let expected = d.decode(|r| read_count(r))?;
+        Ok(Self {
+            d,
+            meta: std::sync::Arc::new(meta),
+            expected,
+            read: 0,
+            ts: 0,
+        })
+    }
+
+    /// The decoded metadata tables (shared, not copied).
+    pub fn meta(&self) -> &std::sync::Arc<TraceMeta> {
+        &self.meta
+    }
+
+    /// Event count announced by the container header.
+    pub fn expected_events(&self) -> usize {
+        self.expected
+    }
+
+    /// Decodes the next event, or `None` once the announced count is
+    /// reached. After an error the reader is fused and yields `None`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_event(&mut self) -> Option<Result<TraceEvent>> {
+        if self.read == self.expected {
+            return None;
+        }
+        match self.d.decode(read_record) {
+            Ok((delta, event)) => {
+                self.read += 1;
+                // Saturate rather than wrap: an adversarial delta must not
+                // trip the debug overflow check, and a saturated stream
+                // stays monotone.
+                self.ts = self.ts.saturating_add(delta);
+                self.d.maybe_compact();
+                Some(Ok(TraceEvent { ts: self.ts, event }))
+            }
+            Err(e) => {
+                self.read = self.expected;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Deserializes a trace from the binary `LDOC1` container.
+///
+/// Decodes through the chunked [`TraceReader`], so arbitrarily large
+/// containers never buffer more than one chunk of undecoded input (the
+/// decoded events still materialize in memory; use [`TraceReader`]
+/// directly to avoid even that).
 pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace> {
-    let mut magic = [0u8; 5];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let meta = read_meta(r)?;
-    let n = read_varint(r)? as usize;
+    let mut reader = TraceReader::new(r)?;
     // Pre-allocate conservatively; a corrupted count must not OOM us.
-    let mut events = Vec::with_capacity(n.min(1 << 16));
-    let mut ts = 0u64;
-    for _ in 0..n {
-        // Saturate rather than wrap: an adversarial delta must not trip
-        // the debug overflow check, and a saturated stream stays monotone.
-        ts = ts.saturating_add(read_varint(r)?);
-        let event = read_event(r)?;
-        events.push(TraceEvent { ts, event });
+    let mut events = Vec::with_capacity(reader.expected_events().min(1 << 16));
+    while let Some(ev) = reader.next_event() {
+        events.push(ev?);
     }
-    Ok(Trace { meta, events })
+    Ok(Trace {
+        meta: std::sync::Arc::clone(reader.meta()),
+        events,
+    })
 }
 
 /// One decode failure encountered by [`read_trace_salvage`].
@@ -594,14 +815,40 @@ fn read_record(r: &mut &[u8]) -> Result<(u64, Event)> {
 /// trace is exactly the [`read_trace`] result and
 /// [`SalvageReport::is_clean`] holds — salvage never perturbs good data.
 pub fn read_trace_salvage(bytes: &[u8]) -> Result<(Trace, SalvageReport)> {
-    let mut rest = bytes;
-    let mut magic = [0u8; 5];
-    rest.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
+    read_trace_salvage_chunked(bytes, DEFAULT_CHUNK)
+}
+
+/// Scans forward from one past the decoder's position for the first
+/// offset where a whole record decodes, pulling more input as needed.
+/// Mirrors the whole-slice resync scan exactly: a probe that runs off the
+/// *true* end of input counts as a failed offset, one that merely runs
+/// off the buffered bytes is retried with more data.
+fn probe_resync<R: Read>(d: &mut ChunkedDecoder<R>) -> Result<Option<u64>> {
+    let mut off = d.pos + 1;
+    loop {
+        while off < d.buf.len() {
+            match read_record(&mut &d.buf[off..]) {
+                Ok(_) => return Ok(Some(d.base + off as u64)),
+                Err(e) if !d.eof && is_buffer_eof(&e) => break,
+                Err(_) => off += 1,
+            }
+        }
+        if d.eof {
+            return Ok(None);
+        }
+        d.fill()?;
     }
-    let meta = read_meta(&mut rest)?;
-    let n = read_varint(&mut rest)? as usize;
+}
+
+/// [`read_trace_salvage`] over any [`Read`] source with an explicit chunk
+/// size. The recovered trace, report, diagnostics, and byte offsets are
+/// identical at every chunk size — the corruption differential suite runs
+/// against this path through the slice wrapper.
+pub fn read_trace_salvage_chunked<R: Read>(src: R, chunk: usize) -> Result<(Trace, SalvageReport)> {
+    let mut d = ChunkedDecoder::new(src, chunk);
+    d.decode(read_magic)?;
+    let meta = read_meta(&mut d)?;
+    let n = d.decode(|r| read_count(r))?;
     let mut report = SalvageReport {
         expected_events: n as u64,
         ..SalvageReport::default()
@@ -609,41 +856,41 @@ pub fn read_trace_salvage(bytes: &[u8]) -> Result<(Trace, SalvageReport)> {
     let mut events: Vec<TraceEvent> = Vec::with_capacity(n.min(1 << 16));
     let mut ts = 0u64;
     while events.len() < n {
-        if rest.is_empty() {
+        if !d.has_data()? {
             report.truncated = true;
             break;
         }
-        let start = bytes.len() - rest.len();
-        let mut attempt = rest;
-        match read_record(&mut attempt) {
+        let start = d.offset();
+        match d.decode(read_record) {
             Ok((delta, event)) => {
                 ts = ts.saturating_add(delta);
                 events.push(TraceEvent { ts, event });
-                rest = attempt;
+                d.maybe_compact();
             }
             Err(e) => {
                 report.failures += 1;
                 // Resync: the first later offset where a complete record
                 // decodes is our best guess for the next record boundary.
-                let resumed_at =
-                    (start + 1..bytes.len()).find(|&off| read_record(&mut &bytes[off..]).is_ok());
+                let resumed_at = probe_resync(&mut d)?;
                 if report.diags.len() < MAX_SALVAGE_DIAGS {
                     report.diags.push(SalvageDiag {
                         event_index: events.len() as u64,
-                        offset: start as u64,
+                        offset: start,
                         error: e.to_string(),
-                        resumed_at: resumed_at.map(|off| off as u64),
+                        resumed_at,
                     });
                 }
                 match resumed_at {
                     Some(off) => {
-                        report.bytes_skipped += (off - start) as u64;
-                        rest = &bytes[off..];
+                        report.bytes_skipped += off - start;
+                        d.pos = (off - d.base) as usize;
                     }
                     None => {
-                        report.bytes_skipped += (bytes.len() - start) as u64;
+                        // The probe drained the source; everything from the
+                        // failure point on was skipped.
+                        report.bytes_skipped += d.count_remaining()?;
                         report.truncated = true;
-                        rest = &[];
+                        d.pos = d.buf.len();
                         break;
                     }
                 }
@@ -651,8 +898,14 @@ pub fn read_trace_salvage(bytes: &[u8]) -> Result<(Trace, SalvageReport)> {
         }
     }
     report.recovered_events = events.len() as u64;
-    report.trailing_bytes = rest.len() as u64;
-    Ok((Trace { meta, events }, report))
+    report.trailing_bytes = d.count_remaining()?;
+    Ok((
+        Trace {
+            meta: std::sync::Arc::new(meta),
+            events,
+        },
+        report,
+    ))
 }
 
 /// Escapes one CSV field per RFC 4180: fields containing a comma, a
@@ -888,10 +1141,10 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("fs/inode.c");
-        let name = tr.meta.strings.intern("i_lock");
-        let sub = tr.meta.strings.intern("ext4");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("fs/inode.c");
+        let name = tr.meta_mut().strings.intern("i_lock");
+        let sub = tr.meta_mut().strings.intern("ext4");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "inode".into(),
             size: 64,
             members: vec![MemberDef {
@@ -902,8 +1155,8 @@ mod tests {
                 is_lock: false,
             }],
         });
-        let f = tr.meta.add_function("iget_locked");
-        let t = tr.meta.add_task("fsstress");
+        let f = tr.meta_mut().add_function("iget_locked");
+        let t = tr.meta_mut().add_task("fsstress");
         tr.push(
             0,
             Event::LockInit {
@@ -1147,9 +1400,9 @@ mod tests {
             },
             |(lock_name, file_name, task_name): &(String, String, String)| {
                 let mut tr = Trace::new();
-                let name = tr.meta.strings.intern(lock_name);
-                let file = tr.meta.strings.intern(file_name);
-                let task = tr.meta.add_task(task_name);
+                let name = tr.meta_mut().strings.intern(lock_name);
+                let file = tr.meta_mut().strings.intern(file_name);
+                let task = tr.meta_mut().add_task(task_name);
                 tr.push(
                     0,
                     Event::LockInit {
@@ -1248,7 +1501,7 @@ mod tests {
     #[test]
     fn write_trace_rejects_time_travel() {
         let tr = Trace {
-            meta: TraceMeta::default(),
+            meta: std::sync::Arc::new(TraceMeta::default()),
             events: vec![
                 TraceEvent {
                     ts: 5,
@@ -1276,7 +1529,7 @@ mod tests {
     #[test]
     fn to_csv_reports_dangling_ids() {
         let tr = Trace {
-            meta: TraceMeta::default(),
+            meta: std::sync::Arc::new(TraceMeta::default()),
             events: vec![TraceEvent {
                 ts: 0,
                 event: Event::TaskSwitch { task: TaskId(9) },
@@ -1366,6 +1619,78 @@ mod tests {
         assert!(!report.is_clean());
         assert_eq!(back.events.len(), tr.events.len() - 1);
         assert_eq!(back.events[..], tr.events[..tr.events.len() - 1]);
+    }
+
+    /// `read_count` rejects counts wider than `usize` instead of
+    /// truncating them; on 64-bit targets `usize` == `u64` so overflow is
+    /// unreachable and this pins the in-range path plus the error's
+    /// rendering.
+    #[test]
+    fn count_overflow_is_typed() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 12345).unwrap();
+        assert_eq!(read_count(&mut buf.as_slice()).unwrap(), 12345);
+        assert_eq!(
+            CodecError::CountOverflow.to_string(),
+            "count does not fit in usize on this target"
+        );
+    }
+
+    /// On 32-bit targets a count above `u32::MAX` must fail typed, not
+    /// wrap (the pre-fix `as usize` silently truncated it).
+    #[cfg(target_pointer_width = "32")]
+    #[test]
+    fn count_overflow_fires_on_32_bit() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::from(u32::MAX) + 1).unwrap();
+        assert!(matches!(
+            read_count(&mut buf.as_slice()).unwrap_err(),
+            CodecError::CountOverflow
+        ));
+    }
+
+    /// Chunked decode is byte-equivalent to whole-slice decode at every
+    /// chunk size, including chunk=1 where every record straddles a
+    /// refill boundary.
+    #[test]
+    fn chunked_read_matches_slice_read_at_any_chunk_size() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        for chunk in [1usize, 2, 3, 7, 64, buf.len(), buf.len() * 2] {
+            let mut reader = TraceReader::with_chunk_size(buf.as_slice(), chunk).unwrap();
+            assert_eq!(reader.expected_events(), tr.len());
+            let mut events = Vec::new();
+            while let Some(ev) = reader.next_event() {
+                events.push(ev.unwrap());
+            }
+            assert_eq!(events, tr.events, "chunk={chunk}");
+            assert_eq!(**reader.meta(), *tr.meta, "chunk={chunk}");
+        }
+    }
+
+    /// Salvage across a smashed record is identical when the resync scan
+    /// has to straddle refill boundaries: every chunk size yields the
+    /// same trace, the same diagnostics, and the same byte offsets as the
+    /// whole-slice path.
+    #[test]
+    fn salvage_resync_is_identical_across_chunk_boundaries() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        let mut clean = Vec::new();
+        clean.extend_from_slice(MAGIC);
+        write_meta(&mut clean, &tr.meta).unwrap();
+        write_varint(&mut clean, tr.events.len() as u64).unwrap();
+        let smash_at = clean.len() + 1; // tag byte of record 0
+        buf[smash_at] = 0xff;
+        let (want_tr, want_report) = read_trace_salvage(&buf).unwrap();
+        assert!(!want_report.is_clean());
+        for chunk in [1usize, 2, 3, smash_at, buf.len()] {
+            let (got_tr, got_report) = read_trace_salvage_chunked(buf.as_slice(), chunk).unwrap();
+            assert_eq!(got_tr, want_tr, "chunk={chunk}");
+            assert_eq!(got_report, want_report, "chunk={chunk}");
+        }
     }
 
     /// A header that does not decode is fatal for salvage too: metadata is

@@ -572,7 +572,7 @@ pub fn inject(trace: &Trace, class: CorruptionClass, seed: u64) -> Option<Inject
             // file into the (cloned) metadata. Appending to the interner
             // never invalidates existing symbols.
             let mut corrupted = insert_event(trace, p, Event::Free { id: AllocId(0) });
-            let file = corrupted.meta.strings.intern("corrupt.c");
+            let file = corrupted.meta_mut().strings.intern("corrupt.c");
             corrupted.events[p].event = Event::LockRelease {
                 addr,
                 loc: SourceLoc::new(file, 4242),
@@ -596,9 +596,9 @@ mod tests {
 
     fn base() -> Trace {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("gen.c");
-        let lname = tr.meta.strings.intern("l0");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("gen.c");
+        let lname = tr.meta_mut().strings.intern("l0");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "obj".into(),
             size: 32,
             members: vec![MemberDef {
@@ -609,7 +609,7 @@ mod tests {
                 is_lock: false,
             }],
         });
-        let task = tr.meta.add_task("t0");
+        let task = tr.meta_mut().add_task("t0");
         tr.push(1, Event::TaskSwitch { task });
         tr.push(
             2,
@@ -697,9 +697,9 @@ mod tests {
     #[test]
     fn reentrant_release_is_not_a_duplicate_site() {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("r.c");
-        let rcu = tr.meta.strings.intern("rcu");
-        tr.meta.add_task("t0");
+        let file = tr.meta_mut().strings.intern("r.c");
+        let rcu = tr.meta_mut().strings.intern("rcu");
+        tr.meta_mut().add_task("t0");
         let loc = SourceLoc::new(file, 1);
         tr.push(0, Event::TaskSwitch { task: TaskId(0) });
         tr.push(

@@ -1,0 +1,974 @@
+//! Cached-archive format for imported traces.
+//!
+//! Importing is linear but not free: decode + pre-pass + replay touch
+//! every event. When the same trace is analyzed repeatedly (every CLI
+//! subcommand re-imports), that work is pure waste — the resulting
+//! [`TraceDb`] is a deterministic function of `(trace bytes, filter
+//! config)`. This module persists the imported store in a flat, columnar,
+//! little-endian layout so re-opening a trace is a sequential read of the
+//! final tables instead of a re-decode.
+//!
+//! ## Format (`LDARCH1\0`, version [`FORMAT_VERSION`])
+//!
+//! A fixed header followed by column slabs:
+//!
+//! ```text
+//! magic        [u8; 8] = b"LDARCH1\0"
+//! version      u32     — bumped on ANY layout change; mismatch = miss
+//! trace_fnv    u64     — FNV-1a over the source container bytes
+//! filter_fnv   u64     — FNV-1a over the canonicalized filter config
+//! payload_fnv  u64     — FNV-1a over every byte after this header
+//! ...sections: allocations, locks, txns, accesses, stacks, stats
+//! ```
+//!
+//! Every column is a length-prefixed contiguous array of fixed-width
+//! little-endian values — the layout an `mmap`-based loader could hand to
+//! the query layer directly (this loader copies into owned `Vec`s, since
+//! the workspace forbids `unsafe`; the sequential-slab layout is what
+//! makes the read cheap either way). `Option`s in the *cold* row tables
+//! (allocations, locks) are an explicit presence byte; the *hot* access
+//! columns reuse the in-memory sentinel encoding
+//! ([`AccessTable`]'s `NO_SUBCLASS` / `NO_TXN`) so loading is a straight
+//! copy.
+//!
+//! ## Invalidation
+//!
+//! The archive does not store [`TraceMeta`] — the loader takes it from
+//! the source container's header (a [`crate::codec::TraceReader`] decodes
+//! the header without touching the event stream). That makes the source
+//! trace file the single source of truth: a cache hit requires
+//!
+//! 1. magic and `version` to match this build's writer exactly,
+//! 2. `trace_fnv` to match the FNV-1a checksum of the *current* container
+//!    bytes (so an overwritten/truncated/regenerated trace misses), and
+//! 3. `filter_fnv` to match the fingerprint of the *current* filter
+//!    config (so changing blacklists invalidates), and
+//! 4. `payload_fnv` to match the checksum of the archive's own body — a
+//!    bit flip anywhere in the slabs (a torn write, disk rot) misses
+//!    *before* any section is parsed, so corruption can never smuggle a
+//!    structurally-plausible-but-wrong value into the store.
+//!
+//! Any mismatch — or any structural inconsistency while reading — returns
+//! `None` and the caller falls back to a fresh import (and typically
+//! rewrites the archive). The reader additionally cross-checks every id
+//! against the tables and `meta` it actually loaded (allocation
+//! references, lock/txn/stack indices, interned strings), so even a
+//! checksum collision cannot yield out-of-range references downstream.
+//! A stale or corrupt cache can therefore cost a
+//! re-import, never a wrong answer: `archive_roundtrip_is_identity` and
+//! the CLI's `--cache-dir` gate in `scripts/verify.sh` check the loaded
+//! store is byte-identical (`PartialEq` over every table and counter) to
+//! a fresh import.
+
+use crate::db::columns::{AccessTable, StackTable, TxnTable};
+use crate::db::import::ImportStats;
+use crate::db::schema::{Allocation, FlowKey, HeldLock, LockInstance};
+use crate::db::TraceDb;
+use crate::event::{AccessKind, AcquireMode, ContextKind, LockFlavor, SourceLoc, TraceMeta};
+use crate::filter::FilterConfig;
+use crate::ids::{AllocId, DataTypeId, FnId, LockId, StackId, Sym, TaskId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Archive container magic.
+pub const ARCHIVE_MAGIC: [u8; 8] = *b"LDARCH1\0";
+
+/// Bumped whenever the column layout, sentinel encoding, or section order
+/// changes. An archive written by any other version is a cache miss.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + trace/filter/payload checksums.
+/// The payload checksum covers every byte from this offset to the end.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+
+/// FNV-1a 64-bit over a byte string; the archive's checksum primitive
+/// (fast, dependency-free, and stable across platforms — this guards
+/// against *staleness*, not adversaries).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic fingerprint of a filter configuration.
+///
+/// Set/map iteration order is unspecified, so the entries are sorted
+/// before hashing; two configs fingerprint equal iff they filter
+/// identically.
+pub fn filter_fingerprint(config: &FilterConfig) -> u64 {
+    let mut canon = String::new();
+    let mut members: Vec<_> = config.member_blacklist.iter().collect();
+    members.sort();
+    for (ty, member) in members {
+        canon.push_str("m:");
+        canon.push_str(ty);
+        canon.push('.');
+        canon.push_str(member);
+        canon.push('\n');
+    }
+    let mut types: Vec<_> = config.init_teardown.iter().collect();
+    types.sort_by_key(|(ty, _)| ty.as_str());
+    for (ty, funcs) in types {
+        let mut funcs: Vec<_> = funcs.iter().collect();
+        funcs.sort();
+        for f in funcs {
+            canon.push_str("i:");
+            canon.push_str(ty);
+            canon.push('/');
+            canon.push_str(f);
+            canon.push('\n');
+        }
+    }
+    let mut globals: Vec<_> = config.global_fn_blacklist.iter().collect();
+    globals.sort();
+    for f in globals {
+        canon.push_str("g:");
+        canon.push_str(f);
+        canon.push('\n');
+    }
+    canon.push_str(if config.drop_atomic_accesses {
+        "a1"
+    } else {
+        "a0"
+    });
+    canon.push_str(if config.drop_atomic_members {
+        "t1"
+    } else {
+        "t0"
+    });
+    fnv1a(canon.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct ArchiveWriter {
+    buf: Vec<u8>,
+}
+
+impl ArchiveWriter {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn len(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+    fn flow(&mut self, f: FlowKey) {
+        match f {
+            FlowKey::Task(t) => {
+                self.u8(0);
+                self.u32(t.0);
+            }
+            FlowKey::Irq(i) => {
+                self.u8(1);
+                self.u32(u32::from(i));
+            }
+        }
+    }
+    fn loc(&mut self, l: SourceLoc) {
+        self.u32(l.file.0);
+        self.u32(l.line);
+    }
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+fn flavor_tag(f: LockFlavor) -> u8 {
+    match f {
+        LockFlavor::Spinlock => 0,
+        LockFlavor::Rwlock => 1,
+        LockFlavor::Mutex => 2,
+        LockFlavor::Semaphore => 3,
+        LockFlavor::RwSemaphore => 4,
+        LockFlavor::Seqlock => 5,
+        LockFlavor::Rcu => 6,
+        LockFlavor::Softirq => 7,
+        LockFlavor::Hardirq => 8,
+    }
+}
+
+fn flavor_from(tag: u8) -> Option<LockFlavor> {
+    Some(match tag {
+        0 => LockFlavor::Spinlock,
+        1 => LockFlavor::Rwlock,
+        2 => LockFlavor::Mutex,
+        3 => LockFlavor::Semaphore,
+        4 => LockFlavor::RwSemaphore,
+        5 => LockFlavor::Seqlock,
+        6 => LockFlavor::Rcu,
+        7 => LockFlavor::Softirq,
+        8 => LockFlavor::Hardirq,
+        _ => return None,
+    })
+}
+
+/// Serializes an imported store (minus its [`TraceMeta`], which lives in
+/// the source container) for the `(trace checksum, filter fingerprint)`
+/// cache key.
+pub fn write_archive(db: &TraceDb, trace_checksum: u64, filter_fp: u64) -> Vec<u8> {
+    // Rough pre-size: the access table dominates at ~64 B/row.
+    let mut w = ArchiveWriter {
+        buf: Vec::with_capacity(256 + db.accesses.len() * 64),
+    };
+    w.buf.extend_from_slice(&ARCHIVE_MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(trace_checksum);
+    w.u64(filter_fp);
+    w.u64(0); // payload_fnv slot, patched once the body is complete
+
+    // Allocations (cold row table; Options get presence bytes).
+    w.len(db.allocations.len());
+    for a in &db.allocations {
+        w.u64(a.id.0);
+        w.u64(a.addr);
+        w.u32(a.size);
+        w.u32(a.data_type.0);
+        match a.subclass {
+            Some(s) => {
+                w.u8(1);
+                w.u32(s.0);
+            }
+            None => w.u8(0),
+        }
+        w.u64(a.alloc_ts);
+        match a.free_ts {
+            Some(t) => {
+                w.u8(1);
+                w.u64(t);
+            }
+            None => w.u8(0),
+        }
+    }
+
+    // Locks (cold row table).
+    w.len(db.locks.len());
+    for l in &db.locks {
+        w.u32(l.id.0);
+        w.u64(l.addr);
+        w.u32(l.name.0);
+        w.u8(flavor_tag(l.flavor));
+        w.u8(u8::from(l.is_static));
+        match l.embedded_in {
+            Some((alloc, off)) => {
+                w.u8(1);
+                w.u64(alloc.0);
+                w.u32(off);
+            }
+            None => w.u8(0),
+        }
+    }
+
+    // Transactions: columns + held-lock arena.
+    w.len(db.txns.len());
+    for i in 0..db.txns.len() {
+        w.flow(db.txns.flow[i]);
+    }
+    for &t in &db.txns.start_ts {
+        w.u64(t);
+    }
+    for &t in &db.txns.end_ts {
+        w.u64(t);
+    }
+    for &(start, count) in &db.txns.lock_spans {
+        w.u32(start);
+        w.u32(count);
+    }
+    w.len(db.txns.locks.len());
+    for h in &db.txns.locks {
+        w.u32(h.lock.0);
+        w.u8(match h.mode {
+            AcquireMode::Shared => 0,
+            AcquireMode::Exclusive => 1,
+        });
+        w.loc(h.acquired_at);
+        w.u64(h.acquired_ts);
+    }
+
+    // Accesses: one slab per column, hot sentinels kept as-is.
+    w.len(db.accesses.len());
+    for &v in &db.accesses.ts {
+        w.u64(v);
+    }
+    for &k in &db.accesses.kind {
+        w.u8(match k {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+    }
+    for &v in &db.accesses.alloc {
+        w.u64(v.0);
+    }
+    for &v in &db.accesses.data_type {
+        w.u32(v.0);
+    }
+    for &v in &db.accesses.subclass {
+        w.u32(v);
+    }
+    for &v in &db.accesses.member {
+        w.u32(v);
+    }
+    w.buf.extend_from_slice(&db.accesses.size);
+    for &v in &db.accesses.loc_file {
+        w.u32(v.0);
+    }
+    for &v in &db.accesses.loc_line {
+        w.u32(v);
+    }
+    for &v in &db.accesses.txn {
+        w.u64(v);
+    }
+    for &v in &db.accesses.stack {
+        w.u32(v.0);
+    }
+    for i in 0..db.accesses.len() {
+        w.flow(db.accesses.flow[i]);
+    }
+    for &c in &db.accesses.context {
+        w.u8(match c {
+            ContextKind::Task => 0,
+            ContextKind::Softirq => 1,
+            ContextKind::Hardirq => 2,
+        });
+    }
+
+    // Stacks: spans + frame arena.
+    w.len(db.stacks.len());
+    for &(start, count) in &db.stacks.spans {
+        w.u32(start);
+        w.u32(count);
+    }
+    w.len(db.stacks.frames.len());
+    for &f in &db.stacks.frames {
+        w.u32(f.0);
+    }
+
+    // Stats: fixed counters, then the drop map sorted by reason name.
+    let st = &db.stats;
+    for v in [
+        st.events,
+        st.accesses_seen,
+        st.accesses_imported,
+        st.unresolved,
+        st.unmatched_releases,
+        st.unknown_lock_acquires,
+        st.txns,
+        st.locks,
+        st.static_locks,
+        st.embedded_locks,
+        st.allocs,
+        st.frees,
+        st.stacks,
+        st.invalid_events,
+    ] {
+        w.u64(v);
+    }
+    let mut filtered: Vec<_> = st.filtered.iter().collect();
+    filtered.sort();
+    w.len(filtered.len());
+    for (name, &n) in filtered {
+        w.str(name);
+        w.u64(n);
+    }
+
+    let payload_fnv = fnv1a(&w.buf[HEADER_LEN..]);
+    w.buf[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&payload_fnv.to_le_bytes());
+    w.buf
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct ArchiveReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ArchiveReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    /// A length prefix, bounded by `per_item`: a corrupt length cannot
+    /// allocate more than the remaining input could possibly back.
+    fn len(&mut self, per_item: usize) -> Option<usize> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        if n.checked_mul(per_item.max(1))? > self.buf.len() {
+            return None;
+        }
+        Some(n)
+    }
+    fn flow(&mut self) -> Option<FlowKey> {
+        match self.u8()? {
+            0 => Some(FlowKey::Task(TaskId(self.u32()?))),
+            1 => Some(FlowKey::Irq(u8::try_from(self.u32()?).ok()?)),
+            _ => None,
+        }
+    }
+    fn loc(&mut self) -> Option<SourceLoc> {
+        Some(SourceLoc::new(Sym(self.u32()?), self.u32()?))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.len(1)?;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+}
+
+/// Deserializes an archive previously produced by [`write_archive`].
+///
+/// Returns `None` — *reimport* — unless the magic, format version, trace
+/// checksum, and filter fingerprint all match and every section parses
+/// cleanly. `meta` is the header of the source container the checksum was
+/// computed over.
+pub fn read_archive(
+    bytes: &[u8],
+    trace_checksum: u64,
+    filter_fp: u64,
+    meta: Arc<TraceMeta>,
+) -> Option<TraceDb> {
+    let mut r = ArchiveReader { buf: bytes };
+    if r.take(8)? != ARCHIVE_MAGIC {
+        return None;
+    }
+    if r.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    if r.u64()? != trace_checksum || r.u64()? != filter_fp {
+        return None;
+    }
+    // The body checksum is verified before a single section is parsed:
+    // a flipped bit anywhere in the slabs is a clean miss, never a
+    // structurally-plausible wrong value.
+    if r.u64()? != fnv1a(r.buf) {
+        return None;
+    }
+
+    let n_allocs = r.len(30)?;
+    let mut allocations = Vec::with_capacity(n_allocs);
+    for _ in 0..n_allocs {
+        let id = AllocId(r.u64()?);
+        let addr = r.u64()?;
+        let size = r.u32()?;
+        let data_type = DataTypeId(r.u32()?);
+        let subclass = match r.u8()? {
+            0 => None,
+            1 => Some(Sym(r.u32()?)),
+            _ => return None,
+        };
+        let alloc_ts = r.u64()?;
+        let free_ts = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => return None,
+        };
+        allocations.push(Allocation {
+            id,
+            addr,
+            size,
+            data_type,
+            subclass,
+            alloc_ts,
+            free_ts,
+        });
+    }
+
+    let n_locks = r.len(19)?;
+    let mut locks = Vec::with_capacity(n_locks);
+    for _ in 0..n_locks {
+        let id = LockId(r.u32()?);
+        let addr = r.u64()?;
+        let name = Sym(r.u32()?);
+        let flavor = flavor_from(r.u8()?)?;
+        let is_static = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let embedded_in = match r.u8()? {
+            0 => None,
+            1 => Some((AllocId(r.u64()?), r.u32()?)),
+            _ => return None,
+        };
+        locks.push(LockInstance {
+            id,
+            addr,
+            name,
+            flavor,
+            is_static,
+            embedded_in,
+        });
+    }
+
+    let n_txns = r.len(25)?;
+    let mut txns = TxnTable::default();
+    txns.flow.reserve(n_txns);
+    for _ in 0..n_txns {
+        txns.flow.push(r.flow()?);
+    }
+    txns.start_ts.reserve(n_txns);
+    for _ in 0..n_txns {
+        txns.start_ts.push(r.u64()?);
+    }
+    txns.end_ts.reserve(n_txns);
+    for _ in 0..n_txns {
+        txns.end_ts.push(r.u64()?);
+    }
+    txns.lock_spans.reserve(n_txns);
+    for _ in 0..n_txns {
+        txns.lock_spans.push((r.u32()?, r.u32()?));
+    }
+    let n_held = r.len(21)?;
+    txns.locks.reserve(n_held);
+    for _ in 0..n_held {
+        let lock = LockId(r.u32()?);
+        let mode = match r.u8()? {
+            0 => AcquireMode::Shared,
+            1 => AcquireMode::Exclusive,
+            _ => return None,
+        };
+        let acquired_at = r.loc()?;
+        let acquired_ts = r.u64()?;
+        txns.locks.push(HeldLock {
+            lock,
+            mode,
+            acquired_at,
+            acquired_ts,
+        });
+    }
+    // Every span must lie inside the arena.
+    for &(start, count) in &txns.lock_spans {
+        let end = (start as usize).checked_add(count as usize)?;
+        if end > txns.locks.len() {
+            return None;
+        }
+    }
+
+    let n_acc = r.len(50)?;
+    let mut accesses = AccessTable::default();
+    accesses.ts.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.ts.push(r.u64()?);
+    }
+    accesses.kind.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.kind.push(match r.u8()? {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            _ => return None,
+        });
+    }
+    accesses.alloc.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.alloc.push(AllocId(r.u64()?));
+    }
+    accesses.data_type.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.data_type.push(DataTypeId(r.u32()?));
+    }
+    accesses.subclass.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.subclass.push(r.u32()?);
+    }
+    accesses.member.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.member.push(r.u32()?);
+    }
+    accesses.size.extend_from_slice(r.take(n_acc)?);
+    accesses.loc_file.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.loc_file.push(Sym(r.u32()?));
+    }
+    accesses.loc_line.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.loc_line.push(r.u32()?);
+    }
+    accesses.txn.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.txn.push(r.u64()?);
+    }
+    accesses.stack.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.stack.push(StackId(r.u32()?));
+    }
+    accesses.flow.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.flow.push(r.flow()?);
+    }
+    accesses.context.reserve(n_acc);
+    for _ in 0..n_acc {
+        accesses.context.push(match r.u8()? {
+            0 => ContextKind::Task,
+            1 => ContextKind::Softirq,
+            2 => ContextKind::Hardirq,
+            _ => return None,
+        });
+    }
+
+    let n_stacks = r.len(8)?;
+    let mut stacks = StackTable::default();
+    stacks.spans.reserve(n_stacks);
+    for _ in 0..n_stacks {
+        stacks.spans.push((r.u32()?, r.u32()?));
+    }
+    let n_frames = r.len(4)?;
+    stacks.frames.reserve(n_frames);
+    for _ in 0..n_frames {
+        stacks.frames.push(FnId(r.u32()?));
+    }
+    for &(start, count) in &stacks.spans {
+        let end = (start as usize).checked_add(count as usize)?;
+        if end > stacks.frames.len() {
+            return None;
+        }
+    }
+
+    let mut stats = ImportStats {
+        events: r.u64()?,
+        accesses_seen: r.u64()?,
+        accesses_imported: r.u64()?,
+        unresolved: r.u64()?,
+        unmatched_releases: r.u64()?,
+        unknown_lock_acquires: r.u64()?,
+        txns: r.u64()?,
+        locks: r.u64()?,
+        static_locks: r.u64()?,
+        embedded_locks: r.u64()?,
+        allocs: r.u64()?,
+        frees: r.u64()?,
+        stacks: r.u64()?,
+        invalid_events: r.u64()?,
+        filtered: HashMap::new(),
+    };
+    let n_filtered = r.len(9)?;
+    stats.filtered.reserve(n_filtered);
+    for _ in 0..n_filtered {
+        let name = r.str()?;
+        let n = r.u64()?;
+        stats.filtered.insert(name, n);
+    }
+
+    if !r.buf.is_empty() {
+        return None; // trailing garbage: treat as corrupt
+    }
+
+    // Referential integrity against the loaded tables and the *current*
+    // meta: even a checksum collision must not produce a dangling or
+    // out-of-range id that a downstream pass would trip over.
+    use crate::db::import::{valid_dt, valid_fn, valid_sym, valid_task};
+    let valid_flow = |f: &FlowKey| match *f {
+        FlowKey::Task(t) => valid_task(&meta, t),
+        FlowKey::Irq(_) => true,
+    };
+    let alloc_ids: std::collections::HashSet<AllocId> = allocations.iter().map(|a| a.id).collect();
+    for a in &allocations {
+        if !valid_dt(&meta, a.data_type) || !a.subclass.is_none_or(|s| valid_sym(&meta, s)) {
+            return None;
+        }
+    }
+    for l in &locks {
+        if !valid_sym(&meta, l.name)
+            || !l
+                .embedded_in
+                .is_none_or(|(aid, _)| alloc_ids.contains(&aid))
+        {
+            return None;
+        }
+    }
+    let n_lock_rows = locks.len() as u32;
+    for h in &txns.locks {
+        if h.lock.0 >= n_lock_rows || !valid_sym(&meta, h.acquired_at.file) {
+            return None;
+        }
+    }
+    if !txns.flow.iter().all(&valid_flow) || !stacks.frames.iter().all(|&f| valid_fn(&meta, f)) {
+        return None;
+    }
+    let n_txn_rows = txns.len() as u64;
+    let n_stack_rows = stacks.len() as u32;
+    for i in 0..accesses.len() {
+        let t = accesses.txn[i];
+        let dt = accesses.data_type[i];
+        let sc = accesses.subclass[i];
+        let ok = (t == crate::db::columns::NO_TXN || t < n_txn_rows)
+            && accesses.stack[i].0 < n_stack_rows.max(1)
+            && alloc_ids.contains(&accesses.alloc[i])
+            && valid_dt(&meta, dt)
+            && (accesses.member[i] as usize) < meta.data_types[dt.index()].members.len()
+            && (sc == crate::db::columns::NO_SUBCLASS || valid_sym(&meta, Sym(sc)))
+            && valid_sym(&meta, accesses.loc_file[i])
+            && valid_flow(&accesses.flow[i]);
+        if !ok {
+            return None;
+        }
+    }
+
+    Some(TraceDb {
+        meta,
+        allocations,
+        locks,
+        txns,
+        accesses,
+        stacks,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::import;
+    use crate::event::{DataTypeDef, Event, MemberDef, Trace};
+    use crate::filter::FilterConfig;
+
+    /// A small but representative store: two locks (one embedded), nested
+    /// transactions, a softirq flow, a subclassed allocation, a freed
+    /// allocation, and deduplicated stacks.
+    fn sample_db() -> TraceDb {
+        let mut tr = Trace::new();
+        let file = tr.meta_mut().strings.intern("clock.c");
+        let g_lock = tr.meta_mut().strings.intern("g_lock");
+        let i_lock = tr.meta_mut().strings.intern("i_lock");
+        let sub = tr.meta_mut().strings.intern("ext4");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
+            name: "clock".into(),
+            size: 16,
+            members: vec![
+                MemberDef {
+                    name: "seconds".into(),
+                    offset: 0,
+                    size: 4,
+                    atomic: false,
+                    is_lock: false,
+                },
+                MemberDef {
+                    name: "minutes".into(),
+                    offset: 4,
+                    size: 4,
+                    atomic: false,
+                    is_lock: false,
+                },
+            ],
+        });
+        let tick = tr.meta_mut().add_function("tick");
+        let irq_fn = tr.meta_mut().add_function("irq_tick");
+        let task = tr.meta_mut().add_task("ticker");
+        let loc = crate::event::SourceLoc::new(file, 7);
+
+        let mut ts = 0u64;
+        let mut t = |tr: &mut Trace, e: Event| {
+            ts += 1;
+            tr.push(ts, e);
+        };
+        t(&mut tr, Event::TaskSwitch { task });
+        t(
+            &mut tr,
+            Event::LockInit {
+                addr: 0x100,
+                name: g_lock,
+                flavor: crate::event::LockFlavor::Spinlock,
+                is_static: true,
+            },
+        );
+        t(
+            &mut tr,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: 0x1000,
+                size: 16,
+                data_type: dt,
+                subclass: Some(sub),
+            },
+        );
+        t(
+            &mut tr,
+            Event::LockInit {
+                addr: 0x1008,
+                name: i_lock,
+                flavor: crate::event::LockFlavor::Mutex,
+                is_static: false,
+            },
+        );
+        t(&mut tr, Event::FnEnter { func: tick });
+        t(
+            &mut tr,
+            Event::LockAcquire {
+                addr: 0x100,
+                mode: crate::event::AcquireMode::Exclusive,
+                loc,
+            },
+        );
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: crate::event::AccessKind::Write,
+                addr: 0x1000,
+                size: 4,
+                loc,
+                atomic: false,
+            },
+        );
+        t(
+            &mut tr,
+            Event::LockAcquire {
+                addr: 0x1008,
+                mode: crate::event::AcquireMode::Shared,
+                loc,
+            },
+        );
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: crate::event::AccessKind::Read,
+                addr: 0x1004,
+                size: 4,
+                loc,
+                atomic: false,
+            },
+        );
+        t(&mut tr, Event::LockRelease { addr: 0x1008, loc });
+        t(&mut tr, Event::LockRelease { addr: 0x100, loc });
+        // Softirq flow with its own stack.
+        t(
+            &mut tr,
+            Event::ContextEnter {
+                kind: crate::event::ContextKind::Softirq,
+            },
+        );
+        t(&mut tr, Event::FnEnter { func: irq_fn });
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: crate::event::AccessKind::Write,
+                addr: 0x1004,
+                size: 4,
+                loc,
+                atomic: false,
+            },
+        );
+        t(&mut tr, Event::FnExit { func: irq_fn });
+        t(
+            &mut tr,
+            Event::ContextExit {
+                kind: crate::event::ContextKind::Softirq,
+            },
+        );
+        // Lock-free access (empty-set txn), then free the allocation.
+        t(
+            &mut tr,
+            Event::MemAccess {
+                kind: crate::event::AccessKind::Read,
+                addr: 0x1000,
+                size: 4,
+                loc,
+                atomic: false,
+            },
+        );
+        t(&mut tr, Event::Free { id: AllocId(1) });
+        t(&mut tr, Event::FnExit { func: tick });
+        import(&tr, &FilterConfig::with_defaults(), 1)
+    }
+
+    #[test]
+    fn archive_roundtrip_is_identity() {
+        let db = sample_db();
+        let bytes = write_archive(&db, 0xabcd, 0x1234);
+        let back =
+            read_archive(&bytes, 0xabcd, 0x1234, Arc::clone(&db.meta)).expect("roundtrip must hit");
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let db = sample_db();
+        let bytes = write_archive(&db, 0xabcd, 0x1234);
+        assert!(read_archive(&bytes, 0xabce, 0x1234, Arc::clone(&db.meta)).is_none());
+        assert!(read_archive(&bytes, 0xabcd, 0x1235, Arc::clone(&db.meta)).is_none());
+    }
+
+    #[test]
+    fn version_and_magic_guard() {
+        let db = sample_db();
+        let mut bytes = write_archive(&db, 1, 2);
+        bytes[8] ^= 0xff; // version byte
+        assert!(read_archive(&bytes, 1, 2, Arc::clone(&db.meta)).is_none());
+        let mut bytes = write_archive(&db, 1, 2);
+        bytes[0] ^= 0xff; // magic byte
+        assert!(read_archive(&bytes, 1, 2, Arc::clone(&db.meta)).is_none());
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_misses() {
+        let db = sample_db();
+        let bytes = write_archive(&db, 7, 7);
+        for cut in [bytes.len() - 1, bytes.len() / 2, 12] {
+            assert!(
+                read_archive(&bytes[..cut], 7, 7, Arc::clone(&db.meta)).is_none(),
+                "truncated at {cut} must miss"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(read_archive(&padded, 7, 7, Arc::clone(&db.meta)).is_none());
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        let db = sample_db();
+        let bytes = write_archive(&db, 3, 9);
+        // Flip every byte position (in the header and spread through the
+        // body) and require a clean miss or an equal hit, never a panic.
+        let step = (bytes.len() / 97).max(1);
+        for i in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x5a;
+            if let Some(back) = read_archive(&bad, 3, 9, Arc::clone(&db.meta)) {
+                // A flip that still parses must decode to *some* table
+                // set; structural invariants were checked by the reader.
+                let _ = back.accesses.len();
+            }
+        }
+    }
+
+    #[test]
+    fn filter_fingerprint_is_order_insensitive_and_content_sensitive() {
+        let mut a = FilterConfig::with_defaults();
+        a.global_fn_blacklist.insert("atomic_inc".into());
+        a.global_fn_blacklist.insert("atomic_dec".into());
+        let mut b = FilterConfig::with_defaults();
+        b.global_fn_blacklist.insert("atomic_dec".into());
+        b.global_fn_blacklist.insert("atomic_inc".into());
+        assert_eq!(filter_fingerprint(&a), filter_fingerprint(&b));
+        b.global_fn_blacklist.insert("memcpy".into());
+        assert_ne!(filter_fingerprint(&a), filter_fingerprint(&b));
+        let mut c = FilterConfig::with_defaults();
+        c.drop_atomic_members = false;
+        assert_ne!(
+            filter_fingerprint(&FilterConfig::with_defaults()),
+            filter_fingerprint(&c)
+        );
+    }
+}

@@ -12,14 +12,41 @@
 //! merge reassigns dense row ids in the order the serial importer would
 //! have produced them, so the resulting [`TraceDb`] is byte-identical at
 //! any worker count (see DESIGN.md, "Flow-partitioned parallel import").
+//!
+//! Both paths are built for steady-state zero allocation per event:
+//!
+//! * control flows live in a `Vec` with the current flow's index cached
+//!   across events (recomputed only on `TaskSwitch`/`ContextEnter`/
+//!   `ContextExit`), so no hash lookup happens per access;
+//! * shadow stacks are interned incrementally in a trie
+//!   ([`StackInterner`]) keyed by `(parent node, function)` — `FnEnter`
+//!   is one small-map probe, an access reads a single cached node id, and
+//!   the frames are copied into the shared stack arena exactly once, at
+//!   the first access that references a new stack;
+//! * filter drops are counted in a fixed array indexed by
+//!   [`FilterReason::index`] and only converted to the name-keyed stats
+//!   map when the run finishes;
+//! * allocation resolution keeps a one-entry cache of the last hit row,
+//!   invalidated on `Free`, because consecutive accesses overwhelmingly
+//!   target the same object.
+//!
+//! Both importer halves consume events through a `feed`/`finish` pair, so
+//! [`import_stream`] can drive them straight off a
+//! [`crate::codec::TraceReader`] without ever materializing the full
+//! event vector.
 
+use crate::codec::{CodecError, TraceReader};
+use crate::db::columns::{AccessTable, StackTable, TxnTable};
 use crate::db::schema::{Access, Allocation, FlowKey, HeldLock, LockInstance, StackTrace, Txn};
 use crate::db::TraceDb;
 use crate::event::{AccessKind, AcquireMode, ContextKind, Event, SourceLoc, Trace, TraceMeta};
 use crate::filter::{FilterConfig, FilterReason};
 use crate::ids::{Addr, AllocId, DataTypeId, FnId, LockId, StackId, Sym, TaskId, Timestamp, TxnId};
+use lockdoc_platform::hash::{FastMap, FastSet};
 use lockdoc_platform::par::par_map;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
+use std::io::Read;
+use std::sync::Arc;
 
 /// Counters describing an import run (reported like paper Sec. 7.2).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -58,13 +85,31 @@ pub struct ImportStats {
 }
 
 impl ImportStats {
-    fn bump_filtered(&mut self, reason: FilterReason) {
-        *self.filtered.entry(format!("{reason:?}")).or_insert(0) += 1;
-    }
-
     /// Total number of filtered accesses across all reasons.
     pub fn total_filtered(&self) -> u64 {
         self.filtered.values().sum()
+    }
+}
+
+/// Dense per-reason drop counters for the hot path. Flattened into the
+/// name-keyed [`ImportStats::filtered`] map once per run; only non-zero
+/// reasons get an entry, matching what incremental insertion produced.
+#[derive(Debug, Clone, Copy, Default)]
+struct DropCounters([u64; FilterReason::ALL.len()]);
+
+impl DropCounters {
+    #[inline]
+    fn bump(&mut self, reason: FilterReason) {
+        self.0[reason.index()] += 1;
+    }
+
+    fn add_to(&self, map: &mut HashMap<String, u64>) {
+        for (i, &n) in self.0.iter().enumerate() {
+            if n > 0 {
+                *map.entry(format!("{:?}", FilterReason::ALL[i]))
+                    .or_insert(0) += n;
+            }
+        }
     }
 }
 
@@ -77,6 +122,10 @@ struct FlowState {
     open_txn: Option<TxnId>,
     /// Shadow call stack.
     fn_stack: Vec<FnId>,
+    /// Interner node at each `fn_stack` depth (parallel vector); the node
+    /// for the current stack is the last entry, or [`ROOT_NODE`] when
+    /// empty.
+    node_stack: Vec<u32>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -88,19 +137,57 @@ struct HeldEntry {
     count: u32,
 }
 
+/// The trie node representing the empty stack.
+const ROOT_NODE: u32 = 0;
+
+/// Incremental stack interner.
+///
+/// Shadow stacks form a trie: each node is reached from its parent by one
+/// `(parent node, function)` edge, so a node is in bijection with the frame
+/// vector spelled by its path from the root. Maintaining the current node
+/// alongside the shadow stack makes `FnEnter` one small-map probe and lets
+/// an access identify its stack by reading a single cached id — no
+/// whole-vector hashing, no speculative clones. Dense [`StackId`]s are
+/// assigned lazily at the first access that references a node, which is
+/// exactly the order the old `HashMap<Vec<FnId>, StackId>` index assigned
+/// them, so the emitted table is identical.
+struct StackInterner {
+    children: FastMap<(u32, FnId), u32>,
+    /// Dense id per node (`u32::MAX` = not yet referenced by an access).
+    assigned: Vec<u32>,
+}
+
+impl StackInterner {
+    fn new() -> Self {
+        Self {
+            children: FastMap::default(),
+            assigned: vec![u32::MAX],
+        }
+    }
+
+    #[inline]
+    fn child(&mut self, parent: u32, func: FnId) -> u32 {
+        let next = self.assigned.len() as u32;
+        let assigned = &mut self.assigned;
+        *self.children.entry((parent, func)).or_insert_with(|| {
+            assigned.push(u32::MAX);
+            next
+        })
+    }
+}
+
 /// Name-based filter configuration resolved against one trace's metadata,
 /// so the per-event hot path only checks integer sets. Shared read-only by
 /// all import workers.
 struct ResolvedFilters {
-    global_fn_blacklist: HashSet<FnId>,
-    init_teardown: HashMap<DataTypeId, HashSet<FnId>>,
-    member_blacklist: HashSet<(DataTypeId, u32)>,
+    global_fn_blacklist: FastSet<FnId>,
+    init_teardown: FastMap<DataTypeId, FastSet<FnId>>,
+    member_blacklist: FastSet<(DataTypeId, u32)>,
 }
 
 impl ResolvedFilters {
-    fn resolve(trace: &Trace, config: &FilterConfig) -> Self {
-        let fn_by_name: HashMap<&str, FnId> = trace
-            .meta
+    fn resolve(meta: &TraceMeta, config: &FilterConfig) -> Self {
+        let fn_by_name: HashMap<&str, FnId> = meta
             .functions
             .iter()
             .enumerate()
@@ -111,12 +198,12 @@ impl ResolvedFilters {
             .iter()
             .filter_map(|n| fn_by_name.get(n.as_str()).copied())
             .collect();
-        let mut init_teardown: HashMap<DataTypeId, HashSet<FnId>> = HashMap::new();
-        let mut member_blacklist = HashSet::new();
-        for (i, dt) in trace.meta.data_types.iter().enumerate() {
+        let mut init_teardown: FastMap<DataTypeId, FastSet<FnId>> = FastMap::default();
+        let mut member_blacklist = FastSet::default();
+        for (i, dt) in meta.data_types.iter().enumerate() {
             let dtid = DataTypeId(i as u32);
             if let Some(funcs) = config.init_teardown.get(&dt.name) {
-                let ids: HashSet<FnId> = funcs
+                let ids: FastSet<FnId> = funcs
                     .iter()
                     .filter_map(|n| fn_by_name.get(n.as_str()).copied())
                     .collect();
@@ -145,9 +232,44 @@ impl ResolvedFilters {
 /// The output is byte-identical for every `jobs` value.
 pub fn import(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb {
     if jobs <= 1 {
-        Importer::new(trace, config).run()
+        let mut imp = Importer::new(&trace.meta, config);
+        for te in &trace.events {
+            imp.feed(te.ts, &te.event);
+        }
+        imp.finish(Arc::clone(&trace.meta))
     } else {
-        import_parallel(trace, config, jobs)
+        let mut pre = PrePassState::new(&trace.meta);
+        for te in &trace.events {
+            pre.feed(te.ts, &te.event);
+        }
+        finish_parallel(&trace.meta, pre.finish(), config, jobs)
+    }
+}
+
+/// Replays events straight off a [`TraceReader`] without materializing the
+/// event vector; equivalent to `read_trace` followed by [`import`] but with
+/// decode and replay interleaved chunk by chunk, so peak memory stays
+/// proportional to the output tables, not the input stream.
+pub fn import_stream<R: Read>(
+    mut reader: TraceReader<R>,
+    config: &FilterConfig,
+    jobs: usize,
+) -> Result<TraceDb, CodecError> {
+    let meta = Arc::clone(reader.meta());
+    if jobs <= 1 {
+        let mut imp = Importer::new(&meta, config);
+        while let Some(ev) = reader.next_event() {
+            let te = ev?;
+            imp.feed(te.ts, &te.event);
+        }
+        Ok(imp.finish(Arc::clone(&meta)))
+    } else {
+        let mut pre = PrePassState::new(&meta);
+        while let Some(ev) = reader.next_event() {
+            let te = ev?;
+            pre.feed(te.ts, &te.event);
+        }
+        Ok(finish_parallel(&meta, pre.finish(), config, jobs))
     }
 }
 
@@ -172,57 +294,73 @@ pub(crate) fn valid_loc(meta: &TraceMeta, loc: &SourceLoc) -> bool {
 }
 
 struct Importer<'a> {
-    trace: &'a Trace,
+    meta: &'a TraceMeta,
     config: &'a FilterConfig,
     stats: ImportStats,
+    drops: DropCounters,
 
     allocations: Vec<Allocation>,
-    alloc_index: HashMap<AllocId, usize>,
+    alloc_index: FastMap<AllocId, usize>,
     active_allocs: BTreeMap<Addr, AllocId>,
+    /// Row of the most recently resolved live allocation; consecutive
+    /// accesses overwhelmingly hit the same object. Invalidated on `Free`.
+    alloc_cache: Option<u32>,
 
     locks: Vec<LockInstance>,
-    active_locks: HashMap<Addr, LockId>,
+    active_locks: FastMap<Addr, LockId>,
 
-    txns: Vec<Txn>,
-    accesses: Vec<Access>,
+    txns: TxnTable,
+    accesses: AccessTable,
 
-    stacks: Vec<StackTrace>,
-    stack_index: HashMap<Vec<FnId>, StackId>,
+    stacks: StackTable,
+    interner: StackInterner,
 
-    flows: HashMap<FlowKey, FlowState>,
+    flows: Vec<FlowState>,
+    flow_ids: FastMap<FlowKey, u32>,
     current_task: TaskId,
     ctx_stack: Vec<ContextKind>,
+    /// Cached flow routing, recomputed only when a `TaskSwitch` or context
+    /// event changes it — the per-access path does no hashing at all.
+    cur_key: FlowKey,
+    cur_ctx: ContextKind,
+    cur_flow: usize,
 
     filters: ResolvedFilters,
 }
 
 impl<'a> Importer<'a> {
-    fn new(trace: &'a Trace, config: &'a FilterConfig) -> Self {
+    fn new(meta: &'a TraceMeta, config: &'a FilterConfig) -> Self {
+        let cur_key = FlowKey::Task(TaskId(0));
+        let mut flow_ids = FastMap::default();
+        flow_ids.insert(cur_key, 0u32);
         Self {
-            trace,
+            meta,
             config,
             stats: ImportStats::default(),
+            drops: DropCounters::default(),
             allocations: Vec::new(),
-            alloc_index: HashMap::new(),
+            alloc_index: FastMap::default(),
             active_allocs: BTreeMap::new(),
+            alloc_cache: None,
             locks: Vec::new(),
-            active_locks: HashMap::new(),
-            txns: Vec::new(),
-            accesses: Vec::new(),
-            stacks: Vec::new(),
-            stack_index: HashMap::new(),
-            flows: HashMap::new(),
+            active_locks: FastMap::default(),
+            txns: TxnTable::default(),
+            accesses: AccessTable::default(),
+            stacks: StackTable::default(),
+            interner: StackInterner::new(),
+            flows: vec![FlowState::default()],
+            flow_ids,
             current_task: TaskId(0),
             ctx_stack: Vec::new(),
-            filters: ResolvedFilters::resolve(trace, config),
+            cur_key,
+            cur_ctx: ContextKind::Task,
+            cur_flow: 0,
+            filters: ResolvedFilters::resolve(meta, config),
         }
     }
 
-    fn run(mut self) -> TraceDb {
-        for te in &self.trace.events {
-            self.stats.events += 1;
-            self.step(te.ts, &te.event);
-        }
+    fn finish(mut self, meta: Arc<TraceMeta>) -> TraceDb {
+        self.drops.add_to(&mut self.stats.filtered);
         self.stats.txns = self.txns.len() as u64;
         self.stats.locks = self.locks.len() as u64;
         self.stats.static_locks = self.locks.iter().filter(|l| l.is_static).count() as u64;
@@ -233,7 +371,7 @@ impl<'a> Importer<'a> {
             .count() as u64;
         self.stats.stacks = self.stacks.len() as u64;
         TraceDb {
-            meta: self.trace.meta.clone(),
+            meta,
             allocations: self.allocations,
             locks: self.locks,
             txns: self.txns,
@@ -243,38 +381,53 @@ impl<'a> Importer<'a> {
         }
     }
 
-    fn current_flow_key(&self) -> FlowKey {
-        match self.ctx_stack.last() {
+    /// Re-derives the cached flow routing after a task or context change.
+    fn refresh_flow(&mut self) {
+        self.cur_key = match self.ctx_stack.last() {
             Some(kind) => FlowKey::irq(*kind),
             None => FlowKey::Task(self.current_task),
+        };
+        self.cur_ctx = self.ctx_stack.last().copied().unwrap_or(ContextKind::Task);
+        self.cur_flow = match self.flow_ids.get(&self.cur_key) {
+            Some(&i) => i as usize,
+            None => {
+                let i = self.flows.len();
+                self.flows.push(FlowState::default());
+                self.flow_ids.insert(self.cur_key, i as u32);
+                i
+            }
+        };
+    }
+
+    /// Resolves `addr` to the row of the live allocation containing it.
+    /// Live allocations never overlap (overlapping `Alloc`s are dropped),
+    /// so the containing allocation is unique and a one-entry cache is
+    /// sound as long as `Free` invalidates it.
+    fn resolve_alloc(&mut self, addr: Addr) -> Option<u32> {
+        if let Some(row) = self.alloc_cache {
+            if self.allocations[row as usize].contains(addr) {
+                return Some(row);
+            }
         }
-    }
-
-    fn current_context(&self) -> ContextKind {
-        self.ctx_stack.last().copied().unwrap_or(ContextKind::Task)
-    }
-
-    fn flow(&mut self) -> &mut FlowState {
-        let key = self.current_flow_key();
-        self.flows.entry(key).or_default()
-    }
-
-    fn resolve_alloc(&self, addr: Addr) -> Option<AllocId> {
         let (_, &id) = self.active_allocs.range(..=addr).next_back()?;
-        let alloc = &self.allocations[self.alloc_index[&id]];
-        alloc.contains(addr).then_some(id)
+        let row = self.alloc_index[&id];
+        if self.allocations[row].contains(addr) {
+            self.alloc_cache = Some(row as u32);
+            Some(row as u32)
+        } else {
+            None
+        }
     }
 
     fn close_open_txn(&mut self, ts: Timestamp) {
-        let key = self.current_flow_key();
-        let flow = self.flows.entry(key).or_default();
-        if let Some(txn_id) = flow.open_txn.take() {
-            let txn = &mut self.txns[txn_id.0 as usize];
-            txn.end_ts = txn.end_ts.max(ts);
+        if let Some(txn_id) = self.flows[self.cur_flow].open_txn.take() {
+            self.txns.bump_end_ts(txn_id, ts);
         }
     }
 
-    fn step(&mut self, ts: Timestamp, event: &Event) {
+    fn feed(&mut self, ts: Timestamp, event: &Event) {
+        self.stats.events += 1;
+        let meta = self.meta;
         match event {
             Event::LockInit {
                 addr,
@@ -282,13 +435,13 @@ impl<'a> Importer<'a> {
                 flavor,
                 is_static,
             } => {
-                if !valid_sym(&self.trace.meta, *name) {
+                if !valid_sym(meta, *name) {
                     self.stats.invalid_events += 1;
                     return;
                 }
-                let embedded_in = self.resolve_alloc(*addr).map(|aid| {
-                    let alloc = &self.allocations[self.alloc_index[&aid]];
-                    (aid, (*addr - alloc.addr) as u32)
+                let embedded_in = self.resolve_alloc(*addr).map(|row| {
+                    let alloc = &self.allocations[row as usize];
+                    (alloc.id, (*addr - alloc.addr) as u32)
                 });
                 let id = LockId(self.locks.len() as u32);
                 self.locks.push(LockInstance {
@@ -308,10 +461,8 @@ impl<'a> Importer<'a> {
                 data_type,
                 subclass,
             } => {
-                if !valid_dt(&self.trace.meta, *data_type)
-                    || subclass
-                        .map(|s| !valid_sym(&self.trace.meta, s))
-                        .unwrap_or(false)
+                if !valid_dt(meta, *data_type)
+                    || subclass.map(|s| !valid_sym(meta, s)).unwrap_or(false)
                     || self.alloc_index.contains_key(id)
                 {
                     self.stats.invalid_events += 1;
@@ -359,6 +510,7 @@ impl<'a> Importer<'a> {
                         (alloc.addr, alloc.size)
                     };
                     self.active_allocs.remove(&addr);
+                    self.alloc_cache = None;
                     // Deactivate embedded lock addresses so a later
                     // reallocation at the same address registers fresh
                     // instances.
@@ -367,7 +519,7 @@ impl<'a> Importer<'a> {
                 }
             }
             Event::LockAcquire { addr, mode, loc } => {
-                if !valid_loc(&self.trace.meta, loc) {
+                if !valid_loc(meta, loc) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -379,7 +531,7 @@ impl<'a> Importer<'a> {
                     }
                 };
                 let flavor = self.locks[lock_id.index()].flavor;
-                let flow = self.flow();
+                let flow = &mut self.flows[self.cur_flow];
                 if flavor.reentrant() {
                     if let Some(entry) = flow.held.iter_mut().find(|h| h.lock == lock_id) {
                         entry.count += 1;
@@ -396,7 +548,7 @@ impl<'a> Importer<'a> {
                 self.close_open_txn(ts);
             }
             Event::LockRelease { addr, loc } => {
-                if !valid_loc(&self.trace.meta, loc) {
+                if !valid_loc(meta, loc) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -407,7 +559,7 @@ impl<'a> Importer<'a> {
                         return;
                     }
                 };
-                let flow = self.flow();
+                let flow = &mut self.flows[self.cur_flow];
                 // Search from the most recent acquisition backwards.
                 match flow.held.iter().rposition(|h| h.lock == lock_id) {
                     Some(pos) => {
@@ -428,7 +580,7 @@ impl<'a> Importer<'a> {
                 loc,
                 atomic,
             } => {
-                if !valid_loc(&self.trace.meta, loc) {
+                if !valid_loc(meta, loc) {
                     self.stats.invalid_events += 1;
                     return;
                 }
@@ -436,32 +588,40 @@ impl<'a> Importer<'a> {
                 self.handle_access(ts, *kind, *addr, *size, *loc, *atomic);
             }
             Event::FnEnter { func } => {
-                if !valid_fn(&self.trace.meta, *func) {
+                if !valid_fn(meta, *func) {
                     self.stats.invalid_events += 1;
                     return;
                 }
-                self.flow().fn_stack.push(*func);
+                let flow = &mut self.flows[self.cur_flow];
+                let parent = flow.node_stack.last().copied().unwrap_or(ROOT_NODE);
+                let node = self.interner.child(parent, *func);
+                flow.fn_stack.push(*func);
+                flow.node_stack.push(node);
             }
             Event::FnExit { func } => {
-                let flow = self.flow();
+                let flow = &mut self.flows[self.cur_flow];
                 // Tolerate mismatches: pop to the matching frame if present.
                 if let Some(pos) = flow.fn_stack.iter().rposition(|f| f == func) {
                     flow.fn_stack.truncate(pos);
+                    flow.node_stack.truncate(pos);
                 }
             }
             Event::TaskSwitch { task } => {
-                if !valid_task(&self.trace.meta, *task) {
+                if !valid_task(meta, *task) {
                     self.stats.invalid_events += 1;
                     return;
                 }
                 self.current_task = *task;
+                self.refresh_flow();
             }
             Event::ContextEnter { kind } => {
                 self.ctx_stack.push(*kind);
+                self.refresh_flow();
             }
             Event::ContextExit { kind } => {
                 if self.ctx_stack.last() == Some(kind) {
                     self.ctx_stack.pop();
+                    self.refresh_flow();
                 }
             }
         }
@@ -476,15 +636,17 @@ impl<'a> Importer<'a> {
         loc: SourceLoc,
         atomic: bool,
     ) {
-        let Some(alloc_id) = self.resolve_alloc(addr) else {
+        let meta = self.meta;
+        let Some(row) = self.resolve_alloc(addr) else {
             self.stats.unresolved += 1;
             return;
         };
-        let alloc = &self.allocations[self.alloc_index[&alloc_id]];
+        let alloc = &self.allocations[row as usize];
+        let alloc_id = alloc.id;
         let data_type = alloc.data_type;
         let subclass = alloc.subclass;
         let offset = (addr - alloc.addr) as u32;
-        let def = &self.trace.meta.data_types[data_type.index()];
+        let def = &meta.data_types[data_type.index()];
         let Some(member_idx) = def.member_at(offset) else {
             self.stats.unresolved += 1;
             return;
@@ -493,11 +655,11 @@ impl<'a> Importer<'a> {
 
         // Filters (paper Sec. 5.3).
         if self.config.drop_atomic_accesses && atomic {
-            self.stats.bump_filtered(FilterReason::AtomicAccess);
+            self.drops.bump(FilterReason::AtomicAccess);
             return;
         }
         if self.config.drop_atomic_members && (member.atomic || member.is_lock) {
-            self.stats.bump_filtered(FilterReason::AtomicOrLockMember);
+            self.drops.bump(FilterReason::AtomicOrLockMember);
             return;
         }
         if self
@@ -505,21 +667,21 @@ impl<'a> Importer<'a> {
             .member_blacklist
             .contains(&(data_type, member_idx as u32))
         {
-            self.stats.bump_filtered(FilterReason::BlacklistedMember);
+            self.drops.bump(FilterReason::BlacklistedMember);
             return;
         }
-        let flow_key = self.current_flow_key();
-        let context = self.current_context();
-        let flow = self.flows.entry(flow_key).or_default();
+        let flow_key = self.cur_key;
+        let context = self.cur_ctx;
+        let flow = &mut self.flows[self.cur_flow];
         if let Some(&innermost) = flow.fn_stack.last() {
             if self.filters.global_fn_blacklist.contains(&innermost) {
-                self.stats.bump_filtered(FilterReason::IgnoredFunction);
+                self.drops.bump(FilterReason::IgnoredFunction);
                 return;
             }
         }
         if let Some(funcs) = self.filters.init_teardown.get(&data_type) {
             if flow.fn_stack.iter().any(|f| funcs.contains(f)) {
-                self.stats.bump_filtered(FilterReason::InitTeardownContext);
+                self.drops.bump(FilterReason::InitTeardownContext);
                 return;
             }
         }
@@ -532,45 +694,37 @@ impl<'a> Importer<'a> {
         // equivalent uniform representation).
         let txn = Some(match flow.open_txn {
             Some(id) => {
-                let t = &mut self.txns[id.0 as usize];
-                t.end_ts = t.end_ts.max(ts);
+                self.txns.bump_end_ts(id, ts);
                 id
             }
             None => {
-                let id = TxnId(self.txns.len() as u64);
-                let locks = flow
-                    .held
-                    .iter()
-                    .map(|h| HeldLock {
+                let id = self.txns.push(
+                    flow_key,
+                    ts,
+                    ts,
+                    flow.held.iter().map(|h| HeldLock {
                         lock: h.lock,
                         mode: h.mode,
                         acquired_at: h.loc,
                         acquired_ts: h.ts,
-                    })
-                    .collect();
-                self.txns.push(Txn {
-                    id,
-                    flow: flow_key,
-                    locks,
-                    start_ts: ts,
-                    end_ts: ts,
-                });
+                    }),
+                );
                 flow.open_txn = Some(id);
                 id
             }
         });
 
-        // Deduplicate the stack snapshot.
-        let stack = match self.stack_index.get(&flow.fn_stack) {
-            Some(&id) => id,
-            None => {
-                let id = StackId(self.stacks.len() as u32);
-                self.stacks.push(StackTrace {
-                    frames: flow.fn_stack.clone(),
-                });
-                self.stack_index.insert(flow.fn_stack.clone(), id);
-                id
-            }
+        // The current stack is identified by its trie node; the frame slice
+        // is copied into the arena only the first time an access references
+        // it (no owned `Vec` is ever built).
+        let node = flow.node_stack.last().copied().unwrap_or(ROOT_NODE) as usize;
+        let assigned = self.interner.assigned[node];
+        let stack = if assigned == u32::MAX {
+            let id = self.stacks.push(&flow.fn_stack);
+            self.interner.assigned[node] = id.0;
+            id
+        } else {
+            StackId(assigned)
         };
 
         self.accesses.push(Access {
@@ -657,6 +811,13 @@ struct AllocSpan {
     row: u32,
 }
 
+impl AllocSpan {
+    #[inline]
+    fn covers(&self, addr: Addr, idx: u64) -> bool {
+        self.addr <= addr && addr < self.end && self.act < idx && idx < self.deact
+    }
+}
+
 /// Immutable address → allocation index built by the pre-pass.
 ///
 /// Because the serial importer drops `Alloc` events that overlap a live
@@ -686,17 +847,16 @@ impl AllocSpans {
         }
     }
 
-    /// The allocation row live at event index `idx` containing `addr`.
-    fn resolve(&self, addr: Addr, idx: u64) -> Option<u32> {
+    /// Index of the span live at event index `idx` containing `addr`.
+    fn resolve(&self, addr: Addr, idx: u64) -> Option<usize> {
         let mut i = self.spans.partition_point(|s| s.addr <= addr);
         while i > 0 {
             i -= 1;
             if self.prefix_max_end[i] <= addr {
                 return None;
             }
-            let s = &self.spans[i];
-            if s.end > addr && s.act < idx && idx < s.deact {
-                return Some(s.row);
+            if self.spans[i].covers(addr, idx) {
+                return Some(i);
             }
         }
         None
@@ -715,40 +875,84 @@ struct PrePass {
     stats: ImportStats,
 }
 
-/// Serial pre-pass: replays exactly the global-state transitions of the
-/// serial importer (allocation table, lock registrations, task switches,
-/// context nesting) and routes every flow-local event to its flow's slice.
-fn pre_pass(trace: &Trace) -> PrePass {
-    let meta = &trace.meta;
-    let mut stats = ImportStats::default();
-    let mut allocations: Vec<Allocation> = Vec::new();
-    let mut alloc_index: HashMap<AllocId, usize> = HashMap::new();
-    let mut active_allocs: BTreeMap<Addr, AllocId> = BTreeMap::new();
-    let mut spans: Vec<AllocSpan> = Vec::new();
-    let mut span_of: HashMap<AllocId, usize> = HashMap::new();
-    let mut locks: Vec<LockInstance> = Vec::new();
-    let mut active_locks: HashMap<Addr, LockId> = HashMap::new();
-    let mut current_task = TaskId(0);
-    let mut ctx_stack: Vec<ContextKind> = Vec::new();
-    let mut slices: Vec<FlowSlice> = Vec::new();
-    let mut slice_of: HashMap<FlowKey, usize> = HashMap::new();
+/// Feed-driven serial pre-pass: replays exactly the global-state
+/// transitions of the serial importer (allocation table, lock
+/// registrations, task switches, context nesting) and routes every
+/// flow-local event to its flow's slice. Like [`Importer`], it consumes
+/// one event at a time so a streaming reader can drive it.
+struct PrePassState<'a> {
+    meta: &'a TraceMeta,
+    stats: ImportStats,
+    allocations: Vec<Allocation>,
+    alloc_index: FastMap<AllocId, usize>,
+    active_allocs: BTreeMap<Addr, AllocId>,
+    spans: Vec<AllocSpan>,
+    span_of: FastMap<AllocId, usize>,
+    locks: Vec<LockInstance>,
+    active_locks: FastMap<Addr, LockId>,
+    current_task: TaskId,
+    ctx_stack: Vec<ContextKind>,
+    slices: Vec<FlowSlice>,
+    slice_of: FastMap<FlowKey, u32>,
+    /// Cached flow routing; `cur_slice == u32::MAX` means the current flow
+    /// has not received a flow-local event yet (slices are created lazily
+    /// so their order matches the legacy single-pass construction).
+    cur_key: FlowKey,
+    cur_ctx: ContextKind,
+    cur_slice: u32,
+    idx: u64,
+}
 
-    let resolve_alloc = |active_allocs: &BTreeMap<Addr, AllocId>,
-                         allocations: &[Allocation],
-                         alloc_index: &HashMap<AllocId, usize>,
-                         addr: Addr| {
-        let (_, &id) = active_allocs.range(..=addr).next_back()?;
-        let alloc = &allocations[alloc_index[&id]];
-        alloc.contains(addr).then_some(id)
-    };
+impl<'a> PrePassState<'a> {
+    fn new(meta: &'a TraceMeta) -> Self {
+        Self {
+            meta,
+            stats: ImportStats::default(),
+            allocations: Vec::new(),
+            alloc_index: FastMap::default(),
+            active_allocs: BTreeMap::new(),
+            spans: Vec::new(),
+            span_of: FastMap::default(),
+            locks: Vec::new(),
+            active_locks: FastMap::default(),
+            current_task: TaskId(0),
+            ctx_stack: Vec::new(),
+            slices: Vec::new(),
+            slice_of: FastMap::default(),
+            cur_key: FlowKey::Task(TaskId(0)),
+            cur_ctx: ContextKind::Task,
+            cur_slice: u32::MAX,
+            idx: 0,
+        }
+    }
 
-    stats.events = trace.events.len() as u64;
-    for (i, te) in trace.events.iter().enumerate() {
-        let idx = i as u64;
-        let ts = te.ts;
-        // Global events mutate the shared tables here and `continue`; the
+    fn refresh_flow(&mut self) {
+        self.cur_key = match self.ctx_stack.last() {
+            Some(kind) => FlowKey::irq(*kind),
+            None => FlowKey::Task(self.current_task),
+        };
+        self.cur_ctx = self.ctx_stack.last().copied().unwrap_or(ContextKind::Task);
+        self.cur_slice = self
+            .slice_of
+            .get(&self.cur_key)
+            .copied()
+            .unwrap_or(u32::MAX);
+    }
+
+    fn resolve_alloc(&self, addr: Addr) -> Option<usize> {
+        let (_, &id) = self.active_allocs.range(..=addr).next_back()?;
+        let row = self.alloc_index[&id];
+        self.allocations[row].contains(addr).then_some(row)
+    }
+
+    fn feed(&mut self, ts: Timestamp, event: &Event) {
+        let idx = self.idx;
+        self.idx += 1;
+        self.stats.events += 1;
+        let meta = self.meta;
+        // Global events mutate the shared tables here and return; the
         // remaining (flow-local) events fall through as a routed payload.
-        let ev = match &te.event {
+        let ev = match event {
             Event::LockInit {
                 addr,
                 name,
@@ -756,16 +960,15 @@ fn pre_pass(trace: &Trace) -> PrePass {
                 is_static,
             } => {
                 if !valid_sym(meta, *name) {
-                    stats.invalid_events += 1;
-                    continue;
+                    self.stats.invalid_events += 1;
+                    return;
                 }
-                let embedded_in = resolve_alloc(&active_allocs, &allocations, &alloc_index, *addr)
-                    .map(|aid| {
-                        let alloc = &allocations[alloc_index[&aid]];
-                        (aid, (*addr - alloc.addr) as u32)
-                    });
-                let id = LockId(locks.len() as u32);
-                locks.push(LockInstance {
+                let embedded_in = self.resolve_alloc(*addr).map(|row| {
+                    let alloc = &self.allocations[row];
+                    (alloc.id, (*addr - alloc.addr) as u32)
+                });
+                let id = LockId(self.locks.len() as u32);
+                self.locks.push(LockInstance {
                     id,
                     addr: *addr,
                     name: *name,
@@ -773,8 +976,8 @@ fn pre_pass(trace: &Trace) -> PrePass {
                     is_static: *is_static,
                     embedded_in,
                 });
-                active_locks.insert(*addr, id);
-                continue;
+                self.active_locks.insert(*addr, id);
+                return;
             }
             Event::Alloc {
                 id,
@@ -785,27 +988,29 @@ fn pre_pass(trace: &Trace) -> PrePass {
             } => {
                 if !valid_dt(meta, *data_type)
                     || subclass.map(|s| !valid_sym(meta, s)).unwrap_or(false)
-                    || alloc_index.contains_key(id)
+                    || self.alloc_index.contains_key(id)
                 {
-                    stats.invalid_events += 1;
-                    continue;
+                    self.stats.invalid_events += 1;
+                    return;
                 }
                 let end = addr.saturating_add(u64::from(*size));
-                let overlaps = active_allocs
+                let overlaps = self
+                    .active_allocs
                     .range(..end)
                     .next_back()
                     .map(|(_, &prev)| {
-                        allocations[alloc_index[&prev]].contains(*addr)
-                            || (*addr..end).contains(&allocations[alloc_index[&prev]].addr)
+                        self.allocations[self.alloc_index[&prev]].contains(*addr)
+                            || (*addr..end)
+                                .contains(&self.allocations[self.alloc_index[&prev]].addr)
                     })
                     .unwrap_or(false);
                 if overlaps {
-                    stats.invalid_events += 1;
-                    continue;
+                    self.stats.invalid_events += 1;
+                    return;
                 }
-                stats.allocs += 1;
-                let row = allocations.len();
-                allocations.push(Allocation {
+                self.stats.allocs += 1;
+                let row = self.allocations.len();
+                self.allocations.push(Allocation {
                     id: *id,
                     addr: *addr,
                     size: *size,
@@ -814,23 +1019,23 @@ fn pre_pass(trace: &Trace) -> PrePass {
                     alloc_ts: ts,
                     free_ts: None,
                 });
-                alloc_index.insert(*id, row);
-                active_allocs.insert(*addr, *id);
-                span_of.insert(*id, spans.len());
-                spans.push(AllocSpan {
+                self.alloc_index.insert(*id, row);
+                self.active_allocs.insert(*addr, *id);
+                self.span_of.insert(*id, self.spans.len());
+                self.spans.push(AllocSpan {
                     addr: *addr,
                     end,
                     act: idx,
                     deact: u64::MAX,
                     row: row as u32,
                 });
-                continue;
+                return;
             }
             Event::Free { id } => {
-                stats.frees += 1;
-                if let Some(&row) = alloc_index.get(id) {
+                self.stats.frees += 1;
+                if let Some(&row) = self.alloc_index.get(id) {
                     let (addr, size) = {
-                        let alloc = &mut allocations[row];
+                        let alloc = &mut self.allocations[row];
                         alloc.free_ts = Some(ts);
                         (alloc.addr, alloc.size)
                     };
@@ -841,41 +1046,44 @@ fn pre_pass(trace: &Trace) -> PrePass {
                     // need defined double-free semantics go through
                     // `db::resilient::import_resilient`, which quarantines
                     // the second free before it reaches this path.
-                    if let Some(removed) = active_allocs.remove(&addr) {
-                        if let Some(&si) = span_of.get(&removed) {
-                            spans[si].deact = idx;
+                    if let Some(removed) = self.active_allocs.remove(&addr) {
+                        if let Some(&si) = self.span_of.get(&removed) {
+                            self.spans[si].deact = idx;
                         }
                     }
-                    active_locks
+                    self.active_locks
                         .retain(|&a, _| !(a >= addr && a < addr.saturating_add(u64::from(size))));
                 }
-                continue;
+                return;
             }
             Event::TaskSwitch { task } => {
                 if !valid_task(meta, *task) {
-                    stats.invalid_events += 1;
-                    continue;
+                    self.stats.invalid_events += 1;
+                    return;
                 }
-                current_task = *task;
-                continue;
+                self.current_task = *task;
+                self.refresh_flow();
+                return;
             }
             Event::ContextEnter { kind } => {
-                ctx_stack.push(*kind);
-                continue;
+                self.ctx_stack.push(*kind);
+                self.refresh_flow();
+                return;
             }
             Event::ContextExit { kind } => {
-                if ctx_stack.last() == Some(kind) {
-                    ctx_stack.pop();
+                if self.ctx_stack.last() == Some(kind) {
+                    self.ctx_stack.pop();
+                    self.refresh_flow();
                 }
-                continue;
+                return;
             }
             Event::LockAcquire { addr, mode, loc } => FlowEv::Acquire {
-                lock: active_locks.get(addr).copied(),
+                lock: self.active_locks.get(addr).copied(),
                 mode: *mode,
                 loc: *loc,
             },
             Event::LockRelease { addr, loc } => FlowEv::Release {
-                lock: active_locks.get(addr).copied(),
+                lock: self.active_locks.get(addr).copied(),
                 loc: *loc,
             },
             Event::MemAccess {
@@ -894,27 +1102,30 @@ fn pre_pass(trace: &Trace) -> PrePass {
             Event::FnEnter { func } => FlowEv::Enter { func: *func },
             Event::FnExit { func } => FlowEv::Exit { func: *func },
         };
-        let key = match ctx_stack.last() {
-            Some(kind) => FlowKey::irq(*kind),
-            None => FlowKey::Task(current_task),
-        };
-        let si = *slice_of.entry(key).or_insert_with(|| {
-            slices.push(FlowSlice {
-                key,
-                context: ctx_stack.last().copied().unwrap_or(ContextKind::Task),
+        let si = if self.cur_slice != u32::MAX {
+            self.cur_slice as usize
+        } else {
+            let si = self.slices.len();
+            self.slices.push(FlowSlice {
+                key: self.cur_key,
+                context: self.cur_ctx,
                 items: Vec::new(),
             });
-            slices.len() - 1
-        });
-        slices[si].items.push(FlowItem { idx, ts, ev });
+            self.slice_of.insert(self.cur_key, si as u32);
+            self.cur_slice = si as u32;
+            si
+        };
+        self.slices[si].items.push(FlowItem { idx, ts, ev });
     }
 
-    PrePass {
-        allocations,
-        locks,
-        spans: AllocSpans::build(spans),
-        slices,
-        stats,
+    fn finish(self) -> PrePass {
+        PrePass {
+            allocations: self.allocations,
+            locks: self.locks,
+            spans: AllocSpans::build(self.spans),
+            slices: self.slices,
+            stats: self.stats,
+        }
     }
 }
 
@@ -931,34 +1142,33 @@ struct FlowOutput {
     unmatched_releases: u64,
     unknown_lock_acquires: u64,
     invalid_events: u64,
-    filtered: HashMap<String, u64>,
+    drops: DropCounters,
 }
 
-impl FlowOutput {
-    fn bump_filtered(&mut self, reason: FilterReason) {
-        *self.filtered.entry(format!("{reason:?}")).or_insert(0) += 1;
-    }
-}
-
-/// Replays one flow's slice with a private [`FlowState`], reading only the
+/// Replays one flow's slice with private flow state, reading only the
 /// immutable global tables built by the pre-pass. Mirrors the serial
 /// importer's per-event logic — including the order of validity,
-/// resolution, and filter checks, so every counter matches.
+/// resolution, and filter checks, so every counter matches — and uses the
+/// same trie interner and one-entry allocation cache as the serial hot
+/// path.
 fn replay_flow(
     slice: &FlowSlice,
-    trace: &Trace,
+    meta: &TraceMeta,
     config: &FilterConfig,
     filters: &ResolvedFilters,
     allocations: &[Allocation],
     locks: &[LockInstance],
     spans: &AllocSpans,
 ) -> FlowOutput {
-    let meta = &trace.meta;
     let mut out = FlowOutput::default();
     let mut held: Vec<HeldEntry> = Vec::new();
     let mut open_txn: Option<usize> = None;
     let mut fn_stack: Vec<FnId> = Vec::new();
-    let mut stack_index: HashMap<Vec<FnId>, StackId> = HashMap::new();
+    let mut node_stack: Vec<u32> = Vec::new();
+    let mut interner = StackInterner::new();
+    // One-entry span cache; validity is per (addr, idx) and checked on
+    // every hit, so staleness is impossible.
+    let mut last_span: usize = usize::MAX;
 
     fn close_open_txn(open_txn: &mut Option<usize>, txns: &mut [Txn], ts: Timestamp) {
         if let Some(i) = open_txn.take() {
@@ -1027,11 +1237,18 @@ fn replay_flow(
                     continue;
                 }
                 out.accesses_seen += 1;
-                let Some(row) = spans.resolve(*addr, item.idx) else {
+                let span =
+                    if last_span != usize::MAX && spans.spans[last_span].covers(*addr, item.idx) {
+                        Some(last_span)
+                    } else {
+                        spans.resolve(*addr, item.idx)
+                    };
+                let Some(si) = span else {
                     out.unresolved += 1;
                     continue;
                 };
-                let alloc = &allocations[row as usize];
+                last_span = si;
+                let alloc = &allocations[spans.spans[si].row as usize];
                 let data_type = alloc.data_type;
                 let subclass = alloc.subclass;
                 let offset = (*addr - alloc.addr) as u32;
@@ -1043,29 +1260,29 @@ fn replay_flow(
                 let member = &def.members[member_idx];
 
                 if config.drop_atomic_accesses && *atomic {
-                    out.bump_filtered(FilterReason::AtomicAccess);
+                    out.drops.bump(FilterReason::AtomicAccess);
                     continue;
                 }
                 if config.drop_atomic_members && (member.atomic || member.is_lock) {
-                    out.bump_filtered(FilterReason::AtomicOrLockMember);
+                    out.drops.bump(FilterReason::AtomicOrLockMember);
                     continue;
                 }
                 if filters
                     .member_blacklist
                     .contains(&(data_type, member_idx as u32))
                 {
-                    out.bump_filtered(FilterReason::BlacklistedMember);
+                    out.drops.bump(FilterReason::BlacklistedMember);
                     continue;
                 }
                 if let Some(&innermost) = fn_stack.last() {
                     if filters.global_fn_blacklist.contains(&innermost) {
-                        out.bump_filtered(FilterReason::IgnoredFunction);
+                        out.drops.bump(FilterReason::IgnoredFunction);
                         continue;
                     }
                 }
                 if let Some(funcs) = filters.init_teardown.get(&data_type) {
                     if fn_stack.iter().any(|f| funcs.contains(f)) {
-                        out.bump_filtered(FilterReason::InitTeardownContext);
+                        out.drops.bump(FilterReason::InitTeardownContext);
                         continue;
                     }
                 }
@@ -1099,16 +1316,17 @@ fn replay_flow(
                     }
                 };
 
-                let stack = match stack_index.get(&fn_stack) {
-                    Some(&id) => id,
-                    None => {
-                        let id = StackId(out.stacks.len() as u32);
-                        out.stacks.push(StackTrace {
-                            frames: fn_stack.clone(),
-                        });
-                        stack_index.insert(fn_stack.clone(), id);
-                        id
-                    }
+                let node = node_stack.last().copied().unwrap_or(ROOT_NODE) as usize;
+                let assigned = interner.assigned[node];
+                let stack = if assigned == u32::MAX {
+                    let id = out.stacks.len() as u32;
+                    interner.assigned[node] = id;
+                    out.stacks.push(StackTrace {
+                        frames: fn_stack.clone(),
+                    });
+                    StackId(id)
+                } else {
+                    StackId(assigned)
                 };
 
                 out.accesses.push(Access {
@@ -1133,11 +1351,15 @@ fn replay_flow(
                     out.invalid_events += 1;
                     continue;
                 }
+                let parent = node_stack.last().copied().unwrap_or(ROOT_NODE);
+                let node = interner.child(parent, *func);
                 fn_stack.push(*func);
+                node_stack.push(node);
             }
             FlowEv::Exit { func } => {
                 if let Some(pos) = fn_stack.iter().rposition(|f| f == func) {
                     fn_stack.truncate(pos);
+                    node_stack.truncate(pos);
                 }
             }
         }
@@ -1145,14 +1367,22 @@ fn replay_flow(
     out
 }
 
-/// Flow-partitioned parallel import. Byte-identical to the serial path.
-fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb {
-    let filters = ResolvedFilters::resolve(trace, config);
-    let pre = pre_pass(trace);
+/// Replays the pre-pass slices on workers and merges the per-flow tables
+/// back in global event order. Dense row ids (accesses, txns, stacks) are
+/// reassigned in the order the serial importer produces them: access ids
+/// in stream order, and txn/stack ids at the first access that references
+/// them. Byte-identical to the serial path.
+fn finish_parallel(
+    meta: &Arc<TraceMeta>,
+    pre: PrePass,
+    config: &FilterConfig,
+    jobs: usize,
+) -> TraceDb {
+    let filters = ResolvedFilters::resolve(meta, config);
     let outputs: Vec<FlowOutput> = par_map(jobs, &pre.slices, |slice| {
         replay_flow(
             slice,
-            trace,
+            meta,
             config,
             &filters,
             &pre.allocations,
@@ -1161,10 +1391,6 @@ fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb
         )
     });
 
-    // Merge the per-flow tables back in global event order. Dense row ids
-    // (accesses, txns, stacks) are reassigned in the order the serial
-    // importer produces them: access ids in stream order, and txn/stack ids
-    // at the first access that references them.
     let total: usize = outputs.iter().map(|o| o.accesses.len()).sum();
     let mut order: Vec<(u64, u32, u32)> = Vec::with_capacity(total);
     for (fi, o) in outputs.iter().enumerate() {
@@ -1174,10 +1400,10 @@ fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb
     }
     order.sort_unstable();
 
-    let mut accesses: Vec<Access> = Vec::with_capacity(total);
-    let mut txns: Vec<Txn> = Vec::new();
-    let mut stacks: Vec<StackTrace> = Vec::new();
-    let mut stack_index: HashMap<Vec<FnId>, StackId> = HashMap::new();
+    let mut accesses = AccessTable::default();
+    let mut txns = TxnTable::default();
+    let mut stacks = StackTable::default();
+    let mut stack_index: FastMap<Vec<FnId>, StackId> = FastMap::default();
     let mut txn_map: Vec<Vec<Option<TxnId>>> =
         outputs.iter().map(|o| vec![None; o.txns.len()]).collect();
     let mut stack_map: Vec<Vec<Option<StackId>>> =
@@ -1190,10 +1416,8 @@ fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb
         a.txn = Some(match txn_map[fi][local_txn] {
             Some(id) => id,
             None => {
-                let id = TxnId(txns.len() as u64);
-                let mut t = outputs[fi].txns[local_txn].clone();
-                t.id = id;
-                txns.push(t);
+                let t = &outputs[fi].txns[local_txn];
+                let id = txns.push(t.flow, t.start_ts, t.end_ts, t.locks.iter().copied());
                 txn_map[fi][local_txn] = Some(id);
                 id
             }
@@ -1206,10 +1430,7 @@ fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb
                 let id = match stack_index.get(frames) {
                     Some(&id) => id,
                     None => {
-                        let id = StackId(stacks.len() as u32);
-                        stacks.push(StackTrace {
-                            frames: frames.clone(),
-                        });
+                        let id = stacks.push(frames);
                         stack_index.insert(frames.clone(), id);
                         id
                     }
@@ -1230,9 +1451,7 @@ fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb
         stats.unmatched_releases += o.unmatched_releases;
         stats.unknown_lock_acquires += o.unknown_lock_acquires;
         stats.invalid_events += o.invalid_events;
-        for (reason, n) in &o.filtered {
-            *stats.filtered.entry(reason.clone()).or_insert(0) += n;
-        }
+        o.drops.add_to(&mut stats.filtered);
     }
     stats.txns = txns.len() as u64;
     stats.locks = pre.locks.len() as u64;
@@ -1241,7 +1460,7 @@ fn import_parallel(trace: &Trace, config: &FilterConfig, jobs: usize) -> TraceDb
     stats.stacks = stacks.len() as u64;
 
     TraceDb {
-        meta: trace.meta.clone(),
+        meta: Arc::clone(meta),
         allocations: pre.allocations,
         locks: pre.locks,
         txns,

@@ -4,11 +4,15 @@
 //! logical schema in an embedded, in-memory store. All LockDoc analyses
 //! (rule derivation, checking, violation finding) run against [`TraceDb`].
 
+pub mod archive;
+pub mod columns;
 pub mod import;
 pub mod resilient;
 pub mod schema;
 
-pub use import::{import, ImportStats};
+pub use archive::{filter_fingerprint, fnv1a, read_archive, write_archive};
+pub use columns::{AccessTable, StackTable, TxnTable, TxnView};
+pub use import::{import, import_stream, ImportStats};
 pub use resilient::{
     import_resilient, import_strict, ImportError, ImportPolicy, ImportReport, QuarantineClass,
     QuarantineEntry, ResilientConfig,
@@ -28,18 +32,21 @@ use std::fmt::Write as _;
 /// terms of it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceDb {
-    /// Static metadata carried over from the trace.
-    pub meta: TraceMeta,
+    /// Static metadata shared with the source trace (no deep copy: the
+    /// interner and type/function/task tables are refcounted).
+    pub meta: std::sync::Arc<TraceMeta>,
     /// All observed allocations (live and freed).
     pub allocations: Vec<Allocation>,
     /// All registered lock instances.
     pub locks: Vec<LockInstance>,
-    /// All materialized transactions.
-    pub txns: Vec<Txn>,
-    /// The central access table.
-    pub accesses: Vec<Access>,
-    /// Deduplicated stack traces.
-    pub stacks: Vec<StackTrace>,
+    /// All materialized transactions (columnar; held-lock lists live in a
+    /// shared arena).
+    pub txns: TxnTable,
+    /// The central access table (columnar struct-of-arrays).
+    pub accesses: AccessTable,
+    /// Deduplicated stack traces (columnar; frames live in a shared
+    /// arena).
+    pub stacks: StackTable,
     /// Import statistics.
     pub stats: ImportStats,
 }
@@ -71,8 +78,8 @@ impl TraceDb {
     }
 
     /// A transaction by id.
-    pub fn txn(&self, id: TxnId) -> &Txn {
-        &self.txns[id.0 as usize]
+    pub fn txn(&self, id: TxnId) -> TxnView<'_> {
+        self.txns.get(id.0 as usize)
     }
 
     /// A lock instance by id.
@@ -80,9 +87,9 @@ impl TraceDb {
         &self.locks[id.index()]
     }
 
-    /// A stack trace by id.
-    pub fn stack(&self, id: StackId) -> &StackTrace {
-        &self.stacks[id.index()]
+    /// The frames of a stack trace by id, outermost to innermost.
+    pub fn stack(&self, id: StackId) -> &[FnId] {
+        self.stacks.frames(id)
     }
 
     /// An allocation by id (allocation ids are dense in import order).
@@ -119,10 +126,13 @@ impl TraceDb {
     }
 
     /// Iterates over accesses belonging to one observation group.
+    ///
+    /// Rows are materialized by value from the columnar table ([`Access`]
+    /// is `Copy`).
     pub fn group_accesses(
         &self,
         group: (DataTypeId, Option<Sym>),
-    ) -> impl Iterator<Item = &Access> {
+    ) -> impl Iterator<Item = Access> + '_ {
         self.accesses
             .iter()
             .filter(move |a| a.data_type == group.0 && a.subclass == group.1)
@@ -130,7 +140,7 @@ impl TraceDb {
 
     /// Renders a stack trace as `outer -> ... -> inner`.
     pub fn format_stack(&self, id: StackId) -> String {
-        let frames = &self.stack(id).frames;
+        let frames = self.stack(id);
         let mut out = String::new();
         for (i, f) in frames.iter().enumerate() {
             if i > 0 {
@@ -192,7 +202,7 @@ impl TraceDb {
         let mut txns = String::with_capacity(32 + self.txns.len() * 56);
         txns.push_str("id,flow,start_ts,end_ts,locks\n");
         let mut lock_list = String::new();
-        for t in &self.txns {
+        for t in self.txns.iter() {
             lock_list.clear();
             for (i, h) in t.locks.iter().enumerate() {
                 if i > 0 {
@@ -209,7 +219,7 @@ impl TraceDb {
         let mut accs = String::with_capacity(72 + self.accesses.len() * 80);
         accs.push_str("id,ts,kind,alloc,data_type,subclass,member,size,loc,txn,stack\n");
         let mut loc_buf = String::new();
-        for a in &self.accesses {
+        for a in self.accesses.iter() {
             let _ = write!(accs, "{},{},{},{},", a.id, a.ts, a.kind, a.alloc.0);
             write_csv_field(&mut accs, self.type_name(a.data_type));
             accs.push(',');
@@ -246,10 +256,10 @@ mod tests {
     /// filtering, roughly following the paper's Fig. 4 clock example.
     fn build_trace() -> Trace {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("clock.c");
-        let sec_lock = tr.meta.strings.intern("sec_lock");
-        let min_lock = tr.meta.strings.intern("min_lock");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("clock.c");
+        let sec_lock = tr.meta_mut().strings.intern("sec_lock");
+        let min_lock = tr.meta_mut().strings.intern("min_lock");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "clock".into(),
             size: 24,
             members: vec![
@@ -276,9 +286,9 @@ mod tests {
                 },
             ],
         });
-        let init_fn = tr.meta.add_function("clock_init");
-        let tick_fn = tr.meta.add_function("clock_tick");
-        let task = tr.meta.add_task("ticker");
+        let init_fn = tr.meta_mut().add_function("clock_init");
+        let tick_fn = tr.meta_mut().add_function("clock_tick");
+        let task = tr.meta_mut().add_task("ticker");
 
         let loc = |line| SourceLoc::new(file, line);
         let mut ts = 0u64;
@@ -432,12 +442,14 @@ mod tests {
         // Four materialized txns: [sec], [sec,min], [sec] again, and the
         // empty-set span of the final lock-free read.
         assert_eq!(db.txns.len(), 4);
-        assert_eq!(db.txns[0].locks.len(), 1);
-        assert_eq!(db.txns[1].locks.len(), 2);
-        assert_eq!(db.txns[2].locks.len(), 1);
-        assert_eq!(db.txns[3].locks.len(), 0);
+        assert_eq!(db.txns.get(0).locks.len(), 1);
+        assert_eq!(db.txns.get(1).locks.len(), 2);
+        assert_eq!(db.txns.get(2).locks.len(), 1);
+        assert_eq!(db.txns.get(3).locks.len(), 0);
         // Acquisition order in the nested txn is sec_lock -> min_lock.
-        let names: Vec<&str> = db.txns[1]
+        let names: Vec<&str> = db
+            .txns
+            .get(1)
             .locks
             .iter()
             .map(|h| db.sym(db.lock(h.lock).name))
@@ -458,7 +470,7 @@ mod tests {
     fn accesses_are_assigned_to_innermost_txn() {
         let db = import(&build_trace(), &config(), 1);
         let member_of = |a: &Access| db.member_name(a.data_type, a.member).to_owned();
-        let seconds: Vec<&Access> = db
+        let seconds: Vec<Access> = db
             .accesses
             .iter()
             .filter(|a| member_of(a) == "seconds")
@@ -466,7 +478,7 @@ mod tests {
         assert_eq!(seconds.len(), 2);
         assert_eq!(seconds[0].txn, Some(TxnId(0)));
         assert_eq!(seconds[1].txn, Some(TxnId(2)));
-        let minutes: Vec<&Access> = db
+        let minutes: Vec<Access> = db
             .accesses
             .iter()
             .filter(|a| member_of(a) == "minutes")
@@ -509,7 +521,7 @@ mod tests {
     #[test]
     fn irq_context_gets_its_own_flow() {
         let mut tr = build_trace();
-        let file = tr.meta.strings.intern("irq.c");
+        let file = tr.meta_mut().strings.intern("irq.c");
         let dt = DataTypeId(0);
         let last_ts = tr.events.last().unwrap().ts;
         // Re-allocate, then touch the object from hardirq context with no
@@ -576,9 +588,9 @@ mod tests {
     #[test]
     fn unmatched_release_is_counted_not_fatal() {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("x.c");
-        let name = tr.meta.strings.intern("l");
-        tr.meta.add_task("t");
+        let file = tr.meta_mut().strings.intern("x.c");
+        let name = tr.meta_mut().strings.intern("l");
+        tr.meta_mut().add_task("t");
         tr.push(
             0,
             Event::LockInit {
@@ -603,9 +615,9 @@ mod tests {
     #[test]
     fn rcu_reentrancy_keeps_single_held_entry() {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("rcu.c");
-        let rcu = tr.meta.strings.intern("rcu");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("rcu.c");
+        let rcu = tr.meta_mut().strings.intern("rcu");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "obj".into(),
             size: 8,
             members: vec![MemberDef {
@@ -616,7 +628,7 @@ mod tests {
                 is_lock: false,
             }],
         });
-        tr.meta.add_task("t");
+        tr.meta_mut().add_task("t");
         let loc = SourceLoc::new(file, 1);
         tr.push(0, Event::TaskSwitch { task: TaskId(0) });
         tr.push(
@@ -680,7 +692,7 @@ mod tests {
         // One txn spanning both accesses: the nested rcu_read_lock does not
         // change the held set.
         assert_eq!(db.txns.len(), 1);
-        assert_eq!(db.txns[0].locks.len(), 1);
+        assert_eq!(db.txns.get(0).locks.len(), 1);
         assert_eq!(db.accesses.len(), 2);
         assert!(db.accesses.iter().all(|a| a.txn == Some(TxnId(0))));
         assert_eq!(db.stats.unmatched_releases, 0);
@@ -701,7 +713,7 @@ mod tests {
         // free/realloc at a reused address, exercising the event-index
         // liveness windows of the parallel resolver.
         let mut tr = build_trace();
-        let file = tr.meta.strings.intern("irq.c");
+        let file = tr.meta_mut().strings.intern("irq.c");
         let dt = DataTypeId(0);
         let base = tr.events.last().unwrap().ts;
         tr.push(

@@ -646,9 +646,9 @@ mod tests {
     /// section, and a couple of accesses.
     fn clean_trace() -> Trace {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("fs/inode.c");
-        let lname = tr.meta.strings.intern("i_lock");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("fs/inode.c");
+        let lname = tr.meta_mut().strings.intern("i_lock");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "inode".into(),
             size: 64,
             members: vec![MemberDef {
@@ -659,8 +659,8 @@ mod tests {
                 is_lock: false,
             }],
         });
-        let f = tr.meta.add_function("iget_locked");
-        let task = tr.meta.add_task("fsstress");
+        let f = tr.meta_mut().add_function("iget_locked");
+        let task = tr.meta_mut().add_task("fsstress");
         tr.push(0, Event::TaskSwitch { task });
         tr.push(
             1,
@@ -734,8 +734,8 @@ mod tests {
     #[test]
     fn double_free_is_quarantined_not_absorbed() {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("a.c");
-        let dt = tr.meta.add_data_type(DataTypeDef {
+        let file = tr.meta_mut().strings.intern("a.c");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
             name: "obj".into(),
             size: 16,
             members: vec![MemberDef {
@@ -746,7 +746,7 @@ mod tests {
                 is_lock: false,
             }],
         });
-        let task = tr.meta.add_task("t0");
+        let task = tr.meta_mut().add_task("t0");
         tr.push(0, Event::TaskSwitch { task });
         tr.push(
             1,
@@ -815,7 +815,7 @@ mod tests {
         );
         assert_eq!(db.stats.unresolved, 0);
         assert_eq!(db.stats.accesses_imported, 1);
-        assert_eq!(db.accesses[0].alloc, AllocId(2));
+        assert_eq!(db.accesses.get(0).alloc, AllocId(2));
     }
 
     #[test]

@@ -346,10 +346,16 @@ impl TraceMeta {
 }
 
 /// A complete trace: metadata plus the timestamped event stream.
+///
+/// The metadata lives behind an [`Arc`] so that derived artifacts
+/// (`TraceDb`, sanitized re-imports, shard merges) share one table
+/// instead of deep-copying the interner and type/function/task lists
+/// once per consumer. Builders mutate it through [`Trace::meta_mut`],
+/// which is a plain field access while the trace is unshared.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Static metadata (interner, type layouts, function/task names).
-    pub meta: TraceMeta,
+    pub meta: std::sync::Arc<TraceMeta>,
     /// Events ordered by timestamp.
     pub events: Vec<TraceEvent>,
 }
@@ -358,6 +364,14 @@ impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Mutable access to the metadata tables.
+    ///
+    /// Clones the metadata first if it is currently shared (copy-on-write);
+    /// during trace construction the refcount is 1 and this is free.
+    pub fn meta_mut(&mut self) -> &mut TraceMeta {
+        std::sync::Arc::make_mut(&mut self.meta)
     }
 
     /// Appends an event with the given timestamp.
@@ -484,7 +498,7 @@ mod tests {
     #[test]
     fn summary_counts_categories() {
         let mut tr = Trace::new();
-        let dt = tr.meta.add_data_type(toy_type());
+        let dt = tr.meta_mut().add_data_type(toy_type());
         tr.push(
             0,
             Event::Alloc {

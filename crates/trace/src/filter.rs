@@ -114,6 +114,25 @@ pub enum FilterReason {
     IgnoredFunction,
 }
 
+impl FilterReason {
+    /// Every reason, in a fixed order matching [`FilterReason::index`].
+    /// Hot import loops count drops in a plain array indexed by this and
+    /// only materialize the name-keyed map once at the end of the run.
+    pub const ALL: [FilterReason; 5] = [
+        FilterReason::AtomicAccess,
+        FilterReason::AtomicOrLockMember,
+        FilterReason::BlacklistedMember,
+        FilterReason::InitTeardownContext,
+        FilterReason::IgnoredFunction,
+    ];
+
+    /// Dense index of this reason within [`FilterReason::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

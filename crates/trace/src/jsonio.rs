@@ -381,10 +381,10 @@ mod tests {
     /// A trace exercising every one of the 11 event variants.
     fn all_variant_trace() -> Trace {
         let mut t = Trace::new();
-        let file = t.meta.strings.intern("fs/inode.c");
-        let lock_name = t.meta.strings.intern("i_lock");
-        let sub = t.meta.strings.intern("ext4");
-        let dt = t.meta.add_data_type(DataTypeDef {
+        let file = t.meta_mut().strings.intern("fs/inode.c");
+        let lock_name = t.meta_mut().strings.intern("i_lock");
+        let sub = t.meta_mut().strings.intern("ext4");
+        let dt = t.meta_mut().add_data_type(DataTypeDef {
             name: "inode".into(),
             size: 64,
             members: vec![MemberDef {
@@ -395,8 +395,8 @@ mod tests {
                 is_lock: false,
             }],
         });
-        let f = t.meta.add_function("ext4_evict_inode");
-        let task = t.meta.add_task("kworker/0:1");
+        let f = t.meta_mut().add_function("ext4_evict_inode");
+        let task = t.meta_mut().add_task("kworker/0:1");
         let loc = SourceLoc::new(file, 42);
         t.push(
             0,

@@ -165,7 +165,7 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, MergeError> {
             .strings
             .strings()
             .iter()
-            .map(|s| out.meta.strings.intern(s))
+            .map(|s| out.meta_mut().strings.intern(s))
             .collect();
         let mut dt_map: Vec<DataTypeId> = Vec::with_capacity(part.meta.data_types.len());
         for dt in &part.meta.data_types {
@@ -179,7 +179,7 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, MergeError> {
                     }
                     dt_map.push(existing);
                 }
-                None => dt_map.push(out.meta.add_data_type(dt.clone())),
+                None => dt_map.push(out.meta_mut().add_data_type(dt.clone())),
             }
         }
         let fn_map: Vec<FnId> = part
@@ -192,7 +192,7 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, MergeError> {
                     .iter()
                     .position(|f| f == name)
                     .map(|i| FnId(i as u32))
-                    .unwrap_or_else(|| out.meta.add_function(name))
+                    .unwrap_or_else(|| out.meta_mut().add_function(name))
             })
             .collect();
         let task_map: Vec<TaskId> = part
@@ -205,7 +205,7 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, MergeError> {
                     .iter()
                     .position(|t| t == name)
                     .map(|i| TaskId(i as u32))
-                    .unwrap_or_else(|| out.meta.add_task(name))
+                    .unwrap_or_else(|| out.meta_mut().add_task(name))
             })
             .collect();
 
@@ -322,10 +322,10 @@ mod tests {
 
     fn part(base_addr: Addr, task: &str) -> Trace {
         let mut tr = Trace::new();
-        let file = tr.meta.strings.intern("obj.c");
-        let dt = tr.meta.add_data_type(toy_type());
-        let t = tr.meta.add_task(task);
-        let f = tr.meta.add_function("touch");
+        let file = tr.meta_mut().strings.intern("obj.c");
+        let dt = tr.meta_mut().add_data_type(toy_type());
+        let t = tr.meta_mut().add_task(task);
+        let f = tr.meta_mut().add_function("touch");
         tr.push(1, Event::TaskSwitch { task: t });
         tr.push(
             2,
@@ -408,7 +408,7 @@ mod tests {
     fn concat_rejects_conflicting_type_layouts() {
         let a = part(0x1000, "a");
         let mut b = part(0x2000, "b");
-        b.meta.data_types[0].size = 16;
+        b.meta_mut().data_types[0].size = 16;
         let err = concat_traces(vec![a, b]).unwrap_err();
         assert_eq!(
             err,
@@ -444,7 +444,7 @@ mod tests {
     #[test]
     fn concat_keeps_dangling_ids_dangling() {
         let mut tr = Trace::new();
-        tr.meta.add_task("t");
+        tr.meta_mut().add_task("t");
         tr.push(1, Event::Free { id: AllocId(77) });
         tr.push(
             2,

@@ -88,6 +88,30 @@ grep -q "fuzz campaign:" "$GATE_DIR/fuzz.1.out" \
     || { echo "fuzz smoke campaign produced no report" >&2; exit 1; }
 echo "fuzz determinism gate: OK (byte-identical at --jobs 1 and 4)"
 
+# --- cached-archive identity gate ---------------------------------------------
+# Re-opening a trace through --cache-dir must be byte-identical to a fresh
+# import, at any worker count, and must actually populate the cache
+# (DESIGN.md §5.6; unit-level twin: cache_dir_hits_are_byte_identical_to_
+# fresh_imports in crates/cli).
+CACHE_DIR="$GATE_DIR/archive-cache"
+for cmd in races lint order; do
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 1 --json \
+        > "$GATE_DIR/$cmd.fresh.json"                           # uncached baseline
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 1 --json \
+        --cache-dir "$CACHE_DIR" > "$GATE_DIR/$cmd.miss.json"   # cold: import + write
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 1 --json \
+        --cache-dir "$CACHE_DIR" > "$GATE_DIR/$cmd.hit1.json"   # warm, serial
+    "$LOCKDOC" "$cmd" --trace "$GATE_DIR/racy.ldoc" --jobs 4 --json \
+        --cache-dir "$CACHE_DIR" > "$GATE_DIR/$cmd.hit4.json"   # warm, parallel
+    for variant in miss hit1 hit4; do
+        diff -u "$GATE_DIR/$cmd.fresh.json" "$GATE_DIR/$cmd.$variant.json" \
+            || { echo "$cmd --cache-dir ($variant) differs from fresh import" >&2; exit 1; }
+    done
+done
+ls "$CACHE_DIR"/*.ldarc > /dev/null 2>&1 \
+    || { echo "--cache-dir produced no .ldarc archive" >&2; exit 1; }
+echo "cached-archive identity gate: OK (miss/hit byte-identical at --jobs 1 and 4)"
+
 # --- invariant -> test traceability matrix ------------------------------------
 scripts/check_traceability.sh
 

@@ -38,9 +38,9 @@ fn cfg() -> FilterConfig {
 fn gen_trace(seed: u64) -> Trace {
     let mut rng = Rng::seed_from_u64(seed);
     let mut tr = Trace::new();
-    let file = tr.meta.strings.intern("gen.c");
-    let lname = tr.meta.strings.intern("obj_lock");
-    let dt = tr.meta.add_data_type(DataTypeDef {
+    let file = tr.meta_mut().strings.intern("gen.c");
+    let lname = tr.meta_mut().strings.intern("obj_lock");
+    let dt = tr.meta_mut().add_data_type(DataTypeDef {
         name: "obj".into(),
         size: 64,
         members: vec![MemberDef {
@@ -51,7 +51,7 @@ fn gen_trace(seed: u64) -> Trace {
             is_lock: false,
         }],
     });
-    let task = tr.meta.add_task("gen/0");
+    let task = tr.meta_mut().add_task("gen/0");
     let mut ts = 1u64;
     let mut push = |tr: &mut Trace, ev: Event| {
         let t = ts;

@@ -21,8 +21,8 @@ use lockdoc_core::select::{select, SelectionConfig};
 use lockdoc_platform::prop::{self, vec_of, Shrink};
 use lockdoc_platform::rng::Rng;
 use lockdoc_platform::{prop_assert, prop_assert_eq};
-use lockdoc_trace::codec::{read_trace, write_trace};
-use lockdoc_trace::db::import;
+use lockdoc_trace::codec::{read_trace, write_trace, TraceReader};
+use lockdoc_trace::db::{filter_fingerprint, import, import_stream, read_archive, write_archive};
 use lockdoc_trace::event::{
     AccessKind, AcquireMode, DataTypeDef, Event, LockFlavor, MemberDef, SourceLoc, Trace,
 };
@@ -75,10 +75,10 @@ fn ops_gen(len_max: usize) -> impl Fn(&mut Rng) -> Vec<Op> {
 /// double locks are dropped (the generator sanitizes rather than rejects).
 fn build_trace(ops: &[Op]) -> (Trace, Vec<(u8, bool, Vec<u8>)>) {
     let mut tr = Trace::new();
-    let file = tr.meta.strings.intern("prop.c");
-    let la = tr.meta.strings.intern("lock_a");
-    let lb = tr.meta.strings.intern("lock_b");
-    let dt = tr.meta.add_data_type(DataTypeDef {
+    let file = tr.meta_mut().strings.intern("prop.c");
+    let la = tr.meta_mut().strings.intern("lock_a");
+    let lb = tr.meta_mut().strings.intern("lock_b");
+    let dt = tr.meta_mut().add_data_type(DataTypeDef {
         name: "obj".into(),
         size: 16,
         members: vec![
@@ -98,7 +98,7 @@ fn build_trace(ops: &[Op]) -> (Trace, Vec<(u8, bool, Vec<u8>)>) {
             },
         ],
     });
-    tr.meta.add_task("t");
+    tr.meta_mut().add_task("t");
     let loc = SourceLoc::new(file, 1);
     let mut ts = 0u64;
     let mut push = |tr: &mut Trace, e: Event| {
@@ -404,9 +404,9 @@ fn flow_op_gen(rng: &mut Rng) -> FlowOp {
 fn build_multiflow_trace(ops: &[FlowOp]) -> Trace {
     use lockdoc_trace::event::ContextKind;
     let mut tr = Trace::new();
-    let file = tr.meta.strings.intern("flow.c");
-    let lname = tr.meta.strings.intern("lk");
-    let dt = tr.meta.add_data_type(DataTypeDef {
+    let file = tr.meta_mut().strings.intern("flow.c");
+    let lname = tr.meta_mut().strings.intern("lk");
+    let dt = tr.meta_mut().add_data_type(DataTypeDef {
         name: "obj".into(),
         size: 16,
         members: vec![
@@ -427,10 +427,10 @@ fn build_multiflow_trace(ops: &[FlowOp]) -> Trace {
         ],
     });
     for t in 0..3 {
-        tr.meta.add_task(&format!("t{t}"));
+        tr.meta_mut().add_task(&format!("t{t}"));
     }
     for f in 0..3 {
-        tr.meta.add_function(&format!("f{f}"));
+        tr.meta_mut().add_function(&format!("f{f}"));
     }
     let loc = SourceLoc::new(file, 7);
     let mut ts = 0u64;
@@ -535,6 +535,67 @@ fn import_is_jobs_invariant() {
                 jobs
             );
         }
+        Ok(())
+    });
+}
+
+/// Streaming import equals materialized import: driving the importer
+/// straight off a chunked `TraceReader` (with a tiny chunk size, so
+/// records straddle chunk boundaries constantly) produces the same
+/// database as decoding the full event vector first — serial and
+/// parallel alike.
+#[test]
+fn import_stream_matches_import() {
+    let cfg = prop::Config {
+        cases: 30,
+        ..prop::Config::from_env()
+    };
+    let gen = |rng: &mut Rng| vec_of(rng, 0..250, flow_op_gen);
+    prop::check_with(&cfg, "import_stream_matches_import", gen, |ops| {
+        let trace = build_multiflow_trace(ops);
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).expect("encode");
+        for jobs in [1usize, 4] {
+            let reader = TraceReader::with_chunk_size(bytes.as_slice(), 7).expect("header");
+            let streamed = import_stream(reader, &FilterConfig::with_defaults(), jobs)
+                .expect("clean container streams");
+            prop_assert_eq!(
+                &import(&trace, &FilterConfig::with_defaults(), jobs),
+                &streamed,
+                "streamed import differs at jobs = {}",
+                jobs
+            );
+        }
+        Ok(())
+    });
+}
+
+/// The cached-archive codec is an identity on imported stores: for
+/// arbitrary multi-flow traces, write → read under the same cache key
+/// reproduces the database exactly, and a wrong key misses.
+#[test]
+fn archive_round_trips_imported_stores() {
+    let cfg = prop::Config {
+        cases: 30,
+        ..prop::Config::from_env()
+    };
+    let gen = |rng: &mut Rng| vec_of(rng, 0..250, flow_op_gen);
+    prop::check_with(&cfg, "archive_round_trips_imported_stores", gen, |ops| {
+        let trace = build_multiflow_trace(ops);
+        let config = FilterConfig::with_defaults();
+        let db = import(&trace, &config, 1);
+        let fp = filter_fingerprint(&config);
+        let bytes = write_archive(&db, 0xfeed, fp);
+        let back = read_archive(&bytes, 0xfeed, fp, std::sync::Arc::clone(&db.meta));
+        prop_assert_eq!(&Some(db), &back, "archive roundtrip must be exact");
+        prop_assert!(
+            read_archive(&bytes, 0xbeef, fp, {
+                let db = back.as_ref().expect("hit");
+                std::sync::Arc::clone(&db.meta)
+            })
+            .is_none(),
+            "a wrong trace checksum must miss"
+        );
         Ok(())
     });
 }

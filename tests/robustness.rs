@@ -52,7 +52,8 @@ fn bitflip_property(pos_frac: f64, value: u8) -> Result<(), String> {
             | CodecError::BadUtf8
             | CodecError::BadCsv(_)
             | CodecError::NonMonotonic { .. }
-            | CodecError::DanglingId(_),
+            | CodecError::DanglingId(_)
+            | CodecError::CountOverflow,
         ) => {}
     }
     Ok(())
@@ -97,9 +98,9 @@ fn rule_parser_handles_garbage() {
 #[test]
 fn importer_tolerates_anomalous_streams() {
     let mut tr = Trace::new();
-    let file = tr.meta.strings.intern("weird.c");
-    let name = tr.meta.strings.intern("l");
-    tr.meta.add_task("t");
+    let file = tr.meta_mut().strings.intern("weird.c");
+    let name = tr.meta_mut().strings.intern("l");
+    tr.meta_mut().add_task("t");
     let loc = SourceLoc::new(file, 1);
     tr.push(1, Event::TaskSwitch { task: TaskId(0) });
     tr.push(
@@ -147,10 +148,10 @@ fn importer_tolerates_anomalous_streams() {
 #[test]
 fn cross_task_release_is_unmatched() {
     let mut tr = Trace::new();
-    let file = tr.meta.strings.intern("x.c");
-    let name = tr.meta.strings.intern("l");
-    tr.meta.add_task("t0");
-    tr.meta.add_task("t1");
+    let file = tr.meta_mut().strings.intern("x.c");
+    let name = tr.meta_mut().strings.intern("l");
+    tr.meta_mut().add_task("t0");
+    tr.meta_mut().add_task("t1");
     let loc = SourceLoc::new(file, 1);
     tr.push(
         1,
@@ -181,19 +182,21 @@ fn cross_task_release_is_unmatched() {
 #[test]
 fn unfreed_allocations_remain_resolvable() {
     let mut tr = Trace::new();
-    let file = tr.meta.strings.intern("x.c");
-    let dt = tr.meta.add_data_type(lockdoc_trace::event::DataTypeDef {
-        name: "obj".into(),
-        size: 8,
-        members: vec![lockdoc_trace::event::MemberDef {
-            name: "v".into(),
-            offset: 0,
+    let file = tr.meta_mut().strings.intern("x.c");
+    let dt = tr
+        .meta_mut()
+        .add_data_type(lockdoc_trace::event::DataTypeDef {
+            name: "obj".into(),
             size: 8,
-            atomic: false,
-            is_lock: false,
-        }],
-    });
-    tr.meta.add_task("t");
+            members: vec![lockdoc_trace::event::MemberDef {
+                name: "v".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+    tr.meta_mut().add_task("t");
     tr.push(1, Event::TaskSwitch { task: TaskId(0) });
     tr.push(
         2,
