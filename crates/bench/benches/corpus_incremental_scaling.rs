@@ -1,0 +1,262 @@
+//! Corpus-scale incremental derivation: cold build vs warm reload vs
+//! single-trace incremental add.
+//!
+//! Builds an 8-trace corpus through the real `lockdoc corpus` CLI path
+//! and times three regimes:
+//!
+//! * **cold build** — empty artifact cache: every member is screened,
+//!   decoded, imported, matrix-built, and every group derived;
+//! * **warm reload** — all artifacts cached: matrices load from their
+//!   `.ldmtx` files and every group's rules are reused from the rules
+//!   cache, with no event decode at all;
+//! * **incremental add** — one narrow-mix trace joins the warm 8-trace
+//!   corpus: only that trace is processed and only the groups it touches
+//!   are re-derived.
+//!
+//! Before timing anything the bench asserts the identity contract: the
+//! corpus-derived rules are byte-identical to a batch derivation over
+//! the exported merged trace, at `--jobs 1` and 4 — a speedup for a
+//! wrong answer is worthless. Results land in `BENCH_corpus.json` at the
+//! repository root, including the fraction of groups re-derived by the
+//! incremental add (the paper-scale claim: adding one trace must not
+//! re-derive the corpus). Set `LOCKDOC_BENCH_QUICK=1` for a
+//! single-iteration smoke run.
+
+use lockdoc_cli::run;
+use lockdoc_platform::json::{parse, Json};
+use lockdoc_platform::par::available_jobs;
+use lockdoc_platform::timing::Bench;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+fn rules_of(report: &str) -> &str {
+    &report[report.find('[').expect("rules section")..]
+}
+
+/// Copies every regular file of `src` into `dst` (the artifact caches
+/// are flat directories).
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::remove_dir_all(dst).ok();
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let p = entry.unwrap().path();
+        if p.is_file() {
+            fs::copy(&p, dst.join(p.file_name().unwrap())).unwrap();
+        }
+    }
+}
+
+fn main() {
+    // Force the requested worker counts even on small CI boxes: the
+    // identity gate must exercise the true multi-worker path.
+    std::env::set_var("LOCKDOC_JOBS_FORCE", "1");
+    let quick = std::env::var("LOCKDOC_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let ops = if quick { 600 } else { 4_000 };
+    let ops_s = ops.to_string();
+
+    let base = std::env::temp_dir().join("lockdoc-bench-corpus");
+    fs::remove_dir_all(&base).ok();
+    fs::create_dir_all(&base).unwrap();
+    let corpus = base.join("corpus");
+    fs::create_dir_all(&corpus).unwrap();
+    let cache = corpus.join(".lockdoc-cache");
+    let d = corpus.to_str().unwrap();
+
+    // Eight standard-mix members, recorded straight into the corpus
+    // directory, plus one narrow pipes-only trace for the incremental add.
+    for i in 0..8 {
+        let p = corpus.join(format!("t{i}.ldoc"));
+        run(&s(&[
+            "trace",
+            "--ops",
+            &ops_s,
+            "--seed",
+            &(100 + i).to_string(),
+            "--out",
+            p.to_str().unwrap(),
+        ]))
+        .unwrap();
+    }
+    // The incremental member is a pipes-only workload on a pipes-only
+    // boot (`--fs pipefs`), so it observes 5 of the 21 corpus groups. Its
+    // corpus name sorts after t0..t7: members merge in sorted-name order,
+    // so a name sorting in the middle would shift every later member's
+    // merge index and perturb groups the new trace never touches.
+    let extra = base.join("extra.ldoc");
+    run(&s(&[
+        "trace",
+        "--ops",
+        &ops_s,
+        "--seed",
+        "200",
+        "--mix",
+        "pipes=1",
+        "--fs",
+        "pipefs",
+        "--out",
+        extra.to_str().unwrap(),
+    ]))
+    .unwrap();
+
+    // Identity gate: corpus rules == batch rules over the merged trace,
+    // at jobs 1 and 4, cold caches both times.
+    let build = |jobs: &str| {
+        fs::remove_dir_all(&cache).ok();
+        run(&s(&["corpus", "build", "--dir", d, "--jobs", jobs])).unwrap()
+    };
+    let cold_j1 = build("1");
+    let cold_j4 = build("4");
+    assert_eq!(
+        rules_of(&cold_j1),
+        rules_of(&cold_j4),
+        "corpus build differs across --jobs"
+    );
+    let merged = base.join("merged.ldoc");
+    run(&s(&[
+        "corpus",
+        "export",
+        "--dir",
+        d,
+        "--out",
+        merged.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let batch = run(&s(&[
+        "derive",
+        "--trace",
+        merged.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]))
+    .unwrap();
+    assert_eq!(
+        rules_of(&cold_j4),
+        batch.as_str(),
+        "corpus rules differ from batch derivation over the merged trace"
+    );
+
+    // Total corpus events, for the events/sec figures.
+    let status = run(&s(&["corpus", "status", "--dir", d, "--json"])).unwrap();
+    let events: u64 = parse(&status)
+        .unwrap()
+        .get("members")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|m| m.get("events").and_then(Json::as_u64).unwrap())
+        .sum();
+
+    // Snapshot the fully-warm 8-trace cache so the incremental-add runs
+    // can be replayed from an identical starting state.
+    let pristine = base.join("cache-pristine");
+    copy_dir(&cache, &pristine);
+
+    let mut b = Bench::from_env();
+    b.run("corpus/8-traces/cold-build", || {
+        fs::remove_dir_all(&cache).ok();
+        run(&s(&["corpus", "build", "--dir", d, "--jobs", "4"])).unwrap()
+    });
+    copy_dir(&pristine, &cache);
+    b.run("corpus/8-traces/warm-reload", || {
+        run(&s(&["corpus", "build", "--dir", d, "--jobs", "4"])).unwrap()
+    });
+    // Incremental add: restore the warm 8-trace cache, then add the
+    // narrow trace. The restore is part of the loop but not of the work
+    // being claimed; it is cheap (a handful of file copies) next to a
+    // screen + import + derive of the new member.
+    fs::copy(&extra, corpus.join("t8-pipes.ldoc")).unwrap();
+    b.run("corpus/8+1-traces/incremental-add", || {
+        copy_dir(&pristine, &cache);
+        run(&s(&["corpus", "build", "--dir", d, "--jobs", "4"])).unwrap()
+    });
+
+    // Group-reuse accounting of the incremental add (and its rules, for
+    // one more identity check against a from-scratch 9-trace build).
+    copy_dir(&pristine, &cache);
+    let inc = run(&s(&[
+        "corpus", "build", "--dir", d, "--jobs", "4", "--json",
+    ]))
+    .unwrap();
+    let inc = parse(&inc).unwrap();
+    let groups_total = inc.get("groups_total").and_then(Json::as_u64).unwrap();
+    let groups_reused = inc.get("groups_reused").and_then(Json::as_u64).unwrap();
+    let rederived_frac = (groups_total - groups_reused) as f64 / groups_total.max(1) as f64;
+    fs::remove_dir_all(&cache).ok();
+    let scratch9 = parse(
+        &run(&s(&[
+            "corpus", "build", "--dir", d, "--jobs", "1", "--json",
+        ]))
+        .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        inc.get("rules"),
+        scratch9.get("rules"),
+        "incremental 8+1 rules differ from a from-scratch 9-trace build"
+    );
+    assert!(
+        rederived_frac < 0.5,
+        "incremental add re-derived {:.0}% of groups (want < 50%)",
+        rederived_frac * 100.0
+    );
+
+    let results = b.results().to_vec();
+    let cold_ns = results[0].ns_per_iter();
+    let warm_ns = results[1].ns_per_iter();
+    let add_ns = results[2].ns_per_iter();
+    for m in &results {
+        println!(
+            "bench {:<40} {:>10.2} ms  ({:.0} events/sec)",
+            m.name,
+            m.ns_per_iter() / 1e6,
+            events as f64 / (m.ns_per_iter() / 1e9)
+        );
+    }
+    println!(
+        "warm reload speedup vs cold build: {:.2}x; incremental add re-derived {}/{} groups ({:.0}%)",
+        cold_ns / warm_ns,
+        groups_total - groups_reused,
+        groups_total,
+        rederived_frac * 100.0
+    );
+
+    let run_json = |m: &lockdoc_platform::timing::Measurement| {
+        Json::obj(vec![
+            ("name", Json::Str(m.name.clone())),
+            ("ns_per_iter", Json::F64(m.ns_per_iter())),
+            (
+                "events_per_sec",
+                Json::F64(events as f64 / (m.ns_per_iter() / 1e9)),
+            ),
+        ])
+    };
+    let out: PathBuf = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_corpus.json").into();
+    let report = Json::obj(vec![
+        ("bench", Json::Str("corpus_incremental_scaling".into())),
+        ("quick", Json::Bool(quick)),
+        ("ops_per_trace", Json::U64(ops)),
+        ("traces", Json::U64(8)),
+        ("corpus_events", Json::U64(events)),
+        ("available_cores", Json::U64(available_jobs() as u64)),
+        (
+            "identity_gate",
+            Json::Str(
+                "corpus == batch over merged trace at jobs {1,4}; incremental 8+1 == scratch 9"
+                    .into(),
+            ),
+        ),
+        ("runs", Json::Arr(results.iter().map(run_json).collect())),
+        ("warm_speedup_vs_cold", Json::F64(cold_ns / warm_ns)),
+        ("incremental_add_ns", Json::F64(add_ns)),
+        ("groups_total", Json::U64(groups_total)),
+        ("groups_reused", Json::U64(groups_reused)),
+        ("rederived_group_fraction", Json::F64(rederived_frac)),
+    ]);
+    fs::write(&out, report.pretty() + "\n").expect("write BENCH_corpus.json");
+    println!("wrote {}", out.display());
+    fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,454 @@
+//! `lockdoc corpus`: manage a directory of traces as one analysis unit.
+//!
+//! The corpus pipeline caches two artifacts per member trace under the
+//! cache directory, each keyed by the member's content checksum (plus,
+//! for the matrix, the filter and derive-config fingerprints):
+//!
+//! * `<name>.<checksum>.screen.json` — the screening verdict (health,
+//!   event counts), so `status` and warm rebuilds never re-decode a
+//!   container whose content they have already triaged;
+//! * `<name>.<checksum>.ldmtx` — the per-trace observation matrix, so a
+//!   warm `build` merges cached matrices without touching the event
+//!   stream at all.
+//!
+//! Corpus-level rules are derived group by group from the merged
+//! matrices; the rules cache (`corpus.rules.json`) lets an incremental
+//! `add`/`drop` re-derive only the groups whose contributor set actually
+//! changed — untouched groups are reused byte-identically. Any
+//! mismatched, truncated, or damaged artifact is a clean cache miss: the
+//! pipeline falls back to a full decode, never a wrong answer.
+
+use crate::{render_rules_text, Args, CliError, Result};
+use ksim::rules;
+use lockdoc_core::corpus::derive_fingerprint;
+use lockdoc_core::derive::DeriveConfig;
+use lockdoc_core::{
+    build_trace_matrix, derive_corpus, read_matrix_artifact, write_matrix_artifact, CorpusDerive,
+    CorpusRulesCache, CorpusTrace, TraceMatrix,
+};
+use lockdoc_platform::json::{self, Json, ToJson};
+use lockdoc_trace::codec::{write_trace, TraceReader};
+use lockdoc_trace::corpus::{screen_trace, CorpusStore, Health};
+use lockdoc_trace::db::{filter_fingerprint, fnv1a, import};
+use lockdoc_trace::event::{Trace, TraceMeta};
+use lockdoc_trace::filter::FilterConfig;
+use lockdoc_trace::merge::{concat_traces_corpus, corpus_meta};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File name of the corpus-level rules cache inside the cache directory.
+pub const RULES_CACHE_FILE: &str = "corpus.rules.json";
+
+/// Shared knobs of one corpus (or serve) invocation.
+pub(crate) struct CorpusCtx {
+    pub store: CorpusStore,
+    pub config: DeriveConfig,
+    pub filter: FilterConfig,
+    pub filter_fp: u64,
+    pub derive_fp: u64,
+    pub jobs: usize,
+}
+
+impl CorpusCtx {
+    /// Resolves `--dir`, `--cache-dir` (default `<dir>/.lockdoc-cache`),
+    /// `--t-ac`, and `--jobs` into an opened store plus fingerprints.
+    pub(crate) fn from_args(args: &Args) -> Result<Self> {
+        let dir = args
+            .get("dir")
+            .ok_or_else(|| CliError::Usage("--dir DIR is required".into()))?;
+        let cache_dir: PathBuf = match args.get("cache-dir") {
+            Some(c) => PathBuf::from(c),
+            None => Path::new(dir).join(".lockdoc-cache"),
+        };
+        let store = CorpusStore::open(Path::new(dir), &cache_dir)?;
+        let t_ac: f64 = args.num("t-ac", 0.9f64)?;
+        let config = DeriveConfig::with_threshold(t_ac);
+        let filter = rules::filter_config();
+        let filter_fp = filter_fingerprint(&filter);
+        let derive_fp = derive_fingerprint(&config);
+        Ok(Self {
+            store,
+            config,
+            filter,
+            filter_fp,
+            derive_fp,
+            jobs: args.jobs()?,
+        })
+    }
+}
+
+/// One corpus member as the CLI sees it after loading.
+pub(crate) struct Member {
+    pub name: String,
+    pub checksum: u64,
+    pub health: Health,
+    pub events: u64,
+    pub quarantined: u64,
+    pub error: Option<String>,
+    /// True when the member was served entirely from cached artifacts
+    /// (no event decode happened).
+    pub cached: bool,
+    pub matrix: Option<TraceMatrix>,
+    pub meta: Option<TraceMeta>,
+    pub trace: Option<Trace>,
+}
+
+/// What `load_corpus` must materialize per member.
+pub(crate) struct LoadOpts {
+    /// Build (or warm-load) the observation matrix.
+    pub need_matrix: bool,
+    /// Keep the full sanitized trace (forces the cold path).
+    pub need_trace: bool,
+}
+
+fn write_screen_sidecar(path: &Path, m: &Member) {
+    let mut pairs = vec![
+        ("health", Json::Str(m.health.name().to_owned())),
+        ("events", Json::U64(m.events)),
+        ("quarantined", Json::U64(m.quarantined)),
+    ];
+    if let Some(e) = &m.error {
+        pairs.push(("error", Json::Str(e.clone())));
+    }
+    // Best-effort: a failed cache write only costs the next run a rescan.
+    let _ = fs::write(path, Json::obj(pairs).pretty());
+}
+
+fn read_screen_sidecar(path: &Path) -> Option<(Health, u64, u64, Option<String>)> {
+    let v = json::parse(&fs::read_to_string(path).ok()?).ok()?;
+    let health = match v.get("health").and_then(Json::as_str)? {
+        "healthy" => Health::Healthy,
+        "degraded" => Health::Degraded,
+        "unreadable" => Health::Unreadable,
+        _ => return None,
+    };
+    Some((
+        health,
+        v.get("events").and_then(Json::as_u64)?,
+        v.get("quarantined").and_then(Json::as_u64)?,
+        v.get("error").and_then(Json::as_str).map(str::to_owned),
+    ))
+}
+
+fn load_member(ctx: &CorpusCtx, name: &str, opts: &LoadOpts) -> Result<Member> {
+    let bytes = fs::read(ctx.store.trace_path(name))?;
+    let checksum = fnv1a(&bytes);
+    let scr_path = ctx.store.artifact_path(name, checksum, "screen.json");
+    let mtx_path = ctx.store.artifact_path(name, checksum, "ldmtx");
+    let mut member = Member {
+        name: name.to_owned(),
+        checksum,
+        health: Health::Unreadable,
+        events: 0,
+        quarantined: 0,
+        error: None,
+        cached: false,
+        matrix: None,
+        meta: None,
+        trace: None,
+    };
+    // Warm path: a content-matched screening verdict (and, when needed, a
+    // content+config-matched matrix) lets us skip the event decode.
+    if !opts.need_trace {
+        if let Some((health, events, quarantined, error)) = read_screen_sidecar(&scr_path) {
+            member.health = health;
+            member.events = events;
+            member.quarantined = quarantined;
+            member.error = error;
+            if health == Health::Unreadable || !opts.need_matrix {
+                member.cached = true;
+                return Ok(member);
+            }
+            if let Ok(mbytes) = fs::read(&mtx_path) {
+                if let Some(matrix) =
+                    read_matrix_artifact(&mbytes, checksum, ctx.filter_fp, ctx.derive_fp)
+                {
+                    // The header decodes on its own for every non-unreadable
+                    // member; a failure here just falls through to cold.
+                    if let Ok(reader) = TraceReader::new(bytes.as_slice()) {
+                        member.meta = Some((**reader.meta()).clone());
+                        member.matrix = Some(matrix);
+                        member.cached = true;
+                        return Ok(member);
+                    }
+                }
+            }
+        }
+    }
+    // Cold path: screen (salvage + quarantine + sanitize), then rebuild
+    // the cached artifacts for the next run.
+    let (trace, screen) = screen_trace(&bytes, &ctx.filter, ctx.jobs);
+    if let Some(r) = &screen.import {
+        member.events = r.events;
+        member.quarantined = r.quarantined.len() as u64;
+    }
+    member.health = screen.health;
+    member.error = screen.error;
+    write_screen_sidecar(&scr_path, &member);
+    let Some(trace) = trace else {
+        return Ok(member);
+    };
+    member.meta = Some((*trace.meta).clone());
+    if opts.need_matrix {
+        let db = import(&trace, &ctx.filter, ctx.jobs);
+        let matrix = build_trace_matrix(&db, ctx.jobs);
+        let _ = fs::write(
+            &mtx_path,
+            write_matrix_artifact(&matrix, checksum, ctx.filter_fp, ctx.derive_fp),
+        );
+        member.matrix = Some(matrix);
+    }
+    if opts.need_trace {
+        member.trace = Some(trace);
+    }
+    Ok(member)
+}
+
+/// Loads every corpus member in corpus (sorted-name) order.
+pub(crate) fn load_corpus(ctx: &CorpusCtx, opts: &LoadOpts) -> Result<Vec<Member>> {
+    ctx.store
+        .trace_names()?
+        .iter()
+        .map(|n| load_member(ctx, n, opts))
+        .collect()
+}
+
+/// Merges the members' matrices and derives corpus-level rules,
+/// reusing cached group results where the contributor set is unchanged.
+/// The refreshed rules cache is persisted for the next run.
+pub(crate) fn derive_members(ctx: &CorpusCtx, members: &[Member]) -> Result<CorpusDerive> {
+    let metas: Vec<TraceMeta> = members.iter().filter_map(|m| m.meta.clone()).collect();
+    let meta = corpus_meta(&metas).map_err(|e| CliError::Usage(format!("corpus merge: {e}")))?;
+    let traces: Vec<CorpusTrace> = members
+        .iter()
+        .filter_map(|m| {
+            m.matrix.clone().map(|matrix| CorpusTrace {
+                checksum: m.checksum,
+                matrix,
+            })
+        })
+        .collect();
+    let cache_path = ctx.store.corpus_file(RULES_CACHE_FILE);
+    let prev: Option<CorpusRulesCache> = fs::read_to_string(&cache_path)
+        .ok()
+        .and_then(|s| json::from_str(&s).ok());
+    let derived = derive_corpus(
+        &traces,
+        &meta,
+        &ctx.config,
+        ctx.filter_fp,
+        ctx.jobs,
+        prev.as_ref(),
+    );
+    let _ = fs::write(&cache_path, json::to_string_pretty(&derived.cache));
+    Ok(derived)
+}
+
+fn health_counts(members: &[Member]) -> (usize, usize, usize) {
+    let count = |h: Health| members.iter().filter(|m| m.health == h).count();
+    (
+        count(Health::Healthy),
+        count(Health::Degraded),
+        count(Health::Unreadable),
+    )
+}
+
+/// One-line corpus health summary.
+pub(crate) fn corpus_summary(members: &[Member]) -> String {
+    let (h, d, u) = health_counts(members);
+    format!(
+        "corpus: {} trace(s) — {h} healthy, {d} degraded, {u} unreadable",
+        members.len()
+    )
+}
+
+fn member_json(m: &Member) -> Json {
+    let mut pairs = vec![
+        ("name", Json::Str(m.name.clone())),
+        ("checksum", Json::Str(format!("{:016x}", m.checksum))),
+        ("health", Json::Str(m.health.name().to_owned())),
+        ("events", Json::U64(m.events)),
+        ("quarantined", Json::U64(m.quarantined)),
+        ("cached", Json::Bool(m.cached)),
+    ];
+    if let Some(e) = &m.error {
+        pairs.push(("error", Json::Str(e.clone())));
+    }
+    Json::obj(pairs)
+}
+
+fn build_report(ctx: &CorpusCtx, args: &Args, prefix: String) -> Result<String> {
+    let members = load_corpus(
+        ctx,
+        &LoadOpts {
+            need_matrix: true,
+            need_trace: false,
+        },
+    )?;
+    if members.iter().all(|m| m.matrix.is_none()) {
+        return Err(CliError::Usage(
+            "corpus has no analyzable traces (add .ldoc files first)".into(),
+        ));
+    }
+    let derived = derive_members(ctx, &members)?;
+    if args.has("json") {
+        let v = Json::obj(vec![
+            (
+                "members",
+                Json::Arr(members.iter().map(member_json).collect()),
+            ),
+            ("groups_total", Json::U64(derived.groups_total as u64)),
+            ("groups_reused", Json::U64(derived.groups_reused as u64)),
+            ("rules", derived.rules.to_json()),
+        ]);
+        return Ok(v.pretty());
+    }
+    let cached = members.iter().filter(|m| m.cached).count();
+    let mut out = prefix;
+    out.push_str(&corpus_summary(&members));
+    out.push('\n');
+    out.push_str(&format!(
+        "matrices: {cached} cached, {} rebuilt\n",
+        members.len() - cached
+    ));
+    out.push_str(&format!(
+        "groups: {} total, {} reused, {} re-derived\n",
+        derived.groups_total,
+        derived.groups_reused,
+        derived.groups_total - derived.groups_reused
+    ));
+    out.push_str(&render_rules_text(&derived.rules, args.has("rulespec")));
+    Ok(out)
+}
+
+fn status_report(ctx: &CorpusCtx, args: &Args) -> Result<String> {
+    let members = load_corpus(
+        ctx,
+        &LoadOpts {
+            need_matrix: false,
+            need_trace: false,
+        },
+    )?;
+    if args.has("json") {
+        let (h, d, u) = health_counts(&members);
+        let v = Json::obj(vec![
+            (
+                "members",
+                Json::Arr(members.iter().map(member_json).collect()),
+            ),
+            ("healthy", Json::U64(h as u64)),
+            ("degraded", Json::U64(d as u64)),
+            ("unreadable", Json::U64(u as u64)),
+        ]);
+        return Ok(v.pretty());
+    }
+    let mut out = String::new();
+    for m in &members {
+        out.push_str(&render_triage_line(
+            &m.name,
+            m.health,
+            m.events,
+            m.quarantined,
+            m.error.as_deref(),
+        ));
+    }
+    out.push_str(&corpus_summary(&members));
+    out.push('\n');
+    Ok(out)
+}
+
+/// One `name: VERDICT — detail` triage line (shared with `doctor DIR`).
+pub(crate) fn render_triage_line(
+    name: &str,
+    health: Health,
+    events: u64,
+    quarantined: u64,
+    error: Option<&str>,
+) -> String {
+    match health {
+        Health::Unreadable => format!(
+            "{name}: UNREADABLE — {}\n",
+            error.unwrap_or("undecodable header")
+        ),
+        h => format!(
+            "{name}: {} — {events} events, {quarantined} quarantined\n",
+            h.name().to_uppercase()
+        ),
+    }
+}
+
+fn export_report(ctx: &CorpusCtx, args: &Args) -> Result<String> {
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
+    let mut members = load_corpus(
+        ctx,
+        &LoadOpts {
+            need_matrix: false,
+            need_trace: true,
+        },
+    )?;
+    let traces: Vec<Trace> = members.iter_mut().filter_map(|m| m.trace.take()).collect();
+    if traces.is_empty() {
+        return Err(CliError::Usage(
+            "corpus has no analyzable traces (add .ldoc files first)".into(),
+        ));
+    }
+    let parts = traces.len();
+    let merged =
+        concat_traces_corpus(traces).map_err(|e| CliError::Usage(format!("corpus merge: {e}")))?;
+    let mut buf = Vec::new();
+    write_trace(&merged, &mut buf)?;
+    fs::write(out_path, &buf)?;
+    Ok(format!(
+        "wrote {out_path}: {} events merged from {parts} trace(s), {} bytes\n",
+        merged.events.len(),
+        buf.len()
+    ))
+}
+
+/// `lockdoc corpus`: build | add FILE.. | drop NAME.. | status | export.
+pub fn cmd_corpus(args: &Args) -> Result<String> {
+    let sub = args.positional.first().map(String::as_str).ok_or_else(|| {
+        CliError::Usage(
+            "corpus needs a subcommand: build | add FILE.. | drop NAME.. | status | export".into(),
+        )
+    })?;
+    let ctx = CorpusCtx::from_args(args)?;
+    match sub {
+        "build" => build_report(&ctx, args, String::new()),
+        "add" => {
+            let files = &args.positional[1..];
+            if files.is_empty() {
+                return Err(CliError::Usage(
+                    "corpus add needs at least one TRACE file".into(),
+                ));
+            }
+            let mut prefix = String::new();
+            for f in files {
+                let name = ctx.store.add(Path::new(f))?;
+                prefix.push_str(&format!("added {name}\n"));
+            }
+            build_report(&ctx, args, prefix)
+        }
+        "drop" => {
+            let names = &args.positional[1..];
+            if names.is_empty() {
+                return Err(CliError::Usage(
+                    "corpus drop needs at least one member NAME".into(),
+                ));
+            }
+            let mut prefix = String::new();
+            for n in names {
+                ctx.store.drop_trace(n)?;
+                prefix.push_str(&format!("dropped {n}\n"));
+            }
+            build_report(&ctx, args, prefix)
+        }
+        "status" => status_report(&ctx, args),
+        "export" => export_report(&ctx, args),
+        other => Err(CliError::Usage(format!(
+            "unknown corpus subcommand `{other}` (expected build | add | drop | status | export)"
+        ))),
+    }
+}

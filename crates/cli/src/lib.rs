@@ -17,16 +17,23 @@
 //!   violations, races, and lock order into ranked findings,
 //! * `lockdoc order` — lock-order graph, inversions, cycles,
 //! * `lockdoc scan` — count lock-initializer usage in a C source tree
-//!   (the Fig. 1 measurement, usable on a real kernel checkout).
+//!   (the Fig. 1 measurement, usable on a real kernel checkout),
+//! * `lockdoc corpus` — manage a directory of traces as one analysis
+//!   unit with cached per-trace matrices and group-incremental
+//!   re-derivation ([`corpus`]),
+//! * `lockdoc serve` — concurrent query daemon over a corpus ([`serve`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod corpus;
+pub mod serve;
 
 use ksim::config::SimConfig;
 use ksim::parallel::run_mix_sharded;
 use ksim::rules;
 use lockdoc_core::checker::{check_rules_par, summarize};
-use lockdoc_core::derive::{derive_par, DeriveConfig};
+use lockdoc_core::derive::{derive_par, DeriveConfig, MinedRules};
 use lockdoc_core::docgen::{generate_doc, generate_rulespec};
 use lockdoc_core::lint::{lint, LintInputs};
 use lockdoc_core::order::OrderGraph;
@@ -169,10 +176,10 @@ lockdoc — trace-based analysis of locking rules
 
 USAGE:
   lockdoc trace      [--ops N] [--seed N] [--no-faults | --racy] [--mix SPEC]
-                     [--shards N] [--jobs N] --out FILE
+                     [--fs LIST] [--shards N] [--jobs N] --out FILE
   lockdoc import     --trace FILE [--csv-dir DIR] [--jobs N]
                      [--lenient | --strict] [--max-bad-frac X]
-  lockdoc doctor     TRACE [--json] [--jobs N]
+  lockdoc doctor     TRACE|DIR [--json] [--jobs N]
   lockdoc derive     --trace FILE [--t-ac X] [--group NAME] [--jobs N] [--rulespec | --json]
   lockdoc check      --trace FILE [--rules FILE] [--jobs N] [--json]
   lockdoc doc        --trace FILE [--group NAME] [--jobs N]
@@ -184,6 +191,11 @@ USAGE:
   lockdoc order      --trace FILE [--jobs N] [--json]
   lockdoc fuzz       [--budget N] [--ops N] [--seed N] [--shards N]
                      [--generation N] [--jobs N] [--json]
+  lockdoc corpus     build|status|export|add FILE..|drop NAME.. --dir DIR
+                     [--cache-dir DIR] [--t-ac X] [--jobs N] [--json]
+                     [--rulespec] [--out FILE]
+  lockdoc serve      --dir DIR (--once [--input FILE] | [--socket PATH])
+                     [--cache-dir DIR] [--t-ac X] [--jobs N]
 
 `--jobs N` (or LOCKDOC_JOBS) runs trace generation, import, and the
 analysis phases on N workers; output is byte-identical at any worker
@@ -218,6 +230,25 @@ operations, scored on uncovered functions, zero-observation members,
 unseen lock combinations, and pairless race candidates. The report is a
 pure function of (--seed, --budget, --ops, --shards, --generation);
 --jobs only changes wall-clock time.
+
+`corpus` manages a directory of `.ldoc` traces as one analysis unit:
+every member is screened (doctor triage) and summarized into a cached
+per-trace observation matrix keyed by trace content + filter + derive
+config. `build` merges the cached matrices and derives corpus-level
+rules group by group, reusing byte-identically every group whose
+contributing traces did not change, so `add`/`drop` of one trace
+re-derives only the touched data-type groups. `status` triages without
+deriving; `export --out FILE` writes the merged corpus as one trace.
+`doctor DIR` prints a per-trace triage line plus a corpus summary.
+
+`serve` answers derive/races/lint/order/status queries over a corpus via
+line-delimited JSON (`{\"cmd\": \"derive\"}` per line, one response line
+each), concurrently: queries read an immutable snapshot while `add`
+ingests build the next snapshot off to the side and swap it in, so
+readers never block on ingest. `serve --once` answers a batch of
+requests from stdin (or --input FILE) and exits — no socket needed; the
+answer texts are byte-identical to the corresponding batch subcommands
+run on the merged corpus.
 ";
 
 fn load_db(args: &Args) -> Result<TraceDb> {
@@ -303,6 +334,23 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
         ));
     }
     let mut cfg = SimConfig::with_seed(seed);
+    if let Some(spec) = args.get("fs") {
+        // Restricted boot: mount only the listed filesystems (the mix
+        // must not use any other; see ksim's SimConfig::mounts).
+        let mut fss = Vec::new();
+        for name in spec.split(',').filter(|n| !n.trim().is_empty()) {
+            let fs = ksim::subsys::FsKind::from_subclass(name.trim()).ok_or_else(|| {
+                CliError::Usage(format!("unknown filesystem `{}` in --fs", name.trim()))
+            })?;
+            if !fss.contains(&fs) {
+                fss.push(fs);
+            }
+        }
+        if fss.is_empty() {
+            return Err(CliError::Usage("--fs needs at least one filesystem".into()));
+        }
+        cfg = cfg.with_mounts(fss);
+    }
     if args.has("racy") {
         cfg = cfg.with_faults(rules::racy_fault_plan());
     } else if !args.has("no-faults") {
@@ -449,7 +497,10 @@ pub fn cmd_doctor(args: &Args) -> Result<String> {
         .first()
         .map(String::as_str)
         .or_else(|| args.get("trace"))
-        .ok_or_else(|| CliError::Usage("doctor needs a TRACE file".into()))?;
+        .ok_or_else(|| CliError::Usage("doctor needs a TRACE file or corpus DIR".into()))?;
+    if Path::new(path).is_dir() {
+        return doctor_dir(path, args);
+    }
     let bytes = fs::read(path)?;
     let jobs = args.jobs()?;
     let (trace, salvage) = match read_trace_salvage(&bytes) {
@@ -504,6 +555,85 @@ pub fn cmd_doctor(args: &Args) -> Result<String> {
     Ok(out)
 }
 
+/// `lockdoc doctor DIR`: triage every `.ldoc` trace in a directory with
+/// one verdict line each, plus a corpus health summary.
+fn doctor_dir(dir: &str, args: &Args) -> Result<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)?
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            if path.extension().and_then(|x| x.to_str()) == Some("ldoc") {
+                path.file_name().and_then(|n| n.to_str()).map(str::to_owned)
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    let filter = rules::filter_config();
+    let jobs = args.jobs()?;
+    let mut rows = Vec::new();
+    for name in &names {
+        let bytes = fs::read(Path::new(dir).join(name))?;
+        let (_, screen) = lockdoc_trace::corpus::screen_trace(&bytes, &filter, jobs);
+        let (events, quarantined) = match &screen.import {
+            Some(r) => (r.events, r.quarantined.len() as u64),
+            None => (0, 0),
+        };
+        rows.push((
+            name.clone(),
+            screen.health,
+            events,
+            quarantined,
+            screen.error,
+        ));
+    }
+    let count = |h: lockdoc_trace::corpus::Health| rows.iter().filter(|r| r.1 == h).count();
+    let (healthy, degraded, unreadable) = (
+        count(lockdoc_trace::corpus::Health::Healthy),
+        count(lockdoc_trace::corpus::Health::Degraded),
+        count(lockdoc_trace::corpus::Health::Unreadable),
+    );
+    if args.has("json") {
+        let traces: Vec<Json> = rows
+            .iter()
+            .map(|(name, health, events, quarantined, error)| {
+                let mut pairs = vec![
+                    ("name", Json::Str(name.clone())),
+                    ("verdict", Json::Str(health.name().to_owned())),
+                    ("events", Json::U64(*events)),
+                    ("quarantined", Json::U64(*quarantined)),
+                ];
+                if let Some(e) = error {
+                    pairs.push(("error", Json::Str(e.clone())));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let v = Json::obj(vec![
+            ("traces", Json::Arr(traces)),
+            ("healthy", Json::U64(healthy as u64)),
+            ("degraded", Json::U64(degraded as u64)),
+            ("unreadable", Json::U64(unreadable as u64)),
+        ]);
+        return Ok(v.pretty());
+    }
+    let mut out = String::new();
+    for (name, health, events, quarantined, error) in &rows {
+        out.push_str(&corpus::render_triage_line(
+            name,
+            *health,
+            *events,
+            *quarantined,
+            error.as_deref(),
+        ));
+    }
+    out.push_str(&format!(
+        "corpus: {} trace(s) — {healthy} healthy, {degraded} degraded, {unreadable} unreadable\n",
+        rows.len()
+    ));
+    Ok(out)
+}
+
 /// `lockdoc derive`.
 pub fn cmd_derive(args: &Args) -> Result<String> {
     let db = load_db(args)?;
@@ -519,9 +649,16 @@ pub fn cmd_derive(args: &Args) -> Result<String> {
     if args.has("json") {
         return Ok(lockdoc_platform::json::to_string_pretty(&mined));
     }
+    Ok(render_rules_text(&mined, args.has("rulespec")))
+}
+
+/// Renders mined rules in the standard `derive` text format. Shared by
+/// `derive`, `corpus build`, and the `serve` query layer so the formats
+/// cannot drift apart.
+pub fn render_rules_text(mined: &MinedRules, rulespec: bool) -> String {
     let mut out = String::new();
     for group in &mined.groups {
-        if args.has("rulespec") {
+        if rulespec {
             out.push_str(&generate_rulespec(group));
         } else {
             out.push_str(&format!("[{}]\n", group.group_name));
@@ -545,7 +682,7 @@ pub fn cmd_derive(args: &Args) -> Result<String> {
             }
         }
     }
-    Ok(out)
+    out
 }
 
 /// `lockdoc check`.
@@ -806,6 +943,8 @@ pub fn run(raw: &[String]) -> Result<String> {
         "diff" => cmd_diff(&args),
         "order" => cmd_order(&args),
         "fuzz" => cmd_fuzz(&args),
+        "corpus" => corpus::cmd_corpus(&args),
+        "serve" => serve::cmd_serve(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand `{other}`\n{USAGE}"
@@ -1159,6 +1298,158 @@ mod tests {
         assert_eq!(fast, lenient);
         assert_eq!(fast, strict);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_triages_directories() {
+        let dir = std::env::temp_dir().join("lockdoc-doctor-dir-test");
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("a-good.ldoc");
+        run(&s(&[
+            "trace",
+            "--ops",
+            "300",
+            "--out",
+            good.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let full = fs::read(&good).unwrap();
+        fs::write(dir.join("b-clipped.ldoc"), &full[..full.len() - 1]).unwrap();
+        fs::write(dir.join("c-garbage.ldoc"), b"not a trace").unwrap();
+        fs::write(dir.join("ignored.txt"), b"not a member").unwrap();
+
+        let out = run(&s(&["doctor", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("a-good.ldoc: HEALTHY"), "{out}");
+        assert!(out.contains("b-clipped.ldoc: DEGRADED"), "{out}");
+        assert!(out.contains("c-garbage.ldoc: UNREADABLE"), "{out}");
+        assert!(
+            out.contains("corpus: 3 trace(s) — 1 healthy, 1 degraded, 1 unreadable"),
+            "{out}"
+        );
+        let json = run(&s(&["doctor", dir.to_str().unwrap(), "--json"])).unwrap();
+        let v = lockdoc_platform::json::parse(&json).expect("valid json");
+        assert_eq!(v.get("healthy").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("degraded").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("unreadable").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            v.get("traces").and_then(Json::as_array).map(<[Json]>::len),
+            Some(3)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corpus_lifecycle_and_serve_once_match_batch() {
+        let base = std::env::temp_dir().join("lockdoc-corpus-cli-test");
+        fs::remove_dir_all(&base).ok();
+        fs::create_dir_all(&base).unwrap();
+        let t1 = base.join("one.ldoc");
+        let t2 = base.join("two.ldoc");
+        run(&s(&[
+            "trace",
+            "--ops",
+            "300",
+            "--seed",
+            "1",
+            "--out",
+            t1.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "trace",
+            "--ops",
+            "300",
+            "--seed",
+            "2",
+            "--out",
+            t2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let corpus = base.join("corpus");
+        let d = corpus.to_str().unwrap();
+
+        // add = copy in + build; the cold build rebuilds every matrix.
+        let out = run(&s(&[
+            "corpus",
+            "add",
+            t1.to_str().unwrap(),
+            t2.to_str().unwrap(),
+            "--dir",
+            d,
+        ]))
+        .unwrap();
+        assert!(out.contains("added one.ldoc"), "{out}");
+        assert!(out.contains("corpus: 2 trace(s) — 2 healthy"), "{out}");
+        assert!(out.contains("matrices: 0 cached, 2 rebuilt"), "{out}");
+
+        // Warm rebuild: every matrix cached, every group reused, and the
+        // rules section is byte-identical to the cold build.
+        let warm = run(&s(&["corpus", "build", "--dir", d])).unwrap();
+        assert!(warm.contains("matrices: 2 cached, 0 rebuilt"), "{warm}");
+        assert!(warm.contains(", 0 re-derived\n"), "{warm}");
+        let rules_of = |text: &str| text[text.find("[").expect("rules section")..].to_owned();
+        assert_eq!(rules_of(&out), rules_of(&warm));
+
+        // status triages without deriving.
+        let st = run(&s(&["corpus", "status", "--dir", d])).unwrap();
+        assert!(st.contains("one.ldoc: HEALTHY"), "{st}");
+        assert!(st.contains("corpus: 2 trace(s)"), "{st}");
+
+        // The corpus rules equal a batch derivation over the exported
+        // merged trace — the equivalence the whole pipeline rests on.
+        let merged = base.join("merged.ldoc");
+        run(&s(&[
+            "corpus",
+            "export",
+            "--dir",
+            d,
+            "--out",
+            merged.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let batch_derive = run(&s(&["derive", "--trace", merged.to_str().unwrap()])).unwrap();
+        assert_eq!(rules_of(&warm), batch_derive);
+
+        // serve --once answers byte-identically to the batch subcommands.
+        let queries = base.join("queries.jsonl");
+        fs::write(
+            &queries,
+            "{\"cmd\": \"derive\"}\n{\"cmd\": \"races\"}\n{\"cmd\": \"lint\"}\n\
+             {\"cmd\": \"status\"}\n{\"cmd\": \"nope\"}\n{\"cmd\": \"shutdown\"}\n",
+        )
+        .unwrap();
+        let resp = run(&s(&[
+            "serve",
+            "--dir",
+            d,
+            "--once",
+            "--input",
+            queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let lines: Vec<Json> = resp
+            .lines()
+            .map(|l| lockdoc_platform::json::parse(l).expect("response json"))
+            .collect();
+        assert_eq!(lines.len(), 6);
+        let output = |i: usize| lines[i].get("output").and_then(Json::as_str).unwrap();
+        assert_eq!(output(0), batch_derive, "serve derive != batch derive");
+        let batch_races = run(&s(&["races", "--trace", merged.to_str().unwrap()])).unwrap();
+        assert_eq!(output(1), batch_races, "serve races != batch races");
+        let batch_lint = run(&s(&["lint", "--trace", merged.to_str().unwrap()])).unwrap();
+        assert_eq!(output(2), batch_lint, "serve lint != batch lint");
+        assert!(output(3).contains("corpus: 2 trace(s)"));
+        assert_eq!(lines[4].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(lines[5].get("ok").and_then(Json::as_bool), Some(true));
+
+        // drop rebuilds from the remaining members.
+        let out = run(&s(&["corpus", "drop", "two.ldoc", "--dir", d])).unwrap();
+        assert!(out.contains("dropped two.ldoc"), "{out}");
+        assert!(out.contains("corpus: 1 trace(s)"), "{out}");
+        assert!(run(&s(&["corpus", "drop", "two.ldoc", "--dir", d])).is_err());
+        assert!(run(&s(&["corpus", "frobnicate", "--dir", d])).is_err());
+        fs::remove_dir_all(&base).ok();
     }
 
     #[test]

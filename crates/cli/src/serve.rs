@@ -1,0 +1,285 @@
+//! `lockdoc serve`: a concurrent query daemon over a trace corpus.
+//!
+//! The daemon holds one immutable **snapshot** of the corpus: the
+//! corpus-derived rules plus the race, lint, and lock-order reports of
+//! the merged corpus trace, all pre-rendered in exactly the text formats
+//! the batch subcommands print (the renderers are shared, so the formats
+//! cannot drift). Queries are line-delimited JSON, one request per line,
+//! one response per line:
+//!
+//! ```text
+//! {"cmd": "derive"}            -> {"ok": true, "output": "<derive text>"}
+//! {"cmd": "races"}             -> ... races text ...
+//! {"cmd": "lint"}              -> ... lint text ...
+//! {"cmd": "order"}             -> ... order text ...
+//! {"cmd": "status"}            -> corpus health + group-reuse summary
+//! {"cmd": "add", "path": "x"}  -> ingest a trace, swap in a new snapshot
+//! {"cmd": "shutdown"}          -> stop the daemon
+//! ```
+//!
+//! Concurrency: the snapshot sits behind an `RwLock<Arc<Snapshot>>`.
+//! Readers clone the `Arc` and answer from the old snapshot while an
+//! `add` (serialized by a separate ingest mutex) builds the next one off
+//! to the side and swaps it in — queries never block on ingest. In
+//! socket mode each connection gets its own thread; `--once` answers a
+//! batch of requests from stdin (or `--input FILE`) and exits, so tests
+//! and scripts need no real socket.
+
+use crate::corpus::{corpus_summary, derive_members, load_corpus, CorpusCtx, LoadOpts};
+use crate::{render_rules_text, Args, CliError, Result};
+use ksim::rules;
+use lockdoc_core::checker::check_rules_par;
+use lockdoc_core::lint::{lint, LintInputs};
+use lockdoc_core::order::OrderGraph;
+use lockdoc_core::race::find_races_par;
+use lockdoc_core::rulespec::parse_rules;
+use lockdoc_core::violation::find_violations_par;
+use lockdoc_platform::json::{self, Json};
+use lockdoc_trace::db::import;
+use lockdoc_trace::event::Trace;
+use lockdoc_trace::merge::concat_traces_corpus;
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One immutable, fully-rendered answer set over the corpus.
+struct Snapshot {
+    summary: String,
+    groups_total: usize,
+    groups_reused: usize,
+    rules_text: String,
+    races_text: String,
+    lint_text: String,
+    order_text: String,
+}
+
+/// Builds a snapshot: warm-load the corpus (cached matrices), derive
+/// corpus rules group-incrementally, then import the merged trace once
+/// for the whole-corpus race/lint/order passes.
+fn build_snapshot(ctx: &CorpusCtx) -> Result<Snapshot> {
+    let mut members = load_corpus(
+        ctx,
+        &LoadOpts {
+            need_matrix: true,
+            need_trace: true,
+        },
+    )?;
+    let derived = derive_members(ctx, &members)?;
+    let summary = corpus_summary(&members);
+    let traces: Vec<Trace> = members.iter_mut().filter_map(|m| m.trace.take()).collect();
+    if traces.is_empty() {
+        return Err(CliError::Usage(
+            "corpus has no analyzable traces (add .ldoc files first)".into(),
+        ));
+    }
+    let merged =
+        concat_traces_corpus(traces).map_err(|e| CliError::Usage(format!("corpus merge: {e}")))?;
+    let db = import(&merged, &ctx.filter, ctx.jobs);
+    let jobs = ctx.jobs;
+    let mined = derived.rules;
+    let parsed =
+        parse_rules(rules::documented_rules()).map_err(|e| CliError::Rules(e.to_string()))?;
+    let checked = check_rules_par(&db, &parsed, jobs);
+    let violations = find_violations_par(&db, &mined, 3, jobs);
+    let races = find_races_par(&db, jobs);
+    let order = OrderGraph::build_par(&db, jobs);
+    let report = lint(
+        &db,
+        &LintInputs {
+            mined: &mined,
+            checked: &checked,
+            violations: &violations,
+            races: &races,
+            order: &order,
+        },
+        jobs,
+    );
+    Ok(Snapshot {
+        summary,
+        groups_total: derived.groups_total,
+        groups_reused: derived.groups_reused,
+        rules_text: render_rules_text(&mined, false),
+        races_text: races.render(&db),
+        lint_text: report.render(&db),
+        order_text: order.report(&db),
+    })
+}
+
+struct ServeState {
+    ctx: CorpusCtx,
+    snapshot: RwLock<Arc<Snapshot>>,
+    ingest: Mutex<()>,
+    shutdown: AtomicBool,
+}
+
+impl ServeState {
+    fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+fn respond_ok(output: String) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("output", Json::Str(output)),
+    ])
+    .compact()
+}
+
+fn respond_err(error: String) -> String {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::Str(error))]).compact()
+}
+
+/// Answers one request line; the bool asks the caller to stop serving.
+fn handle_line(state: &ServeState, line: &str) -> (bool, String) {
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (false, respond_err(format!("bad request: {e}"))),
+    };
+    let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
+        return (false, respond_err("request needs a `cmd` string".into()));
+    };
+    match cmd {
+        "derive" => (false, respond_ok(state.current().rules_text.clone())),
+        "races" => (false, respond_ok(state.current().races_text.clone())),
+        "lint" => (false, respond_ok(state.current().lint_text.clone())),
+        "order" => (false, respond_ok(state.current().order_text.clone())),
+        "status" => {
+            let snap = state.current();
+            (
+                false,
+                respond_ok(format!(
+                    "{}\ngroups: {} total, {} reused\n",
+                    snap.summary, snap.groups_total, snap.groups_reused
+                )),
+            )
+        }
+        "add" => {
+            let Some(path) = req.get("path").and_then(Json::as_str) else {
+                return (false, respond_err("add needs a `path` string".into()));
+            };
+            // Serialize ingests; queries keep answering from the current
+            // snapshot the whole time.
+            let _ingest = state.ingest.lock().unwrap_or_else(|e| e.into_inner());
+            let added = match state.ctx.store.add(Path::new(path)) {
+                Ok(n) => n,
+                Err(e) => return (false, respond_err(e.to_string())),
+            };
+            match build_snapshot(&state.ctx) {
+                Ok(snap) => {
+                    *state.snapshot.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snap);
+                    (false, respond_ok(format!("added {added}")))
+                }
+                Err(e) => {
+                    // A trace that breaks the merge must not wedge the
+                    // corpus: roll the copy back and keep the old snapshot.
+                    let _ = state.ctx.store.drop_trace(&added);
+                    (false, respond_err(format!("rejected {added}: {e}")))
+                }
+            }
+        }
+        "shutdown" => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            (true, respond_ok("shutting down".into()))
+        }
+        other => (false, respond_err(format!("unknown cmd `{other}`"))),
+    }
+}
+
+/// `lockdoc serve`.
+pub fn cmd_serve(args: &Args) -> Result<String> {
+    let ctx = CorpusCtx::from_args(args)?;
+    let state = ServeState {
+        snapshot: RwLock::new(Arc::new(build_snapshot(&ctx)?)),
+        ctx,
+        ingest: Mutex::new(()),
+        shutdown: AtomicBool::new(false),
+    };
+    if args.has("once") {
+        let input = match args.get("input") {
+            Some(f) => fs::read_to_string(f)?,
+            None => {
+                let mut s = String::new();
+                std::io::stdin().read_to_string(&mut s)?;
+                s
+            }
+        };
+        let mut out = String::new();
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (stop, resp) = handle_line(&state, line);
+            out.push_str(&resp);
+            out.push('\n');
+            if stop {
+                break;
+            }
+        }
+        return Ok(out);
+    }
+    serve_socket(args, state)
+}
+
+#[cfg(unix)]
+fn serve_socket(args: &Args, state: ServeState) -> Result<String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::PathBuf;
+
+    let sock_path: PathBuf = match args.get("socket") {
+        Some(p) => PathBuf::from(p),
+        None => state.ctx.store.cache_dir().join("lockdoc.sock"),
+    };
+    let _ = fs::remove_file(&sock_path);
+    let listener = UnixListener::bind(&sock_path)?;
+    let state = Arc::new(state);
+    let mut served = 0usize;
+    let mut handles = Vec::new();
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        served += 1;
+        let st = Arc::clone(&state);
+        let unblock = sock_path.clone();
+        handles.push(std::thread::spawn(move || {
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let mut writer = stream;
+            for line in BufReader::new(read_half).lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (stop, resp) = handle_line(&st, line.trim());
+                if writeln!(writer, "{resp}").is_err() {
+                    break;
+                }
+                if stop {
+                    // Poke the accept loop so it observes the shutdown
+                    // flag and exits instead of blocking forever.
+                    let _ = UnixStream::connect(&unblock);
+                    break;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = fs::remove_file(&sock_path);
+    Ok(format!("served {served} connection(s)\n"))
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_args: &Args, _state: ServeState) -> Result<String> {
+    Err(CliError::Usage(
+        "socket mode needs unix domain sockets; use `serve --once` on this platform".into(),
+    ))
+}

@@ -1,0 +1,903 @@
+//! Corpus-scale incremental derivation: per-trace observation matrices
+//! that merge *exactly* into whole-corpus mined rules.
+//!
+//! The pipeline's unit of evidence is the [`Observation`]: a resolved
+//! held-lock descriptor sequence plus the number of observation units
+//! exhibiting it. Observation units `(transaction, allocation)` never
+//! span traces when a corpus is merged with
+//! [`lockdoc_trace::merge::concat_traces_corpus`] (per-part task-flow
+//! isolation), and lock descriptors are address-free — so the corpus-wide
+//! observation list of a `(group, member, kind)` triple is simply the
+//! per-trace lists merged by summing counts per identical sequence. That
+//! makes the [`TraceMatrix`] — all aggregated observations of one trace —
+//! a *sufficient statistic* for derivation: [`derive_corpus`] over
+//! per-trace matrices is byte-identical to
+//! [`crate::derive::derive_par`] over the merged trace, without ever
+//! re-importing unchanged traces.
+//!
+//! Two cache layers exploit this:
+//! - [`write_matrix_artifact`]/[`read_matrix_artifact`] persist a trace's
+//!   matrix as a checksummed `LDMATX` sibling file keyed by the raw trace
+//!   bytes, the import filter, and the derivation config. Any mismatch —
+//!   wrong key, flipped bit, truncation, trailing bytes — is a clean
+//!   miss (`None`), never a wrong answer.
+//! - [`derive_corpus`] fingerprints every merged group by its
+//!   contributing traces (plus config and merged ids) and reuses the
+//!   previous run's [`GroupRules`] byte-identically when the fingerprint
+//!   matches: adding or dropping one trace re-derives only the groups
+//!   that trace touches.
+
+use crate::derive::{DeriveConfig, GroupRules, MinedRule, MinedRules};
+use crate::hypothesis::{enumerate, observations_for_cached, Observation, ResolutionCache};
+use crate::lockset::LockDescriptor;
+use crate::matrix::AccessMatrix;
+use crate::select::select;
+use lockdoc_platform::par::par_map;
+use lockdoc_trace::db::{fnv1a, TraceDb};
+use lockdoc_trace::event::{AccessKind, TraceMeta};
+use lockdoc_trace::ids::{DataTypeId, Sym};
+use std::collections::BTreeMap;
+
+/// All aggregated observations of one member of one observation group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberObs {
+    /// Member index in the type layout.
+    pub member: u32,
+    /// Member name (denormalized so merging needs no database).
+    pub member_name: String,
+    /// Aggregated read observations, sorted by lock sequence.
+    pub read: Vec<Observation>,
+    /// Aggregated write observations, sorted by lock sequence.
+    pub write: Vec<Observation>,
+}
+
+/// One observation group's slice of a [`TraceMatrix`]. Groups are keyed
+/// by *names* rather than ids: per-trace ids shift when metadata is
+/// unioned across a corpus, names do not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMatrix {
+    /// Data type name.
+    pub type_name: String,
+    /// Subclass discriminator, e.g. `ext4` for `inode:ext4`.
+    pub subclass: Option<String>,
+    /// Per-member observations, ordered by member index. Empty when the
+    /// group's accesses all fell outside transactions — the group still
+    /// appears so the corpus emits the same (possibly rule-less) group
+    /// set as a batch derivation.
+    pub members: Vec<MemberObs>,
+}
+
+/// The per-trace derivation cache: every observation group's aggregated
+/// observations, in the trace's group order. This is the sufficient
+/// statistic for rule mining — see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMatrix {
+    /// Observation groups in deterministic (type, subclass) order.
+    pub groups: Vec<GroupMatrix>,
+}
+
+/// Builds the full observation matrix of one imported trace, sharded
+/// across `jobs` workers per group. Output is byte-identical at any
+/// worker count.
+pub fn build_trace_matrix(db: &TraceDb, jobs: usize) -> TraceMatrix {
+    let group_keys = db.observation_groups();
+    let groups = par_map(jobs, &group_keys, |&g| {
+        let matrix = AccessMatrix::build(db, g);
+        let mut cache = ResolutionCache::new();
+        let members = matrix
+            .observed_members()
+            .iter()
+            .map(|&member| {
+                let mm = matrix.member(member).expect("member is observed");
+                MemberObs {
+                    member,
+                    member_name: db.member_name(g.0, member).to_owned(),
+                    read: observations_for_cached(db, mm, AccessKind::Read, &mut cache),
+                    write: observations_for_cached(db, mm, AccessKind::Write, &mut cache),
+                }
+            })
+            .collect();
+        GroupMatrix {
+            type_name: db.type_name(g.0).to_owned(),
+            subclass: g.1.map(|s| db.sym(s).to_owned()),
+            members,
+        }
+    });
+    TraceMatrix { groups }
+}
+
+/// Fingerprint of everything in a [`DeriveConfig`] that can change mined
+/// rules. Float parameters hash by exact bit pattern — two configs
+/// fingerprint equal iff they derive identically.
+pub fn derive_fingerprint(config: &DeriveConfig) -> u64 {
+    let canonical = format!(
+        "t:{:016x}\ns:{:?}\nc:{:016x}\nm:{}\n",
+        config.selection.accept_threshold.to_bits(),
+        config.selection.strategy,
+        config.cutoff.to_bits(),
+        config.min_units
+    );
+    fnv1a(canonical.as_bytes())
+}
+
+/// Magic prefix of a serialized matrix artifact.
+const MATRIX_MAGIC: &[u8; 8] = b"LDMATX1\0";
+/// Bump on any layout change; readers reject other versions.
+const MATRIX_VERSION: u32 = 1;
+/// magic + version + trace checksum + filter fp + derive fp + payload fp.
+const MATRIX_HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
+
+struct MatrixWriter {
+    buf: Vec<u8>,
+}
+
+impl MatrixWriter {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn lock(&mut self, l: &LockDescriptor) {
+        match l {
+            LockDescriptor::Global { name } => {
+                self.u8(0);
+                self.str(name);
+            }
+            LockDescriptor::EmbeddedSame { member, type_name } => {
+                self.u8(1);
+                self.str(member);
+                self.str(type_name);
+            }
+            LockDescriptor::EmbeddedOther { member, type_name } => {
+                self.u8(2);
+                self.str(member);
+                self.str(type_name);
+            }
+            LockDescriptor::Pseudo { name } => {
+                self.u8(3);
+                self.str(name);
+            }
+        }
+    }
+    fn obs_list(&mut self, obs: &[Observation]) {
+        self.u32(obs.len() as u32);
+        for o in obs {
+            self.u32(o.locks.len() as u32);
+            for l in &o.locks {
+                self.lock(l);
+            }
+            self.u64(o.count);
+        }
+    }
+}
+
+/// Serializes a [`TraceMatrix`] as an `LDMATX` artifact keyed by the
+/// source trace's byte checksum, the import filter fingerprint, and the
+/// derivation-config fingerprint. The payload carries its own FNV-1a
+/// checksum, verified before a single payload byte is parsed.
+pub fn write_matrix_artifact(
+    matrix: &TraceMatrix,
+    trace_checksum: u64,
+    filter_fp: u64,
+    derive_fp: u64,
+) -> Vec<u8> {
+    let mut w = MatrixWriter { buf: Vec::new() };
+    w.buf.extend_from_slice(MATRIX_MAGIC);
+    w.u32(MATRIX_VERSION);
+    w.u64(trace_checksum);
+    w.u64(filter_fp);
+    w.u64(derive_fp);
+    w.u64(0); // payload checksum, patched below
+    w.u32(matrix.groups.len() as u32);
+    for g in &matrix.groups {
+        w.str(&g.type_name);
+        match &g.subclass {
+            Some(s) => {
+                w.u8(1);
+                w.str(s);
+            }
+            None => w.u8(0),
+        }
+        w.u32(g.members.len() as u32);
+        for m in &g.members {
+            w.u32(m.member);
+            w.str(&m.member_name);
+            w.obs_list(&m.read);
+            w.obs_list(&m.write);
+        }
+    }
+    let payload = fnv1a(&w.buf[MATRIX_HEADER_LEN..]);
+    w.buf[MATRIX_HEADER_LEN - 8..MATRIX_HEADER_LEN].copy_from_slice(&payload.to_le_bytes());
+    w.buf
+}
+
+/// Bounds-checked cursor over an artifact payload. Every length prefix
+/// is validated against the bytes actually remaining (given a minimum
+/// per-item size), so a corrupted count cannot trigger an allocation or
+/// a scan past the buffer.
+struct MatrixReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> MatrixReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn len(&mut self, per_item: usize) -> Option<usize> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(per_item)? > self.buf.len() {
+            return None;
+        }
+        Some(n)
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.len(1)?;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+    fn lock(&mut self) -> Option<LockDescriptor> {
+        Some(match self.u8()? {
+            0 => LockDescriptor::Global { name: self.str()? },
+            1 => LockDescriptor::EmbeddedSame {
+                member: self.str()?,
+                type_name: self.str()?,
+            },
+            2 => LockDescriptor::EmbeddedOther {
+                member: self.str()?,
+                type_name: self.str()?,
+            },
+            3 => LockDescriptor::Pseudo { name: self.str()? },
+            _ => return None,
+        })
+    }
+    fn obs_list(&mut self) -> Option<Vec<Observation>> {
+        let n = self.len(12)?; // locks count + unit count
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let n_locks = self.len(5)?; // tag + one length prefix
+            let mut locks = Vec::with_capacity(n_locks);
+            for _ in 0..n_locks {
+                locks.push(self.lock()?);
+            }
+            let count = self.u64()?;
+            out.push(Observation { locks, count });
+        }
+        Some(out)
+    }
+}
+
+/// Deserializes an `LDMATX` artifact, returning `None` — a clean cache
+/// miss, triggering re-derivation from the trace — on *any* anomaly:
+/// wrong magic or version, key mismatch (trace checksum, filter
+/// fingerprint, derive fingerprint), payload checksum mismatch,
+/// truncation, out-of-range lengths, or trailing bytes.
+pub fn read_matrix_artifact(
+    bytes: &[u8],
+    trace_checksum: u64,
+    filter_fp: u64,
+    derive_fp: u64,
+) -> Option<TraceMatrix> {
+    if bytes.len() < MATRIX_HEADER_LEN || &bytes[..8] != MATRIX_MAGIC {
+        return None;
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    if u32_at(8) != MATRIX_VERSION
+        || u64_at(12) != trace_checksum
+        || u64_at(20) != filter_fp
+        || u64_at(28) != derive_fp
+    {
+        return None;
+    }
+    let payload = &bytes[MATRIX_HEADER_LEN..];
+    if fnv1a(payload) != u64_at(36) {
+        return None;
+    }
+    let mut r = MatrixReader { buf: payload };
+    let n_groups = r.len(9)?; // name prefix + subclass flag + member count
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let type_name = r.str()?;
+        let subclass = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            _ => return None,
+        };
+        let n_members = r.len(16)?; // member + name prefix + two list prefixes
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            let member = r.u32()?;
+            let member_name = r.str()?;
+            let read = r.obs_list()?;
+            let write = r.obs_list()?;
+            members.push(MemberObs {
+                member,
+                member_name,
+                read,
+                write,
+            });
+        }
+        groups.push(GroupMatrix {
+            type_name,
+            subclass,
+            members,
+        });
+    }
+    if !r.buf.is_empty() {
+        return None;
+    }
+    Some(TraceMatrix { groups })
+}
+
+/// One corpus member: a trace's identity (checksum over its raw bytes)
+/// plus its observation matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusTrace {
+    /// FNV-1a over the trace file's raw bytes — the identity the matrix
+    /// artifact and the group fingerprints are keyed by.
+    pub checksum: u64,
+    /// The trace's aggregated observations.
+    pub matrix: TraceMatrix,
+}
+
+/// One cached group result: the rules plus the fingerprint of everything
+/// they were derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusGroupEntry {
+    /// Fingerprint over the derivation config, the filter fingerprint,
+    /// the group's merged ids, and its contributing trace checksums in
+    /// corpus order.
+    pub fingerprint: u64,
+    /// The group's mined rules.
+    pub rules: GroupRules,
+}
+
+/// The corpus-level rules cache carried between [`derive_corpus`] runs.
+/// Valid for reuse only when both top-level fingerprints match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusRulesCache {
+    /// [`derive_fingerprint`] of the config the entries were mined with.
+    pub derive_fp: u64,
+    /// Import-filter fingerprint of the traces' databases.
+    pub filter_fp: u64,
+    /// Per-group cached results, in group order.
+    pub entries: Vec<CorpusGroupEntry>,
+}
+
+/// Result of a corpus derivation: the mined rules, the refreshed cache
+/// for the next run, and the reuse accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusDerive {
+    /// Corpus-wide mined rules — byte-identical to a batch derivation
+    /// over the merged corpus trace.
+    pub rules: MinedRules,
+    /// Refreshed cache covering every group of this run.
+    pub cache: CorpusRulesCache,
+    /// Number of observation groups in the corpus.
+    pub groups_total: usize,
+    /// Groups whose rules were reused from `prev` without re-deriving.
+    pub groups_reused: usize,
+}
+
+/// Aggregated observations of one merged member, keyed by lock sequence
+/// exactly as `observations_for_cached` aggregates them — summing
+/// per-trace counts into this map reproduces the merged trace's
+/// observation list.
+struct MergedMember {
+    name: String,
+    read: BTreeMap<Vec<LockDescriptor>, u64>,
+    write: BTreeMap<Vec<LockDescriptor>, u64>,
+}
+
+/// Mirrors `rules_for_members` over merged observations: per member
+/// ascending, `Read` then `Write`, the `min_units` gate before anything
+/// counts, truncation units summed only for emitted pairs.
+fn derive_group_merged(
+    key: (DataTypeId, Option<Sym>),
+    name: &str,
+    contributors: &[(u64, &GroupMatrix)],
+    config: &DeriveConfig,
+) -> GroupRules {
+    let mut members: BTreeMap<u32, MergedMember> = BTreeMap::new();
+    for (_, gm) in contributors {
+        for mo in &gm.members {
+            let entry = members.entry(mo.member).or_insert_with(|| MergedMember {
+                name: mo.member_name.clone(),
+                read: BTreeMap::new(),
+                write: BTreeMap::new(),
+            });
+            for o in &mo.read {
+                *entry.read.entry(o.locks.clone()).or_insert(0) += o.count;
+            }
+            for o in &mo.write {
+                *entry.write.entry(o.locks.clone()).or_insert(0) += o.count;
+            }
+        }
+    }
+    let mut rules = Vec::new();
+    let mut truncated_units = 0u64;
+    for (&member, merged) in &members {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let agg = if kind == AccessKind::Read {
+                &merged.read
+            } else {
+                &merged.write
+            };
+            let observations: Vec<Observation> = agg
+                .iter()
+                .map(|(locks, &count)| Observation {
+                    locks: locks.clone(),
+                    count,
+                })
+                .collect();
+            let total: u64 = observations.iter().map(|o| o.count).sum();
+            if total < config.min_units || total == 0 {
+                continue;
+            }
+            let set = enumerate(member, kind, &observations);
+            truncated_units += set.truncated;
+            let winner =
+                select(&set, &config.selection).expect("enumerated sets always have a winner");
+            let hypotheses = set
+                .hypotheses
+                .iter()
+                .filter(|h| h.sr >= config.cutoff)
+                .cloned()
+                .collect();
+            rules.push(MinedRule {
+                member,
+                member_name: merged.name.clone(),
+                kind,
+                total_units: set.total,
+                winner,
+                hypotheses,
+            });
+        }
+    }
+    GroupRules {
+        data_type: key.0,
+        subclass: key.1,
+        group_name: name.to_owned(),
+        rules,
+        truncated_units,
+    }
+}
+
+/// One unit of corpus derivation work: a merged group, its fingerprint,
+/// and the per-trace matrices contributing to it.
+struct GroupJob<'a> {
+    key: (DataTypeId, Option<Sym>),
+    name: String,
+    fingerprint: u64,
+    contributors: Vec<(u64, &'a GroupMatrix)>,
+}
+
+/// Derives corpus-wide rules from per-trace matrices, reusing cached
+/// group results where the group fingerprint matches.
+///
+/// `meta` must be the merged corpus metadata
+/// ([`lockdoc_trace::merge::corpus_meta`] over the traces' headers in
+/// corpus order) — it maps per-trace group *names* onto merged ids, and
+/// fixes the group order to the merged database's
+/// `observation_groups()` order. `filter_fp` is the import-filter
+/// fingerprint the matrices were built under. `prev` is the cache of a
+/// previous run over any corpus; entries are reused only when their
+/// fingerprint (config, filter, merged ids, contributing trace
+/// checksums) matches exactly, so a stale or foreign cache degrades to
+/// a full derivation, never to a wrong answer. Output is byte-identical
+/// at any `jobs` count, with or without reuse.
+pub fn derive_corpus(
+    traces: &[CorpusTrace],
+    meta: &TraceMeta,
+    config: &DeriveConfig,
+    filter_fp: u64,
+    jobs: usize,
+    prev: Option<&CorpusRulesCache>,
+) -> CorpusDerive {
+    let derive_fp = derive_fingerprint(config);
+    let prev = prev.filter(|p| p.derive_fp == derive_fp && p.filter_fp == filter_fp);
+
+    // Contributors per merged group key; the BTreeMap reproduces the
+    // merged database's observation_groups() order.
+    type Contributors<'a> = Vec<(u64, &'a GroupMatrix)>;
+    let mut by_group: BTreeMap<(DataTypeId, Option<Sym>), Contributors> = BTreeMap::new();
+    for tr in traces {
+        for g in &tr.matrix.groups {
+            let dtid = meta
+                .data_type_named(&g.type_name)
+                .expect("corpus meta covers every per-trace data type");
+            let subclass = g.subclass.as_deref().map(|s| {
+                meta.strings
+                    .get(s)
+                    .expect("corpus meta covers every per-trace subclass")
+            });
+            by_group
+                .entry((dtid, subclass))
+                .or_default()
+                .push((tr.checksum, g));
+        }
+    }
+
+    let group_jobs: Vec<GroupJob> = by_group
+        .into_iter()
+        .map(|(key, contributors)| {
+            let type_name = &meta.data_types[key.0.index()].name;
+            let name = match key.1 {
+                Some(s) => format!("{}:{}", type_name, meta.strings.resolve(s)),
+                None => type_name.clone(),
+            };
+            // Merged ids are part of the fingerprint: a corpus change
+            // that shifts them (GroupRules carries ids) must re-derive
+            // even if the contributing traces are unchanged.
+            let mut canonical = format!(
+                "g:{name}\nd:{derive_fp:016x}\nf:{filter_fp:016x}\nt:{}\ns:{}\n",
+                key.0.index(),
+                key.1.map(|s| s.index().to_string()).unwrap_or("-".into()),
+            );
+            for (checksum, _) in &contributors {
+                canonical.push_str(&format!("c:{checksum:016x}\n"));
+            }
+            GroupJob {
+                key,
+                name,
+                fingerprint: fnv1a(canonical.as_bytes()),
+                contributors,
+            }
+        })
+        .collect();
+
+    let results: Vec<(GroupRules, bool)> = par_map(jobs, &group_jobs, |job| {
+        if let Some(prev) = prev {
+            if let Some(entry) = prev
+                .entries
+                .iter()
+                .find(|e| e.rules.group_name == job.name && e.fingerprint == job.fingerprint)
+            {
+                return (entry.rules.clone(), true);
+            }
+        }
+        (
+            derive_group_merged(job.key, &job.name, &job.contributors, config),
+            false,
+        )
+    });
+
+    let groups_total = results.len();
+    let groups_reused = results.iter().filter(|(_, reused)| *reused).count();
+    let entries = group_jobs
+        .iter()
+        .zip(&results)
+        .map(|(job, (rules, _))| CorpusGroupEntry {
+            fingerprint: job.fingerprint,
+            rules: rules.clone(),
+        })
+        .collect();
+    CorpusDerive {
+        rules: MinedRules {
+            groups: results.into_iter().map(|(g, _)| g).collect(),
+            config: *config,
+        },
+        cache: CorpusRulesCache {
+            derive_fp,
+            filter_fp,
+            entries,
+        },
+        groups_total,
+        groups_reused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::clock_trace;
+    use crate::derive::derive_par;
+    use lockdoc_platform::json::{parse, FromJson, ToJson};
+    use lockdoc_trace::db::{filter_fingerprint, import};
+    use lockdoc_trace::event::{
+        AcquireMode, DataTypeDef, Event, LockFlavor, MemberDef, SourceLoc, Trace,
+    };
+    use lockdoc_trace::filter::FilterConfig;
+    use lockdoc_trace::ids::AllocId;
+    use lockdoc_trace::merge::{concat_traces_corpus, corpus_meta};
+
+    fn import_default(tr: &Trace) -> TraceDb {
+        import(tr, &FilterConfig::with_defaults(), 1)
+    }
+
+    /// A small quiescent trace over its own data type: `n` locked
+    /// read-modify-write rounds on `{type_name}.val` under a global lock.
+    fn toy(type_name: &str, n: u64) -> Trace {
+        let mut tr = Trace::new();
+        let file = tr.meta_mut().strings.intern("toy.c");
+        let lock = tr.meta_mut().strings.intern("toy_lock");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
+            name: type_name.into(),
+            size: 8,
+            members: vec![MemberDef {
+                name: "val".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+        let f = tr.meta_mut().add_function("toy_touch");
+        let t = tr.meta_mut().add_task("toy-worker");
+        let mut ts = 0u64;
+        let mut push = |tr: &mut Trace, e: Event| {
+            ts += 1;
+            tr.push(ts, e);
+        };
+        push(&mut tr, Event::TaskSwitch { task: t });
+        push(
+            &mut tr,
+            Event::LockInit {
+                addr: 0x100,
+                name: lock,
+                flavor: LockFlavor::Spinlock,
+                is_static: true,
+            },
+        );
+        push(
+            &mut tr,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: 0x1000,
+                size: 8,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        for _ in 0..n {
+            push(&mut tr, Event::FnEnter { func: f });
+            push(
+                &mut tr,
+                Event::LockAcquire {
+                    addr: 0x100,
+                    mode: AcquireMode::Exclusive,
+                    loc: SourceLoc::new(file, 1),
+                },
+            );
+            push(
+                &mut tr,
+                Event::MemAccess {
+                    kind: AccessKind::Read,
+                    addr: 0x1000,
+                    size: 8,
+                    loc: SourceLoc::new(file, 2),
+                    atomic: false,
+                },
+            );
+            push(
+                &mut tr,
+                Event::MemAccess {
+                    kind: AccessKind::Write,
+                    addr: 0x1000,
+                    size: 8,
+                    loc: SourceLoc::new(file, 2),
+                    atomic: false,
+                },
+            );
+            push(
+                &mut tr,
+                Event::LockRelease {
+                    addr: 0x100,
+                    loc: SourceLoc::new(file, 3),
+                },
+            );
+            push(&mut tr, Event::FnExit { func: f });
+        }
+        push(&mut tr, Event::Free { id: AllocId(1) });
+        tr
+    }
+
+    /// Corpus derivation over per-trace matrices must be byte-identical
+    /// to batch derivation over the merged trace, at any worker count.
+    fn assert_corpus_matches_batch(parts: Vec<Trace>, config: &DeriveConfig) {
+        let filter = FilterConfig::with_defaults();
+        let filter_fp = filter_fingerprint(&filter);
+        let metas: Vec<TraceMeta> = parts.iter().map(|p| (*p.meta).clone()).collect();
+        let meta = corpus_meta(&metas).unwrap();
+        let traces: Vec<CorpusTrace> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| CorpusTrace {
+                checksum: 0x1000 + i as u64,
+                matrix: build_trace_matrix(&import_default(p), 1),
+            })
+            .collect();
+        let merged_db = import_default(&concat_traces_corpus(parts).unwrap());
+        for jobs in [1usize, 4] {
+            let batch = derive_par(&merged_db, config, jobs);
+            let corpus = derive_corpus(&traces, &meta, config, filter_fp, jobs, None);
+            assert_eq!(corpus.rules, batch, "jobs = {jobs}");
+            assert_eq!(corpus.groups_reused, 0);
+            assert_eq!(corpus.groups_total, corpus.rules.groups.len());
+        }
+    }
+
+    #[test]
+    fn corpus_derive_matches_batch_on_clock_parts() {
+        // Same data type and task names in every part: the hardest case
+        // for flow isolation (units must still never merge across parts).
+        let parts = vec![clock_trace(180, 1), clock_trace(65, 0), clock_trace(60, 3)];
+        assert_corpus_matches_batch(parts, &DeriveConfig::default());
+    }
+
+    #[test]
+    fn corpus_derive_matches_batch_on_mixed_types() {
+        let parts = vec![toy("alpha", 5), clock_trace(70, 1), toy("beta", 4)];
+        assert_corpus_matches_batch(parts, &DeriveConfig::with_threshold(0.8));
+    }
+
+    #[test]
+    fn incremental_reuse_is_byte_identical_and_partial() {
+        let filter_fp = filter_fingerprint(&FilterConfig::with_defaults());
+        let config = DeriveConfig::default();
+        let matrix = |tr: &Trace| build_trace_matrix(&import_default(tr), 1);
+        let a = toy("alpha", 5);
+        let b = toy("beta", 4);
+        let c = toy("beta", 2);
+        let corpus_of = |parts: &[&Trace]| -> (Vec<CorpusTrace>, TraceMeta) {
+            let metas: Vec<TraceMeta> = parts.iter().map(|p| (*p.meta).clone()).collect();
+            let traces = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| CorpusTrace {
+                    checksum: 0x2000 + i as u64,
+                    matrix: matrix(p),
+                })
+                .collect();
+            (traces, corpus_meta(&metas).unwrap())
+        };
+
+        let (two, meta2) = corpus_of(&[&a, &b]);
+        let full = derive_corpus(&two, &meta2, &config, filter_fp, 1, None);
+
+        // Add one trace touching only `beta`: alpha's rules are reused
+        // byte-identically, beta's are re-derived.
+        let (three, meta3) = corpus_of(&[&a, &b, &c]);
+        let scratch = derive_corpus(&three, &meta3, &config, filter_fp, 1, None);
+        for jobs in [1usize, 4] {
+            let incr = derive_corpus(&three, &meta3, &config, filter_fp, jobs, Some(&full.cache));
+            assert_eq!(incr.rules, scratch.rules, "jobs = {jobs}");
+            assert_eq!(incr.cache, scratch.cache, "jobs = {jobs}");
+            assert_eq!(incr.groups_total, 2);
+            assert_eq!(incr.groups_reused, 1, "alpha untouched by the add");
+        }
+        // Dropping the added trace reuses alpha again and restores the
+        // original corpus result exactly.
+        let back = derive_corpus(&two, &meta2, &config, filter_fp, 1, Some(&scratch.cache));
+        assert_eq!(back.rules, full.rules);
+        assert_eq!(back.groups_reused, 1);
+    }
+
+    #[test]
+    fn stale_cache_degrades_to_full_derivation() {
+        let filter_fp = filter_fingerprint(&FilterConfig::with_defaults());
+        let config = DeriveConfig::default();
+        let a = toy("alpha", 5);
+        let meta = corpus_meta(&[(*a.meta).clone()]).unwrap();
+        let traces = vec![CorpusTrace {
+            checksum: 7,
+            matrix: build_trace_matrix(&import_default(&a), 1),
+        }];
+        let full = derive_corpus(&traces, &meta, &config, filter_fp, 1, None);
+        assert_eq!(full.groups_reused, 0);
+
+        // A cache mined under a different config or filter never matches.
+        let other = DeriveConfig::with_threshold(0.5);
+        let from_other = derive_corpus(&traces, &meta, &other, filter_fp, 1, Some(&full.cache));
+        assert_eq!(from_other.groups_reused, 0);
+        let wrong_filter =
+            derive_corpus(&traces, &meta, &config, filter_fp ^ 1, 1, Some(&full.cache));
+        assert_eq!(wrong_filter.groups_reused, 0);
+        // A cache keyed by a different trace checksum never matches.
+        let renamed = vec![CorpusTrace {
+            checksum: 8,
+            ..traces[0].clone()
+        }];
+        let moved = derive_corpus(&renamed, &meta, &config, filter_fp, 1, Some(&full.cache));
+        assert_eq!(moved.groups_reused, 0);
+        assert_eq!(moved.rules, full.rules);
+    }
+
+    #[test]
+    fn derive_fingerprint_tracks_every_config_knob() {
+        let base = DeriveConfig::default();
+        let fp = derive_fingerprint(&base);
+        assert_eq!(fp, derive_fingerprint(&DeriveConfig::default()));
+        assert_ne!(fp, derive_fingerprint(&DeriveConfig::with_threshold(0.8)));
+        let mut c = base;
+        c.cutoff = 0.2;
+        assert_ne!(fp, derive_fingerprint(&c));
+        let mut c = base;
+        c.min_units = 5;
+        assert_ne!(fp, derive_fingerprint(&c));
+        let mut c = base;
+        c.selection.strategy = crate::select::Strategy::NaiveMax;
+        assert_ne!(fp, derive_fingerprint(&c));
+    }
+
+    #[test]
+    fn matrix_artifact_round_trips() {
+        let db = import_default(&clock_trace(120, 1));
+        let matrix = build_trace_matrix(&db, 1);
+        let bytes = write_matrix_artifact(&matrix, 11, 22, 33);
+        assert_eq!(read_matrix_artifact(&bytes, 11, 22, 33), Some(matrix));
+    }
+
+    #[test]
+    fn matrix_artifact_rejects_any_anomaly_as_clean_miss() {
+        let db = import_default(&toy("alpha", 3));
+        let matrix = build_trace_matrix(&db, 1);
+        let bytes = write_matrix_artifact(&matrix, 11, 22, 33);
+        // Key mismatches: wrong trace, wrong filter, wrong derive config.
+        assert_eq!(read_matrix_artifact(&bytes, 12, 22, 33), None);
+        assert_eq!(read_matrix_artifact(&bytes, 11, 23, 33), None);
+        assert_eq!(read_matrix_artifact(&bytes, 11, 22, 34), None);
+        // Any flipped payload bit fails the checksum before parsing.
+        for i in [44usize, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(read_matrix_artifact(&bad, 11, 22, 33), None, "byte {i}");
+        }
+        // Truncation and trailing garbage are misses, not answers.
+        assert_eq!(
+            read_matrix_artifact(&bytes[..bytes.len() - 1], 11, 22, 33),
+            None
+        );
+        assert_eq!(read_matrix_artifact(&bytes[..10], 11, 22, 33), None);
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(read_matrix_artifact(&extended, 11, 22, 33), None);
+    }
+
+    #[test]
+    fn rules_cache_round_trips_through_json() {
+        let filter_fp = filter_fingerprint(&FilterConfig::with_defaults());
+        let a = toy("alpha", 5);
+        let meta = corpus_meta(&[(*a.meta).clone()]).unwrap();
+        let traces = vec![CorpusTrace {
+            checksum: u64::MAX, // full-range checksums must survive JSON
+            matrix: build_trace_matrix(&import_default(&a), 1),
+        }];
+        let full = derive_corpus(&traces, &meta, &DeriveConfig::default(), filter_fp, 1, None);
+        let text = full.cache.to_json().pretty();
+        let decoded = CorpusRulesCache::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, full.cache);
+        // The round-tripped cache still reuses byte-identically.
+        let again = derive_corpus(
+            &traces,
+            &meta,
+            &DeriveConfig::default(),
+            filter_fp,
+            1,
+            Some(&decoded),
+        );
+        assert_eq!(again.groups_reused, 1);
+        assert_eq!(again.rules, full.rules);
+    }
+}

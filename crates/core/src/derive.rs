@@ -9,16 +9,19 @@
 //! Derivation is embarrassingly parallel per `(group, member)` — the
 //! paper's phases share nothing across members once the access matrix is
 //! built. [`derive_par`] shards the work across
-//! [`lockdoc_platform::par::par_map`]: matrices build in parallel per
+//! [`lockdoc_platform::par::par_map_init`]: matrices build in parallel per
 //! group, then member chunks run `observations_for` → `enumerate` →
-//! `select` with a *per-shard* [`ResolutionCache`], and the merged rules
-//! are stably sorted by member so the output is byte-identical at any
-//! worker count (`jobs = 1` is the exact serial path).
+//! `select` with a *per-worker* [`ResolutionCache`] reused across every
+//! shard that worker processes (a unit's resolved lock sequence is the
+//! same in whichever shard asks, so sharing is invisible in the output),
+//! and the merged rules are stably sorted by member so the output is
+//! byte-identical at any worker count (`jobs = 1` is the exact serial
+//! path: one cache, every shard).
 
 use crate::hypothesis::{enumerate, observations_for_cached, Hypothesis, ResolutionCache};
 use crate::matrix::AccessMatrix;
 use crate::select::{select, SelectionConfig, Winner};
-use lockdoc_platform::par::{chunks_for, par_map};
+use lockdoc_platform::par::{chunks_for, par_map, par_map_init};
 use lockdoc_trace::db::TraceDb;
 use lockdoc_trace::event::AccessKind;
 use lockdoc_trace::ids::{DataTypeId, Sym};
@@ -201,22 +204,24 @@ pub fn derive_group(
 }
 
 /// Derives the rules (and truncation count) for a chunk of observed
-/// members of one matrix, with its own [`ResolutionCache`]. This is the
-/// unit of parallel work: chunks share nothing, so each shard owns its
-/// cache and the merge is a plain ordered concatenation.
+/// members of one matrix. This is the unit of parallel work: chunks share
+/// nothing except the caller's [`ResolutionCache`] — a unit's resolved
+/// held-lock sequence is a pure function of the store, so the cache may be
+/// reused across any number of shards (and is, per worker) without
+/// affecting a single output byte.
 fn rules_for_members(
     db: &TraceDb,
     matrix: &AccessMatrix,
     members: &[u32],
     config: &DeriveConfig,
+    cache: &mut ResolutionCache,
 ) -> (Vec<MinedRule>, u64) {
     let mut rules = Vec::new();
     let mut truncated_units = 0u64;
-    let mut cache = ResolutionCache::new();
     for &member in members {
         let mm = matrix.member(member).expect("member is observed");
         for kind in [AccessKind::Read, AccessKind::Write] {
-            let observations = observations_for_cached(db, mm, kind, &mut cache);
+            let observations = observations_for_cached(db, mm, kind, cache);
             let total: u64 = observations.iter().map(|o| o.count).sum();
             if total < config.min_units || total == 0 {
                 continue;
@@ -255,8 +260,8 @@ fn rules_from_matrix(
 ) -> (Vec<MinedRule>, u64) {
     let members = matrix.observed_members();
     let chunks = chunks_for(jobs, &members);
-    let parts = par_map(jobs, &chunks, |chunk| {
-        rules_for_members(db, matrix, chunk, config)
+    let parts = par_map_init(jobs, &chunks, ResolutionCache::new, |cache, chunk| {
+        rules_for_members(db, matrix, chunk, config, cache)
     });
     merge_rule_parts(parts)
 }
@@ -308,7 +313,8 @@ pub fn derive(db: &TraceDb, config: &DeriveConfig) -> MinedRules {
 
 /// [`derive`] sharded across `jobs` workers: matrices build in parallel
 /// per group, then flat `(group, member-chunk)` shards derive in parallel
-/// with per-shard caches. Output is byte-identical at any worker count.
+/// with one resolution cache per worker. Output is byte-identical at any
+/// worker count.
 pub fn derive_par(db: &TraceDb, config: &DeriveConfig, jobs: usize) -> MinedRules {
     let group_keys = db.observation_groups();
     let matrices = par_map(jobs, &group_keys, |&g| AccessMatrix::build(db, g));
@@ -340,9 +346,23 @@ fn derive_groups_sharded(
             shards.push((gi, chunk));
         }
     }
-    let shard_results = par_map(jobs, &shards, |&(gi, chunk)| {
-        rules_for_members(db, &matrices[gi], chunk, config)
-    });
+    // Per-worker cache, cleared on group change: a unit's allocation
+    // belongs to exactly one group, so entries never hit across groups —
+    // carrying them over would only grow the map. Within a group, member
+    // chunks share units heavily, and a worker that processes several
+    // chunks of the same group in a row resolves each unit once.
+    let shard_results = par_map_init(
+        jobs,
+        &shards,
+        || (usize::MAX, ResolutionCache::new()),
+        |(last_gi, cache), &(gi, chunk)| {
+            if *last_gi != gi {
+                cache.clear();
+                *last_gi = gi;
+            }
+            rules_for_members(db, &matrices[gi], chunk, config, cache)
+        },
+    );
     let mut per_group: Vec<Vec<(Vec<MinedRule>, u64)>> = vec![Vec::new(); matrices.len()];
     for (&(gi, _), result) in shards.iter().zip(shard_results) {
         per_group[gi].push(result);

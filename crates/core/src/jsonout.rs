@@ -7,6 +7,7 @@
 //! byte-stable run to run.
 
 use crate::checker::{CheckedRule, TypeCheckSummary, Verdict};
+use crate::corpus::{CorpusGroupEntry, CorpusRulesCache};
 use crate::derive::{DeriveConfig, GroupRules, MinedRule, MinedRules};
 use crate::feedback::AnalysisSignal;
 use crate::hypothesis::{Hypothesis, HypothesisSet, Observation};
@@ -167,6 +168,12 @@ json_struct!(GroupRules {
     truncated_units
 });
 json_struct!(MinedRules { groups, config });
+json_struct!(CorpusGroupEntry { fingerprint, rules });
+json_struct!(CorpusRulesCache {
+    derive_fp,
+    filter_fp,
+    entries
+});
 json_struct!(RuleSpec {
     type_name,
     subclass,

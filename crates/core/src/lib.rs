@@ -50,6 +50,7 @@
 
 pub mod checker;
 pub mod clock;
+pub mod corpus;
 pub mod derive;
 pub mod docgen;
 pub mod feedback;
@@ -66,6 +67,10 @@ pub mod select;
 pub mod violation;
 
 pub use checker::{check_rules, summarize, CheckedRule, Verdict};
+pub use corpus::{
+    build_trace_matrix, derive_corpus, read_matrix_artifact, write_matrix_artifact, CorpusDerive,
+    CorpusRulesCache, CorpusTrace, TraceMatrix,
+};
 pub use derive::{derive, derive_pooled, DeriveConfig, GroupRules, MinedRule, MinedRules};
 pub use docgen::{generate_doc, generate_rulespec};
 pub use feedback::AnalysisSignal;

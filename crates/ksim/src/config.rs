@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::faults::FaultPlan;
+use crate::subsys::FsKind;
 
 /// Parameters of one simulator run.
 ///
@@ -28,6 +29,15 @@ pub struct SimConfig {
     /// task names with `.s{j}` and offsets the heap base so shard traces
     /// occupy disjoint address ranges and can be concatenated.
     pub shard: Option<u64>,
+    /// Filesystems to mount at boot. `None` (the default) mounts all of
+    /// [`FsKind::all`], reproducing the historical full boot. `Some(set)`
+    /// boots a minimal machine that mounts only the listed filesystems —
+    /// the way the paper's benchmark images are configured per-experiment —
+    /// so the trace only observes the types those mounts touch. The caller
+    /// must list every filesystem its workload mix uses. Mount order is
+    /// always the canonical [`FsKind::all`] order, not the list order, so
+    /// the set (not its ordering) determines the trace.
+    pub mounts: Option<Vec<FsKind>>,
 }
 
 impl Default for SimConfig {
@@ -39,6 +49,7 @@ impl Default for SimConfig {
             fault_plan: FaultPlan::default(),
             tasks: 4,
             shard: None,
+            mounts: None,
         }
     }
 }
@@ -68,6 +79,12 @@ impl SimConfig {
     /// Marks this configuration as shard `j` of a sharded run.
     pub fn with_shard(mut self, j: u64) -> Self {
         self.shard = Some(j);
+        self
+    }
+
+    /// Restricts boot to the given filesystem set (see [`Self::mounts`]).
+    pub fn with_mounts(mut self, fss: Vec<FsKind>) -> Self {
+        self.mounts = Some(fss);
         self
     }
 }

@@ -86,6 +86,15 @@ impl FsKind {
         ]
     }
 
+    /// Parses a subclass string back into its kind (the inverse of
+    /// [`FsKind::subclass`]); `None` for unknown names.
+    pub fn from_subclass(name: &str) -> Option<FsKind> {
+        FsKind::all()
+            .iter()
+            .copied()
+            .find(|fs| fs.subclass() == name)
+    }
+
     /// Whether files on this filesystem journal their metadata (ext4 only).
     pub fn journalled(self) -> bool {
         matches!(self, FsKind::Ext4)
@@ -230,10 +239,24 @@ impl Machine {
             next_ino: 2,
             ops: 0,
         };
+        // Mount the configured filesystem set in canonical order (the
+        // full set by default; a restricted one reproduces the paper's
+        // per-experiment benchmark images).
+        let want = m.k.cfg.mounts.clone();
         for &fs in FsKind::all() {
-            m.mount(fs);
+            let wanted = match &want {
+                None => true,
+                Some(w) => w.contains(&fs),
+            };
+            if wanted {
+                m.mount(fs);
+            }
         }
-        m.register_cdev();
+        // Char devices register through devtmpfs nodes; a machine booted
+        // without it has none.
+        if m.mounts.contains_key(&FsKind::Devtmpfs) {
+            m.register_cdev();
+        }
         m
     }
 
@@ -310,6 +333,26 @@ mod tests {
             assert!(m.dentries.contains_key(&mount.root), "{fs:?} has a root");
             assert_eq!(mount.journal.is_some(), fs.journalled());
         }
+    }
+
+    #[test]
+    fn restricted_boot_mounts_only_requested_filesystems() {
+        let cfg = SimConfig::with_seed(3)
+            .without_irqs()
+            .with_mounts(vec![FsKind::Pipefs]);
+        let m = Machine::boot(cfg);
+        assert_eq!(m.mounts.len(), 1);
+        assert!(m.mounts.contains_key(&FsKind::Pipefs));
+        assert!(m.cdevs.is_empty(), "no devtmpfs, no char devices");
+        // An explicit full set reproduces the default boot exactly.
+        let full = Machine::boot(
+            SimConfig::with_seed(3)
+                .without_irqs()
+                .with_mounts(FsKind::all().to_vec()),
+        )
+        .finish();
+        let default = Machine::boot(SimConfig::with_seed(3).without_irqs()).finish();
+        assert_eq!(full, default);
     }
 
     #[test]

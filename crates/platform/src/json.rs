@@ -417,14 +417,21 @@ impl<'a> Parser<'a> {
                     ));
                 }
                 Some(_) => {
-                    // Advance one whole UTF-8 scalar (input is &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| JsonError::at("invalid utf-8", self.pos))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy a maximal run of plain bytes in one step. The
+                    // run delimiters (`"`, `\`, control bytes) are all
+                    // ASCII and UTF-8 continuation bytes are >= 0x80, so
+                    // the run ends on a scalar boundary; the input is
+                    // &str, so the run itself is valid UTF-8.
+                    let run_start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[run_start..self.pos])
+                        .map_err(|_| JsonError::at("invalid utf-8", run_start))?;
+                    out.push_str(run);
                 }
             }
         }

@@ -28,20 +28,25 @@ pub fn available_jobs() -> usize {
 ///
 /// Precedence: an explicit request (e.g. a `--jobs` CLI flag), then the
 /// `LOCKDOC_JOBS` environment variable, then the machine's available
-/// parallelism. The result is always at least 1; `1` selects the exact
-/// serial code path in [`par_map`].
+/// parallelism. Requests above the core count are clamped to
+/// [`available_jobs`]: every pass is output-identical at any worker count,
+/// so oversubscribing buys nothing and measurably costs wall-clock
+/// (`BENCH_import.json` shows jobs=4 on a 1-core box paying 2.4–2.6× over
+/// serial). Setting `LOCKDOC_JOBS_FORCE=1` disables the clamp — the escape
+/// hatch the identity gates and benches use to exercise the true
+/// multi-worker code path on any machine. The result is always at least 1;
+/// `1` selects the exact serial code path in [`par_map`].
 pub fn resolve_jobs(explicit: Option<usize>) -> usize {
-    if let Some(n) = explicit {
-        return n.max(1);
+    let requested = explicit.map(|n| n.max(1)).or_else(|| {
+        let v = std::env::var("LOCKDOC_JOBS").ok()?;
+        v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+    });
+    let forced = std::env::var("LOCKDOC_JOBS_FORCE").is_ok_and(|v| v.trim() == "1");
+    match requested {
+        Some(n) if forced => n,
+        Some(n) => n.min(available_jobs()).max(1),
+        None => available_jobs(),
     }
-    if let Ok(v) = std::env::var("LOCKDOC_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    available_jobs()
 }
 
 /// Applies `f` to every item and returns the results **in input order**.
@@ -86,6 +91,62 @@ where
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => indexed.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`par_map`] with per-worker scratch state: `init` builds one state per
+/// worker (exactly once on the serial path), and `f` receives `&mut`
+/// access to its worker's state alongside each item.
+///
+/// The state exists for *caches only* — e.g. a resolution cache shared
+/// across however many shards one worker happens to process. Which items
+/// share a state is scheduling-dependent, so `f`'s result for an item must
+/// not observably depend on the state's history; under that contract the
+/// output is byte-identical at any worker count, and `jobs = 1` (one state,
+/// every item, in order) is the exact serial path.
+///
+/// # Panics
+///
+/// If `init` or `f` panics, the payload is re-raised on the calling thread
+/// after the remaining workers wind down.
+pub fn par_map_init<T, R, S, I, F>(jobs: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(&mut state, item)));
                     }
                     local
                 })
@@ -168,13 +229,88 @@ mod tests {
         assert_eq!(msg, "unlucky shard");
     }
 
+    /// One test function covers the clamp and its escape hatch: the force
+    /// branch mutates process-global env vars, so interleaving it with a
+    /// separate clamp test would race.
     #[test]
-    fn resolve_jobs_prefers_explicit_over_env() {
-        assert_eq!(resolve_jobs(Some(3)), 3);
+    fn resolve_jobs_clamps_to_available_cores_unless_forced() {
+        let cores = available_jobs();
+        assert_eq!(resolve_jobs(Some(3)), 3.min(cores).max(1));
+        assert_eq!(resolve_jobs(Some(1)), 1);
         assert_eq!(resolve_jobs(Some(0)), 1, "0 clamps to serial");
+        assert_eq!(
+            resolve_jobs(Some(cores + 7)),
+            cores,
+            "oversubscription clamps"
+        );
         // Without an explicit request the result is env- or
-        // hardware-derived, but always usable.
+        // hardware-derived, but always usable and never oversubscribed.
         assert!(resolve_jobs(None) >= 1);
+        assert!(resolve_jobs(None) <= cores.max(1));
+        // LOCKDOC_JOBS_FORCE=1 lifts the clamp (identity gates rely on
+        // exercising the real multi-worker path on 1-core CI boxes).
+        std::env::set_var("LOCKDOC_JOBS_FORCE", "1");
+        assert_eq!(resolve_jobs(Some(cores + 7)), cores + 7);
+        std::env::set_var("LOCKDOC_JOBS_FORCE", "0");
+        assert_eq!(resolve_jobs(Some(cores + 7)), cores);
+        std::env::remove_var("LOCKDOC_JOBS_FORCE");
+    }
+
+    #[test]
+    fn par_map_init_matches_par_map_and_reuses_state() {
+        use std::collections::HashMap;
+        let items: Vec<u64> = (0..57).collect();
+        let plain = par_map(4, &items, |&x| x.wrapping_mul(0x9e37_79b9));
+        for jobs in [1usize, 2, 4, 16] {
+            let with_cache = par_map_init(jobs, &items, HashMap::<u64, u64>::new, |cache, &x| {
+                *cache
+                    .entry(x)
+                    .or_insert_with(|| x.wrapping_mul(0x9e37_79b9))
+            });
+            assert_eq!(with_cache, plain, "jobs = {jobs}");
+        }
+        // Serial path: exactly one state is built for all items.
+        let inits = AtomicUsize::new(0);
+        let out = par_map_init(
+            1,
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |state, &x| {
+                *state += 1;
+                *state + x
+            },
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        // With one state the running count is deterministic: item i is the
+        // (i+1)-th call.
+        let want: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| i as u64 + 1 + x)
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn par_map_init_propagates_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_init(
+                4,
+                &items,
+                || (),
+                |_, &x| {
+                    if x == 13 {
+                        panic!("unlucky shard");
+                    }
+                    x
+                },
+            )
+        });
+        assert!(result.is_err());
     }
 
     #[test]

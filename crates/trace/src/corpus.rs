@@ -1,0 +1,403 @@
+//! Corpus store: a directory of `.ldoc` traces managed as one analysis
+//! unit.
+//!
+//! The store owns two directories — the corpus directory holding the
+//! trace containers, and a cache directory for derived artifacts
+//! (columnar import archives, observation-matrix files, the corpus rules
+//! cache). Corpus membership *is* the directory listing: `add` copies a
+//! container in, `drop_trace` removes one, and every scan sees the
+//! members in sorted name order, so the corpus order — which downstream
+//! fingerprints and merges depend on — is a pure function of the
+//! directory contents.
+//!
+//! Every member is screened on load with the resilient pipeline
+//! ([`crate::codec::read_trace_salvage`] +
+//! [`crate::db::import_resilient`] with an unlimited error budget):
+//! - [`Health::Healthy`] — container and event stream are pristine;
+//! - [`Health::Degraded`] — damage was salvaged and/or events were
+//!   quarantined; the returned trace is *sanitized* (quarantined events
+//!   removed), so every later consumer — per-trace analysis and corpus
+//!   merge alike — sees the identical event stream;
+//! - [`Health::Unreadable`] — the container header is beyond salvage;
+//!   no trace is returned and the member is excluded from analysis.
+
+use crate::codec::{read_trace_salvage, SalvageReport};
+use crate::db::{fnv1a, import_resilient, ImportReport, ResilientConfig};
+use crate::event::Trace;
+use crate::filter::FilterConfig;
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Screening verdict for one corpus member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Container and event stream decoded and imported without a single
+    /// complaint.
+    Healthy,
+    /// Some damage was worked around (salvaged decode errors and/or
+    /// quarantined events); the sanitized remainder is usable.
+    Degraded,
+    /// The container header is unusable; the member carries no trace.
+    Unreadable,
+}
+
+impl Health {
+    /// Stable lower-case label (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Unreadable => "unreadable",
+        }
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything the screening pass learned about one member.
+#[derive(Debug, Clone)]
+pub struct ScreenReport {
+    /// Overall verdict.
+    pub health: Health,
+    /// Container-level salvage report (absent when unreadable).
+    pub salvage: Option<SalvageReport>,
+    /// Event-level quarantine report (absent when unreadable).
+    pub import: Option<ImportReport>,
+    /// Decode error for unreadable members.
+    pub error: Option<String>,
+}
+
+/// One screened corpus member.
+#[derive(Debug, Clone)]
+pub struct LoadedTrace {
+    /// Member name (the container's file name).
+    pub name: String,
+    /// FNV-1a over the container's raw bytes — the key all derived
+    /// artifacts of this member are bound to.
+    pub checksum: u64,
+    /// The sanitized trace (salvaged, quarantined events removed), or
+    /// `None` for unreadable members.
+    pub trace: Option<Trace>,
+    /// The screening detail.
+    pub screen: ScreenReport,
+}
+
+/// Screens one container: salvage the byte stream, quarantine malformed
+/// events (unlimited budget — screening reports damage, it never refuses
+/// over it), and strip the quarantined events from the returned trace so
+/// all downstream consumers agree on the event stream.
+pub fn screen_trace(
+    bytes: &[u8],
+    filter: &FilterConfig,
+    jobs: usize,
+) -> (Option<Trace>, ScreenReport) {
+    let (mut trace, salvage) = match read_trace_salvage(bytes) {
+        Ok(ok) => ok,
+        Err(e) => {
+            return (
+                None,
+                ScreenReport {
+                    health: Health::Unreadable,
+                    salvage: None,
+                    import: None,
+                    error: Some(e.to_string()),
+                },
+            );
+        }
+    };
+    let report = match import_resilient(&trace, filter, jobs, &ResilientConfig::lenient(1.0)) {
+        Ok((_, report)) => report,
+        Err(e) => {
+            // Unreachable with an unlimited budget, but a refusal must
+            // still degrade to "unreadable" rather than panic.
+            return (
+                None,
+                ScreenReport {
+                    health: Health::Unreadable,
+                    salvage: Some(salvage),
+                    import: None,
+                    error: Some(e.to_string()),
+                },
+            );
+        }
+    };
+    if !report.is_clean() {
+        let bad: HashSet<u64> = report.quarantined.iter().map(|q| q.event_index).collect();
+        trace.events = trace
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !bad.contains(&(*i as u64)))
+            .map(|(_, te)| te.clone())
+            .collect();
+    }
+    let health = if salvage.is_clean() && report.is_clean() {
+        Health::Healthy
+    } else {
+        Health::Degraded
+    };
+    (
+        Some(trace),
+        ScreenReport {
+            health,
+            salvage: Some(salvage),
+            import: Some(report),
+            error: None,
+        },
+    )
+}
+
+/// A corpus directory plus its artifact cache directory.
+#[derive(Debug, Clone)]
+pub struct CorpusStore {
+    dir: PathBuf,
+    cache_dir: PathBuf,
+}
+
+impl CorpusStore {
+    /// Opens (creating if needed) a corpus at `dir` with derived
+    /// artifacts under `cache_dir`.
+    pub fn open(dir: &Path, cache_dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        fs::create_dir_all(cache_dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            cache_dir: cache_dir.to_path_buf(),
+        })
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact cache directory.
+    pub fn cache_dir(&self) -> &Path {
+        &self.cache_dir
+    }
+
+    /// Member names — all `*.ldoc` file names in the corpus directory —
+    /// in sorted order. This order is the corpus order everywhere
+    /// (merging, fingerprints, reports).
+    pub fn trace_names(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("ldoc") {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Path of a member container.
+    pub fn trace_path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Path of a derived artifact for a member, keyed by the member's
+    /// *content* checksum: replacing a trace changes the key, so stale
+    /// artifacts are never even opened (they are merely orphaned).
+    pub fn artifact_path(&self, name: &str, checksum: u64, ext: &str) -> PathBuf {
+        self.cache_dir.join(format!("{name}.{checksum:016x}.{ext}"))
+    }
+
+    /// Path of a corpus-wide (not per-member) cache file.
+    pub fn corpus_file(&self, file_name: &str) -> PathBuf {
+        self.cache_dir.join(file_name)
+    }
+
+    /// Copies a container into the corpus under its own file name,
+    /// returning the member name. Refuses to overwrite an existing
+    /// member (drop it first) so a corpus cannot change silently.
+    pub fn add(&self, src: &Path) -> io::Result<String> {
+        let name = src
+            .file_name()
+            .and_then(|n| n.to_str())
+            .filter(|n| n.ends_with(".ldoc"))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("not a .ldoc container: {}", src.display()),
+                )
+            })?
+            .to_owned();
+        let dst = self.trace_path(&name);
+        if dst.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("corpus already contains `{name}`; drop it first"),
+            ));
+        }
+        fs::copy(src, &dst)?;
+        Ok(name)
+    }
+
+    /// Removes a member container from the corpus.
+    pub fn drop_trace(&self, name: &str) -> io::Result<()> {
+        let path = self.trace_path(name);
+        if !path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such corpus member: `{name}`"),
+            ));
+        }
+        fs::remove_file(path)
+    }
+
+    /// Reads and screens one member.
+    pub fn load(&self, name: &str, filter: &FilterConfig, jobs: usize) -> io::Result<LoadedTrace> {
+        let bytes = fs::read(self.trace_path(name))?;
+        let checksum = fnv1a(&bytes);
+        let (trace, screen) = screen_trace(&bytes, filter, jobs);
+        Ok(LoadedTrace {
+            name: name.to_owned(),
+            checksum,
+            trace,
+            screen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::write_trace;
+    use crate::event::{AccessKind, DataTypeDef, Event, MemberDef, SourceLoc};
+    use crate::ids::AllocId;
+
+    fn toy_trace() -> Trace {
+        let mut tr = Trace::new();
+        let file = tr.meta_mut().strings.intern("t.c");
+        let dt = tr.meta_mut().add_data_type(DataTypeDef {
+            name: "obj".into(),
+            size: 8,
+            members: vec![MemberDef {
+                name: "val".into(),
+                offset: 0,
+                size: 8,
+                atomic: false,
+                is_lock: false,
+            }],
+        });
+        let t = tr.meta_mut().add_task("w");
+        tr.push(1, Event::TaskSwitch { task: t });
+        tr.push(
+            2,
+            Event::Alloc {
+                id: AllocId(1),
+                addr: 0x1000,
+                size: 8,
+                data_type: dt,
+                subclass: None,
+            },
+        );
+        tr.push(
+            3,
+            Event::MemAccess {
+                kind: AccessKind::Write,
+                addr: 0x1000,
+                size: 8,
+                loc: SourceLoc::new(file, 1),
+                atomic: false,
+            },
+        );
+        tr.push(4, Event::Free { id: AllocId(1) });
+        tr
+    }
+
+    fn container() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace(&toy_trace(), &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn store_add_list_drop_round_trip() {
+        let base = std::env::temp_dir().join("lockdoc-corpus-store-test");
+        fs::remove_dir_all(&base).ok();
+        let store = CorpusStore::open(&base.join("corpus"), &base.join("cache")).unwrap();
+        let src = base.join("b.ldoc");
+        fs::write(&src, container()).unwrap();
+        let src2 = base.join("a.ldoc");
+        fs::write(&src2, container()).unwrap();
+
+        assert_eq!(store.add(&src).unwrap(), "b.ldoc");
+        assert_eq!(store.add(&src2).unwrap(), "a.ldoc");
+        // Sorted corpus order, independent of add order.
+        assert_eq!(store.trace_names().unwrap(), vec!["a.ldoc", "b.ldoc"]);
+        // Double-add is refused, not silently overwritten.
+        assert!(store.add(&src).is_err());
+        // Non-.ldoc sources are refused.
+        let other = base.join("x.bin");
+        fs::write(&other, b"junk").unwrap();
+        assert!(store.add(&other).is_err());
+
+        store.drop_trace("b.ldoc").unwrap();
+        assert_eq!(store.trace_names().unwrap(), vec!["a.ldoc"]);
+        assert!(store.drop_trace("b.ldoc").is_err());
+
+        // Artifact paths are keyed by name and content checksum.
+        let p = store.artifact_path("a.ldoc", 0xabcd, "ldmtx");
+        assert!(p
+            .to_str()
+            .unwrap()
+            .ends_with("a.ldoc.000000000000abcd.ldmtx"));
+        fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn screening_grades_healthy_degraded_unreadable() {
+        let filter = FilterConfig::with_defaults();
+        let good = container();
+
+        let (trace, screen) = screen_trace(&good, &filter, 1);
+        assert_eq!(screen.health, Health::Healthy);
+        assert_eq!(trace.unwrap().events.len(), 4);
+
+        // Clipping the tail degrades but still yields the salvaged prefix.
+        let (trace, screen) = screen_trace(&good[..good.len() - 1], &filter, 1);
+        assert_eq!(screen.health, Health::Degraded);
+        assert!(screen.salvage.unwrap().truncated);
+        assert!(trace.is_some());
+
+        // Garbage is unreadable: no trace, a decode error instead.
+        let (trace, screen) = screen_trace(b"not a trace", &filter, 1);
+        assert_eq!(screen.health, Health::Unreadable);
+        assert!(trace.is_none());
+        assert!(screen.error.is_some());
+        assert_eq!(screen.health.name(), "unreadable");
+    }
+
+    #[test]
+    fn screening_sanitizes_quarantined_events() {
+        // A structurally valid container whose event stream references a
+        // dangling allocation id: the importer quarantines the Free, and
+        // the sanitized trace must no longer contain it.
+        let mut tr = toy_trace();
+        tr.push(5, Event::Free { id: AllocId(99) });
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        let (trace, screen) = screen_trace(&buf, &FilterConfig::with_defaults(), 1);
+        assert_eq!(screen.health, Health::Degraded);
+        let report = screen.import.unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        let trace = trace.unwrap();
+        assert_eq!(trace.events.len(), 4, "quarantined event stripped");
+        // Re-screening the sanitized stream is clean: sanitization is a
+        // fixed point, so every consumer sees the same events.
+        let mut clean = Vec::new();
+        write_trace(&trace, &mut clean).unwrap();
+        let (_, screen) = screen_trace(&clean, &FilterConfig::with_defaults(), 1);
+        assert_eq!(screen.health, Health::Healthy);
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod corpus;
 pub mod corrupt;
 pub mod db;
 pub mod event;
@@ -29,6 +30,7 @@ pub mod ids;
 pub mod jsonio;
 pub mod merge;
 
+pub use corpus::{screen_trace, CorpusStore, Health, LoadedTrace, ScreenReport};
 pub use db::{import, import_resilient, TraceDb};
 pub use event::{Event, Trace, TraceEvent};
 pub use filter::FilterConfig;

@@ -17,7 +17,7 @@
 //! allocation from one shard still live at its trace's end would otherwise
 //! swallow or invalidate same-address allocations of later shards.
 
-use crate::event::{DataTypeDef, Event, SourceLoc, Trace};
+use crate::event::{DataTypeDef, Event, SourceLoc, Trace, TraceMeta};
 use crate::ids::{Addr, AllocId, DataTypeId, FnId, Sym, TaskId};
 use std::collections::HashMap;
 use std::fmt;
@@ -86,6 +86,82 @@ impl std::error::Error for MergeError {}
 /// stay dangling in the merged trace (the importer counts them as invalid
 /// events) instead of aliasing a real entry of the merged metadata.
 const INVALID: u32 = u32::MAX;
+
+/// Id remappings of one part's metadata into a union metadata table, as
+/// produced by [`union_meta`]: index a part-local id's `index()` into the
+/// matching vector to get the merged id.
+#[derive(Debug, Clone, Default)]
+pub struct MetaMaps {
+    /// Part string `Sym` → merged `Sym`, indexed by part symbol index.
+    pub syms: Vec<Sym>,
+    /// Part `DataTypeId` → merged `DataTypeId`.
+    pub data_types: Vec<DataTypeId>,
+    /// Part `FnId` → merged `FnId`.
+    pub functions: Vec<FnId>,
+    /// Part `TaskId` → merged `TaskId`.
+    pub tasks: Vec<TaskId>,
+}
+
+/// Unions one part's metadata into `out` — strings by value, data types /
+/// functions / tasks by name — returning the part→merged id maps.
+///
+/// This is *the* metadata-union rule: [`concat_traces`] applies it part by
+/// part while rewriting events, and the corpus layer applies it to trace
+/// headers alone to predict the merged trace's metadata without touching a
+/// single event. Both must agree byte for byte, which is why they share
+/// this function. Two parts defining the same data-type name with
+/// different layouts cannot be merged meaningfully and are rejected.
+pub fn union_meta(out: &mut TraceMeta, part: &TraceMeta) -> Result<MetaMaps, MergeError> {
+    let syms: Vec<Sym> = part
+        .strings
+        .strings()
+        .iter()
+        .map(|s| out.strings.intern(s))
+        .collect();
+    let mut data_types: Vec<DataTypeId> = Vec::with_capacity(part.data_types.len());
+    for dt in &part.data_types {
+        match out.data_type_named(&dt.name) {
+            Some(existing) => {
+                let have: &DataTypeDef = &out.data_types[existing.index()];
+                if have != dt {
+                    return Err(MergeError::ConflictingLayout {
+                        type_name: dt.name.clone(),
+                    });
+                }
+                data_types.push(existing);
+            }
+            None => data_types.push(out.add_data_type(dt.clone())),
+        }
+    }
+    let functions: Vec<FnId> = part
+        .functions
+        .iter()
+        .map(|name| {
+            out.functions
+                .iter()
+                .position(|f| f == name)
+                .map(|i| FnId(i as u32))
+                .unwrap_or_else(|| out.add_function(name))
+        })
+        .collect();
+    let tasks: Vec<TaskId> = part
+        .tasks
+        .iter()
+        .map(|name| {
+            out.tasks
+                .iter()
+                .position(|t| t == name)
+                .map(|i| TaskId(i as u32))
+                .unwrap_or_else(|| out.add_task(name))
+        })
+        .collect();
+    Ok(MetaMaps {
+        syms,
+        data_types,
+        functions,
+        tasks,
+    })
+}
 
 /// The address range `[min, max)` touched by one part's events.
 #[derive(Clone, Copy)]
@@ -160,64 +236,27 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, MergeError> {
 
     for part in parts {
         // --- Metadata union -------------------------------------------------
-        let sym_map: Vec<Sym> = part
-            .meta
-            .strings
-            .strings()
-            .iter()
-            .map(|s| out.meta_mut().strings.intern(s))
-            .collect();
-        let mut dt_map: Vec<DataTypeId> = Vec::with_capacity(part.meta.data_types.len());
-        for dt in &part.meta.data_types {
-            match out.meta.data_type_named(&dt.name) {
-                Some(existing) => {
-                    let have: &DataTypeDef = &out.meta.data_types[existing.index()];
-                    if have != dt {
-                        return Err(MergeError::ConflictingLayout {
-                            type_name: dt.name.clone(),
-                        });
-                    }
-                    dt_map.push(existing);
-                }
-                None => dt_map.push(out.meta_mut().add_data_type(dt.clone())),
-            }
-        }
-        let fn_map: Vec<FnId> = part
-            .meta
-            .functions
-            .iter()
-            .map(|name| {
-                out.meta
-                    .functions
-                    .iter()
-                    .position(|f| f == name)
-                    .map(|i| FnId(i as u32))
-                    .unwrap_or_else(|| out.meta_mut().add_function(name))
-            })
-            .collect();
-        let task_map: Vec<TaskId> = part
-            .meta
-            .tasks
-            .iter()
-            .map(|name| {
-                out.meta
-                    .tasks
-                    .iter()
-                    .position(|t| t == name)
-                    .map(|i| TaskId(i as u32))
-                    .unwrap_or_else(|| out.meta_mut().add_task(name))
-            })
-            .collect();
+        let maps = union_meta(out.meta_mut(), &part.meta)?;
 
-        let map_sym = |s: Sym| sym_map.get(s.index()).copied().unwrap_or(Sym(INVALID));
+        let map_sym = |s: Sym| maps.syms.get(s.index()).copied().unwrap_or(Sym(INVALID));
         let map_dt = |d: DataTypeId| {
-            dt_map
+            maps.data_types
                 .get(d.index())
                 .copied()
                 .unwrap_or(DataTypeId(INVALID))
         };
-        let map_fn = |f: FnId| fn_map.get(f.index()).copied().unwrap_or(FnId(INVALID));
-        let map_task = |t: TaskId| task_map.get(t.index()).copied().unwrap_or(TaskId(INVALID));
+        let map_fn = |f: FnId| {
+            maps.functions
+                .get(f.index())
+                .copied()
+                .unwrap_or(FnId(INVALID))
+        };
+        let map_task = |t: TaskId| {
+            maps.tasks
+                .get(t.index())
+                .copied()
+                .unwrap_or(TaskId(INVALID))
+        };
         let map_loc = |l: SourceLoc| SourceLoc::new(map_sym(l.file), l.line);
 
         // --- Event stream ---------------------------------------------------
@@ -295,6 +334,178 @@ pub fn concat_traces(parts: Vec<Trace>) -> Result<Trace, MergeError> {
             out.push(ts_base.saturating_add(te.ts), ev);
         }
         ts_base = ts_base.saturating_add(part_last_ts);
+    }
+    Ok(out)
+}
+
+/// [`concat_traces`] for parts that may collide in address space —
+/// independently recorded corpus traces all start at the recorder's
+/// default address base, so plain concatenation would reject them.
+///
+/// Every part's addresses are shifted by a per-part constant into
+/// disjoint windows (each part normalized to its own minimum, then laid
+/// out left to right with a one-page guard gap). The shift is a pure
+/// function of the parts' contents in order, so the merged trace is
+/// deterministic; descriptors and all analysis results are
+/// offset-invariant because a constant shift preserves every within-part
+/// address relationship (allocation containment, embedded-lock offsets)
+/// and addresses never appear in analysis output.
+pub fn concat_traces_rebased(parts: Vec<Trace>) -> Result<Trace, MergeError> {
+    concat_traces(rebase_parts(parts))
+}
+
+/// Shifts each part's addresses into pairwise disjoint windows: every part
+/// is normalized to its own minimum address, then the windows are laid out
+/// left to right with a one-page guard gap. Shared by
+/// [`concat_traces_rebased`] and [`concat_traces_corpus`].
+fn rebase_parts(parts: Vec<Trace>) -> Vec<Trace> {
+    const GUARD: Addr = 0x1000;
+    let mut next_base: Addr = GUARD;
+    parts
+        .into_iter()
+        .map(|part| {
+            let Some(range) = addr_range(&part) else {
+                return part; // no addresses, nothing to shift
+            };
+            let base = next_base;
+            let width = range.max.saturating_sub(range.min);
+            next_base = next_base.saturating_add(width).saturating_add(GUARD);
+            let shift = |a: Addr| base.saturating_add(a.saturating_sub(range.min));
+            let events = part
+                .events
+                .iter()
+                .map(|te| {
+                    let event = match te.event.clone() {
+                        Event::Alloc {
+                            id,
+                            addr,
+                            size,
+                            data_type,
+                            subclass,
+                        } => Event::Alloc {
+                            id,
+                            addr: shift(addr),
+                            size,
+                            data_type,
+                            subclass,
+                        },
+                        Event::LockInit {
+                            addr,
+                            name,
+                            flavor,
+                            is_static,
+                        } => Event::LockInit {
+                            addr: shift(addr),
+                            name,
+                            flavor,
+                            is_static,
+                        },
+                        Event::LockAcquire { addr, mode, loc } => Event::LockAcquire {
+                            addr: shift(addr),
+                            mode,
+                            loc,
+                        },
+                        Event::LockRelease { addr, loc } => Event::LockRelease {
+                            addr: shift(addr),
+                            loc,
+                        },
+                        Event::MemAccess {
+                            kind,
+                            addr,
+                            size,
+                            loc,
+                            atomic,
+                        } => Event::MemAccess {
+                            kind,
+                            addr: shift(addr),
+                            size,
+                            loc,
+                            atomic,
+                        },
+                        other => other,
+                    };
+                    crate::event::TraceEvent { ts: te.ts, event }
+                })
+                .collect();
+            Trace {
+                meta: part.meta,
+                events,
+            }
+        })
+        .collect()
+}
+
+/// Renames every task of part `part_idx` to `"{name}.t{part_idx}"`.
+///
+/// Independently recorded traces reuse the same task names (a recorder's
+/// worker threads are `worker-0`, `worker-1`, … in every run), and
+/// [`union_meta`] merges tasks by name — so without the rename, one
+/// part's tasks would continue the *flows* of a previous part's
+/// same-named tasks across the merge boundary. The importer keeps an
+/// open lock-free transaction per flow that only a lock operation in
+/// that flow closes, so a continued flow can silently absorb the next
+/// part's first lock-free accesses into the previous part's transaction.
+/// Per-part task names make every task flow part-fresh.
+fn isolate_part_tasks(meta: &mut TraceMeta, part_idx: usize) {
+    for name in &mut meta.tasks {
+        *name = format!("{name}.t{part_idx}");
+    }
+}
+
+/// [`concat_traces_rebased`] for *independently recorded* corpus traces,
+/// with the per-part flow isolation the corpus derivation layer depends
+/// on: per-trace analysis results merge exactly into whole-corpus results
+/// only if no importer flow spans a part boundary.
+///
+/// On top of address rebasing this
+/// - renames each part's tasks to `"{name}.t{i}"` (see
+///   [`isolate_part_tasks`]), and
+/// - materializes each part's initial task: the importer starts every
+///   trace in task 0, and recorders leave that first switch implicit, so
+///   a leading `TaskSwitch` to task 0 is injected (at the part's first
+///   timestamp) for every part that declares tasks. Without it, a part's
+///   leading events would run in whatever flow the previous part ended
+///   in.
+///
+/// Interrupt flows need no such isolation here, but they do constrain
+/// the inputs: parts must be *quiescent* at their ends (all locks
+/// released, contexts exited, function stacks unwound) for the merged
+/// trace to be equivalent to the parts analyzed separately.
+pub fn concat_traces_corpus(parts: Vec<Trace>) -> Result<Trace, MergeError> {
+    let prepared: Vec<Trace> = rebase_parts(parts)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut part)| {
+            isolate_part_tasks(part.meta_mut(), i);
+            if !part.meta.tasks.is_empty() {
+                if let Some(first_ts) = part.events.first().map(|e| e.ts) {
+                    // Equal timestamps are fine: monotonicity is non-strict.
+                    part.events.insert(
+                        0,
+                        crate::event::TraceEvent {
+                            ts: first_ts,
+                            event: Event::TaskSwitch { task: TaskId(0) },
+                        },
+                    );
+                }
+            }
+            part
+        })
+        .collect();
+    concat_traces(prepared)
+}
+
+/// Predicts the metadata of [`concat_traces_corpus`]'s output from the
+/// parts' metadata alone — no events needed. The corpus layer uses this
+/// to map cached per-trace results onto merged ids without re-decoding
+/// any trace; [`concat_traces_corpus`] and this function must agree byte
+/// for byte (they share [`union_meta`] and [`isolate_part_tasks`]).
+pub fn corpus_meta(metas: &[TraceMeta]) -> Result<TraceMeta, MergeError> {
+    let mut out = TraceMeta::default();
+    for (i, meta) in metas.iter().enumerate() {
+        let mut part = meta.clone();
+        isolate_part_tasks(&mut part, i);
+        union_meta(&mut out, &part)?;
     }
     Ok(out)
 }
@@ -439,6 +650,110 @@ mod tests {
                 event_index: 3
             }
         );
+    }
+
+    #[test]
+    fn rebased_concat_accepts_overlapping_parts() {
+        // Identical address bases — plain concat refuses, rebased merges.
+        let a = part(0x1000, "a");
+        let b = part(0x1000, "b");
+        assert!(concat_traces(vec![a.clone(), b.clone()]).is_err());
+        let merged = concat_traces_rebased(vec![a, b]).unwrap();
+        let db = import(&merged, &FilterConfig::with_defaults(), 1);
+        assert_eq!(db.stats.invalid_events, 0);
+        assert_eq!(db.allocations.len(), 2);
+        assert_eq!(db.accesses.len(), 2);
+        assert_eq!(db.stats.unresolved, 0);
+    }
+
+    #[test]
+    fn rebased_concat_is_deterministic_and_meta_matches_union() {
+        let parts = || vec![part(0x1000, "a"), part(0x1000, "b"), part(0x4000, "c")];
+        let m1 = concat_traces_rebased(parts()).unwrap();
+        let m2 = concat_traces_rebased(parts()).unwrap();
+        assert_eq!(m1, m2, "rebased merge is a pure function of the parts");
+        // The merged metadata is predictable from headers alone via
+        // union_meta — the corpus layer depends on this equivalence.
+        let mut meta = TraceMeta::default();
+        for p in parts() {
+            union_meta(&mut meta, &p.meta).unwrap();
+        }
+        assert_eq!(*m1.meta, meta);
+    }
+
+    #[test]
+    fn union_meta_maps_ids_by_name() {
+        let a = part(0x1000, "a");
+        let b = part(0x2000, "b");
+        let mut meta = TraceMeta::default();
+        let ma = union_meta(&mut meta, &a.meta).unwrap();
+        let mb = union_meta(&mut meta, &b.meta).unwrap();
+        // Shared entities land on the same merged ids; per-part tasks don't.
+        assert_eq!(ma.data_types, mb.data_types);
+        assert_eq!(ma.functions, mb.functions);
+        assert_ne!(ma.tasks, mb.tasks);
+        assert_eq!(meta.tasks, vec!["a".to_owned(), "b".to_owned()]);
+        // Conflicting layouts are refused.
+        let mut c = part(0x3000, "c");
+        c.meta_mut().data_types[0].size = 16;
+        assert!(matches!(
+            union_meta(&mut meta, &c.meta),
+            Err(MergeError::ConflictingLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn corpus_concat_isolates_task_flows() {
+        let parts = || vec![part(0x1000, "worker"), part(0x1000, "worker")];
+        // Same-named tasks merge into one flow under plain rebased concat:
+        // the first part's still-open lock-free transaction absorbs the
+        // second part's access.
+        let bridged = concat_traces_rebased(parts()).unwrap();
+        let db = import(&bridged, &FilterConfig::with_defaults(), 1);
+        assert_eq!(db.accesses.get(0).txn, db.accesses.get(1).txn);
+        // Corpus concat renames tasks per part, keeping each part's flows
+        // (and thus transactions) to itself.
+        let merged = concat_traces_corpus(parts()).unwrap();
+        let db = import(&merged, &FilterConfig::with_defaults(), 1);
+        assert_eq!(db.stats.invalid_events, 0);
+        assert!(db.accesses.get(0).txn.is_some());
+        assert_ne!(db.accesses.get(0).txn, db.accesses.get(1).txn);
+        assert_eq!(
+            merged.meta.tasks,
+            vec!["worker.t0".to_owned(), "worker.t1".to_owned()]
+        );
+    }
+
+    #[test]
+    fn corpus_concat_materializes_implicit_initial_task() {
+        // Recorders leave the initial task switch implicit when execution
+        // starts on task 0; corpus concat must inject it or the part's
+        // leading events run in the previous part's flow.
+        let implicit = |task: &str| {
+            let mut tr = part(0x1000, task);
+            tr.events.remove(0); // drop the explicit TaskSwitch
+            tr
+        };
+        let merged = concat_traces_corpus(vec![implicit("worker"), implicit("worker")]).unwrap();
+        let db = import(&merged, &FilterConfig::with_defaults(), 1);
+        assert_eq!(db.stats.invalid_events, 0);
+        assert!(db.accesses.get(0).txn.is_some());
+        assert_ne!(db.accesses.get(0).txn, db.accesses.get(1).txn);
+    }
+
+    #[test]
+    fn corpus_meta_predicts_merged_metadata() {
+        let parts = || {
+            vec![
+                part(0x1000, "worker"),
+                part(0x1000, "worker"),
+                part(0x4000, "other"),
+            ]
+        };
+        let merged = concat_traces_corpus(parts()).unwrap();
+        let metas: Vec<TraceMeta> = parts().iter().map(|p| (*p.meta).clone()).collect();
+        let predicted = corpus_meta(&metas).unwrap();
+        assert_eq!(*merged.meta, predicted);
     }
 
     #[test]

@@ -112,6 +112,39 @@ ls "$CACHE_DIR"/*.ldarc > /dev/null 2>&1 \
     || { echo "--cache-dir produced no .ldarc archive" >&2; exit 1; }
 echo "cached-archive identity gate: OK (miss/hit byte-identical at --jobs 1 and 4)"
 
+# --- corpus + serve determinism gate ------------------------------------------
+# `corpus build` and `serve --once` must answer byte-identically at any
+# worker count and cache temperature (DESIGN.md §5.7). Both runs use
+# separate cold cache directories so nothing is shared but the members;
+# LOCKDOC_JOBS_FORCE=1 keeps the requested worker counts honest on
+# single-core CI runners.
+CORPUS_DIR="$GATE_DIR/corpus"
+mkdir -p "$CORPUS_DIR"
+"$LOCKDOC" trace --ops 400 --seed 41 --out "$GATE_DIR/c1.ldoc" > /dev/null
+"$LOCKDOC" trace --ops 400 --seed 42 --mix pipes=1 --fs pipefs \
+    --out "$GATE_DIR/c2.ldoc" > /dev/null
+"$LOCKDOC" corpus add "$GATE_DIR/c1.ldoc" "$GATE_DIR/c2.ldoc" \
+    --dir "$CORPUS_DIR" > /dev/null
+LOCKDOC_JOBS_FORCE=1 "$LOCKDOC" corpus build --dir "$CORPUS_DIR" \
+    --cache-dir "$GATE_DIR/cc1" --jobs 1 > "$GATE_DIR/corpus.1.txt"
+LOCKDOC_JOBS_FORCE=1 "$LOCKDOC" corpus build --dir "$CORPUS_DIR" \
+    --cache-dir "$GATE_DIR/cc4" --jobs 4 > "$GATE_DIR/corpus.4.txt"
+diff -u "$GATE_DIR/corpus.1.txt" "$GATE_DIR/corpus.4.txt" \
+    || { echo "corpus build differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+printf '{"cmd": "derive"}\n{"cmd": "races"}\n{"cmd": "lint"}\n{"cmd": "order"}\n{"cmd": "shutdown"}\n' \
+    > "$GATE_DIR/queries.jsonl"
+LOCKDOC_JOBS_FORCE=1 "$LOCKDOC" serve --dir "$CORPUS_DIR" \
+    --cache-dir "$GATE_DIR/sc1" --once --input "$GATE_DIR/queries.jsonl" \
+    --jobs 1 > "$GATE_DIR/serve.1.txt"
+LOCKDOC_JOBS_FORCE=1 "$LOCKDOC" serve --dir "$CORPUS_DIR" \
+    --cache-dir "$GATE_DIR/sc4" --once --input "$GATE_DIR/queries.jsonl" \
+    --jobs 4 > "$GATE_DIR/serve.4.txt"
+diff -u "$GATE_DIR/serve.1.txt" "$GATE_DIR/serve.4.txt" \
+    || { echo "serve --once differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+grep -q '"ok":true' "$GATE_DIR/serve.1.txt" \
+    || { echo "serve --once answered no query" >&2; exit 1; }
+echo "corpus/serve determinism gate: OK (byte-identical at --jobs 1 and 4)"
+
 # --- invariant -> test traceability matrix ------------------------------------
 scripts/check_traceability.sh
 

@@ -1,0 +1,292 @@
+//! Corpus-scale incremental derivation, end to end through the CLI:
+//!
+//! * growing a corpus one trace at a time derives rules byte-identical
+//!   to a from-scratch build of the same members, at `--jobs 1` and 4;
+//! * incremental adds actually reuse untouched groups (the perf claim
+//!   behind the matrix + rules caches);
+//! * a flipped byte in a cached matrix artifact is a clean miss — the
+//!   member is rebuilt and the rules stay correct;
+//! * `serve --once` answers queries byte-identically to the batch
+//!   subcommands on the merged corpus, before and after an ingest.
+
+use lockdoc_cli::run;
+use lockdoc_platform::json::{parse, Json};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records a trace with the given seed/mix into `path`.
+fn record(path: &Path, seed: &str, mix: Option<&str>) {
+    let mut argv = s(&[
+        "trace",
+        "--ops",
+        "300",
+        "--seed",
+        seed,
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    if let Some(m) = mix {
+        argv.extend(s(&["--mix", m]));
+    }
+    run(&argv).unwrap();
+}
+
+/// The rules section of a `corpus build` report (everything from the
+/// first group header on), stripped of the summary lines whose cache
+/// hit/miss counts legitimately differ between cold and warm runs.
+fn rules_of(report: &str) -> &str {
+    &report[report.find('[').expect("rules section")..]
+}
+
+/// Parses `groups: T total, R reused, D re-derived` out of a report.
+fn group_counts(report: &str) -> (u64, u64, u64) {
+    let line = report
+        .lines()
+        .find(|l| l.starts_with("groups: "))
+        .expect("groups line");
+    let nums: Vec<u64> = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().unwrap())
+        .collect();
+    (nums[0], nums[1], nums[2])
+}
+
+#[test]
+fn incremental_corpus_growth_matches_scratch_at_any_jobs() {
+    let base = fresh_dir("lockdoc-suite-corpus-incremental");
+    let seeds = ["11", "12", "13", "14"];
+    let mixes = [None, None, Some("perms=1"), Some("pipes=1")];
+    let traces: Vec<PathBuf> = seeds
+        .iter()
+        .zip(mixes)
+        .enumerate()
+        .map(|(i, (seed, mix))| {
+            let p = base.join(format!("t{i}.ldoc"));
+            record(&p, seed, mix);
+            p
+        })
+        .collect();
+
+    let inc_dir = base.join("incremental");
+    let d = inc_dir.to_str().unwrap();
+    let mut last_inc = String::new();
+    for (k, trace) in traces.iter().enumerate() {
+        // Grow the incremental corpus by one member, on 4 workers.
+        let report = run(&s(&[
+            "corpus",
+            "add",
+            trace.to_str().unwrap(),
+            "--dir",
+            d,
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        // The add re-derives only the groups the new trace touches: the
+        // narrow perms=1 / pipes=1 traces leave the standard mix's other
+        // groups untouched, so those must be reused. (A full-mix add may
+        // legitimately touch every group.)
+        let (total, reused, rederived) = group_counts(&report);
+        assert_eq!(total, reused + rederived, "k={k}: {report}");
+        if mixes[k].is_some() {
+            assert!(
+                reused > 0,
+                "k={k}: no group reuse on incremental add\n{report}"
+            );
+        }
+
+        // A from-scratch corpus over the same members (fresh store, fresh
+        // caches, serial) must produce byte-identical rules.
+        let scratch_dir = base.join(format!("scratch{k}"));
+        let sd = scratch_dir.to_str().unwrap();
+        let mut argv = s(&["corpus", "add"]);
+        argv.extend(traces[..=k].iter().map(|t| t.to_str().unwrap().to_owned()));
+        argv.extend(s(&["--dir", sd, "--jobs", "1"]));
+        let scratch = run(&argv).unwrap();
+        assert_eq!(
+            rules_of(&scratch),
+            rules_of(&report),
+            "k={k}: incremental(jobs 4) != scratch(jobs 1)"
+        );
+        last_inc = report;
+    }
+
+    // Dropping the last member restores the k=3 rules, again with reuse.
+    let dropped = run(&s(&[
+        "corpus", "drop", "t3.ldoc", "--dir", d, "--jobs", "1",
+    ]))
+    .unwrap();
+    let scratch3 = run(&s(&[
+        "corpus",
+        "build",
+        "--dir",
+        base.join("scratch2").to_str().unwrap(),
+        "--jobs",
+        "4",
+    ]))
+    .unwrap();
+    assert_eq!(rules_of(&dropped), rules_of(&scratch3));
+    let (_, reused, _) = group_counts(&dropped);
+    assert!(reused > 0, "drop re-derived everything:\n{dropped}");
+    assert_ne!(rules_of(&dropped), rules_of(&last_inc));
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn stale_matrix_artifact_is_a_clean_miss() {
+    let base = fresh_dir("lockdoc-suite-corpus-stale");
+    let t1 = base.join("a.ldoc");
+    let t2 = base.join("b.ldoc");
+    record(&t1, "21", None);
+    record(&t2, "22", Some("perms=1,pipes=1"));
+    let corpus = base.join("corpus");
+    let d = corpus.to_str().unwrap();
+    let cold = run(&s(&[
+        "corpus",
+        "add",
+        t1.to_str().unwrap(),
+        t2.to_str().unwrap(),
+        "--dir",
+        d,
+    ]))
+    .unwrap();
+
+    // Flip one payload byte in one cached matrix artifact.
+    let cache = corpus.join(".lockdoc-cache");
+    let mut ldmtx: Vec<PathBuf> = fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("ldmtx"))
+        .collect();
+    ldmtx.sort();
+    assert_eq!(ldmtx.len(), 2, "one matrix artifact per member");
+    let victim = &ldmtx[0];
+    let mut bytes = fs::read(victim).unwrap();
+    bytes[60] ^= 0x01; // past the 44-byte header: payload damage
+    fs::write(victim, &bytes).unwrap();
+
+    // The damaged artifact must be rebuilt (a miss), the intact one
+    // served from cache (a hit) — and the rules must not change.
+    let rebuilt = run(&s(&["corpus", "build", "--dir", d])).unwrap();
+    assert!(
+        rebuilt.contains("matrices: 1 cached, 1 rebuilt"),
+        "{rebuilt}"
+    );
+    assert_eq!(rules_of(&cold), rules_of(&rebuilt));
+
+    // A corrupt rules cache is equally harmless: rules still correct.
+    fs::write(cache.join("corpus.rules.json"), b"{ not json").unwrap();
+    let after = run(&s(&["corpus", "build", "--dir", d])).unwrap();
+    assert_eq!(rules_of(&cold), rules_of(&after));
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn serve_once_matches_batch_and_survives_ingest() {
+    let base = fresh_dir("lockdoc-suite-corpus-serve");
+    let t1 = base.join("a.ldoc");
+    let t2 = base.join("b.ldoc");
+    record(&t1, "31", None);
+    record(&t2, "32", Some("pipes=1"));
+    let corpus = base.join("corpus");
+    let d = corpus.to_str().unwrap();
+    run(&s(&["corpus", "add", t1.to_str().unwrap(), "--dir", d])).unwrap();
+
+    // Queries before and after an in-session ingest: the snapshot swap
+    // must be observable (derive output changes to the 2-member corpus).
+    let queries = base.join("q.jsonl");
+    fs::write(
+        &queries,
+        format!(
+            "{{\"cmd\": \"derive\"}}\n{{\"cmd\": \"add\", \"path\": \"{}\"}}\n\
+             {{\"cmd\": \"derive\"}}\n{{\"cmd\": \"order\"}}\n{{\"cmd\": \"shutdown\"}}\n",
+            t2.to_str().unwrap()
+        ),
+    )
+    .unwrap();
+    let resp = run(&s(&[
+        "serve",
+        "--dir",
+        d,
+        "--once",
+        "--input",
+        queries.to_str().unwrap(),
+        "--jobs",
+        "4",
+    ]))
+    .unwrap();
+    let lines: Vec<Json> = resp.lines().map(|l| parse(l).expect("json")).collect();
+    assert_eq!(lines.len(), 5);
+    let output = |i: usize| lines[i].get("output").and_then(Json::as_str).unwrap();
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(
+            line.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "line {i}"
+        );
+    }
+    assert_eq!(output(1), "added b.ldoc");
+
+    // Both derive answers equal batch derivations of the corresponding
+    // merged corpora; the post-ingest one covers both members.
+    let merged2 = base.join("merged2.ldoc");
+    run(&s(&[
+        "corpus",
+        "export",
+        "--dir",
+        d,
+        "--out",
+        merged2.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let batch2 = run(&s(&[
+        "derive",
+        "--trace",
+        merged2.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]))
+    .unwrap();
+    assert_eq!(output(2), batch2, "post-ingest serve derive != batch");
+    assert_ne!(output(0), output(2), "ingest did not swap the snapshot");
+    let batch_order = run(&s(&["order", "--trace", merged2.to_str().unwrap()])).unwrap();
+    assert_eq!(output(3), batch_order, "serve order != batch order");
+
+    // And the serve answers are jobs-invariant: replay the same session
+    // minus the ingest on one worker against a fresh cache.
+    run(&s(&["corpus", "drop", "b.ldoc", "--dir", d])).unwrap();
+    let cache1 = base.join("cache-serial");
+    fs::write(&queries, "{\"cmd\": \"derive\"}\n{\"cmd\": \"shutdown\"}\n").unwrap();
+    let serial = run(&s(&[
+        "serve",
+        "--dir",
+        d,
+        "--cache-dir",
+        cache1.to_str().unwrap(),
+        "--once",
+        "--input",
+        queries.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]))
+    .unwrap();
+    let first: Json = parse(serial.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        first.get("output").and_then(Json::as_str).unwrap(),
+        output(0),
+        "serve derive differs across --jobs / cache temperature"
+    );
+    fs::remove_dir_all(&base).ok();
+}
