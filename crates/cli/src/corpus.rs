@@ -28,25 +28,42 @@ use lockdoc_core::{
 };
 use lockdoc_platform::json::{self, Json, ToJson};
 use lockdoc_trace::codec::{write_trace, TraceReader};
-use lockdoc_trace::corpus::{screen_trace, CorpusStore, Health};
+use lockdoc_trace::corpus::{fsck as store_fsck, screen_trace, CorpusStore, FsckOptions, Health};
 use lockdoc_trace::db::{filter_fingerprint, fnv1a, import};
 use lockdoc_trace::event::{Trace, TraceMeta};
 use lockdoc_trace::filter::FilterConfig;
 use lockdoc_trace::merge::{concat_traces_corpus, corpus_meta};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// File name of the corpus-level rules cache inside the cache directory.
 pub const RULES_CACHE_FILE: &str = "corpus.rules.json";
 
 /// Shared knobs of one corpus (or serve) invocation.
-pub(crate) struct CorpusCtx {
+///
+/// Public so the crash-consistency suite (`tests/crash.rs`) can drive
+/// the exact corpus pipeline the CLI runs against an in-memory
+/// fault-injecting filesystem.
+pub struct CorpusCtx {
+    /// The opened store (which owns the filesystem handle all
+    /// persistence must go through).
     pub store: CorpusStore,
+    /// Rule-derivation configuration.
     pub config: DeriveConfig,
+    /// Event filter configuration.
     pub filter: FilterConfig,
+    /// Fingerprint of `filter` (cache key component).
     pub filter_fp: u64,
+    /// Fingerprint of `config` (cache key component).
     pub derive_fp: u64,
+    /// Worker count for parallel stages.
     pub jobs: usize,
+    /// Cache writes that failed this process. Cache persistence stays
+    /// best-effort — a failed write only costs the next run a rebuild —
+    /// but failures are counted and surfaced in `corpus status` / serve
+    /// `status` instead of vanishing.
+    pub cache_write_errors: AtomicU64,
 }
 
 impl CorpusCtx {
@@ -61,47 +78,80 @@ impl CorpusCtx {
             None => Path::new(dir).join(".lockdoc-cache"),
         };
         let store = CorpusStore::open(Path::new(dir), &cache_dir)?;
-        let t_ac: f64 = args.num("t-ac", 0.9f64)?;
+        Ok(Self::with_store(
+            store,
+            args.num("t-ac", 0.9f64)?,
+            args.jobs()?,
+        ))
+    }
+
+    /// Wraps an already-opened store (possibly on an in-memory
+    /// [`lockdoc_platform::vfs::Vfs`]) with default analysis knobs.
+    pub fn with_store(store: CorpusStore, t_ac: f64, jobs: usize) -> Self {
         let config = DeriveConfig::with_threshold(t_ac);
         let filter = rules::filter_config();
         let filter_fp = filter_fingerprint(&filter);
         let derive_fp = derive_fingerprint(&config);
-        Ok(Self {
+        Self {
             store,
             config,
             filter,
             filter_fp,
             derive_fp,
-            jobs: args.jobs()?,
-        })
+            jobs,
+            cache_write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Best-effort durable cache write: atomic (temp + rename + fsync)
+    /// so a cache file is never torn, counting — not propagating —
+    /// failures.
+    fn write_cache(&self, path: &Path, bytes: &[u8]) {
+        if self.store.vfs().atomic_write(path, bytes).is_err() {
+            self.cache_write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cache writes that failed so far in this process.
+    pub fn cache_write_errors(&self) -> u64 {
+        self.cache_write_errors.load(Ordering::Relaxed)
     }
 }
 
 /// One corpus member as the CLI sees it after loading.
-pub(crate) struct Member {
+pub struct Member {
+    /// Member file name.
     pub name: String,
+    /// FNV-1a over the container bytes (artifact cache key).
     pub checksum: u64,
+    /// Screening verdict.
     pub health: Health,
+    /// Imported event count.
     pub events: u64,
+    /// Quarantined event count.
     pub quarantined: u64,
+    /// Decode error for unreadable members.
     pub error: Option<String>,
     /// True when the member was served entirely from cached artifacts
     /// (no event decode happened).
     pub cached: bool,
+    /// The observation matrix (when requested).
     pub matrix: Option<TraceMatrix>,
+    /// The trace metadata (when available).
     pub meta: Option<TraceMeta>,
+    /// The full sanitized trace (when requested).
     pub trace: Option<Trace>,
 }
 
-/// What `load_corpus` must materialize per member.
-pub(crate) struct LoadOpts {
+/// What [`load_corpus`] must materialize per member.
+pub struct LoadOpts {
     /// Build (or warm-load) the observation matrix.
     pub need_matrix: bool,
     /// Keep the full sanitized trace (forces the cold path).
     pub need_trace: bool,
 }
 
-fn write_screen_sidecar(path: &Path, m: &Member) {
+fn write_screen_sidecar(ctx: &CorpusCtx, path: &Path, m: &Member) {
     let mut pairs = vec![
         ("health", Json::Str(m.health.name().to_owned())),
         ("events", Json::U64(m.events)),
@@ -111,11 +161,12 @@ fn write_screen_sidecar(path: &Path, m: &Member) {
         pairs.push(("error", Json::Str(e.clone())));
     }
     // Best-effort: a failed cache write only costs the next run a rescan.
-    let _ = fs::write(path, Json::obj(pairs).pretty());
+    ctx.write_cache(path, Json::obj(pairs).pretty().as_bytes());
 }
 
-fn read_screen_sidecar(path: &Path) -> Option<(Health, u64, u64, Option<String>)> {
-    let v = json::parse(&fs::read_to_string(path).ok()?).ok()?;
+fn read_screen_sidecar(ctx: &CorpusCtx, path: &Path) -> Option<(Health, u64, u64, Option<String>)> {
+    let bytes = ctx.store.vfs().read(path).ok()?;
+    let v = json::parse(std::str::from_utf8(&bytes).ok()?).ok()?;
     let health = match v.get("health").and_then(Json::as_str)? {
         "healthy" => Health::Healthy,
         "degraded" => Health::Degraded,
@@ -131,7 +182,7 @@ fn read_screen_sidecar(path: &Path) -> Option<(Health, u64, u64, Option<String>)
 }
 
 fn load_member(ctx: &CorpusCtx, name: &str, opts: &LoadOpts) -> Result<Member> {
-    let bytes = fs::read(ctx.store.trace_path(name))?;
+    let bytes = ctx.store.vfs().read(&ctx.store.trace_path(name))?;
     let checksum = fnv1a(&bytes);
     let scr_path = ctx.store.artifact_path(name, checksum, "screen.json");
     let mtx_path = ctx.store.artifact_path(name, checksum, "ldmtx");
@@ -150,7 +201,7 @@ fn load_member(ctx: &CorpusCtx, name: &str, opts: &LoadOpts) -> Result<Member> {
     // Warm path: a content-matched screening verdict (and, when needed, a
     // content+config-matched matrix) lets us skip the event decode.
     if !opts.need_trace {
-        if let Some((health, events, quarantined, error)) = read_screen_sidecar(&scr_path) {
+        if let Some((health, events, quarantined, error)) = read_screen_sidecar(ctx, &scr_path) {
             member.health = health;
             member.events = events;
             member.quarantined = quarantined;
@@ -159,7 +210,7 @@ fn load_member(ctx: &CorpusCtx, name: &str, opts: &LoadOpts) -> Result<Member> {
                 member.cached = true;
                 return Ok(member);
             }
-            if let Ok(mbytes) = fs::read(&mtx_path) {
+            if let Ok(mbytes) = ctx.store.vfs().read(&mtx_path) {
                 if let Some(matrix) =
                     read_matrix_artifact(&mbytes, checksum, ctx.filter_fp, ctx.derive_fp)
                 {
@@ -184,7 +235,7 @@ fn load_member(ctx: &CorpusCtx, name: &str, opts: &LoadOpts) -> Result<Member> {
     }
     member.health = screen.health;
     member.error = screen.error;
-    write_screen_sidecar(&scr_path, &member);
+    write_screen_sidecar(ctx, &scr_path, &member);
     let Some(trace) = trace else {
         return Ok(member);
     };
@@ -192,9 +243,9 @@ fn load_member(ctx: &CorpusCtx, name: &str, opts: &LoadOpts) -> Result<Member> {
     if opts.need_matrix {
         let db = import(&trace, &ctx.filter, ctx.jobs);
         let matrix = build_trace_matrix(&db, ctx.jobs);
-        let _ = fs::write(
+        ctx.write_cache(
             &mtx_path,
-            write_matrix_artifact(&matrix, checksum, ctx.filter_fp, ctx.derive_fp),
+            &write_matrix_artifact(&matrix, checksum, ctx.filter_fp, ctx.derive_fp),
         );
         member.matrix = Some(matrix);
     }
@@ -205,7 +256,7 @@ fn load_member(ctx: &CorpusCtx, name: &str, opts: &LoadOpts) -> Result<Member> {
 }
 
 /// Loads every corpus member in corpus (sorted-name) order.
-pub(crate) fn load_corpus(ctx: &CorpusCtx, opts: &LoadOpts) -> Result<Vec<Member>> {
+pub fn load_corpus(ctx: &CorpusCtx, opts: &LoadOpts) -> Result<Vec<Member>> {
     ctx.store
         .trace_names()?
         .iter()
@@ -216,7 +267,7 @@ pub(crate) fn load_corpus(ctx: &CorpusCtx, opts: &LoadOpts) -> Result<Vec<Member
 /// Merges the members' matrices and derives corpus-level rules,
 /// reusing cached group results where the contributor set is unchanged.
 /// The refreshed rules cache is persisted for the next run.
-pub(crate) fn derive_members(ctx: &CorpusCtx, members: &[Member]) -> Result<CorpusDerive> {
+pub fn derive_members(ctx: &CorpusCtx, members: &[Member]) -> Result<CorpusDerive> {
     let metas: Vec<TraceMeta> = members.iter().filter_map(|m| m.meta.clone()).collect();
     let meta = corpus_meta(&metas).map_err(|e| CliError::Usage(format!("corpus merge: {e}")))?;
     let traces: Vec<CorpusTrace> = members
@@ -229,8 +280,12 @@ pub(crate) fn derive_members(ctx: &CorpusCtx, members: &[Member]) -> Result<Corp
         })
         .collect();
     let cache_path = ctx.store.corpus_file(RULES_CACHE_FILE);
-    let prev: Option<CorpusRulesCache> = fs::read_to_string(&cache_path)
+    let prev: Option<CorpusRulesCache> = ctx
+        .store
+        .vfs()
+        .read(&cache_path)
         .ok()
+        .and_then(|b| String::from_utf8(b).ok())
         .and_then(|s| json::from_str(&s).ok());
     let derived = derive_corpus(
         &traces,
@@ -240,7 +295,10 @@ pub(crate) fn derive_members(ctx: &CorpusCtx, members: &[Member]) -> Result<Corp
         ctx.jobs,
         prev.as_ref(),
     );
-    let _ = fs::write(&cache_path, json::to_string_pretty(&derived.cache));
+    ctx.write_cache(
+        &cache_path,
+        json::to_string_pretty(&derived.cache).as_bytes(),
+    );
     Ok(derived)
 }
 
@@ -339,6 +397,7 @@ fn status_report(ctx: &CorpusCtx, args: &Args) -> Result<String> {
             ("healthy", Json::U64(h as u64)),
             ("degraded", Json::U64(d as u64)),
             ("unreadable", Json::U64(u as u64)),
+            ("cache_write_errors", Json::U64(ctx.cache_write_errors())),
         ]);
         return Ok(v.pretty());
     }
@@ -354,6 +413,10 @@ fn status_report(ctx: &CorpusCtx, args: &Args) -> Result<String> {
     }
     out.push_str(&corpus_summary(&members));
     out.push('\n');
+    out.push_str(&format!(
+        "cache write errors: {}\n",
+        ctx.cache_write_errors()
+    ));
     Ok(out)
 }
 
@@ -451,4 +514,103 @@ pub fn cmd_corpus(args: &Args) -> Result<String> {
             "unknown corpus subcommand `{other}` (expected build | add | drop | status | export)"
         ))),
     }
+}
+
+/// `lockdoc fsck`: check — and with `--repair` restore — the corpus
+/// store's crash-consistency invariants (see
+/// [`lockdoc_trace::corpus::fsck`] for the recovery state machine).
+pub fn cmd_fsck(args: &Args) -> Result<String> {
+    let ctx = CorpusCtx::from_args(args)?;
+    let opts = FsckOptions {
+        repair: args.has("repair"),
+        gc: args.has("gc"),
+    };
+    let report = store_fsck(&ctx.store, &ctx.filter, ctx.jobs, opts)?;
+    if args.has("json") {
+        let v = Json::obj(vec![
+            (
+                "journal",
+                match &report.journal_action {
+                    Some(a) => Json::Str(a.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "stray_tmp",
+                Json::Arr(
+                    report
+                        .stray_tmp
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "quarantined",
+                Json::Arr(
+                    report
+                        .quarantined
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "orphaned",
+                Json::Arr(
+                    report
+                        .orphaned
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            ("healthy", Json::U64(report.members.0 as u64)),
+            ("degraded", Json::U64(report.members.1 as u64)),
+            ("repaired", Json::Bool(report.repaired)),
+            ("clean", Json::Bool(report.is_clean())),
+        ]);
+        return Ok(v.pretty());
+    }
+    let mut out = String::new();
+    match &report.journal_action {
+        Some(action) => out.push_str(&format!("journal: {action}\n")),
+        None => out.push_str("journal: clean\n"),
+    }
+    let verb = if report.repaired { "removed" } else { "found" };
+    if !report.stray_tmp.is_empty() {
+        out.push_str(&format!(
+            "stray temporaries: {} {verb} ({})\n",
+            report.stray_tmp.len(),
+            report.stray_tmp.join(", ")
+        ));
+    }
+    for name in &report.quarantined {
+        out.push_str(&format!(
+            "{name}: UNREADABLE — {}\n",
+            if report.repaired {
+                "moved to .quarantine/"
+            } else {
+                "would quarantine (run with --repair)"
+            }
+        ));
+    }
+    if !report.orphaned.is_empty() {
+        out.push_str(&format!(
+            "orphaned artifacts: {} {verb}\n",
+            report.orphaned.len()
+        ));
+    }
+    out.push_str(&format!(
+        "members: {} healthy, {} degraded\n",
+        report.members.0, report.members.1
+    ));
+    if report.is_clean() {
+        out.push_str("fsck: clean\n");
+    } else if report.repaired {
+        out.push_str("fsck: repaired\n");
+    } else {
+        out.push_str("fsck: issues found (re-run with --repair)\n");
+    }
+    Ok(out)
 }

@@ -194,8 +194,12 @@ USAGE:
   lockdoc corpus     build|status|export|add FILE..|drop NAME.. --dir DIR
                      [--cache-dir DIR] [--t-ac X] [--jobs N] [--json]
                      [--rulespec] [--out FILE]
+  lockdoc fsck       --dir DIR [--cache-dir DIR] [--repair] [--gc]
+                     [--jobs N] [--json]
   lockdoc serve      --dir DIR (--once [--input FILE] | [--socket PATH])
                      [--cache-dir DIR] [--t-ac X] [--jobs N]
+                     [--max-request-bytes N] [--timeout-ms N]
+                     [--max-conns N] [--ingest-retries N]
 
 `--jobs N` (or LOCKDOC_JOBS) runs trace generation, import, and the
 analysis phases on N workers; output is byte-identical at any worker
@@ -241,6 +245,13 @@ re-derives only the touched data-type groups. `status` triages without
 deriving; `export --out FILE` writes the merged corpus as one trace.
 `doctor DIR` prints a per-trace triage line plus a corpus summary.
 
+`fsck` checks the corpus store's crash-consistency invariants: it rolls
+an interrupted (journaled) add/drop forward or back, sweeps stray
+atomic-write temporaries, quarantines unreadable members into
+`.quarantine/`, and with `--gc` removes cache artifacts orphaned by
+replaced or dropped members. Without `--repair` it only reports; every
+repair is idempotent, so an interrupted fsck is fixed by re-running it.
+
 `serve` answers derive/races/lint/order/status queries over a corpus via
 line-delimited JSON (`{\"cmd\": \"derive\"}` per line, one response line
 each), concurrently: queries read an immutable snapshot while `add`
@@ -248,7 +259,14 @@ ingests build the next snapshot off to the side and swap it in, so
 readers never block on ingest. `serve --once` answers a batch of
 requests from stdin (or --input FILE) and exits — no socket needed; the
 answer texts are byte-identical to the corresponding batch subcommands
-run on the merged corpus.
+run on the merged corpus. The daemon bounds every connection:
+`--max-request-bytes` caps one request line (default 65536),
+`--timeout-ms` bounds socket reads/writes (default 5000),
+`--max-conns` caps concurrent connections — excess clients get a
+`server busy (RETRY)` shed response (default 64) — and a panicking
+request is isolated to an error response. Transient ingest I/O errors
+retry with backoff (`--ingest-retries`, default 2); shutdown drains
+in-flight connections before the listener exits.
 ";
 
 fn load_db(args: &Args) -> Result<TraceDb> {
@@ -313,9 +331,12 @@ fn load_db_cached(
     }
     let db = import_stream(reader, config, jobs)?;
     fs::create_dir_all(cache_dir)?;
-    // A torn write fails validation on the next run and simply misses, so
-    // a best-effort write is safe; failure to cache must not fail the run.
-    let _ = fs::write(&apath, write_archive(&db, checksum, fp));
+    // Atomic best-effort write: the rename keeps a crashed run from ever
+    // leaving a torn archive under the final name (a torn one would fail
+    // validation and merely miss), and failure to cache must not fail
+    // the run.
+    let _ = lockdoc_platform::vfs::Vfs::real_from_env()
+        .atomic_write(&apath, &write_archive(&db, checksum, fp));
     Ok(db)
 }
 
@@ -944,6 +965,7 @@ pub fn run(raw: &[String]) -> Result<String> {
         "order" => cmd_order(&args),
         "fuzz" => cmd_fuzz(&args),
         "corpus" => corpus::cmd_corpus(&args),
+        "fsck" => corpus::cmd_fsck(&args),
         "serve" => serve::cmd_serve(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(

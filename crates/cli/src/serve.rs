@@ -24,6 +24,24 @@
 //! socket mode each connection gets its own thread; `--once` answers a
 //! batch of requests from stdin (or `--input FILE`) and exits, so tests
 //! and scripts need no real socket.
+//!
+//! Hostile-client hardening (all knobs overridable on the command line):
+//!
+//! * `--max-request-bytes` caps one request line; an oversized line gets
+//!   an error response and is discarded in bounded chunks, so a client
+//!   streaming gigabytes without a newline holds O(cap) memory.
+//! * `--timeout-ms` sets per-connection read/write deadlines; a stalled
+//!   or half-open connection is closed, which also bounds the shutdown
+//!   drain (every worker thread is joined before the listener exits).
+//! * `--max-conns` caps concurrent connections; excess clients receive
+//!   one `server busy (RETRY)` shed response (`"retry": true`) and are
+//!   disconnected instead of queueing unboundedly.
+//! * every request is answered under `catch_unwind`, so a panicking
+//!   handler costs that request an `internal error` response, never the
+//!   daemon.
+//! * transient ingest I/O errors retry with exponential backoff
+//!   (`--ingest-retries`); permanent refusals (duplicate member, bad
+//!   path) fail immediately.
 
 use crate::corpus::{corpus_summary, derive_members, load_corpus, CorpusCtx, LoadOpts};
 use crate::{render_rules_text, Args, CliError, Result};
@@ -39,10 +57,84 @@ use lockdoc_trace::db::import;
 use lockdoc_trace::event::Trace;
 use lockdoc_trace::merge::concat_traces_corpus;
 use std::fs;
-use std::io::Read;
+use std::io::{self, BufRead, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Per-connection / per-request limits (see the module docs).
+pub(crate) struct ServeLimits {
+    /// Hard cap on one request line, in bytes.
+    pub max_request_bytes: usize,
+    /// Socket read/write deadline, in milliseconds.
+    pub timeout_ms: u64,
+    /// Concurrent-connection cap; excess clients are shed.
+    pub max_conns: usize,
+    /// Retries (with backoff) for transient ingest I/O errors.
+    pub ingest_retries: u64,
+}
+
+impl ServeLimits {
+    fn from_args(args: &Args) -> Result<Self> {
+        Ok(Self {
+            max_request_bytes: args.num("max-request-bytes", 65_536usize)?,
+            timeout_ms: args.num("timeout-ms", 5_000u64)?,
+            max_conns: args.num("max-conns", 64usize)?,
+            ingest_retries: args.num("ingest-retries", 2u64)?,
+        })
+    }
+}
+
+/// One request line read under the byte cap.
+enum ReqLine {
+    /// A complete line within the cap (newline stripped).
+    Line(String),
+    /// The line exceeded the cap; the excess was discarded unbuffered.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line holding at most `cap + O(bufsize)`
+/// bytes in memory. An over-cap line is drained chunk by chunk (never
+/// buffered) up to its newline so the connection can keep serving.
+fn read_bounded_line<R: BufRead>(r: &mut R, cap: usize) -> io::Result<ReqLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if oversized {
+                ReqLine::Oversized
+            } else if buf.is_empty() {
+                ReqLine::Eof
+            } else {
+                ReqLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !oversized {
+            if buf.len() + take > cap {
+                oversized = true;
+                buf = Vec::new(); // release, stay O(1) from here on
+            } else {
+                buf.extend_from_slice(&chunk[..take]);
+            }
+        }
+        let consumed = newline.map_or(take, |i| i + 1);
+        r.consume(consumed);
+        if newline.is_some() {
+            return Ok(if oversized {
+                ReqLine::Oversized
+            } else {
+                ReqLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
 
 /// One immutable, fully-rendered answer set over the corpus.
 struct Snapshot {
@@ -109,6 +201,7 @@ fn build_snapshot(ctx: &CorpusCtx) -> Result<Snapshot> {
 
 struct ServeState {
     ctx: CorpusCtx,
+    limits: ServeLimits,
     snapshot: RwLock<Arc<Snapshot>>,
     ingest: Mutex<()>,
     shutdown: AtomicBool,
@@ -132,6 +225,38 @@ fn respond_err(error: String) -> String {
     Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::Str(error))]).compact()
 }
 
+/// The backpressure response an over-limit client receives before being
+/// disconnected: `retry: true` tells it to back off and reconnect.
+fn respond_shed() -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("server busy (RETRY)".into())),
+        ("retry", Json::Bool(true)),
+    ])
+    .compact()
+}
+
+/// An ingest error worth retrying: anything except the store's permanent
+/// refusals (duplicate member, missing or non-`.ldoc` source).
+fn ingest_transient(e: &io::Error) -> bool {
+    !matches!(
+        e.kind(),
+        io::ErrorKind::AlreadyExists | io::ErrorKind::NotFound | io::ErrorKind::InvalidInput
+    )
+}
+
+/// Answers one request line with panic isolation: a panicking handler
+/// costs this request an `internal error` response, never the daemon or
+/// the connection.
+fn handle_line_isolated(state: &ServeState, line: &str) -> (bool, String) {
+    catch_unwind(AssertUnwindSafe(|| handle_line(state, line))).unwrap_or_else(|_| {
+        (
+            false,
+            respond_err("internal error: request handler panicked".into()),
+        )
+    })
+}
+
 /// Answers one request line; the bool asks the caller to stop serving.
 fn handle_line(state: &ServeState, line: &str) -> (bool, String) {
     let req = match json::parse(line) {
@@ -151,8 +276,11 @@ fn handle_line(state: &ServeState, line: &str) -> (bool, String) {
             (
                 false,
                 respond_ok(format!(
-                    "{}\ngroups: {} total, {} reused\n",
-                    snap.summary, snap.groups_total, snap.groups_reused
+                    "{}\ngroups: {} total, {} reused\ncache write errors: {}\n",
+                    snap.summary,
+                    snap.groups_total,
+                    snap.groups_reused,
+                    state.ctx.cache_write_errors()
                 )),
             )
         }
@@ -163,9 +291,18 @@ fn handle_line(state: &ServeState, line: &str) -> (bool, String) {
             // Serialize ingests; queries keep answering from the current
             // snapshot the whole time.
             let _ingest = state.ingest.lock().unwrap_or_else(|e| e.into_inner());
-            let added = match state.ctx.store.add(Path::new(path)) {
-                Ok(n) => n,
-                Err(e) => return (false, respond_err(e.to_string())),
+            // Transient I/O errors (a slow filesystem, a contended file)
+            // retry with exponential backoff; permanent refusals do not.
+            let mut attempt = 0u64;
+            let added = loop {
+                match state.ctx.store.add(Path::new(path)) {
+                    Ok(n) => break n,
+                    Err(e) if attempt < state.limits.ingest_retries && ingest_transient(&e) => {
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(5 << attempt));
+                    }
+                    Err(e) => return (false, respond_err(e.to_string())),
+                }
             };
             match build_snapshot(&state.ctx) {
                 Ok(snap) => {
@@ -184,6 +321,9 @@ fn handle_line(state: &ServeState, line: &str) -> (bool, String) {
             state.shutdown.store(true, Ordering::SeqCst);
             (true, respond_ok("shutting down".into()))
         }
+        // Test-only hook proving per-request panic isolation end to end.
+        #[cfg(debug_assertions)]
+        "__panic" => panic!("injected panic (debug-only isolation probe)"),
         other => (false, respond_err(format!("unknown cmd `{other}`"))),
     }
 }
@@ -194,6 +334,7 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     let state = ServeState {
         snapshot: RwLock::new(Arc::new(build_snapshot(&ctx)?)),
         ctx,
+        limits: ServeLimits::from_args(args)?,
         ingest: Mutex::new(()),
         shutdown: AtomicBool::new(false),
     };
@@ -212,7 +353,11 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
             if line.is_empty() {
                 continue;
             }
-            let (stop, resp) = handle_line(&state, line);
+            let (stop, resp) = if line.len() > state.limits.max_request_bytes {
+                (false, respond_err("request too large".into()))
+            } else {
+                handle_line_isolated(&state, line)
+            };
             out.push_str(&resp);
             out.push('\n');
             if stop {
@@ -224,9 +369,30 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
     serve_socket(args, state)
 }
 
+/// RAII occupancy of one connection slot; dropping frees the slot.
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl ConnSlot {
+    /// Claims a slot unless `max` are already active.
+    fn acquire(active: &Arc<AtomicUsize>, max: usize) -> Option<Self> {
+        active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| Self(Arc::clone(active)))
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[cfg(unix)]
 fn serve_socket(args: &Args, state: ServeState) -> Result<String> {
-    use std::io::{BufRead, BufReader, Write};
+    use std::io::{BufReader, Write};
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::path::PathBuf;
 
@@ -237,27 +403,47 @@ fn serve_socket(args: &Args, state: ServeState) -> Result<String> {
     let _ = fs::remove_file(&sock_path);
     let listener = UnixListener::bind(&sock_path)?;
     let state = Arc::new(state);
+    let active = Arc::new(AtomicUsize::new(0));
     let mut served = 0usize;
+    let mut shed = 0usize;
     let mut handles = Vec::new();
+    let timeout = Some(Duration::from_millis(state.limits.timeout_ms.max(1)));
     for conn in listener.incoming() {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
+        // Deadlines bound every read and write on the connection — a
+        // stalled client times out and is dropped, which also bounds the
+        // join-based drain below.
+        let _ = stream.set_read_timeout(timeout);
+        let _ = stream.set_write_timeout(timeout);
+        let Some(slot) = ConnSlot::acquire(&active, state.limits.max_conns) else {
+            // Over capacity: shed with one RETRY response, don't queue.
+            shed += 1;
+            let mut writer = stream;
+            let _ = writeln!(writer, "{}", respond_shed());
+            continue;
+        };
         served += 1;
         let st = Arc::clone(&state);
         let unblock = sock_path.clone();
         handles.push(std::thread::spawn(move || {
+            let _slot = slot;
             let Ok(read_half) = stream.try_clone() else {
                 return;
             };
             let mut writer = stream;
-            for line in BufReader::new(read_half).lines() {
-                let Ok(line) = line else { break };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let (stop, resp) = handle_line(&st, line.trim());
+            let mut reader = BufReader::new(read_half);
+            loop {
+                let (stop, resp) = match read_bounded_line(&mut reader, st.limits.max_request_bytes)
+                {
+                    Ok(ReqLine::Eof) => break,
+                    Ok(ReqLine::Oversized) => (false, respond_err("request too large".into())),
+                    Ok(ReqLine::Line(line)) if line.trim().is_empty() => continue,
+                    Ok(ReqLine::Line(line)) => handle_line_isolated(&st, line.trim()),
+                    Err(_) => break, // read deadline hit or connection died
+                };
                 if writeln!(writer, "{resp}").is_err() {
                     break;
                 }
@@ -270,11 +456,13 @@ fn serve_socket(args: &Args, state: ServeState) -> Result<String> {
             }
         }));
     }
+    // Graceful drain: every in-flight connection finishes (or times out)
+    // before the listener exits and the socket file disappears.
     for h in handles {
         let _ = h.join();
     }
     let _ = fs::remove_file(&sock_path);
-    Ok(format!("served {served} connection(s)\n"))
+    Ok(format!("served {served} connection(s), shed {shed}\n"))
 }
 
 #[cfg(not(unix))]

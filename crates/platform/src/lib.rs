@@ -16,6 +16,9 @@
 //!   replacing the `criterion` benches.
 //! * [`par`] — a deterministic scoped worker pool (`std::thread::scope`)
 //!   with an ordered map-reduce surface replacing `rayon`-style fan-out.
+//! * [`vfs`] — a filesystem shim with a real-backed mode and a
+//!   deterministic fault-injecting in-memory mode that enumerates crash
+//!   points, for crash-consistency testing of persistent state.
 //!
 //! Every module is deterministic: identical seeds produce identical
 //! streams, values, and reports (timing measurements excepted); [`par`]
@@ -27,3 +30,4 @@ pub mod par;
 pub mod prop;
 pub mod rng;
 pub mod timing;
+pub mod vfs;

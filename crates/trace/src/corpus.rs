@@ -20,13 +20,31 @@
 //!   merge alike — sees the identical event stream;
 //! - [`Health::Unreadable`] — the container header is beyond salvage;
 //!   no trace is returned and the member is excluded from analysis.
+//!
+//! # Crash consistency
+//!
+//! All store mutations go through a [`lockdoc_platform::vfs::Vfs`]
+//! handle, installing members with the atomic durable-write protocol
+//! (temp file → fsync → rename → parent-directory fsync). `add` and
+//! `drop_trace` additionally write a one-record **intent journal**
+//! (`corpus.journal`, itself installed atomically) *before* touching the
+//! member namespace and clear it after, so an interrupted operation is
+//! always recoverable: [`fsck`] reads the journal, decides from the
+//! on-disk evidence whether the operation completed (the destination
+//! exists with the journaled content checksum), and rolls it forward or
+//! back. [`fsck`] also sweeps stray atomic-write temporaries, quarantines
+//! members whose containers are beyond salvage, and — under
+//! [`FsckOptions::gc`] — removes cache artifacts orphaned by replaced or
+//! dropped members. Every repair action is idempotent, so a crash during
+//! fsck itself is recovered by running fsck again.
 
 use crate::codec::{read_trace_salvage, SalvageReport};
 use crate::db::{fnv1a, import_resilient, ImportReport, ResilientConfig};
 use crate::event::Trace;
 use crate::filter::FilterConfig;
+use lockdoc_platform::json::{parse as json_parse, Json};
+use lockdoc_platform::vfs::{is_tmp_path, tmp_path, Vfs};
 use std::collections::HashSet;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -153,23 +171,45 @@ pub fn screen_trace(
     )
 }
 
+/// File name of the intent journal inside the corpus directory.
+pub const JOURNAL_FILE: &str = "corpus.journal";
+
+/// Directory (inside the corpus directory) where fsck quarantines
+/// unreadable members.
+pub const QUARANTINE_DIR: &str = ".quarantine";
+
 /// A corpus directory plus its artifact cache directory.
 #[derive(Debug, Clone)]
 pub struct CorpusStore {
     dir: PathBuf,
     cache_dir: PathBuf,
+    vfs: Vfs,
 }
 
 impl CorpusStore {
     /// Opens (creating if needed) a corpus at `dir` with derived
-    /// artifacts under `cache_dir`.
+    /// artifacts under `cache_dir`, on the real filesystem (honoring the
+    /// `LOCKDOC_CRASH_POINT` crash fuse — see
+    /// [`lockdoc_platform::vfs::Vfs::real_from_env`]).
     pub fn open(dir: &Path, cache_dir: &Path) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        fs::create_dir_all(cache_dir)?;
+        Self::open_on(Vfs::real_from_env(), dir, cache_dir)
+    }
+
+    /// Opens a corpus on an explicit filesystem handle — the entry point
+    /// for crash-injection tests running against an in-memory [`Vfs`].
+    pub fn open_on(vfs: Vfs, dir: &Path, cache_dir: &Path) -> io::Result<Self> {
+        vfs.create_dir_all(dir)?;
+        vfs.create_dir_all(cache_dir)?;
         Ok(Self {
             dir: dir.to_path_buf(),
             cache_dir: cache_dir.to_path_buf(),
+            vfs,
         })
+    }
+
+    /// The filesystem handle all store (and caller cache) I/O must use.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
     }
 
     /// The corpus directory.
@@ -187,8 +227,7 @@ impl CorpusStore {
     /// (merging, fingerprints, reports).
     pub fn trace_names(&self) -> io::Result<Vec<String>> {
         let mut names = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
+        for path in self.vfs.read_dir(&self.dir)? {
             if path.extension().and_then(|e| e.to_str()) == Some("ldoc") {
                 if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
                     names.push(name.to_owned());
@@ -216,9 +255,34 @@ impl CorpusStore {
         self.cache_dir.join(file_name)
     }
 
+    /// Path of the intent journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+
+    /// Writes the intent journal (atomically — the journal itself must
+    /// never be torn).
+    fn journal_begin(&self, record: &JournalRecord) -> io::Result<()> {
+        self.vfs
+            .atomic_write(&self.journal_path(), record.render().as_bytes())
+    }
+
+    /// Durably clears the intent journal after the operation's final
+    /// fsync, committing it.
+    fn journal_clear(&self) -> io::Result<()> {
+        self.vfs.remove_file(&self.journal_path())?;
+        self.vfs.fsync_dir(&self.dir)
+    }
+
     /// Copies a container into the corpus under its own file name,
     /// returning the member name. Refuses to overwrite an existing
     /// member (drop it first) so a corpus cannot change silently.
+    ///
+    /// The install is crash-safe: an intent journal is committed first,
+    /// then the member lands via temp file → fsync → rename →
+    /// directory fsync, then the journal is cleared. A crash anywhere
+    /// leaves evidence [`fsck`] resolves to exactly the pre-add or
+    /// post-add corpus.
     pub fn add(&self, src: &Path) -> io::Result<String> {
         let name = src
             .file_name()
@@ -232,31 +296,52 @@ impl CorpusStore {
             })?
             .to_owned();
         let dst = self.trace_path(&name);
-        if dst.exists() {
+        if self.vfs.exists(&dst) {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
                 format!("corpus already contains `{name}`; drop it first"),
             ));
         }
-        fs::copy(src, &dst)?;
+        let bytes = self.vfs.read(src)?;
+        self.journal_begin(&JournalRecord {
+            op: JournalOp::Add,
+            name: name.clone(),
+            checksum: fnv1a(&bytes),
+            len: bytes.len() as u64,
+        })?;
+        let tmp = tmp_path(&dst);
+        self.vfs.write(&tmp, &bytes)?;
+        self.vfs.fsync_file(&tmp)?;
+        self.vfs.rename(&tmp, &dst)?;
+        self.vfs.fsync_dir(&self.dir)?;
+        self.journal_clear()?;
         Ok(name)
     }
 
-    /// Removes a member container from the corpus.
+    /// Removes a member container from the corpus, journaled the same
+    /// way as [`CorpusStore::add`].
     pub fn drop_trace(&self, name: &str) -> io::Result<()> {
         let path = self.trace_path(name);
-        if !path.exists() {
+        if !self.vfs.exists(&path) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("no such corpus member: `{name}`"),
             ));
         }
-        fs::remove_file(path)
+        self.journal_begin(&JournalRecord {
+            op: JournalOp::Drop,
+            name: name.to_owned(),
+            checksum: 0,
+            len: 0,
+        })?;
+        self.vfs.remove_file(&path)?;
+        self.vfs.fsync_dir(&self.dir)?;
+        self.journal_clear()
     }
 
     /// Reads and screens one member.
     pub fn load(&self, name: &str, filter: &FilterConfig, jobs: usize) -> io::Result<LoadedTrace> {
-        let bytes = fs::read(self.trace_path(name))?;
+        let bytes = self.vfs.read(&self.trace_path(name))?;
         let checksum = fnv1a(&bytes);
         let (trace, screen) = screen_trace(&bytes, filter, jobs);
         Ok(LoadedTrace {
@@ -268,12 +353,276 @@ impl CorpusStore {
     }
 }
 
+/// The journaled operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A member install in flight.
+    Add,
+    /// A member removal in flight.
+    Drop,
+}
+
+/// One intent-journal record (the journal holds at most one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// What was in flight.
+    pub op: JournalOp,
+    /// The member being added or dropped.
+    pub name: String,
+    /// Content checksum of the member being installed (adds only) —
+    /// the completion witness fsck checks the destination against.
+    pub checksum: u64,
+    /// Content length of the member being installed (adds only).
+    pub len: u64,
+}
+
+impl JournalRecord {
+    fn render(&self) -> String {
+        Json::obj(vec![
+            (
+                "op",
+                Json::Str(match self.op {
+                    JournalOp::Add => "add".into(),
+                    JournalOp::Drop => "drop".into(),
+                }),
+            ),
+            ("name", Json::Str(self.name.clone())),
+            ("checksum", Json::Str(format!("{:016x}", self.checksum))),
+            ("len", Json::U64(self.len)),
+        ])
+        .compact()
+    }
+
+    /// Parses a journal file; `None` when the journal is unreadable or
+    /// malformed (fsck then discards it — the journal is written
+    /// atomically, so a malformed one never describes a live operation).
+    pub fn parse(bytes: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let v = json_parse(text).ok()?;
+        let op = match v.get("op")?.as_str()? {
+            "add" => JournalOp::Add,
+            "drop" => JournalOp::Drop,
+            _ => return None,
+        };
+        let name = v.get("name")?.as_str()?.to_owned();
+        if !name.ends_with(".ldoc") {
+            return None;
+        }
+        let checksum = u64::from_str_radix(v.get("checksum")?.as_str()?, 16).ok()?;
+        let len = v.get("len")?.as_u64()?;
+        Some(Self {
+            op,
+            name,
+            checksum,
+            len,
+        })
+    }
+}
+
+/// What [`fsck`] may change.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsckOptions {
+    /// Apply repairs (journal recovery, temp sweep, quarantine). Without
+    /// this, fsck only reports what it *would* do.
+    pub repair: bool,
+    /// Also garbage-collect cache artifacts orphaned by replaced or
+    /// dropped members (requires `repair` to actually delete).
+    pub gc: bool,
+}
+
+/// What [`fsck`] found (and, under [`FsckOptions::repair`], did).
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Human-readable description of the journal recovery action, if an
+    /// interrupted operation was found.
+    pub journal_action: Option<String>,
+    /// Stray atomic-write temporaries found (removed under repair).
+    pub stray_tmp: Vec<String>,
+    /// Members screened beyond salvage (moved to the quarantine
+    /// directory under repair).
+    pub quarantined: Vec<String>,
+    /// Cache artifacts not matching any live member (removed under
+    /// repair + gc).
+    pub orphaned: Vec<String>,
+    /// Members screened, by health: (healthy, degraded).
+    pub members: (usize, usize),
+    /// Whether the actions above were applied (i.e. `repair` was set).
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// True when fsck found nothing to do.
+    pub fn is_clean(&self) -> bool {
+        self.journal_action.is_none()
+            && self.stray_tmp.is_empty()
+            && self.quarantined.is_empty()
+            && self.orphaned.is_empty()
+    }
+}
+
+/// Checks — and under [`FsckOptions::repair`] restores — the store's
+/// crash-consistency invariants. The recovery state machine:
+///
+/// 1. **Journal recovery.** A present journal means an `add`/`drop` was
+///    interrupted. For an add: if the destination exists with the
+///    journaled checksum the operation completed — roll *forward* (clear
+///    the journal); if the destination is absent it did not — roll
+///    *back* (discard the temp, clear the journal); a destination with
+///    the wrong checksum (impossible under the fsync ordering, kept as
+///    defense in depth) is removed with the journal. For a drop: the
+///    intent is authoritative — roll forward by removing the member if
+///    it still exists. A malformed journal is discarded.
+/// 2. **Temp sweep.** Stray `*.tmp` atomic-write leftovers in the corpus
+///    and cache directories are removed.
+/// 3. **Screening.** Every member is screened; unreadable ones are moved
+///    into `.quarantine/` so they stop shadowing the member namespace
+///    (the salvage path already keeps degraded members usable).
+/// 4. **GC** (opt-in). Per-member cache artifacts
+///    (`<name>.<checksum>.<ext>`) whose (name, checksum) no longer
+///    matches a live member are removed; non-member-keyed cache files
+///    (e.g. the rules cache, which validates by fingerprint) are kept.
+///
+/// Every step is idempotent and ordered so that a crash *during* fsck is
+/// itself recovered by running fsck again.
+pub fn fsck(
+    store: &CorpusStore,
+    filter: &FilterConfig,
+    jobs: usize,
+    opts: FsckOptions,
+) -> io::Result<FsckReport> {
+    let vfs = store.vfs().clone();
+    let mut report = FsckReport {
+        repaired: opts.repair,
+        ..FsckReport::default()
+    };
+
+    // 1. Journal recovery.
+    let jpath = store.journal_path();
+    if vfs.exists(&jpath) {
+        let record = JournalRecord::parse(&vfs.read(&jpath)?);
+        let action = match &record {
+            Some(r) if r.op == JournalOp::Add => {
+                let dst = store.trace_path(&r.name);
+                match vfs.read(&dst) {
+                    Ok(bytes) if fnv1a(&bytes) == r.checksum && bytes.len() as u64 == r.len => {
+                        format!("rolled forward interrupted add of `{}`", r.name)
+                    }
+                    Ok(_) => {
+                        if opts.repair {
+                            vfs.remove_file(&dst)?;
+                        }
+                        format!("rolled back torn add of `{}` (checksum mismatch)", r.name)
+                    }
+                    Err(_) => format!("rolled back interrupted add of `{}`", r.name),
+                }
+            }
+            Some(r) => {
+                let dst = store.trace_path(&r.name);
+                if vfs.exists(&dst) {
+                    if opts.repair {
+                        vfs.remove_file(&dst)?;
+                    }
+                    format!("rolled forward interrupted drop of `{}`", r.name)
+                } else {
+                    format!("completed interrupted drop of `{}`", r.name)
+                }
+            }
+            None => "discarded malformed journal".to_owned(),
+        };
+        if opts.repair {
+            vfs.fsync_dir(store.dir())?;
+            vfs.remove_file(&jpath)?;
+            vfs.fsync_dir(store.dir())?;
+        }
+        report.journal_action = Some(action);
+    }
+
+    // 2. Stray atomic-write temporaries.
+    for dir in [store.dir(), store.cache_dir()] {
+        for path in vfs.read_dir(dir)? {
+            if is_tmp_path(&path) {
+                report.stray_tmp.push(
+                    path.file_name()
+                        .unwrap_or_default()
+                        .to_string_lossy()
+                        .into(),
+                );
+                if opts.repair {
+                    vfs.remove_file(&path)?;
+                }
+            }
+        }
+    }
+
+    // 3. Screen members; quarantine the unreadable.
+    let mut live: Vec<(String, u64)> = Vec::new();
+    for name in store.trace_names()? {
+        let loaded = store.load(&name, filter, jobs)?;
+        match loaded.screen.health {
+            Health::Unreadable => {
+                report.quarantined.push(name.clone());
+                if opts.repair {
+                    let qdir = store.dir().join(QUARANTINE_DIR);
+                    vfs.create_dir_all(&qdir)?;
+                    vfs.rename(&store.trace_path(&name), &qdir.join(&name))?;
+                    vfs.fsync_dir(store.dir())?;
+                    vfs.fsync_dir(&qdir)?;
+                }
+            }
+            Health::Healthy => {
+                report.members.0 += 1;
+                live.push((name, loaded.checksum));
+            }
+            Health::Degraded => {
+                report.members.1 += 1;
+                live.push((name, loaded.checksum));
+            }
+        }
+    }
+
+    // 4. Orphaned per-member cache artifacts.
+    if opts.gc {
+        for path in vfs.read_dir(store.cache_dir())? {
+            let Some(file) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some((name, checksum)) = parse_artifact_name(file) else {
+                continue; // corpus-wide cache files are not member-keyed
+            };
+            if !live.iter().any(|(n, c)| *n == name && *c == checksum) {
+                report.orphaned.push(file.to_owned());
+                if opts.repair {
+                    vfs.remove_file(&path)?;
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// Splits a per-member artifact file name `<member>.<checksum:016x>.<ext>`
+/// into its member name and checksum; `None` for any other shape.
+fn parse_artifact_name(file: &str) -> Option<(String, u64)> {
+    let (stem, _ext) = file.rsplit_once('.')?;
+    let (name, hex) = stem.rsplit_once('.')?;
+    if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let checksum = u64::from_str_radix(hex, 16).ok()?;
+    if !name.ends_with(".ldoc") {
+        return None;
+    }
+    Some((name.to_owned(), checksum))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::codec::write_trace;
     use crate::event::{AccessKind, DataTypeDef, Event, MemberDef, SourceLoc};
     use crate::ids::AllocId;
+    use std::fs;
 
     fn toy_trace() -> Trace {
         let mut tr = Trace::new();
@@ -353,6 +702,215 @@ mod tests {
             .unwrap()
             .ends_with("a.ldoc.000000000000abcd.ldmtx"));
         fs::remove_dir_all(&base).ok();
+    }
+
+    /// A store on a fresh in-memory filesystem with the given members
+    /// already installed (via the journaled add path).
+    fn mem_store(members: &[&str]) -> CorpusStore {
+        let vfs = Vfs::mem();
+        vfs.create_dir_all(Path::new("/in")).unwrap();
+        let store =
+            CorpusStore::open_on(vfs.clone(), Path::new("/corpus"), Path::new("/cache")).unwrap();
+        for name in members {
+            let src = Path::new("/in").join(name);
+            vfs.write(&src, &container()).unwrap();
+            store.add(&src).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn fsck_rolls_interrupted_adds_forward_and_back() {
+        let filter = FilterConfig::with_defaults();
+        let opts = FsckOptions {
+            repair: true,
+            gc: false,
+        };
+
+        // Completed add, journal not yet cleared -> roll forward.
+        let store = mem_store(&["a.ldoc"]);
+        let rec = JournalRecord {
+            op: JournalOp::Add,
+            name: "a.ldoc".into(),
+            checksum: fnv1a(&container()),
+            len: container().len() as u64,
+        };
+        store
+            .vfs()
+            .atomic_write(&store.journal_path(), rec.render().as_bytes())
+            .unwrap();
+        let report = fsck(&store, &filter, 1, opts).unwrap();
+        assert!(report.journal_action.unwrap().contains("rolled forward"));
+        assert_eq!(store.trace_names().unwrap(), vec!["a.ldoc"]);
+
+        // Destination never landed -> roll back (journal + stray tmp go).
+        let store = mem_store(&[]);
+        let rec = JournalRecord {
+            op: JournalOp::Add,
+            name: "b.ldoc".into(),
+            checksum: 1,
+            len: 1,
+        };
+        store
+            .vfs()
+            .atomic_write(&store.journal_path(), rec.render().as_bytes())
+            .unwrap();
+        store
+            .vfs()
+            .write(&tmp_path(&store.trace_path("b.ldoc")), b"partial")
+            .unwrap();
+        let report = fsck(&store, &filter, 1, opts).unwrap();
+        assert!(report.journal_action.unwrap().contains("rolled back"));
+        assert_eq!(report.stray_tmp, vec!["b.ldoc.tmp"]);
+        assert!(store.trace_names().unwrap().is_empty());
+
+        // Destination present with the WRONG checksum -> defensive removal.
+        let store = mem_store(&["c.ldoc"]);
+        let rec = JournalRecord {
+            op: JournalOp::Add,
+            name: "c.ldoc".into(),
+            checksum: 0xdead,
+            len: 4,
+        };
+        store
+            .vfs()
+            .atomic_write(&store.journal_path(), rec.render().as_bytes())
+            .unwrap();
+        let report = fsck(&store, &filter, 1, opts).unwrap();
+        assert!(report.journal_action.unwrap().contains("torn add"));
+        assert!(store.trace_names().unwrap().is_empty());
+
+        // Interrupted drop -> the intent wins; the member is removed.
+        let store = mem_store(&["d.ldoc"]);
+        let rec = JournalRecord {
+            op: JournalOp::Drop,
+            name: "d.ldoc".into(),
+            checksum: 0,
+            len: 0,
+        };
+        store
+            .vfs()
+            .atomic_write(&store.journal_path(), rec.render().as_bytes())
+            .unwrap();
+        let report = fsck(&store, &filter, 1, opts).unwrap();
+        assert!(report.journal_action.unwrap().contains("drop"));
+        assert!(store.trace_names().unwrap().is_empty());
+
+        // Malformed journal -> discarded; fsck is then clean (idempotent).
+        let store = mem_store(&["e.ldoc"]);
+        store
+            .vfs()
+            .atomic_write(&store.journal_path(), b"{ not json")
+            .unwrap();
+        let report = fsck(&store, &filter, 1, opts).unwrap();
+        assert_eq!(
+            report.journal_action.as_deref(),
+            Some("discarded malformed journal")
+        );
+        let again = fsck(&store, &filter, 1, opts).unwrap();
+        assert!(again.is_clean(), "fsck not idempotent: {again:?}");
+        assert_eq!(again.members, (1, 0));
+    }
+
+    #[test]
+    fn fsck_quarantines_unreadable_and_gcs_orphans() {
+        let filter = FilterConfig::with_defaults();
+        let store = mem_store(&["a.ldoc"]);
+        let vfs = store.vfs().clone();
+
+        // An unreadable member (garbage container) and three cache files:
+        // a live artifact, an orphaned artifact, and the rules cache.
+        vfs.write(&store.trace_path("junk.ldoc"), b"not a trace")
+            .unwrap();
+        let live_sum = fnv1a(&container());
+        vfs.write(&store.artifact_path("a.ldoc", live_sum, "ldmtx"), b"live")
+            .unwrap();
+        vfs.write(&store.artifact_path("a.ldoc", 0x1234, "ldmtx"), b"stale")
+            .unwrap();
+        vfs.write(&store.corpus_file("corpus.rules.json"), b"{}")
+            .unwrap();
+
+        // Dry run reports but changes nothing.
+        let dry = fsck(
+            &store,
+            &filter,
+            1,
+            FsckOptions {
+                repair: false,
+                gc: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(dry.quarantined, vec!["junk.ldoc"]);
+        assert_eq!(dry.orphaned.len(), 1);
+        assert!(!dry.repaired);
+        assert_eq!(store.trace_names().unwrap().len(), 2);
+
+        let report = fsck(
+            &store,
+            &filter,
+            1,
+            FsckOptions {
+                repair: true,
+                gc: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.quarantined, vec!["junk.ldoc"]);
+        assert_eq!(report.orphaned.len(), 1);
+        assert!(report.orphaned[0].contains("0000000000001234"));
+        assert_eq!(store.trace_names().unwrap(), vec!["a.ldoc"]);
+        assert!(vfs.exists(&store.dir().join(QUARANTINE_DIR).join("junk.ldoc")));
+        assert!(vfs.exists(&store.artifact_path("a.ldoc", live_sum, "ldmtx")));
+        assert!(!vfs.exists(&store.artifact_path("a.ldoc", 0x1234, "ldmtx")));
+        assert!(vfs.exists(&store.corpus_file("corpus.rules.json")));
+
+        let again = fsck(
+            &store,
+            &filter,
+            1,
+            FsckOptions {
+                repair: true,
+                gc: true,
+            },
+        )
+        .unwrap();
+        assert!(again.is_clean(), "fsck not idempotent: {again:?}");
+    }
+
+    #[test]
+    fn journal_records_round_trip_and_reject_garbage() {
+        let rec = JournalRecord {
+            op: JournalOp::Add,
+            name: "x.ldoc".into(),
+            checksum: 0xfeed_beef_dead_cafe,
+            len: 42,
+        };
+        assert_eq!(JournalRecord::parse(rec.render().as_bytes()), Some(rec));
+        let drop = JournalRecord {
+            op: JournalOp::Drop,
+            name: "y.ldoc".into(),
+            checksum: 0,
+            len: 0,
+        };
+        assert_eq!(JournalRecord::parse(drop.render().as_bytes()), Some(drop));
+        assert_eq!(JournalRecord::parse(b"{}"), None);
+        assert_eq!(JournalRecord::parse(b"\xff\xfe"), None);
+        assert_eq!(
+            JournalRecord::parse(br#"{"op":"add","name":"no-suffix","checksum":"0","len":0}"#),
+            None
+        );
+    }
+
+    #[test]
+    fn artifact_names_parse_only_member_keyed_files() {
+        assert_eq!(
+            parse_artifact_name("a.ldoc.000000000000abcd.ldmtx"),
+            Some(("a.ldoc".to_owned(), 0xabcd))
+        );
+        assert_eq!(parse_artifact_name("corpus.rules.json"), None);
+        assert_eq!(parse_artifact_name("a.ldoc.xyz.ldmtx"), None);
+        assert_eq!(parse_artifact_name("a.ldoc.0000000000abcd.ldmtx"), None);
     }
 
     #[test]

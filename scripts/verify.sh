@@ -145,6 +145,49 @@ grep -q '"ok":true' "$GATE_DIR/serve.1.txt" \
     || { echo "serve --once answered no query" >&2; exit 1; }
 echo "corpus/serve determinism gate: OK (byte-identical at --jobs 1 and 4)"
 
+# --- crash-recovery gate -------------------------------------------------------
+# Interrupting `corpus add` at a fixed injection point (the
+# LOCKDOC_CRASH_POINT fuse exits with status 21 at mutating vfs
+# operation k) must leave a store that `fsck --repair` returns to
+# exactly the pre-op or post-op state, with a byte-identical export
+# afterwards (DESIGN.md §5.8; exhaustive in-memory twin: tests/crash.rs).
+# Point 6 is the member rename — intent journaled but the member not yet
+# visible, so fsck rolls the add back; point 8 is the journal cleanup —
+# the member is durable, so fsck rolls it forward.
+CRASH_DIR="$GATE_DIR/crash-corpus"
+REF_DIR="$GATE_DIR/crash-ref"
+mkdir -p "$REF_DIR"
+"$LOCKDOC" corpus add "$GATE_DIR/c1.ldoc" --dir "$REF_DIR" > /dev/null
+"$LOCKDOC" corpus export --dir "$REF_DIR" --out "$GATE_DIR/crash-ref.ldoc" \
+    > /dev/null
+for point in 6 8; do
+    rm -rf "$CRASH_DIR"
+    mkdir -p "$CRASH_DIR"
+    set +e
+    LOCKDOC_CRASH_POINT=$point "$LOCKDOC" corpus add "$GATE_DIR/c1.ldoc" \
+        --dir "$CRASH_DIR" > /dev/null 2>&1
+    status=$?
+    set -e
+    [ "$status" -eq 21 ] \
+        || { echo "crash fuse at point $point did not fire (exit $status)" >&2; exit 1; }
+    "$LOCKDOC" fsck --dir "$CRASH_DIR" --repair --gc > "$GATE_DIR/fsck.$point.txt"
+    grep -q "fsck: repaired" "$GATE_DIR/fsck.$point.txt" \
+        || { echo "fsck after crash at point $point repaired nothing" >&2; exit 1; }
+    "$LOCKDOC" fsck --dir "$CRASH_DIR" > "$GATE_DIR/fsck.$point.again.txt"
+    grep -q "fsck: clean" "$GATE_DIR/fsck.$point.again.txt" \
+        || { echo "fsck after crash at point $point did not converge" >&2; exit 1; }
+    if [ "$point" -eq 6 ]; then
+        # Rolled back: the member never became visible; re-adding it must
+        # now succeed cleanly.
+        "$LOCKDOC" corpus add "$GATE_DIR/c1.ldoc" --dir "$CRASH_DIR" > /dev/null
+    fi
+    "$LOCKDOC" corpus export --dir "$CRASH_DIR" \
+        --out "$GATE_DIR/crash-$point.ldoc" > /dev/null
+    cmp "$GATE_DIR/crash-ref.ldoc" "$GATE_DIR/crash-$point.ldoc" \
+        || { echo "export after crash at point $point differs from reference" >&2; exit 1; }
+done
+echo "crash-recovery gate: OK (roll-back and roll-forward both byte-identical)"
+
 # --- invariant -> test traceability matrix ------------------------------------
 scripts/check_traceability.sh
 
@@ -158,6 +201,17 @@ if [ -n "${LOCKDOC_PROPS_ITERS:-}" ]; then
     LOCKDOC_PROP_CASES="${LOCKDOC_PROPS_ITERS}" \
         cargo test -q --offline --test corruption
     echo "corruption soak: OK"
+fi
+
+# --- crash-consistency soak (optional) ----------------------------------------
+# LOCKDOC_CRASH_ITERS=N re-runs the exhaustive crash-recovery property
+# (tests/crash.rs) with N adversarial replay seeds per injection point
+# (default CI runs use 1 seed per point).
+if [ -n "${LOCKDOC_CRASH_ITERS:-}" ]; then
+    echo "crash soak: ${LOCKDOC_CRASH_ITERS} adversarial seeds per injection point"
+    LOCKDOC_CRASH_ITERS="${LOCKDOC_CRASH_ITERS}" \
+        cargo test -q --offline --test crash
+    echo "crash soak: OK"
 fi
 
 echo "verify: OK"

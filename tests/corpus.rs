@@ -194,6 +194,109 @@ fn stale_matrix_artifact_is_a_clean_miss() {
 }
 
 #[test]
+fn truncated_artifacts_are_clean_misses() {
+    use lockdoc_platform::rng::Rng;
+
+    let base = fresh_dir("lockdoc-suite-corpus-truncate");
+    let t1 = base.join("a.ldoc");
+    let t2 = base.join("b.ldoc");
+    record(&t1, "51", None);
+    record(&t2, "52", Some("pipes=1"));
+    let corpus = base.join("corpus");
+    let d = corpus.to_str().unwrap();
+    let baseline = run(&s(&[
+        "corpus",
+        "add",
+        t1.to_str().unwrap(),
+        t2.to_str().unwrap(),
+        "--dir",
+        d,
+    ]))
+    .unwrap();
+    let cache = corpus.join(".lockdoc-cache");
+
+    // Deterministic coverage of the interesting offsets plus seeded
+    // samples (LOCKDOC_PROP_SEED overrides the sampling seed).
+    let seed: u64 = std::env::var("LOCKDOC_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x7451c0);
+    let offsets_of = |len: usize, rng: &mut Rng| -> Vec<usize> {
+        let mut offs = vec![0, 1, len / 2, len.saturating_sub(1)];
+        for _ in 0..3 {
+            offs.push(rng.gen_range(0..len));
+        }
+        offs.retain(|&o| o < len);
+        offs
+    };
+    let mut rng = Rng::seed_from_u64(seed);
+
+    // A matrix artifact truncated at any offset is a miss: the member is
+    // rebuilt and the rules do not change (and never panic).
+    let ldmtx: Vec<PathBuf> = fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("ldmtx"))
+        .collect();
+    let victim = ldmtx.first().expect("matrix artifact");
+    let full = fs::read(victim).unwrap();
+    for off in offsets_of(full.len(), &mut rng) {
+        fs::write(victim, &full[..off]).unwrap();
+        let rebuilt = run(&s(&["corpus", "build", "--dir", d])).unwrap();
+        assert!(
+            rebuilt.contains("matrices: 1 cached, 1 rebuilt"),
+            "ldmtx truncated at {off} was not a clean miss:\n{rebuilt}"
+        );
+        assert_eq!(
+            rules_of(&baseline),
+            rules_of(&rebuilt),
+            "ldmtx truncated at {off} changed the rules"
+        );
+    }
+
+    // Same for the corpus rules cache: every group merely re-derives.
+    let rules_cache = cache.join("corpus.rules.json");
+    let full = fs::read(&rules_cache).unwrap();
+    for off in offsets_of(full.len(), &mut rng) {
+        fs::write(&rules_cache, &full[..off]).unwrap();
+        let rebuilt = run(&s(&["corpus", "build", "--dir", d])).unwrap();
+        assert_eq!(
+            rules_of(&baseline),
+            rules_of(&rebuilt),
+            "rules cache truncated at {off} changed the rules"
+        );
+    }
+
+    // And for the single-trace columnar archive (LDARCH1): a truncated
+    // archive re-imports from the container, byte-identically.
+    let adir = base.join("archive-cache");
+    let races_args = s(&[
+        "races",
+        "--trace",
+        t1.to_str().unwrap(),
+        "--cache-dir",
+        adir.to_str().unwrap(),
+        "--json",
+    ]);
+    let fresh = run(&races_args).unwrap();
+    let archive: PathBuf = fs::read_dir(&adir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().and_then(|x| x.to_str()) == Some("ldarc"))
+        .expect("archive written");
+    let full = fs::read(&archive).unwrap();
+    for off in offsets_of(full.len(), &mut rng) {
+        fs::write(&archive, &full[..off]).unwrap();
+        let again = run(&races_args).unwrap();
+        assert_eq!(
+            fresh, again,
+            "archive truncated at {off} changed the races output"
+        );
+    }
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
 fn serve_once_matches_batch_and_survives_ingest() {
     let base = fresh_dir("lockdoc-suite-corpus-serve");
     let t1 = base.join("a.ldoc");
