@@ -47,6 +47,7 @@ fn lint_once(db: &TraceDb, jobs: usize) -> lockdoc_core::LintReport {
             violations: &violations,
             races: &races,
             order: &order,
+            statics: None,
         },
         jobs,
     )

@@ -1,0 +1,130 @@
+//! Scaling of the static outlier lockset analysis across worker counts.
+//!
+//! Renders the seeded ground-truth source tree (`ksim::srcgen`, the same
+//! corpus `lockdoc xcheck` analyzes by default), runs the full static
+//! pipeline — parse, CFG construction, context-sensitive lockset
+//! propagation, outlier mining — at `jobs = 1, 2, 4`, and reports
+//! observation sites/second plus the speedup over the serial pass.
+//!
+//! Two gates run before anything is timed, because a scaling number for
+//! a wrong answer is worthless: the report must be *equal* at every
+//! worker count, and the findings must recover the renderer's
+//! injected-outlier oracle exactly (every planted `file:line`, nothing
+//! else).
+//!
+//! Results land in `BENCH_static.json` at the repository root. On a
+//! single-core container the speedup stays ~1x by construction, so the
+//! speedup acceptance check (>= 1.5x at jobs = 4) only arms when four
+//! cores are actually available and the bench is not in quick mode.
+//!
+//! Runs on the in-tree `lockdoc_platform::timing` harness; set
+//! `LOCKDOC_BENCH_QUICK=1` for a single-iteration smoke run.
+
+use ksim::srcgen::{render, SrcGenConfig};
+use lockdoc_platform::json::Json;
+use lockdoc_platform::par::available_jobs;
+use lockdoc_platform::timing::Bench;
+use locksrc::{analyze_tree, MinerConfig};
+use std::collections::BTreeSet;
+
+fn main() {
+    let quick = std::env::var("LOCKDOC_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let sites_per_rule = if quick { 6 } else { 40 };
+    let corpus = render(&SrcGenConfig {
+        seed: 42,
+        sites_per_rule,
+    });
+    let loc: usize = corpus.files.iter().map(|(_, c)| c.lines().count()).sum();
+    println!(
+        "corpus: {} files, {loc} lines, {} planted outliers ({sites_per_rule} sites/rule)",
+        corpus.files.len(),
+        corpus.planted.len()
+    );
+
+    let cfg = MinerConfig::default();
+
+    // Identity gate: every worker count must produce an equal report.
+    let serial = analyze_tree(&corpus.files, &cfg, 1);
+    for jobs in [2usize, 4, 8] {
+        assert_eq!(
+            analyze_tree(&corpus.files, &cfg, jobs),
+            serial,
+            "static report differs at jobs = {jobs}"
+        );
+    }
+
+    // Oracle gate: the findings are exactly the planted deviations.
+    let reported: BTreeSet<(String, u32)> = serial
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    assert_eq!(
+        reported,
+        corpus.planted_sites(),
+        "static findings must equal the injected-outlier oracle"
+    );
+
+    let sites = serial.sites;
+    let mut b = Bench::from_env();
+    let job_counts = [1usize, 2, 4];
+    for &jobs in &job_counts {
+        b.run(&format!("static/{sites}-sites/jobs-{jobs}"), || {
+            analyze_tree(&corpus.files, &cfg, jobs)
+        });
+    }
+
+    let results = b.results().to_vec();
+    let base = results[0].ns_per_iter();
+    let mut json_runs = Vec::new();
+    for (i, &jobs) in job_counts.iter().enumerate() {
+        let m = &results[i];
+        let sps = sites as f64 / (m.ns_per_iter() / 1e9);
+        let speedup = base / m.ns_per_iter();
+        println!(
+            "bench {:<44} {:>12.0} sites/s, speedup vs jobs-1: {:.2}x",
+            m.name, sps, speedup
+        );
+        json_runs.push(Json::obj(vec![
+            ("jobs", Json::U64(jobs as u64)),
+            ("ns_per_iter", Json::F64(m.ns_per_iter())),
+            ("sites_per_sec", Json::F64(sps)),
+            ("speedup_vs_serial", Json::F64(speedup)),
+        ]));
+    }
+
+    let cores = available_jobs();
+    let report = Json::obj(vec![
+        ("bench", Json::Str("static_analysis_scaling".into())),
+        ("quick", Json::Bool(quick)),
+        ("files", Json::U64(corpus.files.len() as u64)),
+        ("lines", Json::U64(loc as u64)),
+        ("functions", Json::U64(serial.functions)),
+        ("sites", Json::U64(sites)),
+        ("planted_outliers", Json::U64(corpus.planted.len() as u64)),
+        ("findings", Json::U64(serial.findings.len() as u64)),
+        ("available_cores", Json::U64(cores as u64)),
+        (
+            "identity_gate",
+            Json::Str("passed for jobs in {2,4,8}".into()),
+        ),
+        (
+            "oracle_gate",
+            Json::Str("findings equal planted sites".into()),
+        ),
+        ("runs", Json::Arr(json_runs)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_static.json");
+    std::fs::write(out, report.pretty() + "\n").expect("write BENCH_static.json");
+    println!("wrote {out}");
+
+    println!("note: machine reports {cores} available core(s); speedup saturates there");
+    if !quick && cores >= 4 {
+        let at4 = results[2].ns_per_iter();
+        let speedup = base / at4;
+        assert!(
+            speedup >= 1.5,
+            "expected >= 1.5x speedup at jobs = 4 on a {cores}-core machine, got {speedup:.2}x"
+        );
+    }
+}

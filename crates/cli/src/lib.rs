@@ -28,6 +28,7 @@
 
 pub mod corpus;
 pub mod serve;
+pub mod xcheck;
 
 use ksim::config::SimConfig;
 use ksim::parallel::run_mix_sharded;
@@ -185,8 +186,11 @@ USAGE:
   lockdoc doc        --trace FILE [--group NAME] [--jobs N]
   lockdoc violations --trace FILE [--t-ac X] [--max-examples N] [--jobs N] [--json]
   lockdoc races      --trace FILE [--jobs N] [--json]
-  lockdoc lint       --trace FILE [--rules FILE] [--t-ac X] [--jobs N] [--json]
-  lockdoc scan       --dir PATH [--json]
+  lockdoc lint       --trace FILE [--rules FILE] [--t-ac X] [--static-src DIR]
+                     [--jobs N] [--json]
+  lockdoc scan       --dir PATH [--per-file] [--per-release] [--jobs N] [--json]
+  lockdoc xcheck     [--trace FILE] [--src DIR | --seed N [--sites-per-rule N]]
+                     [--jobs N] [--json]
   lockdoc diff       --old FILE --new FILE [--t-ac X]
   lockdoc order      --trace FILE [--jobs N] [--json]
   lockdoc fuzz       [--budget N] [--ops N] [--seed N] [--shards N]
@@ -221,7 +225,19 @@ flows, IRQ/flow exclusion as pseudo-locks) is empty, each with a concrete
 two-access witness pair. `lint` joins that with mined rules, documented-rule
 checking, violations, and the lock-order graph into ranked findings
 (CONFIRMED / PROBABLE / SUSPECT / DOWNGRADED) plus doc-vs-observed
-lock-order conflicts.
+lock-order conflicts. `lint --static-src DIR` additionally runs the
+static outlier lockset analysis over a C-like source tree and uses its
+per-member outliers as a fourth evidence source (a SUSPECT finding with
+static corroboration is promoted to PROBABLE).
+
+`scan` counts locking-primitive usage per source tree; `--per-release`
+breaks the counts down by top-level subdirectory and `--per-file` by
+file. `xcheck` cross-validates the static outlier analysis against the
+dynamic passes: it analyzes `--src DIR` (or, by default, a seeded
+ground-truth tree with an exact injected-outlier oracle, scored as
+oracle precision/recall) and, when `--trace FILE` is given, joins the
+static findings with races/checker/violations/lint by (type, member),
+reporting per-pass precision and recall.
 
 `import --lenient` salvages damaged containers and quarantines corrupt
 events (up to `--max-bad-frac`, default 0.05); `import --strict` refuses
@@ -802,17 +818,37 @@ pub fn cmd_violations(args: &Args) -> Result<String> {
     Ok(out)
 }
 
-/// `lockdoc scan`: walks a directory of C sources.
+/// One aggregate scan line (shared by the total and the breakdowns).
+fn scan_counts_line(c: &locksrc::scan::LockUsageCounts) -> String {
+    format!(
+        "{} spinlock inits, {} mutex inits, {} rwlock inits, \
+         {} rwsem inits, {} seqlock inits, {} semaphore inits, {} rcu usages, {} LoC",
+        c.spinlock_inits,
+        c.mutex_inits,
+        c.rwlock_inits,
+        c.rwsem_inits,
+        c.seqlock_inits,
+        c.semaphore_inits,
+        c.rcu_usages,
+        c.loc
+    )
+}
+
+/// `lockdoc scan`: walks a directory of C sources, scanning files in
+/// parallel (sorted paths, byte-identical at any `--jobs`). `--per-file`
+/// breaks the counts down per source file; `--per-release` groups by
+/// first path component below `--dir` (the layout of per-release corpus
+/// dumps and of `linux-vX.Y/` checkout collections).
 pub fn cmd_scan(args: &Args) -> Result<String> {
     let dir = args
         .get("dir")
         .ok_or_else(|| CliError::Usage("--dir PATH is required".into()))?;
-    if !Path::new(dir).exists() {
+    let root = Path::new(dir);
+    if !root.exists() {
         return Err(CliError::Usage(format!("no such directory: {dir}")));
     }
-    let mut total = locksrc::scan::LockUsageCounts::default();
-    let mut files = 0usize;
-    let mut stack = vec![Path::new(dir).to_path_buf()];
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
     while let Some(path) = stack.pop() {
         if path.is_dir() {
             for entry in fs::read_dir(&path)? {
@@ -822,30 +858,98 @@ pub fn cmd_scan(args: &Args) -> Result<String> {
             path.extension().and_then(|e| e.to_str()),
             Some("c") | Some("h")
         ) {
-            let src = fs::read_to_string(&path).unwrap_or_default();
-            total.merge(&locksrc::scan_source(&src));
-            files += 1;
+            paths.push(path);
         }
     }
+    paths.sort();
+    let jobs = args.jobs()?;
+    let per_file: Vec<(String, locksrc::scan::LockUsageCounts)> =
+        lockdoc_platform::par::par_map(jobs, &paths, |path| {
+            let src = fs::read_to_string(path).unwrap_or_default();
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            (rel, locksrc::scan_source(&src))
+        });
+    let mut total = locksrc::scan::LockUsageCounts::default();
+    for (_, c) in &per_file {
+        total.merge(c);
+    }
+    let files = per_file.len();
+    // Per-release rollup: first path component under --dir ("." for
+    // files directly inside it).
+    let mut per_release: Vec<(String, u64, locksrc::scan::LockUsageCounts)> = Vec::new();
+    if args.has("per-release") {
+        let mut by_release: std::collections::BTreeMap<String, (u64, _)> =
+            std::collections::BTreeMap::new();
+        for (rel, c) in &per_file {
+            let release = match rel.split_once('/') {
+                Some((first, _)) => first.to_owned(),
+                None => ".".to_owned(),
+            };
+            let entry = by_release
+                .entry(release)
+                .or_insert((0u64, locksrc::scan::LockUsageCounts::default()));
+            entry.0 += 1;
+            entry.1.merge(c);
+        }
+        per_release = by_release
+            .into_iter()
+            .map(|(r, (n, c))| (r, n, c))
+            .collect();
+    }
     if args.has("json") {
-        let v = Json::obj(vec![
+        let mut fields = vec![
             ("files", (files as u64).to_json()),
             ("counts", total.to_json()),
-        ]);
-        return Ok(v.pretty());
+        ];
+        if args.has("per-release") {
+            fields.push((
+                "per_release",
+                Json::Arr(
+                    per_release
+                        .iter()
+                        .map(|(r, n, c)| {
+                            Json::obj(vec![
+                                ("release", r.to_json()),
+                                ("files", n.to_json()),
+                                ("counts", c.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if args.has("per-file") {
+            fields.push((
+                "per_file",
+                Json::Arr(
+                    per_file
+                        .iter()
+                        .map(|(p, c)| {
+                            Json::obj(vec![("path", p.to_json()), ("counts", c.to_json())])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        return Ok(Json::obj(fields).pretty());
     }
-    Ok(format!(
-        "{files} files: {} spinlock inits, {} mutex inits, {} rwlock inits, \
-         {} rwsem inits, {} seqlock inits, {} semaphore inits, {} rcu usages, {} LoC",
-        total.spinlock_inits,
-        total.mutex_inits,
-        total.rwlock_inits,
-        total.rwsem_inits,
-        total.seqlock_inits,
-        total.semaphore_inits,
-        total.rcu_usages,
-        total.loc
-    ))
+    let mut out = format!("{files} files: {}", scan_counts_line(&total));
+    for (release, n, c) in &per_release {
+        out.push_str(&format!(
+            "\n  {release}: {n} files, {}",
+            scan_counts_line(c)
+        ));
+    }
+    if args.has("per-file") {
+        for (p, c) in &per_file {
+            out.push_str(&format!("\n  {p}: {}", scan_counts_line(c)));
+        }
+    }
+    Ok(out)
 }
 
 /// `lockdoc order`: lock-order graph, inversions and deadlock-potential
@@ -872,7 +976,9 @@ pub fn cmd_races(args: &Args) -> Result<String> {
 
 /// `lockdoc lint`: cross-pass consistency lint — joins mined rules,
 /// documented-rule checking, violations, race candidates, and the
-/// lock-order graph into ranked findings.
+/// lock-order graph into ranked findings. With `--static-src DIR` the
+/// static outlier pass over that source tree joins as a fourth
+/// evidence source.
 pub fn cmd_lint(args: &Args) -> Result<String> {
     let db = load_db(args)?;
     let t_ac: f64 = args.num("t-ac", 0.9f64)?;
@@ -887,6 +993,14 @@ pub fn cmd_lint(args: &Args) -> Result<String> {
     let violations = find_violations_par(&db, &mined, 3, jobs);
     let races = find_races_par(&db, jobs);
     let order = OrderGraph::build_par(&db, jobs);
+    let statics = match args.get("static-src") {
+        Some(dir) => {
+            let files = xcheck::collect_source_files(Path::new(dir))?;
+            let report = locksrc::analyze_tree(&files, &locksrc::MinerConfig::default(), jobs);
+            Some(xcheck::to_static_evidence(&report))
+        }
+        None => None,
+    };
     let report = lint(
         &db,
         &LintInputs {
@@ -895,6 +1009,7 @@ pub fn cmd_lint(args: &Args) -> Result<String> {
             violations: &violations,
             races: &races,
             order: &order,
+            statics: statics.as_ref(),
         },
         jobs,
     );
@@ -961,6 +1076,7 @@ pub fn run(raw: &[String]) -> Result<String> {
         "races" => cmd_races(&args),
         "lint" => cmd_lint(&args),
         "scan" => cmd_scan(&args),
+        "xcheck" => xcheck::cmd_xcheck(&args),
         "diff" => cmd_diff(&args),
         "order" => cmd_order(&args),
         "fuzz" => cmd_fuzz(&args),

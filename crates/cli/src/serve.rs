@@ -185,6 +185,7 @@ fn build_snapshot(ctx: &CorpusCtx) -> Result<Snapshot> {
             violations: &violations,
             races: &races,
             order: &order,
+            statics: None,
         },
         jobs,
     );

@@ -11,7 +11,9 @@ use crate::corpus::{CorpusGroupEntry, CorpusRulesCache};
 use crate::derive::{DeriveConfig, GroupRules, MinedRule, MinedRules};
 use crate::feedback::AnalysisSignal;
 use crate::hypothesis::{Hypothesis, HypothesisSet, Observation};
-use crate::lint::{LintFinding, LintReport, OrderConflict, Severity};
+use crate::lint::{
+    LintFinding, LintReport, OrderConflict, Severity, StaticEvidence, StaticMemberEvidence,
+};
 use crate::lockset::LockDescriptor;
 use crate::order::{Inversion, LockClass, OrderEdge, OrderGraph};
 use crate::race::{GroupRaces, RaceAccess, RaceCandidate, RacePair, RaceReport};
@@ -277,8 +279,16 @@ json_struct!(LintFinding {
     irq_violations,
     racy,
     witness,
-    doc_verdict
+    doc_verdict,
+    static_outliers
 });
+json_struct!(StaticMemberEvidence {
+    type_name,
+    member_name,
+    outliers,
+    confidence
+});
+json_struct!(StaticEvidence { members });
 json_struct!(OrderConflict {
     rule,
     held_first,
@@ -570,6 +580,7 @@ mod tests {
                     },
                 }),
                 doc_verdict: Some(Verdict::Ambivalent),
+                static_outliers: 3,
             }],
             order_conflicts: vec![OrderConflict {
                 rule: "inode.i_state:w = a -> b".into(),

@@ -89,6 +89,43 @@ pub struct LintFinding {
     pub witness: Option<RacePair>,
     /// Verdict of the matching documented rule, when one was checked.
     pub doc_verdict: Option<Verdict>,
+    /// Deviating sites the static outlier pass reported for this member
+    /// (0 when no static evidence was supplied).
+    pub static_outliers: u64,
+}
+
+/// Per-member evidence from the static outlier analysis (`locksrc`),
+/// decoupled from its concrete report type so `lockdoc-core` stays free
+/// of a source-analysis dependency; the CLI converts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticMemberEvidence {
+    /// Struct type name (matched against the group's data type).
+    pub type_name: String,
+    /// Member name.
+    pub member_name: String,
+    /// Deviating access sites the static pass found.
+    pub outliers: u64,
+    /// Support ratio of the majority pattern backing them.
+    pub confidence: f64,
+}
+
+/// The static pass's evidence, as a fourth lint input besides the
+/// miner, the checker and the race detector.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StaticEvidence {
+    /// Flagged members, any order.
+    pub members: Vec<StaticMemberEvidence>,
+}
+
+impl StaticEvidence {
+    /// Outlier count for a `(type, member)`, 0 when not flagged.
+    pub fn outliers_for(&self, type_name: &str, member_name: &str) -> u64 {
+        self.members
+            .iter()
+            .filter(|m| m.type_name == type_name && m.member_name == member_name)
+            .map(|m| m.outliers)
+            .sum()
+    }
 }
 
 /// A documented rule whose lock order contradicts the dominant observed
@@ -149,9 +186,14 @@ impl LintReport {
             self.order_conflicts.len()
         );
         for f in &self.findings {
+            let statics = if f.static_outliers > 0 {
+                format!(", {} static outliers", f.static_outliers)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{} {}.{}: {} ({} violations, {} writes, {} in irq)",
+                "{} {}.{}: {} ({} violations, {} writes, {} in irq{statics})",
                 f.severity,
                 f.group_name,
                 f.member_name,
@@ -203,6 +245,10 @@ pub struct LintInputs<'a> {
     pub races: &'a RaceReport,
     /// Lock-order graph ([`crate::order`]).
     pub order: &'a OrderGraph,
+    /// Optional static-analysis evidence ([`StaticEvidence`]); members
+    /// it flags corroborate dynamic findings (a SUSPECT with static
+    /// outliers is promoted to PROBABLE).
+    pub statics: Option<&'a StaticEvidence>,
 }
 
 /// Order-graph class name of a lock descriptor (matches
@@ -302,6 +348,19 @@ pub fn lint(db: &TraceDb, inputs: &LintInputs<'_>, jobs: usize) -> LintReport {
             };
 
             let type_name = db.type_name(group.data_type);
+            let static_outliers = inputs
+                .statics
+                .map_or(0, |s| s.outliers_for(type_name, member_name));
+            // The static pass independently blames the member from
+            // source: a wrong-lock SUSPECT stops looking benign.
+            let (severity, rationale) = if severity == Severity::Suspect && static_outliers > 0 {
+                (
+                    Severity::Probable,
+                    format!("{rationale}; corroborated by the static outlier pass"),
+                )
+            } else {
+                (severity, rationale)
+            };
             let subclass = group.subclass.map(|s| db.sym(s).to_owned());
             let doc_verdict = inputs
                 .checked
@@ -330,6 +389,7 @@ pub fn lint(db: &TraceDb, inputs: &LintInputs<'_>, jobs: usize) -> LintReport {
                 racy,
                 witness,
                 doc_verdict,
+                static_outliers,
             });
         }
         findings
@@ -412,8 +472,34 @@ mod tests {
                 violations: &violations,
                 races: &races,
                 order: &order,
+                statics: None,
             },
             jobs,
+        )
+    }
+
+    fn run_lint_with_statics(
+        db: &lockdoc_trace::db::TraceDb,
+        statics: &StaticEvidence,
+    ) -> LintReport {
+        let mined = derive(db, &DeriveConfig::default());
+        let spec: String = mined.groups.iter().map(generate_rulespec).collect();
+        let rules = parse_rules(&spec).expect("generated spec parses");
+        let checked = check_rules(db, &rules);
+        let violations = find_violations(db, &mined, 3);
+        let races = find_races(db);
+        let order = OrderGraph::build(db);
+        lint(
+            db,
+            &LintInputs {
+                mined: &mined,
+                checked: &checked,
+                violations: &violations,
+                races: &races,
+                order: &order,
+                statics: Some(statics),
+            },
+            1,
         )
     }
 
@@ -439,6 +525,39 @@ mod tests {
         assert!(f.witness.is_none());
         assert!(f.doc_verdict.is_some());
         assert_eq!(report.count(Severity::Confirmed), 0);
+    }
+
+    #[test]
+    fn static_evidence_promotes_suspect_to_probable() {
+        // Same trace as the suspect test; the static pass independently
+        // blaming clock.minutes lifts the finding one tier.
+        let db = clock_db(1000, 1);
+        let statics = StaticEvidence {
+            members: vec![StaticMemberEvidence {
+                type_name: "clock".to_owned(),
+                member_name: "minutes".to_owned(),
+                outliers: 2,
+                confidence: 0.9,
+            }],
+        };
+        let report = run_lint_with_statics(&db, &statics);
+        let f = report.finding("clock", "minutes").expect("minutes finding");
+        assert_eq!(f.severity, Severity::Probable);
+        assert_eq!(f.static_outliers, 2);
+        assert!(f.rationale.contains("static outlier pass"));
+        // Unrelated static evidence changes nothing.
+        let unrelated = StaticEvidence {
+            members: vec![StaticMemberEvidence {
+                type_name: "inode".to_owned(),
+                member_name: "i_state".to_owned(),
+                outliers: 1,
+                confidence: 0.9,
+            }],
+        };
+        let report = run_lint_with_statics(&db, &unrelated);
+        let f = report.finding("clock", "minutes").expect("minutes finding");
+        assert_eq!(f.severity, Severity::Suspect);
+        assert_eq!(f.static_outliers, 0);
     }
 
     #[test]

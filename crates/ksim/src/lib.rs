@@ -42,6 +42,7 @@ pub mod kernel;
 pub mod lockdep;
 pub mod parallel;
 pub mod rules;
+pub mod srcgen;
 pub mod subsys;
 pub mod types;
 pub mod workload;

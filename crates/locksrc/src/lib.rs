@@ -11,7 +11,13 @@
 //! * a [`corpus`] module that synthesizes C-like source trees per release,
 //!   with growth calibrated to the paper's published statistics (+81 %
 //!   mutexes, +45 % spinlocks, +73 % LoC over the 7-year span), so the
-//!   full pipeline can be exercised offline.
+//!   full pipeline can be exercised offline;
+//! * a full static lockset analysis — [`ast`] parses the C-like corpus
+//!   language, [`cfg`] lowers it to basic blocks, [`lockstate`] runs a
+//!   flow- and context-sensitive must-hold lockset propagation, and
+//!   [`outlier`] mines per-(struct, member) majority patterns and flags
+//!   deviating access sites, following the outlier-based approach of
+//!   Dossche et al. (see PAPERS.md). Entry point: [`analyze_tree`].
 //!
 //! # Examples
 //!
@@ -28,8 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod cfg;
 pub mod corpus;
+pub mod lockstate;
+pub mod outlier;
 pub mod scan;
 
 pub use corpus::{CorpusSpec, ReleasePoint, RELEASES};
+pub use lockstate::{AccessObservation, AnalysisConfig};
+pub use outlier::{analyze_tree, MinerConfig, OutlierFinding, StaticReport};
 pub use scan::{scan_source, LockUsageCounts};

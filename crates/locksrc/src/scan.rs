@@ -89,7 +89,15 @@ impl lockdoc_platform::json::FromJson for LockUsageCounts {
 
 /// Identifier patterns counted per category. A hit requires the identifier
 /// to appear as a whole token followed by `(` (macro or function call).
-const SPINLOCK_IDS: &[&str] = &["spin_lock_init", "DEFINE_SPINLOCK", "__SPIN_LOCK_UNLOCKED"];
+/// Raw spinlocks (`raw_spin_lock_init` / `DEFINE_RAW_SPINLOCK`) count as
+/// spinlocks, matching how the paper's Fig. 1 aggregates the flavors.
+const SPINLOCK_IDS: &[&str] = &[
+    "spin_lock_init",
+    "DEFINE_SPINLOCK",
+    "__SPIN_LOCK_UNLOCKED",
+    "raw_spin_lock_init",
+    "DEFINE_RAW_SPINLOCK",
+];
 const MUTEX_IDS: &[&str] = &["mutex_init", "DEFINE_MUTEX", "__MUTEX_INITIALIZER"];
 const RCU_IDS: &[&str] = &["rcu_read_lock", "rcu_read_lock_bh", "rcu_read_lock_sched"];
 const RWLOCK_IDS: &[&str] = &["rwlock_init", "DEFINE_RWLOCK"];
@@ -292,6 +300,14 @@ void setup(struct foo *f) {
         assert_eq!(c.seqlock_inits, 1);
         assert_eq!(c.semaphore_inits, 1);
         assert_eq!(c.total_inits(), 7);
+    }
+
+    #[test]
+    fn counts_raw_spinlock_variants() {
+        let src = "static DEFINE_RAW_SPINLOCK(logbuf_lock);\n\
+                   void setup(struct foo *f) {\n\traw_spin_lock_init(&f->raw);\n}\n";
+        let c = scan_source(src);
+        assert_eq!(c.spinlock_inits, 2);
     }
 
     #[test]

@@ -188,6 +188,25 @@ for point in 6 8; do
 done
 echo "crash-recovery gate: OK (roll-back and roll-forward both byte-identical)"
 
+# --- static cross-validation determinism gate ----------------------------------
+# `lockdoc xcheck` runs the static outlier lockset analysis over the
+# seeded ground-truth source tree and joins it with every dynamic pass;
+# the whole report must be byte-identical at any worker count and the
+# static findings must recover the renderer's injected-outlier oracle
+# exactly (the same gates run at scale in the static_analysis_scaling
+# bench and tests/static.rs).
+LOCKDOC_JOBS_FORCE=1 "$LOCKDOC" xcheck --trace "$GATE_DIR/racy.ldoc" \
+    --seed 42 --jobs 1 > "$GATE_DIR/xcheck.1.txt"
+LOCKDOC_JOBS_FORCE=1 "$LOCKDOC" xcheck --trace "$GATE_DIR/racy.ldoc" \
+    --seed 42 --jobs 4 > "$GATE_DIR/xcheck.4.txt"
+diff -u "$GATE_DIR/xcheck.1.txt" "$GATE_DIR/xcheck.4.txt" \
+    || { echo "xcheck output differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+grep -q "oracle recall: 100" "$GATE_DIR/xcheck.1.txt" \
+    || { echo "static pass failed to recover the injected-outlier oracle" >&2; exit 1; }
+grep -q "cross-validation against the dynamic passes" "$GATE_DIR/xcheck.1.txt" \
+    || { echo "xcheck printed no per-pass precision/recall table" >&2; exit 1; }
+echo "static cross-validation gate: OK (oracle recovered, byte-identical at --jobs 1 and 4)"
+
 # --- invariant -> test traceability matrix ------------------------------------
 scripts/check_traceability.sh
 

@@ -76,6 +76,7 @@ fn run_pipeline_sharded(shards: u64, jobs: usize) -> (Vec<u8>, String) {
             violations: &violations,
             races: &races,
             order: &order,
+            statics: None,
         },
         jobs,
     );

@@ -43,6 +43,7 @@ fn run_lint(db: &TraceDb, jobs: usize) -> (RaceReport, LintReport) {
             violations: &violations,
             races: &races,
             order: &order,
+            statics: None,
         },
         jobs,
     );
